@@ -1,0 +1,292 @@
+//! Ray tracing with refraction.
+//!
+//! The image method (see [`crate::channel`]) assumes straight-line
+//! propagation — exact for the iso-velocity shallow water of the paper's
+//! deployments. Stratified water (a thermocline, a deeper coastal column)
+//! bends rays: Snell's invariant `cos θ / c(z)` curves paths toward the
+//! sound-speed minimum and can open shadow zones a straight-line model
+//! never predicts.
+//!
+//! This module integrates the standard 2-D ray equations
+//!
+//! ```text
+//! dr/ds = cos θ        dz/ds = sin θ
+//! dθ/ds = −cos θ · c'(z) / c(z)        dt/ds = 1 / c(z)
+//! ```
+//!
+//! (θ measured from the horizontal, z positive down, midpoint integration)
+//! with specular reflections at the surface and bottom, and finds eigenrays
+//! between two points by bisecting launch angles.
+
+use crate::soundspeed::Profile;
+use vab_util::units::Meters;
+
+/// One traced ray path.
+#[derive(Debug, Clone)]
+pub struct RayPath {
+    /// Sampled (range, depth) points along the path, metres.
+    pub points: Vec<(f64, f64)>,
+    /// Travel time to the final point, seconds.
+    pub travel_time_s: f64,
+    /// Path length, metres.
+    pub length_m: f64,
+    /// Surface reflections along the way.
+    pub n_surface: u32,
+    /// Bottom reflections along the way.
+    pub n_bottom: u32,
+    /// Launch angle, radians from horizontal (positive down).
+    pub launch_rad: f64,
+}
+
+impl RayPath {
+    /// Final depth reached at the target range.
+    pub fn final_depth(&self) -> f64 {
+        self.points.last().map(|p| p.1).unwrap_or(f64::NAN)
+    }
+}
+
+/// Ray-tracing configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RayTracer {
+    /// Water depth, m.
+    pub depth_m: f64,
+    /// Integration step along the arc, m.
+    pub step_m: f64,
+    /// Abort tracing after this many surface+bottom bounces.
+    pub max_bounces: u32,
+}
+
+impl RayTracer {
+    /// Standard tracer: 0.5 m steps, up to 6 bounces.
+    pub fn new(depth_m: f64) -> Self {
+        assert!(depth_m > 0.0);
+        Self { depth_m, step_m: 0.5, max_bounces: 6 }
+    }
+
+    /// Traces one ray from `(0, z0)` at `launch_rad` until it reaches
+    /// `range_m` (or exceeds the bounce limit).
+    pub fn trace(&self, profile: &Profile, z0: f64, launch_rad: f64, range_m: f64) -> RayPath {
+        let mut r = 0.0f64;
+        let mut z = z0.clamp(0.0, self.depth_m);
+        let mut theta = launch_rad;
+        let mut t = 0.0f64;
+        let mut length = 0.0f64;
+        let mut n_surface = 0u32;
+        let mut n_bottom = 0u32;
+        // Keep the stored path compact: record every ~2 m of range.
+        let record_every = (2.0 / self.step_m).max(1.0) as usize;
+        let mut points = vec![(r, z)];
+        let mut i = 0usize;
+        let eps = 1e-9;
+        while r < range_m && n_surface + n_bottom <= self.max_bounces {
+            let ds = self.step_m.min((range_m - r).max(eps) / theta.cos().abs().max(0.1));
+            // Midpoint method for the coupled ODEs.
+            let c1 = profile.at(z);
+            let dc1 = self.gradient(profile, z);
+            let k1_theta = -theta.cos() * dc1 / c1;
+            let zm = z + 0.5 * ds * theta.sin();
+            let thm = theta + 0.5 * ds * k1_theta;
+            let cm = profile.at(zm.clamp(0.0, self.depth_m));
+            let dcm = self.gradient(profile, zm.clamp(0.0, self.depth_m));
+            r += ds * thm.cos();
+            z += ds * thm.sin();
+            theta += ds * (-thm.cos() * dcm / cm);
+            t += ds / cm;
+            length += ds;
+            // Boundary reflections: specular (angle sign flip).
+            if z <= 0.0 {
+                z = -z;
+                theta = -theta;
+                n_surface += 1;
+            } else if z >= self.depth_m {
+                z = 2.0 * self.depth_m - z;
+                theta = -theta;
+                n_bottom += 1;
+            }
+            i += 1;
+            if i % record_every == 0 {
+                points.push((r, z));
+            }
+        }
+        points.push((r, z));
+        RayPath { points, travel_time_s: t, length_m: length, n_surface, n_bottom, launch_rad }
+    }
+
+    fn gradient(&self, profile: &Profile, z: f64) -> f64 {
+        match *profile {
+            Profile::Iso(_) => 0.0,
+            Profile::Linear { gradient, .. } => {
+                let _ = z;
+                gradient
+            }
+        }
+    }
+
+    /// Finds eigenrays from `(0, z_src)` to `(range, z_rcv)`: scans launch
+    /// angles in ±`max_angle_rad`, then bisects every sign change of the
+    /// depth error at the target range. Returns the refined paths (at most
+    /// one per bracketing pair), sorted by travel time.
+    pub fn eigenrays(
+        &self,
+        profile: &Profile,
+        z_src: f64,
+        z_rcv: f64,
+        range: Meters,
+        max_angle_rad: f64,
+        n_scan: usize,
+    ) -> Vec<RayPath> {
+        assert!(n_scan >= 8);
+        let range_m = range.value();
+        let err = |angle: f64| -> f64 {
+            let p = self.trace(profile, z_src, angle, range_m);
+            p.final_depth() - z_rcv
+        };
+        let mut found = Vec::new();
+        let mut prev_angle = -max_angle_rad;
+        let mut prev_err = err(prev_angle);
+        for k in 1..=n_scan {
+            let angle = -max_angle_rad + 2.0 * max_angle_rad * k as f64 / n_scan as f64;
+            let e = err(angle);
+            if prev_err == 0.0 || (prev_err < 0.0) != (e < 0.0) {
+                // Bisect the bracket.
+                let (mut lo, mut hi) = (prev_angle, angle);
+                let (mut elo, _) = (prev_err, e);
+                for _ in 0..40 {
+                    let mid = 0.5 * (lo + hi);
+                    let em = err(mid);
+                    if (em < 0.0) == (elo < 0.0) {
+                        lo = mid;
+                        elo = em;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                let angle_star = 0.5 * (lo + hi);
+                let path = self.trace(profile, z_src, angle_star, range_m);
+                if (path.final_depth() - z_rcv).abs() < 1.0 {
+                    found.push(path);
+                }
+            }
+            prev_angle = angle;
+            prev_err = e;
+        }
+        found.sort_by(|a, b| a.travel_time_s.partial_cmp(&b.travel_time_s).expect("finite"));
+        // Merge duplicates (adjacent brackets converging to the same ray).
+        found.dedup_by(|a, b| (a.travel_time_s - b.travel_time_s).abs() < 1e-5);
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vab_util::approx_eq;
+
+    #[test]
+    fn straight_ray_in_iso_water() {
+        let tracer = RayTracer::new(50.0);
+        let profile = Profile::Iso(1500.0);
+        let p = tracer.trace(&profile, 25.0, 0.0, 200.0);
+        // Horizontal launch at mid-depth: stays flat, no bounces.
+        assert_eq!(p.n_surface + p.n_bottom, 0);
+        assert!(approx_eq(p.final_depth(), 25.0, 1e-6));
+        assert!(approx_eq(p.travel_time_s, 200.0 / 1500.0, 1e-4));
+        assert!(approx_eq(p.length_m, 200.0, 0.01));
+    }
+
+    #[test]
+    fn angled_ray_bounces_in_iso_water() {
+        let tracer = RayTracer::new(20.0);
+        let profile = Profile::Iso(1500.0);
+        // 10° down from 10 m depth: hits bottom after ~56.7 m of range.
+        let p = tracer.trace(&profile, 10.0, 10f64.to_radians(), 300.0);
+        assert!(p.n_bottom >= 1, "ray must hit the bottom");
+        assert!(p.n_surface >= 1, "and come back up past the surface");
+        // Path length exceeds horizontal range (zig-zag).
+        assert!(p.length_m > 300.0);
+    }
+
+    #[test]
+    fn iso_eigenray_matches_image_method_delay() {
+        let tracer = RayTracer::new(30.0);
+        let c = 1500.0;
+        let profile = Profile::Iso(c);
+        let rays = tracer.eigenrays(&profile, 10.0, 12.0, Meters(150.0), 0.5, 160);
+        assert!(!rays.is_empty(), "must find at least the direct eigenray");
+        // The earliest eigenray is the direct path: t = √(150² + 2²)/c.
+        let want = (150.0f64.powi(2) + 2.0f64.powi(2)).sqrt() / c;
+        let got = rays[0].travel_time_s;
+        assert!(
+            (got - want).abs() < 2e-4,
+            "direct eigenray {got:.6}s vs geometric {want:.6}s"
+        );
+        // And a surface- or bottom-bounce eigenray should exist too.
+        assert!(rays.len() >= 2, "expected bounce eigenrays, got {}", rays.len());
+        assert!(rays[1].travel_time_s > rays[0].travel_time_s);
+    }
+
+    #[test]
+    fn downward_gradient_bends_rays_down() {
+        // Sound speed increasing with depth bends rays *upward* (toward the
+        // slow side); decreasing with depth bends them downward.
+        let tracer = RayTracer { depth_m: 200.0, step_m: 0.5, max_bounces: 0 };
+        let faster_down = Profile::Linear { surface: 1480.0, gradient: 0.5 };
+        let slower_down = Profile::Linear { surface: 1520.0, gradient: -0.5 };
+        let up = tracer.trace(&faster_down, 100.0, 0.0, 400.0);
+        let down = tracer.trace(&slower_down, 100.0, 0.0, 400.0);
+        assert!(
+            up.final_depth() < 99.0,
+            "positive gradient should bend the ray up, got z = {}",
+            up.final_depth()
+        );
+        assert!(
+            down.final_depth() > 101.0,
+            "negative gradient should bend the ray down, got z = {}",
+            down.final_depth()
+        );
+    }
+
+    #[test]
+    fn snell_invariant_is_conserved() {
+        // cos θ / c(z) must stay constant along a refracted (bounce-free) ray.
+        let tracer = RayTracer { depth_m: 500.0, step_m: 0.25, max_bounces: 0 };
+        let profile = Profile::Linear { surface: 1490.0, gradient: 0.05 };
+        let z0 = 250.0;
+        let th0 = 0.05f64;
+        let p = tracer.trace(&profile, z0, th0, 600.0);
+        assert_eq!(p.n_surface + p.n_bottom, 0, "pick parameters without bounces");
+        let inv0 = th0.cos() / profile.at(z0);
+        // Recover the local angle from consecutive recorded points.
+        let pts = &p.points;
+        let (r1, z1) = pts[pts.len() - 2];
+        let (r2, z2) = pts[pts.len() - 1];
+        let theta_end = ((z2 - z1) / (r2 - r1)).atan();
+        let inv_end = theta_end.cos() / profile.at(z2);
+        assert!(
+            (inv_end / inv0 - 1.0).abs() < 1e-3,
+            "Snell invariant drifted: {inv0:.6e} → {inv_end:.6e}"
+        );
+    }
+
+    #[test]
+    fn refraction_changes_eigenray_count_or_timing() {
+        // Same geometry, iso vs gradient: travel times must differ measurably
+        // (the gradient lengthens/bends the paths).
+        let tracer = RayTracer::new(60.0);
+        let iso = Profile::Iso(1500.0);
+        let grad = Profile::Linear { surface: 1500.0, gradient: -0.3 };
+        let a = tracer.eigenrays(&iso, 20.0, 20.0, Meters(400.0), 0.6, 200);
+        let b = tracer.eigenrays(&grad, 20.0, 20.0, Meters(400.0), 0.6, 200);
+        assert!(!a.is_empty() && !b.is_empty());
+        let da = a[0].travel_time_s;
+        let db = b[0].travel_time_s;
+        assert!((da - db).abs() > 1e-5, "refraction should shift arrival time: {da} vs {db}");
+    }
+
+    #[test]
+    fn bounce_limit_respected() {
+        let tracer = RayTracer { depth_m: 5.0, step_m: 0.25, max_bounces: 3 };
+        let p = tracer.trace(&Profile::Iso(1500.0), 2.5, 0.5, 10_000.0);
+        assert!(p.n_surface + p.n_bottom <= 4, "tracing must stop at the bounce limit");
+    }
+}

@@ -1,0 +1,104 @@
+//! Sound speed in sea water.
+
+/// Mackenzie (1981) nine-term equation for sound speed (m/s).
+///
+/// Valid for temperature −2…30 °C, salinity 25…40 ppt, depth 0…8000 m; it
+/// degrades gracefully outside (we also use it for fresh river water, where
+/// the salinity terms nearly vanish and the result lands within a few m/s of
+/// dedicated freshwater formulas — irrelevant for link budgets).
+///
+/// * `temp_c` — temperature in °C
+/// * `salinity_ppt` — salinity in parts per thousand
+/// * `depth_m` — depth in metres
+pub fn mackenzie(temp_c: f64, salinity_ppt: f64, depth_m: f64) -> f64 {
+    let t = temp_c;
+    let s = salinity_ppt;
+    let d = depth_m;
+    1448.96 + 4.591 * t - 5.304e-2 * t * t + 2.374e-4 * t * t * t
+        + 1.340 * (s - 35.0)
+        + 1.630e-2 * d
+        + 1.675e-7 * d * d
+        - 1.025e-2 * t * (s - 35.0)
+        - 7.139e-13 * t * d * d * d
+}
+
+/// A depth-dependent sound-speed profile.
+#[derive(Debug, Clone)]
+pub enum Profile {
+    /// Constant sound speed (well-mixed shallow water — the VAB regimes).
+    Iso(f64),
+    /// Linear gradient: speed at surface plus `gradient` (1/s) × depth.
+    Linear { surface: f64, gradient: f64 },
+}
+
+impl Profile {
+    /// Sound speed at `depth_m`.
+    pub fn at(&self, depth_m: f64) -> f64 {
+        match *self {
+            Profile::Iso(c) => c,
+            Profile::Linear { surface, gradient } => surface + gradient * depth_m,
+        }
+    }
+
+    /// Harmonic-mean speed over 0..depth — the right average for travel time.
+    pub fn mean_to(&self, depth_m: f64) -> f64 {
+        match *self {
+            Profile::Iso(c) => c,
+            Profile::Linear { surface, gradient } => {
+                if gradient.abs() < 1e-12 || depth_m <= 0.0 {
+                    surface
+                } else {
+                    // depth / ∫ dz/c(z)
+                    let c1 = surface + gradient * depth_m;
+                    gradient * depth_m / (c1 / surface).ln()
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vab_util::approx_eq;
+
+    #[test]
+    fn mackenzie_reference_point() {
+        // Canonical check value: T=10°C, S=35 ppt, D=1000 m → ~1503.4 m/s.
+        let c = mackenzie(10.0, 35.0, 1000.0);
+        assert!(approx_eq(c, 1503.4, 0.5), "got {c}");
+    }
+
+    #[test]
+    fn warmer_water_is_faster() {
+        assert!(mackenzie(20.0, 35.0, 5.0) > mackenzie(5.0, 35.0, 5.0));
+    }
+
+    #[test]
+    fn saltier_water_is_faster() {
+        assert!(mackenzie(10.0, 35.0, 5.0) > mackenzie(10.0, 0.5, 5.0));
+    }
+
+    #[test]
+    fn fresh_shallow_water_plausible() {
+        // River-like: 15 °C, fresh, 3 m deep → mid-1460s m/s.
+        let c = mackenzie(15.0, 0.5, 3.0);
+        assert!(c > 1415.0 && c < 1490.0, "got {c}");
+    }
+
+    #[test]
+    fn iso_profile_is_constant() {
+        let p = Profile::Iso(1500.0);
+        assert_eq!(p.at(0.0), 1500.0);
+        assert_eq!(p.at(100.0), 1500.0);
+        assert_eq!(p.mean_to(50.0), 1500.0);
+    }
+
+    #[test]
+    fn linear_profile_gradient_and_mean() {
+        let p = Profile::Linear { surface: 1500.0, gradient: 0.1 };
+        assert!(approx_eq(p.at(10.0), 1501.0, 1e-9));
+        let m = p.mean_to(10.0);
+        assert!(m > 1500.0 && m < 1501.0, "mean {m} should be between endpoints");
+    }
+}

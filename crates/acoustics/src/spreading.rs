@@ -1,0 +1,131 @@
+//! Geometric spreading loss.
+
+use vab_util::units::{Db, Meters};
+
+/// Spreading geometry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Spreading {
+    /// Deep open water: 20·log10(d) — energy spreads over a sphere.
+    Spherical,
+    /// Ideal waveguide far field: 10·log10(d).
+    Cylindrical,
+    /// Shallow-water practical compromise: `k·log10(d)` with k ≈ 15.
+    Practical(f64),
+    /// The physically-motivated shallow-water law: spherical (20·log10)
+    /// out to the `transition_m` range (≈ the water depth, where the
+    /// wavefront first fills the waveguide), then `far_k·log10` beyond
+    /// (boundary-trapped propagation, far_k ≈ 10–13 depending on bottom
+    /// loss). This is the regime that makes hundreds of metres reachable
+    /// in a 4 m river.
+    Hybrid {
+        /// Range at which the waveguide takes over, metres.
+        transition_m: f64,
+        /// Far-field log-distance coefficient.
+        far_k: f64,
+    },
+}
+
+impl Spreading {
+    /// The *local* log-distance coefficient at long range (used for rough
+    /// slope reasoning; prefer [`Spreading::loss`] for actual budgets).
+    pub fn coefficient(self) -> f64 {
+        match self {
+            Spreading::Spherical => 20.0,
+            Spreading::Cylindrical => 10.0,
+            Spreading::Practical(k) => k,
+            Spreading::Hybrid { far_k, .. } => far_k,
+        }
+    }
+
+    /// Spreading loss in dB re 1 m at distance `d` (zero at ≤ 1 m — the
+    /// reference distance of source levels).
+    pub fn loss(self, d: Meters) -> Db {
+        let d = d.value().max(1.0);
+        match self {
+            Spreading::Spherical => Db(20.0 * d.log10()),
+            Spreading::Cylindrical => Db(10.0 * d.log10()),
+            Spreading::Practical(k) => Db(k * d.log10()),
+            Spreading::Hybrid { transition_m, far_k } => {
+                let t = transition_m.max(1.0);
+                if d <= t {
+                    Db(20.0 * d.log10())
+                } else {
+                    Db(20.0 * t.log10() + far_k * (d / t).log10())
+                }
+            }
+        }
+    }
+}
+
+/// One-way transmission loss: spreading plus absorption.
+///
+/// `TL = k·log10(d) + α·d/1000` — the workhorse of every link budget in the
+/// evaluation.
+pub fn transmission_loss(spreading: Spreading, alpha_db_per_km: f64, d: Meters) -> Db {
+    spreading.loss(d) + Db(alpha_db_per_km * d.value().max(0.0) / 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vab_util::approx_eq;
+
+    #[test]
+    fn spherical_doubles_amplitude_rule() {
+        // 20 log10: ×10 distance → +20 dB.
+        let s = Spreading::Spherical;
+        assert!(approx_eq(s.loss(Meters(10.0)).value(), 20.0, 1e-9));
+        assert!(approx_eq(s.loss(Meters(100.0)).value(), 40.0, 1e-9));
+    }
+
+    #[test]
+    fn reference_distance_is_zero_loss() {
+        for s in [Spreading::Spherical, Spreading::Cylindrical, Spreading::Practical(15.0)] {
+            assert_eq!(s.loss(Meters(1.0)).value(), 0.0);
+            // Below the reference distance clamps rather than going negative.
+            assert_eq!(s.loss(Meters(0.1)).value(), 0.0);
+        }
+    }
+
+    #[test]
+    fn practical_sits_between_cylindrical_and_spherical() {
+        let d = Meters(300.0);
+        let cyl = Spreading::Cylindrical.loss(d).value();
+        let prac = Spreading::Practical(15.0).loss(d).value();
+        let sph = Spreading::Spherical.loss(d).value();
+        assert!(cyl < prac && prac < sph);
+    }
+
+    #[test]
+    fn transmission_loss_adds_absorption() {
+        let tl = transmission_loss(Spreading::Practical(15.0), 3.6, Meters(300.0));
+        let expect = 15.0 * 300f64.log10() + 3.6 * 0.3;
+        assert!(approx_eq(tl.value(), expect, 1e-9));
+    }
+
+    #[test]
+    fn hybrid_is_spherical_near_waveguide_far() {
+        let h = Spreading::Hybrid { transition_m: 4.0, far_k: 12.0 };
+        // Below transition: pure spherical.
+        assert!(approx_eq(h.loss(Meters(2.0)).value(), 20.0 * 2f64.log10(), 1e-9));
+        // At the transition the two branches agree (continuity).
+        assert!(approx_eq(h.loss(Meters(4.0)).value(), 20.0 * 4f64.log10(), 1e-9));
+        // Far: slope is far_k per decade.
+        let l30 = h.loss(Meters(30.0)).value();
+        let l300 = h.loss(Meters(300.0)).value();
+        assert!(approx_eq(l300 - l30, 12.0, 1e-9));
+        // And always cheaper than full spherical at long range.
+        assert!(l300 < Spreading::Spherical.loss(Meters(300.0)).value());
+    }
+
+    #[test]
+    fn hybrid_monotonic_across_transition() {
+        let h = Spreading::Hybrid { transition_m: 5.0, far_k: 11.0 };
+        let mut prev = -1.0;
+        for d in [1.0, 2.0, 4.9, 5.0, 5.1, 10.0, 100.0] {
+            let l = h.loss(Meters(d)).value();
+            assert!(l >= prev, "non-monotonic at {d}");
+            prev = l;
+        }
+    }
+}

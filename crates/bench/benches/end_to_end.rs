@@ -1,0 +1,58 @@
+//! Criterion benchmarks for whole simulation trials — the quantities that
+//! set how long a 1,500-trial evaluation campaign takes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vab_sim::baseline::SystemKind;
+use vab_sim::montecarlo::{run_point, MonteCarloConfig, TrialEngine};
+use vab_sim::scenario::Scenario;
+use vab_util::units::Meters;
+
+fn bench_link_budget_point(c: &mut Criterion) {
+    let s = Scenario::river(SystemKind::Vab { n_pairs: 4 }, Meters(300.0));
+    let cfg = MonteCarloConfig {
+        trials: 10,
+        bits_per_trial: 256,
+        seed: 1,
+        engine: TrialEngine::LinkBudget,
+        threads: 1,
+    };
+    c.bench_function("link_budget_point_10_trials", |b| {
+        b.iter(|| black_box(run_point(black_box(&s), black_box(&cfg))))
+    });
+}
+
+fn bench_sample_level_trial(c: &mut Criterion) {
+    let s = Scenario::river(SystemKind::Vab { n_pairs: 4 }, Meters(100.0));
+    let cfg = MonteCarloConfig {
+        trials: 1,
+        bits_per_trial: 96,
+        seed: 1,
+        engine: TrialEngine::SampleLevel,
+        threads: 1,
+    };
+    c.bench_function("sample_level_trial_96_bits", |b| {
+        b.iter(|| black_box(run_point(black_box(&s), black_box(&cfg))))
+    });
+}
+
+fn bench_parallel_scaling(c: &mut Criterion) {
+    let s = Scenario::river(SystemKind::Vab { n_pairs: 4 }, Meters(300.0));
+    let mut group = c.benchmark_group("parallel_scaling");
+    for threads in [1usize, 4] {
+        let cfg = MonteCarloConfig {
+            trials: 32,
+            bits_per_trial: 256,
+            seed: 1,
+            engine: TrialEngine::LinkBudget,
+            threads,
+        };
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| black_box(run_point(black_box(&s), black_box(&cfg))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(end_to_end, bench_link_budget_point, bench_sample_level_trial, bench_parallel_scaling);
+criterion_main!(end_to_end);

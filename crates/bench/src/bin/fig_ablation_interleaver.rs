@@ -1,0 +1,23 @@
+//! A6 - interleaver vs snapping-shrimp impulsive noise.
+//!
+//! Usage: `cargo run --release -p vab-bench --bin fig_ablation_interleaver`
+
+use vab_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cfg = if args.iter().any(|a| a == "--quick") {
+        experiments::ExpConfig::quick()
+    } else {
+        experiments::ExpConfig::full()
+    };
+    let table = experiments::a6_ablation_interleaver(&cfg);
+    println!("# A6 - interleaver vs impulsive (snapping-shrimp) noise");
+    println!();
+    print!("{}", table.to_pretty());
+    if let Some(i) = args.iter().position(|a| a == "--csv") {
+        let path = args.get(i + 1).expect("--csv needs a path");
+        table.write_csv(std::path::Path::new(path)).expect("write CSV");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,24 @@
+//! F17 - the 1,500-deployment campaign aggregate.
+//!
+//! Usage: `cargo run --release -p vab-bench --bin fig_campaign`
+//! (`--quick` for a reduced campaign, `--csv <path>` to save).
+
+use vab_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cfg = if args.iter().any(|a| a == "--quick") {
+        experiments::ExpConfig::quick()
+    } else {
+        experiments::ExpConfig::full()
+    };
+    let table = experiments::f17_campaign(&cfg);
+    println!("# F17 - randomized-deployment campaign (success = BER <= 1e-3)");
+    println!();
+    print!("{}", table.to_pretty());
+    if let Some(i) = args.iter().position(|a| a == "--csv") {
+        let path = args.get(i + 1).expect("--csv needs a path");
+        table.write_csv(std::path::Path::new(path)).expect("write CSV");
+        eprintln!("wrote {path}");
+    }
+}

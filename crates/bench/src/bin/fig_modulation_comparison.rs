@@ -1,0 +1,23 @@
+//! F18 - FM0-OOK vs FSK backscatter at the waveform level.
+//!
+//! Usage: `cargo run --release -p vab-bench --bin fig_modulation_comparison`
+
+use vab_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cfg = if args.iter().any(|a| a == "--quick") {
+        experiments::ExpConfig::quick()
+    } else {
+        experiments::ExpConfig::full()
+    };
+    let table = experiments::f18_modulation_comparison(&cfg);
+    println!("# F18 - modulation comparison: FM0 vs FSK through the river channel");
+    println!();
+    print!("{}", table.to_pretty());
+    if let Some(i) = args.iter().position(|a| a == "--csv") {
+        let path = args.get(i + 1).expect("--csv needs a path");
+        table.write_csv(std::path::Path::new(path)).expect("write CSV");
+        eprintln!("wrote {path}");
+    }
+}

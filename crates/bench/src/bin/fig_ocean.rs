@@ -1,0 +1,24 @@
+//! F10 - ocean validation: BER vs range across sea states
+//!
+//! Usage: `cargo run --release -p vab-bench --bin fig_ocean` (add `--quick`
+//! for a fast low-trial run, `--csv <path>` to also write CSV).
+
+use vab_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cfg = if args.iter().any(|a| a == "--quick") {
+        experiments::ExpConfig::quick()
+    } else {
+        experiments::ExpConfig::full()
+    };
+    let table = experiments::f10_ocean(&cfg);
+    println!("# F10 - ocean validation: BER vs range across sea states");
+    println!();
+    print!("{}", table.to_pretty());
+    if let Some(i) = args.iter().position(|a| a == "--csv") {
+        let path = args.get(i + 1).expect("--csv needs a path");
+        table.write_csv(std::path::Path::new(path)).expect("write CSV");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,1068 @@
+//! The reconstructed evaluation of the paper, experiment by experiment.
+//!
+//! Identifiers (T1…T3, F6…F14, A1, A2) index the per-experiment table in
+//! DESIGN.md and EXPERIMENTS.md.
+
+use vab_acoustics::environment::SeaState;
+use vab_core::array::VanAttaArray;
+use vab_harvest::budget::{NodeMode, PowerBudget};
+use vab_harvest::pmu::Pmu;
+use vab_link::fec::Fec;
+use vab_link::frame::LinkConfig;
+use vab_link::interleave::Interleaver;
+use vab_mac::aloha::AlohaReader;
+use vab_mac::tdma::TdmaSchedule;
+use vab_piezo::bvd::Bvd;
+use vab_piezo::reflection::{Load, ModulationStates};
+use vab_sim::baseline::{FrontEnd, SystemKind};
+use vab_sim::linkbudget::{harvest_at, LinkBudget};
+use vab_sim::metrics::CsvTable;
+use vab_sim::montecarlo::{run_point, run_point_with_front_end, MonteCarloConfig, TrialEngine};
+use vab_sim::scenario::Scenario;
+use vab_util::rng::seeded;
+use vab_util::units::{Degrees, Hertz, Meters};
+
+/// The VAB carrier used across the evaluation.
+pub const F0: Hertz = Hertz(18_500.0);
+
+/// Shared experiment knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpConfig {
+    /// Monte Carlo trials per operating point.
+    pub trials: usize,
+    /// Information bits per trial.
+    pub bits: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ExpConfig {
+    /// Full-fidelity runs for the published numbers.
+    pub fn full() -> Self {
+        Self { trials: 150, bits: 512, seed: 2023 }
+    }
+
+    /// Reduced counts for integration tests and smoke runs.
+    pub fn quick() -> Self {
+        Self { trials: 25, bits: 256, seed: 2023 }
+    }
+
+    fn mc(&self) -> MonteCarloConfig {
+        MonteCarloConfig {
+            trials: self.trials,
+            bits_per_trial: self.bits,
+            seed: self.seed,
+            engine: TrialEngine::LinkBudget,
+            threads: 0,
+        }
+    }
+}
+
+/// Measured BER at one scenario.
+fn ber_of(s: &Scenario, cfg: &ExpConfig) -> (f64, f64, f64) {
+    let r = run_point(s, &cfg.mc());
+    (r.ber.ber(), r.per(), r.ebn0.mean())
+}
+
+/// Maximum range at which the measured BER stays at or below `target`,
+/// found by bisection over Monte Carlo points.
+pub fn max_range_mc(
+    scenario_at: impl Fn(Meters) -> Scenario,
+    target_ber: f64,
+    cfg: &ExpConfig,
+) -> Meters {
+    let ok = |d: f64| {
+        // Median-deployment BER: the statistic the paper's "range at BER
+        // 10⁻³" reports (a field campaign quotes the typical deployment;
+        // fade outliers show up as scatter, not as a mean penalty).
+        let r = run_point(&scenario_at(Meters(d)), &cfg.mc());
+        r.median_ber() <= target_ber
+    };
+    let (mut lo, mut hi) = (2.0f64, 5_000.0f64);
+    if !ok(lo) {
+        return Meters(0.0);
+    }
+    if ok(hi) {
+        return Meters(hi);
+    }
+    for _ in 0..11 {
+        let mid = 0.5 * (lo + hi);
+        if ok(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Meters(0.5 * (lo + hi))
+}
+
+/// Battery-free *continuous* operating range: the farthest distance at
+/// which harvested power covers the listen-mode budget.
+pub fn harvest_sustain_range(system: SystemKind) -> Meters {
+    let budget = PowerBudget::vab_node().total(NodeMode::Listen);
+    let rect = vab_harvest::rectifier::Rectifier::schottky_doubler();
+    let ok = |d: f64| {
+        let s = Scenario::river(system, Meters(d));
+        let p_ac = harvest_at(&s);
+        rect.dc_output(p_ac).value() >= budget.value()
+    };
+    let (mut lo, mut hi) = (1.0f64, 2_000.0f64);
+    if !ok(lo) {
+        return Meters(0.0);
+    }
+    for _ in 0..40 {
+        let mid = 0.5 * (lo + hi);
+        if ok(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Meters(0.5 * (lo + hi))
+}
+
+// ---------------------------------------------------------------- Tables
+
+/// **T1** — head-to-head against the prior state of the art: communication
+/// range at BER 10⁻³ and 100 bps, plus the battery-free sustain range.
+/// The headline: VAB / PAB range ratio ≈ 15×.
+pub fn t1_sota_comparison(cfg: &ExpConfig) -> CsvTable {
+    let mut t = CsvTable::new([
+        "system",
+        "mod_gain_db_at_0deg",
+        "comm_range_m_boresight",
+        "comm_range_m_30deg",
+        "battery_free_range_m",
+        "range_ratio_vs_pab",
+    ]);
+    let systems = [
+        SystemKind::Pab,
+        SystemKind::ConventionalArray { n_elements: 8 },
+        SystemKind::Vab { n_pairs: 4 },
+    ];
+    let mut pab_range = 1.0;
+    for sys in systems {
+        let fe = FrontEnd::new(sys, F0);
+        let gain = fe.modulated_gain_db(Degrees(0.0));
+        let comm0 = max_range_mc(|d| Scenario::river(sys, d), 1e-3, cfg).value();
+        // A moored/drifting node cannot aim itself: quote range at a
+        // representative 30° misalignment ("across orientations").
+        let comm30 = max_range_mc(
+            |d| Scenario::river(sys, d).with_rotation(Degrees(30.0)),
+            1e-3,
+            cfg,
+        )
+        .value();
+        let sustain = harvest_sustain_range(sys).value();
+        if sys == SystemKind::Pab {
+            pab_range = comm30.max(1.0);
+        }
+        t.row([
+            sys.label(),
+            format!("{gain:.1}"),
+            format!("{comm0:.0}"),
+            format!("{comm30:.0}"),
+            format!("{sustain:.0}"),
+            format!("{:.1}", comm30 / pab_range),
+        ]);
+    }
+    t
+}
+
+/// **T2** — node power budget: per-component draw in each mode.
+pub fn t2_power_budget() -> CsvTable {
+    let b = PowerBudget::vab_node();
+    let mut t = CsvTable::new(["component", "sleep_uw", "listen_uw", "backscatter_uw"]);
+    for item in b.items() {
+        t.row([
+            item.component.to_string(),
+            format!("{:.2}", item.draw[0].uw()),
+            format!("{:.2}", item.draw[1].uw()),
+            format!("{:.2}", item.draw[2].uw()),
+        ]);
+    }
+    t.row([
+        "TOTAL".to_string(),
+        format!("{:.2}", b.total(NodeMode::Sleep).uw()),
+        format!("{:.2}", b.total(NodeMode::Listen).uw()),
+        format!("{:.2}", b.total(NodeMode::Backscatter).uw()),
+    ]);
+    t.row([
+        "duty-cycled 10%/5%".to_string(),
+        String::new(),
+        String::new(),
+        format!("{:.2}", b.duty_cycled(0.10, 0.05).uw()),
+    ]);
+    t
+}
+
+/// **T3** — the link budget, term by term, at 100 m and 300 m (river, VAB).
+pub fn t3_link_budget() -> CsvTable {
+    let mut t = CsvTable::new(["term", "at_100m", "at_300m"]);
+    let b100 = LinkBudget::compute(&Scenario::river(SystemKind::Vab { n_pairs: 4 }, Meters(100.0)));
+    let b300 = LinkBudget::compute(&Scenario::river(SystemKind::Vab { n_pairs: 4 }, Meters(300.0)));
+    for ((name, v100), (_, v300)) in b100.rows().into_iter().zip(b300.rows()) {
+        t.row([name.to_string(), format!("{v100:.1}"), format!("{v300:.1}")]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------- Figures
+
+/// **F6** — mean Eb/N0 vs range for the three systems (river, 100 bps).
+pub fn f6_snr_vs_range(cfg: &ExpConfig) -> CsvTable {
+    let mut t = CsvTable::new(["range_m", "vab_ebn0_db", "pab_ebn0_db", "conventional_ebn0_db"]);
+    for d in [10.0, 20.0, 50.0, 100.0, 150.0, 200.0, 300.0, 400.0, 500.0] {
+        let mut row = vec![format!("{d:.0}")];
+        for sys in [
+            SystemKind::Vab { n_pairs: 4 },
+            SystemKind::Pab,
+            SystemKind::ConventionalArray { n_elements: 8 },
+        ] {
+            let (_, _, ebn0) = ber_of(&Scenario::river(sys, Meters(d)), cfg);
+            row.push(format!("{ebn0:.1}"));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// **F7** — BER vs range at three bit rates (river, VAB): the
+/// ">300 m at BER 10⁻³" claim.
+pub fn f7_ber_vs_range(cfg: &ExpConfig) -> CsvTable {
+    let mut t = CsvTable::new(["range_m", "ber_100bps", "ber_500bps", "ber_1000bps"]);
+    for d in [50.0, 100.0, 150.0, 200.0, 250.0, 300.0, 350.0, 400.0, 450.0, 500.0] {
+        let mut row = vec![format!("{d:.0}")];
+        for bps in [100.0, 500.0, 1000.0] {
+            let s = Scenario::river(SystemKind::Vab { n_pairs: 4 }, Meters(d)).with_bit_rate(bps);
+            let (ber, _, _) = ber_of(&s, cfg);
+            row.push(format!("{ber:.2e}"));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// **F8** — the orientation study: BER and Eb/N0 vs incidence angle at
+/// 100 m for the retrodirective array vs the conventional array.
+pub fn f8_orientation(cfg: &ExpConfig) -> CsvTable {
+    let mut t = CsvTable::new([
+        "angle_deg",
+        "vab_ebn0_db",
+        "vab_ber",
+        "conventional_ebn0_db",
+        "conventional_ber",
+    ]);
+    for deg in [-75.0, -60.0, -45.0, -30.0, -15.0, 0.0, 15.0, 30.0, 45.0, 60.0, 75.0] {
+        let vab = Scenario::river(SystemKind::Vab { n_pairs: 4 }, Meters(100.0))
+            .with_rotation(Degrees(deg));
+        let conv = Scenario::river(SystemKind::ConventionalArray { n_elements: 8 }, Meters(100.0))
+            .with_rotation(Degrees(deg));
+        let (ber_v, _, ebn0_v) = ber_of(&vab, cfg);
+        let (ber_c, _, ebn0_c) = ber_of(&conv, cfg);
+        t.row([
+            format!("{deg:.0}"),
+            format!("{ebn0_v:.1}"),
+            format!("{ber_v:.2e}"),
+            format!("{ebn0_c:.1}"),
+            format!("{ber_c:.2e}"),
+        ]);
+    }
+    t
+}
+
+/// **F9** — scalability: retro gain and max range vs number of pairs.
+pub fn f9_scalability(cfg: &ExpConfig) -> CsvTable {
+    let mut t =
+        CsvTable::new(["n_pairs", "n_elements", "retro_gain_db", "max_range_m_ber1e3"]);
+    for pairs in [1usize, 2, 3, 4, 6, 8] {
+        let arr = VanAttaArray::vab_default(pairs, F0);
+        let gain = arr.retro_gain_db(Degrees(0.0), F0);
+        let range =
+            max_range_mc(|d| Scenario::river(SystemKind::Vab { n_pairs: pairs }, d), 1e-3, cfg)
+                .value();
+        t.row([
+            pairs.to_string(),
+            (2 * pairs).to_string(),
+            format!("{gain:.1}"),
+            format!("{range:.0}"),
+        ]);
+    }
+    t
+}
+
+/// **F10** — the ocean validation: BER vs range across sea states.
+pub fn f10_ocean(cfg: &ExpConfig) -> CsvTable {
+    let mut t = CsvTable::new(["range_m", "ber_calm", "ber_smooth", "ber_slight", "ber_moderate"]);
+    for d in [25.0, 50.0, 75.0, 100.0, 125.0, 150.0, 200.0, 250.0] {
+        let mut row = vec![format!("{d:.0}")];
+        for ss in [SeaState::Calm, SeaState::Smooth, SeaState::Slight, SeaState::Moderate] {
+            let s = Scenario::ocean(SystemKind::Vab { n_pairs: 4 }, Meters(d), ss);
+            let (ber, _, _) = ber_of(&s, cfg);
+            row.push(format!("{ber:.2e}"));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// **F11** — the electro-mechanical co-design: modulation depth and harvest
+/// fraction vs frequency for the three load strategies.
+pub fn f11_modulation_depth() -> CsvTable {
+    let bvd = Bvd::vab_default();
+    let f0 = bvd.series_resonance();
+    let naive = ModulationStates::open_short();
+    let vab = ModulationStates::vab(&bvd, f0);
+    let max = ModulationStates::max_depth(&bvd, f0);
+    // PAB's always-harvesting states (same as the simulator baseline):
+    // reflect only reaches |Γ| = 0.7 because the rectifier stays in circuit.
+    let g_open = vab_piezo::reflection::gamma(&bvd, Load::Open, f0);
+    let pab = ModulationStates {
+        reflect: Load::Custom(vab_piezo::reflection::gamma_to_load(
+            &bvd,
+            vab_util::complex::C64::from_polar(0.7, g_open.arg()),
+            f0,
+        )),
+        absorb: Load::ConjugateMatch,
+    };
+    let mut t = CsvTable::new([
+        "freq_khz",
+        "depth_open_short",
+        "depth_pab_harvest_first",
+        "depth_vab_codesign",
+        "depth_max_reactive",
+        "harvest_vab",
+    ]);
+    for step in 0..=20 {
+        let f = Hertz(f0.value() * (0.85 + 0.015 * step as f64));
+        t.row([
+            format!("{:.2}", f.khz()),
+            format!("{:.3}", naive.modulation_depth(&bvd, f)),
+            format!("{:.3}", pab.modulation_depth(&bvd, f)),
+            format!("{:.3}", vab.modulation_depth(&bvd, f)),
+            format!("{:.3}", max.modulation_depth(&bvd, f)),
+            format!("{:.3}", vab.harvest_fraction(&bvd, f)),
+        ]);
+    }
+    t
+}
+
+/// **F12** — energy: harvested power vs range for VAB and PAB, against the
+/// node budget, plus cold-start time.
+pub fn f12_harvesting() -> CsvTable {
+    use vab_core::scheduler::min_period_s;
+    use vab_harvest::rectifier::Rectifier;
+    use vab_util::units::Seconds;
+    let budget = PowerBudget::vab_node();
+    let budget_uw = budget.total(NodeMode::Listen).uw();
+    let rect = Rectifier::schottky_doubler();
+    let mut t = CsvTable::new([
+        "range_m",
+        "vab_harvest_uw",
+        "pab_harvest_uw",
+        "listen_budget_uw",
+        "vab_cold_start_s",
+        "wake_period_s",
+    ]);
+    for d in [2.0, 5.0, 10.0, 20.0, 30.0, 50.0, 75.0, 100.0, 150.0, 200.0] {
+        let vab = harvest_at(&Scenario::river(SystemKind::Vab { n_pairs: 4 }, Meters(d)));
+        let pab = harvest_at(&Scenario::river(SystemKind::Pab, Meters(d)));
+        let pmu = Pmu::vab_default();
+        let cold = pmu
+            .cold_start_time(vab)
+            .map(|s| format!("{:.0}", s.value()))
+            .unwrap_or_else(|| "inf".to_string());
+        // Sustainable wake period for a 2 s listen + 1 s reply window on
+        // the *rectified* VAB harvest.
+        let dc = rect.dc_output(vab);
+        let period = min_period_s(&budget, dc, Seconds(2.0), Seconds(1.0))
+            .map(|p| format!("{p:.0}"))
+            .unwrap_or_else(|| "never".to_string());
+        t.row([
+            format!("{d:.0}"),
+            format!("{:.3}", vab.uw()),
+            format!("{:.3}", pab.uw()),
+            format!("{budget_uw:.2}"),
+            cold,
+            period,
+        ]);
+    }
+    t
+}
+
+/// **F13** — throughput vs range: highest rate whose PER stays under 10 %,
+/// and the resulting goodput.
+pub fn f13_throughput(cfg: &ExpConfig) -> CsvTable {
+    let rates = [100.0, 250.0, 500.0, 1000.0];
+    let mut t = CsvTable::new(["range_m", "best_rate_bps", "per_at_best", "goodput_bps"]);
+    for d in [50.0, 100.0, 150.0, 200.0, 250.0, 300.0, 350.0, 400.0] {
+        let mut best = (0.0f64, 1.0f64);
+        for &bps in &rates {
+            let s = Scenario::river(SystemKind::Vab { n_pairs: 4 }, Meters(d)).with_bit_rate(bps);
+            let (_, per, _) = ber_of(&s, cfg);
+            if per <= 0.1 && bps > best.0 {
+                best = (bps, per);
+            }
+        }
+        let goodput = best.0 * (1.0 - best.1);
+        t.row([
+            format!("{d:.0}"),
+            format!("{:.0}", best.0),
+            format!("{:.3}", best.1),
+            format!("{goodput:.0}"),
+        ]);
+    }
+    t
+}
+
+/// **F14** — networking: inventory cost vs population and TDMA network
+/// throughput vs node count.
+pub fn f14_multinode(cfg: &ExpConfig) -> CsvTable {
+    let mut t = CsvTable::new([
+        "n_nodes",
+        "inventory_slots",
+        "inventory_collisions",
+        "tdma_round_s",
+        "network_goodput_bps",
+    ]);
+    for n in [2usize, 4, 6, 8, 10, 16] {
+        let mut rng = seeded(cfg.seed + n as u64);
+        let population: Vec<u8> = (1..=n as u8).collect();
+        let mut reader = AlohaReader::new(n.next_power_of_two());
+        let mut pending = population.clone();
+        while !pending.is_empty() {
+            reader.run_round(&mut pending, &mut rng);
+        }
+        // TDMA round for a 16-byte payload frame at 100 bps, 300 m guard.
+        let link = LinkConfig::vab_default();
+        let frame_bits = link.encoded_len(16);
+        let mut schedule =
+            TdmaSchedule::for_frames(n as u8, frame_bits, 100.0, 300.0, 1480.0);
+        schedule.assign_all(&population);
+        let payload_bits = 16 * 8;
+        t.row([
+            n.to_string(),
+            reader.slots_used.to_string(),
+            reader.collisions.to_string(),
+            format!("{:.1}", schedule.round_duration().value()),
+            format!("{:.1}", schedule.network_throughput(payload_bits)),
+        ]);
+    }
+    t
+}
+
+/// **A1** — ablation: Van Atta line-delay mismatch (random per pair, std in
+/// fractions of a carrier period) vs retro gain.
+pub fn a1_ablation_delay(cfg: &ExpConfig) -> CsvTable {
+    let mut t = CsvTable::new(["mismatch_std_periods", "mean_retro_gain_db", "loss_vs_ideal_db"]);
+    let ideal = VanAttaArray::vab_default(4, F0).retro_gain_db(Degrees(0.0), F0);
+    for std in [0.0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5] {
+        let mut acc = 0.0;
+        let draws = 32;
+        let mut rng = seeded(cfg.seed ^ 0xA1);
+        for _ in 0..draws {
+            let mut arr = VanAttaArray::vab_default(4, F0);
+            for m in arr.delay_mismatch.iter_mut() {
+                *m = vab_util::rng::gaussian(&mut rng) * std;
+            }
+            acc += arr.retro_gain_db(Degrees(0.0), F0);
+        }
+        let mean = acc / draws as f64;
+        t.row([
+            format!("{std:.2}"),
+            format!("{mean:.2}"),
+            format!("{:.2}", ideal - mean),
+        ]);
+    }
+    t
+}
+
+/// **A2** — ablation: FEC choice on the VAB front end vs range.
+pub fn a2_ablation_fec(cfg: &ExpConfig) -> CsvTable {
+    let stacks: [(&str, LinkConfig); 5] = [
+        ("uncoded", LinkConfig::uncoded()),
+        (
+            "repetition3",
+            LinkConfig { fec: Fec::Repetition(3), interleaver: None, whitening: true },
+        ),
+        (
+            "hamming74",
+            LinkConfig {
+                fec: Fec::Hamming74,
+                interleaver: Some(Interleaver::new(4, 7)),
+                whitening: true,
+            },
+        ),
+        (
+            "golay24",
+            LinkConfig {
+                fec: Fec::Golay24,
+                interleaver: Some(Interleaver::new(8, 24)),
+                whitening: true,
+            },
+        ),
+        ("conv_k7_soft", LinkConfig::vab_default()),
+    ];
+    let mut t =
+        CsvTable::new(["range_m", "uncoded", "repetition3", "hamming74", "golay24", "conv_k7_soft"]);
+    for d in [200.0, 300.0, 350.0, 400.0, 450.0, 500.0] {
+        let mut row = vec![format!("{d:.0}")];
+        for (_, link) in &stacks {
+            let s = Scenario::river(SystemKind::Vab { n_pairs: 4 }, Meters(d)).with_link(*link);
+            let (ber, _, _) = ber_of(&s, cfg);
+            row.push(format!("{ber:.2e}"));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// **A3** — ablation: how good must the reader's carrier cancellation be?
+/// Sweeps the residual self-interference floor and reports VAB's range.
+pub fn a3_ablation_cancellation(cfg: &ExpConfig) -> CsvTable {
+    let mut t = CsvTable::new(["si_floor_dbc_per_hz", "noise_floor_db_upa2hz", "max_range_m_ber1e3"]);
+    for rel in [-60.0, -70.0, -75.0, -80.0, -85.0, -90.0] {
+        let range = max_range_mc(
+            |d| {
+                let mut s = Scenario::river(SystemKind::Vab { n_pairs: 4 }, d);
+                s.reader.si_floor_rel_db = rel;
+                s
+            },
+            1e-3,
+            cfg,
+        )
+        .value();
+        t.row([
+            format!("{rel:.0}"),
+            format!("{:.0}", 180.0 + rel),
+            format!("{range:.0}"),
+        ]);
+    }
+    t
+}
+
+/// **A4** — ablation: element failures. Dead transducers kill whole pairs;
+/// how gracefully does the array (and the link) degrade?
+pub fn a4_ablation_failures(cfg: &ExpConfig) -> CsvTable {
+    let mut t = CsvTable::new(["failed_elements", "live_elements", "retro_gain_db", "ber_at_300m"]);
+    for n_failed in 0..=3usize {
+        let mut arr = VanAttaArray::vab_default(4, F0);
+        for i in 0..n_failed {
+            arr = arr.with_failed_element(2 * i); // kills pair i
+        }
+        let gain = arr.retro_gain_db(Degrees(0.0), F0);
+        let live = arr.live_elements();
+        let fe = FrontEnd::from_array(arr, F0);
+        let s = Scenario::river(SystemKind::Vab { n_pairs: 4 }, Meters(300.0));
+        let r = run_point_with_front_end(&s, &fe, &cfg.mc());
+        t.row([
+            n_failed.to_string(),
+            live.to_string(),
+            format!("{gain:.1}"),
+            format!("{:.2e}", r.ber.ber()),
+        ]);
+    }
+    t
+}
+
+/// **A5** — manufacturing tolerance: modulation-depth yield across build
+/// quality classes (lab-trimmed vs. commercial vs. loose).
+pub fn a5_tolerance_yield(cfg: &ExpConfig) -> CsvTable {
+    use vab_piezo::tolerance::{depth_yield, Tolerances};
+    let nominal = Bvd::vab_default();
+    let f0 = nominal.series_resonance();
+    let classes: [(&str, Tolerances); 3] = [
+        ("lab_trimmed", Tolerances::lab_trimmed()),
+        ("commercial", Tolerances::commercial()),
+        (
+            "loose",
+            Tolerances { resonance: 0.05, q_factor: 0.2, c0: 0.1, network: 0.1 },
+        ),
+    ];
+    let mut t = CsvTable::new([
+        "build_class",
+        "mean_depth",
+        "std_depth",
+        "worst_depth",
+        "yield_at_0p70",
+    ]);
+    for (name, tol) in classes {
+        let mut rng = seeded(cfg.seed ^ 0xA5);
+        let rep = depth_yield(&nominal, f0, &tol, 0.70, 800, &mut rng);
+        t.row([
+            name.to_string(),
+            format!("{:.3}", rep.depth.mean()),
+            format!("{:.3}", rep.depth.std_dev()),
+            format!("{:.3}", rep.depth.min()),
+            format!("{:.2}", rep.yield_fraction),
+        ]);
+    }
+    t
+}
+
+/// **F15** — rate adaptation on a drifting deployment: the reader-node
+/// range walks 120 m → 380 m → 160 m over a campaign of queries; adaptive
+/// rate control is compared against every fixed rate.
+pub fn f15_rate_adaptation(cfg: &ExpConfig) -> CsvTable {
+    use rand::RngExt;
+    use vab_mac::rate_adapt::RateController;
+    let n_queries = 90usize;
+    let payload_bits = 256.0;
+    let overhead_s = 1.0; // query + turnaround per poll
+    let range_at = |q: usize| -> f64 {
+        // Piecewise drift profile.
+        let t = q as f64 / n_queries as f64;
+        if t < 0.4 {
+            120.0 + (380.0 - 120.0) * (t / 0.4)
+        } else if t < 0.6 {
+            380.0
+        } else {
+            380.0 - (380.0 - 160.0) * ((t - 0.6) / 0.4)
+        }
+    };
+    // Per-query frame success probability at a rate: one small MC.
+    let success_prob = |d: f64, bps: f64, seed: u64| -> f64 {
+        let s = Scenario::river(SystemKind::Vab { n_pairs: 4 }, Meters(d)).with_bit_rate(bps);
+        let mc = MonteCarloConfig {
+            trials: 8,
+            bits_per_trial: 256,
+            seed,
+            engine: TrialEngine::LinkBudget,
+            threads: 1,
+        };
+        1.0 - run_point(&s, &mc).per()
+    };
+    let mut t = CsvTable::new(["strategy", "delivered_kbit", "airtime_s", "goodput_bps"]);
+    // Fixed strategies.
+    for bps in [100.0, 250.0, 500.0, 1000.0] {
+        let mut rng = seeded(cfg.seed ^ bps as u64);
+        let mut delivered = 0.0;
+        let mut time = 0.0;
+        for q in 0..n_queries {
+            let p = success_prob(range_at(q), bps, cfg.seed + q as u64);
+            time += payload_bits / bps + overhead_s;
+            if rng.random::<f64>() < p {
+                delivered += payload_bits;
+            }
+        }
+        t.row([
+            format!("fixed_{bps:.0}bps"),
+            format!("{:.1}", delivered / 1000.0),
+            format!("{time:.0}"),
+            format!("{:.1}", delivered / time),
+        ]);
+    }
+    // Adaptive.
+    let mut rc = RateController::new();
+    let mut rng = seeded(cfg.seed ^ 0xADA);
+    let mut delivered = 0.0;
+    let mut time = 0.0;
+    for q in 0..n_queries {
+        let bps = rc.rate_bps(1);
+        let p = success_prob(range_at(q), bps, cfg.seed + q as u64);
+        time += payload_bits / bps + overhead_s;
+        let ok = rng.random::<f64>() < p;
+        if ok {
+            delivered += payload_bits;
+        }
+        rc.on_outcome(1, ok);
+    }
+    t.row([
+        "adaptive".to_string(),
+        format!("{:.1}", delivered / 1000.0),
+        format!("{time:.0}"),
+        format!("{:.1}", delivered / time),
+    ]);
+    t
+}
+
+/// **F16** — engine cross-validation: uncoded BER vs range from (i) the
+/// closed-form budget (no fading), (ii) the link-budget Monte Carlo and
+/// (iii) the sample-level waveform engine.
+pub fn f16_engine_validation(cfg: &ExpConfig) -> CsvTable {
+    let mut t = CsvTable::new([
+        "range_m",
+        "theory_static_ber",
+        "link_budget_mc_ber",
+        "sample_level_ber",
+    ]);
+    for d in [260.0, 320.0, 380.0, 440.0] {
+        let s = Scenario::river(SystemKind::Vab { n_pairs: 4 }, Meters(d))
+            .with_link(LinkConfig::uncoded());
+        let theory = LinkBudget::compute(&s).uncoded_ber();
+        let fast = run_point(
+            &s,
+            &MonteCarloConfig {
+                trials: cfg.trials,
+                bits_per_trial: cfg.bits,
+                seed: cfg.seed,
+                engine: TrialEngine::LinkBudget,
+                threads: 0,
+            },
+        );
+        let slow = run_point(
+            &s,
+            &MonteCarloConfig {
+                trials: (cfg.trials / 5).max(4),
+                bits_per_trial: cfg.bits,
+                seed: cfg.seed,
+                engine: TrialEngine::SampleLevel,
+                threads: 0,
+            },
+        );
+        t.row([
+            format!("{d:.0}"),
+            format!("{theory:.2e}"),
+            format!("{:.2e}", fast.ber.ber()),
+            format!("{:.2e}", slow.ber.ber()),
+        ]);
+    }
+    t
+}
+
+/// **F17** — the campaign aggregate: the abstract's "over 1,500 real-world
+/// experimental trials", as randomized deployments bucketed by range.
+pub fn f17_campaign(cfg: &ExpConfig) -> CsvTable {
+    use vab_sim::campaign::{run_campaign, CampaignConfig};
+    // Scale the campaign with the fidelity knob (full = the paper's 1,500).
+    let n_trials = (cfg.trials * 10).max(150);
+    let campaign = CampaignConfig {
+        n_trials,
+        bits_per_trial: cfg.bits,
+        seed: cfg.seed,
+        ..CampaignConfig::vab_default()
+    };
+    let report = run_campaign(&campaign);
+    let mut t = CsvTable::new(["range_bucket_m", "deployments", "success_fraction"]);
+    for (lo, hi) in [(10.0, 50.0), (50.0, 100.0), (100.0, 200.0), (200.0, 300.0), (300.0, 400.0), (400.0, 450.0)] {
+        let (n, frac) = report.success_in_range(lo, hi);
+        t.row([
+            format!("{lo:.0}-{hi:.0}"),
+            n.to_string(),
+            format!("{frac:.2}"),
+        ]);
+    }
+    t.row([
+        "ALL".to_string(),
+        report.records.len().to_string(),
+        format!("{:.2}", report.success_fraction()),
+    ]);
+    t.row([
+        "max_successful_range_m".to_string(),
+        String::new(),
+        format!("{:.0}", report.max_successful_range()),
+    ]);
+    t
+}
+
+/// **F18** — modulation comparison: FM0-OOK vs FSK backscatter through the
+/// same multipath channel and carrier leak, swept over noise level.
+///
+/// FM0 concentrates energy near DC (cheap, but it must survive the carrier
+/// strip); FSK moves it to clean subcarrier offsets at the cost of switch
+/// activity. The comparison runs at the waveform level.
+pub fn f18_modulation_comparison(cfg: &ExpConfig) -> CsvTable {
+    use vab_phy::carrier::remove_dc_sliding;
+    use vab_phy::demod::{count_bit_errors, Demodulator};
+    use vab_phy::fsk::{FskDemodulator, FskModulator, FskParams};
+    use vab_phy::modulation::{BackscatterModulator, ModParams};
+    use vab_util::complex::C64;
+    use vab_util::rng::{complex_gaussian, random_bits};
+
+    let mut t = CsvTable::new(["chip_snr_db", "fm0_ber", "fsk_ber"]);
+    let n_bits = cfg.bits.max(128);
+    let trials = (cfg.trials / 5).max(4);
+    for snr_db in [-6.0, -3.0, 0.0, 3.0, 6.0, 9.0] {
+        let sigma = 10f64.powf(-snr_db / 20.0);
+        let mut fm0_err = 0usize;
+        let mut fsk_err = 0usize;
+        let mut total = 0usize;
+        for trial in 0..trials {
+            let mut rng = seeded(cfg.seed ^ 0xF18 ^ (trial as u64) << 8);
+            let bits = random_bits(&mut rng, n_bits);
+            // Common channel realization: river at 150 m, applied at each
+            // scheme's own envelope rate.
+            let ch = vab_acoustics::channel::ChannelModel::new(
+                vab_acoustics::environment::Environment::river(),
+                vab_acoustics::geometry::Position::new(0.0, 0.0, 2.0),
+                vab_acoustics::geometry::Position::new(150.0, 0.0, 2.0),
+                F0,
+            );
+            // --- FM0 leg.
+            let params = ModParams::vab_default();
+            let ir = ch.impulse_response(params.baseband_fs(), &mut rng);
+            let h = ir.narrowband_gain();
+            let scale = 1.0 / h.abs().max(1e-12); // normalize channel gain so SNR is the sweep axis
+            let m = BackscatterModulator::new(params);
+            let wave = m.switch_waveform(&bits);
+            let tx: Vec<C64> = wave.iter().map(|&w| C64::real(w * scale)).collect();
+            let rx_clean = ir.apply_baseband(&tx);
+            let rx: Vec<C64> = rx_clean
+                .iter()
+                .map(|&v| v + C64::real(30.0) + complex_gaussian(&mut rng, sigma))
+                .collect();
+            let cleaned = remove_dc_sliding(&rx, params.samples_per_bit() * 32);
+            let d = Demodulator::new(params).without_dc_removal();
+            let start = (ir.arrivals()[0].delay_s * params.baseband_fs()).round() as usize;
+            let got = d.demodulate(&cleaned, start, bits.len());
+            fm0_err += count_bit_errors(&bits, &got);
+            // --- FSK leg (same channel, its own sample rate).
+            let fp = FskParams::vab_default();
+            let ir2 = ch.impulse_response(fp.baseband_fs(), &mut rng);
+            let h2 = ir2.narrowband_gain();
+            let scale2 = 1.0 / h2.abs().max(1e-12);
+            let fm = FskModulator::new(fp);
+            let fwave = fm.switch_waveform(&bits);
+            // Match per-bit energy: FSK runs at a higher sample rate, so
+            // scale noise with √(fs ratio) to keep the same noise PSD.
+            let sigma_fsk = sigma * (fp.baseband_fs() / params.baseband_fs()).sqrt();
+            let ftx: Vec<C64> = fwave.iter().map(|&w| C64::real(w * scale2)).collect();
+            let frx_clean = ir2.apply_baseband(&ftx);
+            let frx: Vec<C64> = frx_clean
+                .iter()
+                .map(|&v| v + C64::real(30.0) + complex_gaussian(&mut rng, sigma_fsk))
+                .collect();
+            let fd = FskDemodulator::new(fp);
+            let fstart = (ir2.arrivals()[0].delay_s * fp.baseband_fs()).round() as usize;
+            let fgot = fd.demodulate(&frx, fstart, bits.len());
+            fsk_err += count_bit_errors(&bits, &fgot);
+            total += bits.len();
+        }
+        t.row([
+            format!("{snr_db:.0}"),
+            format!("{:.2e}", fm0_err as f64 / total as f64),
+            format!("{:.2e}", fsk_err as f64 / total as f64),
+        ]);
+    }
+    t
+}
+
+/// **A6** — why the interleaver exists: snapping-shrimp impulsive noise
+/// wipes out *bursts* of chips; the block interleaver spreads each burst
+/// across many codewords. Sweeps the snap rate at a fixed background SNR
+/// and compares the coded link with and without interleaving.
+pub fn a6_ablation_interleaver(cfg: &ExpConfig) -> CsvTable {
+    use vab_acoustics::impulsive::ImpulsiveNoise;
+    use vab_phy::demod::{count_bit_errors, Demodulator};
+    use vab_phy::modulation::{BackscatterModulator, ModParams};
+    use vab_sim::samplelevel::{decode_uplink, TransportedUplink};
+    use vab_util::complex::C64;
+    use vab_util::rng::random_bits;
+
+    let params = ModParams::vab_default();
+    let fs = params.baseband_fs();
+    let sigma_bg = 0.18; // chip SNR ≈ 24 dB background: clean without snaps
+    let n_bits = cfg.bits.max(192);
+    let trials = (cfg.trials / 3).max(6);
+    let stacks: [(&str, LinkConfig); 2] = [
+        ("with_interleaver", LinkConfig::vab_default()),
+        (
+            "no_interleaver",
+            LinkConfig { fec: Fec::Conv, interleaver: None, whitening: true },
+        ),
+    ];
+    let mut t = CsvTable::new(["snaps_per_s", "ber_with_interleaver", "ber_no_interleaver"]);
+    for rate in [0.0, 10.0, 25.0, 50.0, 100.0] {
+        let mut row = vec![format!("{rate:.0}")];
+        for (_, link) in &stacks {
+            let mut errors = 0usize;
+            let mut total = 0usize;
+            for trial in 0..trials {
+                let mut rng = seeded(cfg.seed ^ 0xA6 ^ ((trial as u64) << 10) ^ rate as u64);
+                let info = random_bits(&mut rng, n_bits);
+                let channel_bits = {
+                    let mut b = info.clone();
+                    if link.whitening {
+                        b = vab_link::whiten::whiten(&b);
+                    }
+                    b = link.fec.encode(&b);
+                    if let Some(il) = &link.interleaver {
+                        b = il.interleave(&b);
+                    }
+                    b
+                };
+                let m = BackscatterModulator::new(params);
+                let wave = m.switch_waveform(&channel_bits);
+                let mut bb: Vec<C64> =
+                    wave.iter().map(|&w| C64::from_polar(1.0, 0.4) * w).collect();
+                let noise = ImpulsiveNoise {
+                    sigma_bg,
+                    snap_ratio: 31.6,
+                    snap_rate_hz: rate,
+                    snap_duration_s: 5e-3, // one FM0 chip per snap at 100 bps
+                };
+                noise.corrupt(&mut bb, fs, &mut rng);
+                let d = Demodulator::new(params).without_dc_removal();
+                let hard = d.demodulate(&bb, 0, channel_bits.len());
+                let mut soft = d.soft_bits(&bb, 0, channel_bits.len());
+                let rms = (soft.iter().map(|x| x * x).sum::<f64>() / soft.len().max(1) as f64)
+                    .sqrt()
+                    .max(1e-300);
+                for s in soft.iter_mut() {
+                    *s /= rms;
+                }
+                let up = TransportedUplink { hard_bits: hard, soft_bits: soft };
+                let mut decoded = decode_uplink(link, &up);
+                decoded.truncate(n_bits);
+                errors += count_bit_errors(&info, &decoded);
+                total += n_bits;
+            }
+            row.push(format!("{:.2e}", errors as f64 / total as f64));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Every experiment with its identifier and a closure to produce it — the
+/// registry `run_all` and the smoke tests iterate.
+pub fn all_experiments(cfg: &ExpConfig) -> Vec<(&'static str, CsvTable)> {
+    vec![
+        ("t1_sota_comparison", t1_sota_comparison(cfg)),
+        ("t2_power_budget", t2_power_budget()),
+        ("t3_link_budget", t3_link_budget()),
+        ("f6_snr_vs_range", f6_snr_vs_range(cfg)),
+        ("f7_ber_vs_range", f7_ber_vs_range(cfg)),
+        ("f8_orientation", f8_orientation(cfg)),
+        ("f9_scalability", f9_scalability(cfg)),
+        ("f10_ocean", f10_ocean(cfg)),
+        ("f11_modulation_depth", f11_modulation_depth()),
+        ("f12_harvesting", f12_harvesting()),
+        ("f13_throughput", f13_throughput(cfg)),
+        ("f14_multinode", f14_multinode(cfg)),
+        ("f15_rate_adaptation", f15_rate_adaptation(cfg)),
+        ("f16_engine_validation", f16_engine_validation(cfg)),
+        ("f17_campaign", f17_campaign(cfg)),
+        ("f18_modulation_comparison", f18_modulation_comparison(cfg)),
+        ("a1_ablation_delay", a1_ablation_delay(cfg)),
+        ("a2_ablation_fec", a2_ablation_fec(cfg)),
+        ("a3_ablation_cancellation", a3_ablation_cancellation(cfg)),
+        ("a4_ablation_failures", a4_ablation_failures(cfg)),
+        ("a5_tolerance_yield", a5_tolerance_yield(cfg)),
+        ("a6_ablation_interleaver", a6_ablation_interleaver(cfg)),
+    ]
+}
+
+/// Extracts a float cell for assertions in tests (`row`, `col` 0-based on
+/// data rows).
+pub fn cell_f64(table: &CsvTable, row: usize, col: usize) -> f64 {
+    let csv = table.to_csv();
+    let line = csv.lines().nth(row + 1).expect("row exists");
+    let cell = line.split(',').nth(col).expect("col exists");
+    cell.parse().expect("numeric cell")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ExpConfig {
+        ExpConfig { trials: 12, bits: 192, seed: 7 }
+    }
+
+    #[test]
+    fn t1_shows_order_of_magnitude_gain() {
+        let t = t1_sota_comparison(&cfg());
+        assert_eq!(t.len(), 3);
+        let pab_range = cell_f64(&t, 0, 2);
+        let vab_range = cell_f64(&t, 2, 2);
+        let ratio = cell_f64(&t, 2, 4);
+        assert!(pab_range > 5.0 && pab_range < 80.0, "PAB {pab_range}");
+        assert!(vab_range > 250.0, "VAB {vab_range}");
+        assert!(ratio > 8.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn t2_totals_are_microwatts() {
+        let t = t2_power_budget();
+        // TOTAL row is second from the end.
+        let total_bs = cell_f64(&t, t.len() - 2, 3);
+        assert!(total_bs > 1.0 && total_bs < 20.0, "backscatter total {total_bs} µW");
+    }
+
+    #[test]
+    fn t3_has_all_budget_terms() {
+        let t = t3_link_budget();
+        assert_eq!(t.len(), 10);
+    }
+
+    #[test]
+    fn f7_ber_crosses_1e3_beyond_300m_at_100bps() {
+        let t = f7_ber_vs_range(&ExpConfig { trials: 30, bits: 256, seed: 7 });
+        // Row 5 is 300 m; column 1 is 100 bps.
+        let ber_300 = cell_f64(&t, 5, 1);
+        assert!(ber_300 <= 2e-3, "BER at 300 m = {ber_300}");
+        // And 100 bps outlasts 1000 bps.
+        let ber_300_1k = cell_f64(&t, 5, 3);
+        assert!(ber_300_1k >= ber_300);
+    }
+
+    #[test]
+    fn f8_vab_flat_conventional_collapses() {
+        let t = f8_orientation(&cfg());
+        // 0° row index 5; 45° row index 8.
+        let vab_drop = cell_f64(&t, 5, 1) - cell_f64(&t, 8, 1);
+        let conv_drop = cell_f64(&t, 5, 3) - cell_f64(&t, 8, 3);
+        assert!(vab_drop < 5.0, "VAB dropped {vab_drop} dB at 45°");
+        assert!(conv_drop > 10.0, "conventional only dropped {conv_drop} dB");
+    }
+
+    #[test]
+    fn f9_gain_grows_with_pairs() {
+        let t = f9_scalability(&cfg());
+        let g1 = cell_f64(&t, 0, 2);
+        let g4 = cell_f64(&t, 3, 2);
+        // 1 → 4 pairs: 4× elements ≈ +12 dB.
+        assert!((g4 - g1 - 12.0).abs() < 1.5, "Δ = {}", g4 - g1);
+    }
+
+    #[test]
+    fn f11_codesign_beats_naive_at_resonance() {
+        let t = f11_modulation_depth();
+        // Find the resonance row (freq ratio 1.0 → step 10).
+        let naive = cell_f64(&t, 10, 1);
+        let vab = cell_f64(&t, 10, 3);
+        let max = cell_f64(&t, 10, 4);
+        assert!(vab > naive);
+        assert!(max >= vab);
+    }
+
+    #[test]
+    fn f12_harvest_crosses_budget_within_100m() {
+        let t = f12_harvesting();
+        let near = cell_f64(&t, 0, 1);
+        let budget = cell_f64(&t, 0, 3);
+        let far = cell_f64(&t, 9, 1);
+        assert!(near > budget, "harvest at 2 m ({near}) should cover budget ({budget})");
+        assert!(far < budget, "harvest at 200 m ({far}) should not");
+    }
+
+    #[test]
+    fn f14_inventory_slots_scale_linearly() {
+        let t = f14_multinode(&cfg());
+        let s2 = cell_f64(&t, 0, 1);
+        let s16 = cell_f64(&t, 5, 1);
+        assert!(s16 > s2);
+        // ≈ e slots per node asymptotically; allow wide tolerance.
+        assert!(s16 / 16.0 < 8.0);
+    }
+
+    #[test]
+    fn a1_mismatch_costs_gain() {
+        let t = a1_ablation_delay(&cfg());
+        let loss_0 = cell_f64(&t, 0, 2);
+        let loss_half = cell_f64(&t, 7, 2);
+        assert!(loss_0.abs() < 0.2);
+        assert!(loss_half > 2.0, "λ/2 mismatch should cost dB, got {loss_half}");
+    }
+
+    #[test]
+    fn registry_contains_every_experiment() {
+        let quick = ExpConfig { trials: 4, bits: 64, seed: 7 };
+        let all = all_experiments(&quick);
+        assert_eq!(all.len(), 22);
+        for (name, table) in &all {
+            assert!(!table.is_empty(), "{name} produced no rows");
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! # vab-bench — the evaluation harness
+//!
+//! One function per table/figure of the paper's evaluation (reconstructed —
+//! see DESIGN.md for the abstract-only caveat). Each returns a
+//! [`vab_sim::metrics::CsvTable`] whose rows are the series the paper
+//! plots; the `src/bin/` binaries print them and `run_all` writes the whole
+//! set to `results/`.
+//!
+//! Every experiment takes an [`ExpConfig`] so integration tests can run the
+//! same code with reduced trial counts.
+
+pub mod experiments;
+
+pub use experiments::ExpConfig;

@@ -1,0 +1,104 @@
+//! Downlink command vocabulary.
+//!
+//! Downlink commands ride in [`vab_link::Frame`] payloads from the reader.
+//! The encoding is deliberately tiny — a node decodes it with an envelope
+//! detector and a few gates.
+
+/// Reader → node commands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Ask the addressed node to backscatter its next queued reading.
+    Query,
+    /// Acknowledge receipt of the uplink frame with this sequence number.
+    Ack {
+        /// Sequence number being acknowledged.
+        seq: u8,
+    },
+    /// Set the uplink bit rate: `rate_code` indexes {100, 250, 500, 1000} bps.
+    SetRate {
+        /// Index into the rate table.
+        rate_code: u8,
+    },
+    /// Assign a TDMA slot (slot index within the round).
+    AssignSlot {
+        /// Slot index.
+        slot: u8,
+    },
+    /// Go to deep sleep for `seconds`.
+    Sleep {
+        /// Sleep duration, seconds.
+        seconds: u8,
+    },
+}
+
+/// The uplink bit-rate table indexed by `rate_code`.
+pub const RATE_TABLE_BPS: [f64; 4] = [100.0, 250.0, 500.0, 1000.0];
+
+impl Command {
+    /// Serializes to a frame payload.
+    pub fn to_payload(&self) -> Vec<u8> {
+        match *self {
+            Command::Query => vec![0x01],
+            Command::Ack { seq } => vec![0x02, seq],
+            Command::SetRate { rate_code } => vec![0x03, rate_code],
+            Command::AssignSlot { slot } => vec![0x04, slot],
+            Command::Sleep { seconds } => vec![0x05, seconds],
+        }
+    }
+
+    /// Parses from a frame payload.
+    pub fn from_payload(payload: &[u8]) -> Option<Command> {
+        match payload {
+            [0x01] => Some(Command::Query),
+            [0x02, seq] => Some(Command::Ack { seq: *seq }),
+            [0x03, code] if (*code as usize) < RATE_TABLE_BPS.len() => {
+                Some(Command::SetRate { rate_code: *code })
+            }
+            [0x04, slot] => Some(Command::AssignSlot { slot: *slot }),
+            [0x05, s] => Some(Command::Sleep { seconds: *s }),
+            _ => None,
+        }
+    }
+
+    /// Bit rate selected by a `SetRate`, if any.
+    pub fn rate_bps(&self) -> Option<f64> {
+        match self {
+            Command::SetRate { rate_code } => RATE_TABLE_BPS.get(*rate_code as usize).copied(),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_commands() {
+        for cmd in [
+            Command::Query,
+            Command::Ack { seq: 1 },
+            Command::SetRate { rate_code: 2 },
+            Command::AssignSlot { slot: 7 },
+            Command::Sleep { seconds: 30 },
+        ] {
+            let p = cmd.to_payload();
+            assert_eq!(Command::from_payload(&p), Some(cmd), "{cmd:?}");
+        }
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert_eq!(Command::from_payload(&[]), None);
+        assert_eq!(Command::from_payload(&[0x99]), None);
+        assert_eq!(Command::from_payload(&[0x01, 0x02]), None); // trailing junk
+        assert_eq!(Command::from_payload(&[0x03, 200]), None); // rate out of range
+    }
+
+    #[test]
+    fn rate_lookup() {
+        assert_eq!(Command::SetRate { rate_code: 0 }.rate_bps(), Some(100.0));
+        assert_eq!(Command::SetRate { rate_code: 3 }.rate_bps(), Some(1000.0));
+        assert_eq!(Command::Query.rate_bps(), None);
+    }
+}

@@ -1,0 +1,26 @@
+//! # vab-core — the Van Atta Acoustic Backscatter node
+//!
+//! The paper's contribution: a retrodirective backscatter architecture for
+//! underwater acoustics. A Van Atta array cross-connects symmetric pairs of
+//! transducers so that whatever phase front arrives is re-radiated back
+//! toward its source — giving an `N`-element array the full `N×` coherent
+//! gain at *every* incidence angle, where a conventional array only achieves
+//! it at broadside. A single switch in the interconnect modulates the whole
+//! array's reflection for uplink data.
+//!
+//! * [`mod@array`] — geometry and the retrodirective scattering model (plus the
+//!   conventional-array baseline and non-ideality injection);
+//! * [`node`] — the node state machine: harvest → listen → decode → reply;
+//! * [`commands`] — the downlink command vocabulary;
+//! * [`scheduler`] — harvest-aware duty-cycle planning for nodes past the
+//!   battery-free sustain radius.
+
+pub mod array;
+pub mod commands;
+pub mod node;
+pub mod scheduler;
+
+pub use array::{conventional_backscatter_factor, ArrayGeometry, VanAttaArray};
+pub use commands::Command;
+pub use node::{Node, NodeConfig, NodeEvent, NodeState};
+pub use scheduler::{plan_schedule, DutySchedule};

@@ -1,0 +1,21 @@
+//! # vab-harvest — energy harvesting and the node power budget
+//!
+//! Battery-free operation is half the point of backscatter. This crate
+//! models the energy path of a node:
+//!
+//! * [`rectifier`] — acoustic→DC conversion with threshold and efficiency;
+//! * [`storage`] — the storage capacitor's charge dynamics;
+//! * [`pmu`] — the power-management state machine (cold start, active,
+//!   brown-out) with duty cycling;
+//! * [`budget`] — the per-component µW ledger behind the paper's
+//!   "ultra-low-power" claim (Table: power budget).
+
+pub mod budget;
+pub mod pmu;
+pub mod rectifier;
+pub mod storage;
+
+pub use budget::{NodeMode, PowerBudget};
+pub use pmu::{Pmu, PmuState};
+pub use rectifier::Rectifier;
+pub use storage::StorageCap;

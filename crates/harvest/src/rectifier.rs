@@ -1,0 +1,104 @@
+//! Rectifier model: available AC electrical power → DC power.
+//!
+//! A multi-stage Schottky voltage doubler has a dead zone (the diodes need
+//! forward bias before anything flows) and an efficiency that climbs with
+//! input power toward an asymptote. The standard compact model:
+//!
+//! `P_dc = η_max · (P_in − P_th)₊ · P_in/(P_in + P_knee)`  — zero below
+//! threshold, saturating efficiency above.
+
+use vab_util::units::Watts;
+
+/// Rectifier parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rectifier {
+    /// Dead-zone input power below which output is zero.
+    pub threshold: Watts,
+    /// Peak conversion efficiency (0..1).
+    pub eta_max: f64,
+    /// Input power at which efficiency reaches half of `eta_max`.
+    pub knee: Watts,
+}
+
+impl Rectifier {
+    /// A Schottky voltage doubler typical of acoustic harvesters:
+    /// 50 nW dead zone, 65 % peak efficiency, 1 µW half-efficiency knee.
+    pub fn schottky_doubler() -> Self {
+        Self { threshold: Watts(50e-9), eta_max: 0.65, knee: Watts(1e-6) }
+    }
+
+    /// DC output power for a given available AC input power.
+    pub fn dc_output(&self, p_in: Watts) -> Watts {
+        let p = p_in.value();
+        let th = self.threshold.value();
+        if p <= th {
+            return Watts(0.0);
+        }
+        let eff = self.eta_max * p / (p + self.knee.value());
+        Watts((p - th) * eff)
+    }
+
+    /// Conversion efficiency at a given input (0 below threshold).
+    pub fn efficiency(&self, p_in: Watts) -> f64 {
+        let out = self.dc_output(p_in).value();
+        let p = p_in.value();
+        if p <= 0.0 {
+            0.0
+        } else {
+            out / p
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vab_util::approx_eq;
+
+    fn r() -> Rectifier {
+        Rectifier::schottky_doubler()
+    }
+
+    #[test]
+    fn below_threshold_outputs_nothing() {
+        assert_eq!(r().dc_output(Watts(10e-9)).value(), 0.0);
+        assert_eq!(r().dc_output(Watts(0.0)).value(), 0.0);
+        assert_eq!(r().efficiency(Watts(10e-9)), 0.0);
+    }
+
+    #[test]
+    fn output_monotonic_in_input() {
+        let rect = r();
+        let mut prev = -1.0;
+        for uw in [0.05, 0.1, 0.5, 1.0, 5.0, 20.0, 100.0] {
+            let out = rect.dc_output(Watts::from_uw(uw)).value();
+            assert!(out >= prev, "not monotonic at {uw} µW");
+            prev = out;
+        }
+    }
+
+    #[test]
+    fn efficiency_approaches_eta_max() {
+        let rect = r();
+        let eff = rect.efficiency(Watts::from_uw(1000.0));
+        assert!(eff > 0.6 && eff <= rect.eta_max, "eff = {eff}");
+    }
+
+    #[test]
+    fn efficiency_at_knee_is_about_half() {
+        let rect = r();
+        // At the knee, the saturation factor is ½ (threshold is negligible
+        // at 1 µW).
+        let eff = rect.efficiency(Watts(1e-6));
+        assert!(approx_eq(eff, rect.eta_max / 2.0, 0.1), "eff = {eff}");
+    }
+
+    #[test]
+    fn never_exceeds_input() {
+        let rect = r();
+        for uw in [0.1, 1.0, 10.0, 1e4] {
+            let p = Watts::from_uw(uw);
+            assert!(rect.dc_output(p).value() <= p.value());
+        }
+    }
+}

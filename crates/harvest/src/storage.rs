@@ -1,0 +1,125 @@
+//! Storage capacitor dynamics.
+
+use vab_util::units::{Joules, Seconds, Volts, Watts};
+
+/// A storage capacitor integrated over time by the PMU.
+#[derive(Debug, Clone, Copy)]
+pub struct StorageCap {
+    /// Capacitance, farads.
+    pub capacitance: f64,
+    /// Maximum (regulated) voltage.
+    pub v_max: Volts,
+    /// Present voltage.
+    v: f64,
+}
+
+impl StorageCap {
+    /// Creates a capacitor at 0 V.
+    pub fn new(capacitance: f64, v_max: Volts) -> Self {
+        assert!(capacitance > 0.0 && v_max.value() > 0.0);
+        Self { capacitance, v_max, v: 0.0 }
+    }
+
+    /// The VAB node default: 100 µF to 3.0 V.
+    pub fn vab_default() -> Self {
+        Self::new(100e-6, Volts(3.0))
+    }
+
+    /// Present voltage.
+    pub fn voltage(&self) -> Volts {
+        Volts(self.v)
+    }
+
+    /// Stored energy `½CV²`.
+    pub fn energy(&self) -> Joules {
+        Joules(0.5 * self.capacitance * self.v * self.v)
+    }
+
+    /// Energy capacity at `v_max`.
+    pub fn capacity(&self) -> Joules {
+        Joules(0.5 * self.capacitance * self.v_max.value() * self.v_max.value())
+    }
+
+    /// Integrates net power (`harvest − load`) over `dt`. Voltage clamps to
+    /// `[0, v_max]` (a real PMU shunts surplus at `v_max`). Returns the
+    /// actual energy delta applied.
+    pub fn step(&mut self, harvest: Watts, load: Watts, dt: Seconds) -> Joules {
+        let before = self.energy().value();
+        let net = (harvest.value() - load.value()) * dt.value();
+        let e_new = (before + net).clamp(0.0, self.capacity().value());
+        self.v = (2.0 * e_new / self.capacitance).sqrt();
+        Joules(e_new - before)
+    }
+
+    /// Directly sets the voltage (test setup / pre-charged deployments).
+    pub fn set_voltage(&mut self, v: Volts) {
+        self.v = v.value().clamp(0.0, self.v_max.value());
+    }
+
+    /// Time to charge from empty to `v_target` at constant net power.
+    pub fn charge_time(&self, v_target: Volts, net: Watts) -> Option<Seconds> {
+        if net.value() <= 0.0 {
+            return None;
+        }
+        let e = 0.5 * self.capacitance * v_target.value().powi(2);
+        Some(Seconds(e / net.value()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vab_util::approx_eq;
+
+    #[test]
+    fn charges_toward_vmax_and_clamps() {
+        let mut c = StorageCap::new(1e-6, Volts(2.0));
+        for _ in 0..1000 {
+            c.step(Watts(1e-6), Watts(0.0), Seconds(0.01));
+        }
+        assert!(approx_eq(c.voltage().value(), 2.0, 1e-9), "v = {}", c.voltage());
+        // Further charging does nothing.
+        let delta = c.step(Watts(1e-6), Watts(0.0), Seconds(1.0));
+        assert_eq!(delta.value(), 0.0);
+    }
+
+    #[test]
+    fn discharges_under_load_and_floors_at_zero() {
+        let mut c = StorageCap::vab_default();
+        c.set_voltage(Volts(3.0));
+        let e0 = c.energy().value();
+        c.step(Watts(0.0), Watts::from_uw(100.0), Seconds(1.0));
+        assert!(approx_eq(e0 - c.energy().value(), 1e-4, 1e-9));
+        // Massive load floors at zero, never negative.
+        c.step(Watts(0.0), Watts(1.0), Seconds(10.0));
+        assert_eq!(c.voltage().value(), 0.0);
+        assert_eq!(c.energy().value(), 0.0);
+    }
+
+    #[test]
+    fn energy_voltage_relation() {
+        let mut c = StorageCap::new(100e-6, Volts(3.0));
+        c.set_voltage(Volts(2.0));
+        assert!(approx_eq(c.energy().value(), 0.5 * 100e-6 * 4.0, 1e-12));
+    }
+
+    #[test]
+    fn charge_time_matches_integration() {
+        let mut c = StorageCap::new(10e-6, Volts(3.0));
+        let net = Watts::from_uw(5.0);
+        let predicted = c.charge_time(Volts(2.0), net).expect("positive net").value();
+        let mut t = 0.0;
+        while c.voltage().value() < 2.0 {
+            c.step(net, Watts(0.0), Seconds(0.001));
+            t += 0.001;
+        }
+        assert!(approx_eq(t, predicted, 0.01), "sim {t} vs predicted {predicted}");
+    }
+
+    #[test]
+    fn no_charge_time_without_surplus() {
+        let c = StorageCap::vab_default();
+        assert!(c.charge_time(Volts(1.0), Watts(0.0)).is_none());
+        assert!(c.charge_time(Volts(1.0), Watts(-1e-6)).is_none());
+    }
+}

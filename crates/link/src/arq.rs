@@ -1,0 +1,222 @@
+//! Stop-and-wait ARQ.
+//!
+//! The reader polls, the node answers; round trips are long (hundreds of ms
+//! at 300 m) and node memory is tiny, so stop-and-wait with a 1-bit sequence
+//! number is the right-size protocol. Both ends are pure state machines —
+//! no timers inside; the caller drives time via explicit events.
+
+/// Sender (node-side) state machine.
+#[derive(Debug, Clone)]
+pub struct ArqSender {
+    seq: u8,
+    outstanding: Option<Vec<u8>>,
+    retries: u32,
+    max_retries: u32,
+    /// Statistics: total transmissions (including retransmissions).
+    pub tx_count: u64,
+    /// Statistics: payloads delivered (acked).
+    pub delivered: u64,
+    /// Statistics: payloads dropped after exhausting retries.
+    pub dropped: u64,
+}
+
+/// What the sender wants to do next.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SenderAction {
+    /// Transmit these payload bytes with this sequence number.
+    Transmit { seq: u8, payload: Vec<u8> },
+    /// Nothing to do.
+    Idle,
+}
+
+impl ArqSender {
+    /// Creates a sender allowing `max_retries` retransmissions per payload.
+    pub fn new(max_retries: u32) -> Self {
+        Self {
+            seq: 0,
+            outstanding: None,
+            retries: 0,
+            max_retries,
+            tx_count: 0,
+            delivered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// True when the previous payload is finished (acked or dropped).
+    pub fn ready(&self) -> bool {
+        self.outstanding.is_none()
+    }
+
+    /// Current sequence bit.
+    pub fn seq(&self) -> u8 {
+        self.seq
+    }
+
+    /// Offers a new payload; returns the transmit action, or `None` if one
+    /// is still outstanding.
+    pub fn offer(&mut self, payload: Vec<u8>) -> Option<SenderAction> {
+        if self.outstanding.is_some() {
+            return None;
+        }
+        self.outstanding = Some(payload.clone());
+        self.retries = 0;
+        self.tx_count += 1;
+        Some(SenderAction::Transmit { seq: self.seq, payload })
+    }
+
+    /// Handles an ACK carrying the acked sequence number.
+    pub fn on_ack(&mut self, acked_seq: u8) -> SenderAction {
+        if self.outstanding.is_some() && acked_seq == self.seq {
+            self.outstanding = None;
+            self.seq ^= 1;
+            self.delivered += 1;
+        }
+        SenderAction::Idle
+    }
+
+    /// Handles a timeout: retransmits or gives up.
+    pub fn on_timeout(&mut self) -> SenderAction {
+        match &self.outstanding {
+            None => SenderAction::Idle,
+            Some(p) => {
+                if self.retries >= self.max_retries {
+                    self.outstanding = None;
+                    self.dropped += 1;
+                    self.seq ^= 1;
+                    SenderAction::Idle
+                } else {
+                    self.retries += 1;
+                    self.tx_count += 1;
+                    SenderAction::Transmit { seq: self.seq, payload: p.clone() }
+                }
+            }
+        }
+    }
+}
+
+/// Receiver (reader-side) state machine.
+#[derive(Debug, Clone, Default)]
+pub struct ArqReceiver {
+    expected: u8,
+    /// Statistics: duplicates discarded.
+    pub duplicates: u64,
+    /// Statistics: payloads accepted.
+    pub accepted: u64,
+}
+
+/// Result of offering a received frame to the receiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReceiveOutcome {
+    /// New payload accepted; ACK `ack_seq` back.
+    Deliver { payload: Vec<u8>, ack_seq: u8 },
+    /// Duplicate of an already-delivered payload; re-ACK.
+    Duplicate { ack_seq: u8 },
+}
+
+impl ArqReceiver {
+    /// Fresh receiver expecting sequence 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Processes a correctly-decoded frame.
+    pub fn on_frame(&mut self, seq: u8, payload: Vec<u8>) -> ReceiveOutcome {
+        if seq == self.expected {
+            self.expected ^= 1;
+            self.accepted += 1;
+            ReceiveOutcome::Deliver { payload, ack_seq: seq }
+        } else {
+            self.duplicates += 1;
+            ReceiveOutcome::Duplicate { ack_seq: seq }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn happy_path_alternates_sequence() {
+        let mut tx = ArqSender::new(3);
+        let mut rx = ArqReceiver::new();
+        for i in 0..4u8 {
+            let action = tx.offer(vec![i]).expect("ready");
+            let SenderAction::Transmit { seq, payload } = action else { panic!() };
+            assert_eq!(seq, i % 2);
+            let out = rx.on_frame(seq, payload);
+            let ReceiveOutcome::Deliver { ack_seq, .. } = out else { panic!("dup") };
+            tx.on_ack(ack_seq);
+            assert!(tx.ready());
+        }
+        assert_eq!(tx.delivered, 4);
+        assert_eq!(rx.accepted, 4);
+        assert_eq!(rx.duplicates, 0);
+    }
+
+    #[test]
+    fn lost_data_frame_retransmits() {
+        let mut tx = ArqSender::new(3);
+        let mut rx = ArqReceiver::new();
+        tx.offer(vec![7]).expect("ready");
+        // Frame lost → timeout → retransmit.
+        let SenderAction::Transmit { seq, payload } = tx.on_timeout() else { panic!() };
+        let ReceiveOutcome::Deliver { ack_seq, payload: got } = rx.on_frame(seq, payload) else {
+            panic!()
+        };
+        assert_eq!(got, vec![7]);
+        tx.on_ack(ack_seq);
+        assert!(tx.ready());
+        assert_eq!(tx.tx_count, 2);
+        assert_eq!(tx.delivered, 1);
+    }
+
+    #[test]
+    fn lost_ack_causes_duplicate_which_is_reacked() {
+        let mut tx = ArqSender::new(3);
+        let mut rx = ArqReceiver::new();
+        let SenderAction::Transmit { seq, payload } = tx.offer(vec![1]).expect("ready") else {
+            panic!()
+        };
+        // Receiver gets it, but the ACK is lost.
+        let _ = rx.on_frame(seq, payload);
+        // Sender times out and retransmits the same seq.
+        let SenderAction::Transmit { seq: seq2, payload: p2 } = tx.on_timeout() else { panic!() };
+        assert_eq!(seq2, seq);
+        // Receiver recognizes the duplicate and re-ACKs without delivering.
+        let out = rx.on_frame(seq2, p2);
+        assert_eq!(out, ReceiveOutcome::Duplicate { ack_seq: seq2 });
+        tx.on_ack(seq2);
+        assert!(tx.ready());
+        assert_eq!(rx.accepted, 1);
+        assert_eq!(rx.duplicates, 1);
+    }
+
+    #[test]
+    fn gives_up_after_max_retries() {
+        let mut tx = ArqSender::new(2);
+        tx.offer(vec![9]).expect("ready");
+        assert!(matches!(tx.on_timeout(), SenderAction::Transmit { .. })); // retry 1
+        assert!(matches!(tx.on_timeout(), SenderAction::Transmit { .. })); // retry 2
+        assert_eq!(tx.on_timeout(), SenderAction::Idle); // give up
+        assert!(tx.ready());
+        assert_eq!(tx.dropped, 1);
+        assert_eq!(tx.tx_count, 3);
+    }
+
+    #[test]
+    fn cannot_offer_while_outstanding() {
+        let mut tx = ArqSender::new(1);
+        tx.offer(vec![1]).expect("first accepted");
+        assert!(tx.offer(vec![2]).is_none());
+    }
+
+    #[test]
+    fn stale_ack_ignored() {
+        let mut tx = ArqSender::new(3);
+        tx.offer(vec![1]).expect("ready");
+        tx.on_ack(1); // wrong seq (current is 0)
+        assert!(!tx.ready());
+    }
+}

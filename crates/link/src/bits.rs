@@ -1,0 +1,54 @@
+//! Bit/byte conversions used across the link layer. LSB-first within each
+//! byte (matching the shift-register hardware a node would use).
+
+/// Expands bytes into bits, LSB first.
+pub fn bytes_to_bits(bytes: &[u8]) -> Vec<bool> {
+    let mut bits = Vec::with_capacity(bytes.len() * 8);
+    for &b in bytes {
+        for i in 0..8 {
+            bits.push(b >> i & 1 == 1);
+        }
+    }
+    bits
+}
+
+/// Packs bits into bytes, LSB first. Trailing partial bytes are zero-padded.
+pub fn bits_to_bytes(bits: &[bool]) -> Vec<u8> {
+    let mut bytes = vec![0u8; bits.len().div_ceil(8)];
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            bytes[i / 8] |= 1 << (i % 8);
+        }
+    }
+    bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_bytes() {
+        let data = vec![0x00, 0xFF, 0xA5, 0x3C, 0x01];
+        assert_eq!(bits_to_bytes(&bytes_to_bits(&data)), data);
+    }
+
+    #[test]
+    fn lsb_first_order() {
+        let bits = bytes_to_bits(&[0b0000_0001]);
+        assert!(bits[0]);
+        assert!(bits[1..].iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn partial_byte_zero_padded() {
+        let bits = vec![true, false, true]; // 0b101 = 5
+        assert_eq!(bits_to_bytes(&bits), vec![5u8]);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        assert!(bytes_to_bits(&[]).is_empty());
+        assert!(bits_to_bytes(&[]).is_empty());
+    }
+}

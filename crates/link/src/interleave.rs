@@ -1,0 +1,141 @@
+//! Block interleaving.
+//!
+//! Surface-wave fades and impulsive snapping-shrimp noise hit the underwater
+//! channel in bursts; a rows×cols block interleaver spreads a burst of up to
+//! `rows` consecutive channel errors across different FEC codewords.
+
+/// A rows×cols block interleaver. Bits fill the block row-by-row and drain
+/// column-by-column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interleaver {
+    /// Burst-tolerance dimension.
+    pub rows: usize,
+    /// Codeword-spread dimension.
+    pub cols: usize,
+}
+
+impl Interleaver {
+    /// Creates an interleaver. Both dimensions must be ≥ 1.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows >= 1 && cols >= 1);
+        Self { rows, cols }
+    }
+
+    /// Block size in bits.
+    pub fn block_len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Interleaves; input is padded with `false` to a whole block.
+    pub fn interleave(&self, bits: &[bool]) -> Vec<bool> {
+        let block = self.block_len();
+        let padded_len = bits.len().div_ceil(block) * block;
+        let mut padded = bits.to_vec();
+        padded.resize(padded_len, false);
+        let mut out = Vec::with_capacity(padded_len);
+        for chunk in padded.chunks(block) {
+            for c in 0..self.cols {
+                for r in 0..self.rows {
+                    out.push(chunk[r * self.cols + c]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Inverse permutation. Input length must be a whole number of blocks.
+    pub fn deinterleave(&self, bits: &[bool]) -> Vec<bool> {
+        self.deinterleave_symbols(bits, false)
+    }
+
+    /// Inverse permutation over soft metrics (for soft-decision decoding
+    /// after the channel). Input length must be a whole number of blocks.
+    pub fn deinterleave_soft(&self, metrics: &[f64]) -> Vec<f64> {
+        self.deinterleave_symbols(metrics, 0.0)
+    }
+
+    fn deinterleave_symbols<T: Copy>(&self, symbols: &[T], zero: T) -> Vec<T> {
+        let block = self.block_len();
+        assert!(symbols.len().is_multiple_of(block), "deinterleave needs whole blocks");
+        let mut out = Vec::with_capacity(symbols.len());
+        for chunk in symbols.chunks(block) {
+            let mut plain = vec![zero; block];
+            let mut i = 0;
+            for c in 0..self.cols {
+                for r in 0..self.rows {
+                    plain[r * self.cols + c] = chunk[i];
+                    i += 1;
+                }
+            }
+            out.extend_from_slice(&plain);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vab_util::rng::{random_bits, seeded};
+
+    #[test]
+    fn roundtrip_exact_block() {
+        let il = Interleaver::new(4, 8);
+        let bits = random_bits(&mut seeded(51), 32);
+        let rt = il.deinterleave(&il.interleave(&bits));
+        assert_eq!(rt, bits);
+    }
+
+    #[test]
+    fn roundtrip_with_padding() {
+        let il = Interleaver::new(3, 5);
+        let bits = random_bits(&mut seeded(52), 20); // pads to 30
+        let rt = il.deinterleave(&il.interleave(&bits));
+        assert_eq!(&rt[..20], &bits[..]);
+        assert_eq!(rt.len(), 30);
+    }
+
+    #[test]
+    fn burst_is_dispersed() {
+        let il = Interleaver::new(8, 16);
+        let bits = vec![false; 128];
+        let mut tx = il.interleave(&bits);
+        // Channel burst: 8 consecutive flips.
+        for b in tx.iter_mut().take(40).skip(32) {
+            *b = !*b;
+        }
+        let rx = il.deinterleave(&tx);
+        // After deinterleaving, no 16-bit codeword window should contain
+        // more than 1 error.
+        for (w, window) in rx.chunks(16).enumerate() {
+            let errs = window.iter().filter(|&&b| b).count();
+            assert!(errs <= 1, "codeword {w} got {errs} errors");
+        }
+    }
+
+    #[test]
+    fn soft_deinterleave_matches_hard_permutation() {
+        let il = Interleaver::new(4, 8);
+        let bits = random_bits(&mut seeded(54), 32);
+        let tx = il.interleave(&bits);
+        let soft: Vec<f64> = tx.iter().map(|&b| if b { 1.0 } else { -1.0 }).collect();
+        let rx_soft = il.deinterleave_soft(&soft);
+        let rx_hard = il.deinterleave(&tx);
+        for (s, h) in rx_soft.iter().zip(&rx_hard) {
+            assert_eq!(*s >= 0.0, *h);
+        }
+    }
+
+    #[test]
+    fn identity_when_single_row() {
+        let il = Interleaver::new(1, 7);
+        let bits = random_bits(&mut seeded(53), 14);
+        assert_eq!(il.interleave(&bits), bits);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole blocks")]
+    fn ragged_deinterleave_panics() {
+        Interleaver::new(2, 4).deinterleave(&[true; 7]);
+    }
+}

@@ -1,0 +1,24 @@
+//! # vab-link — link layer: framing, CRC, FEC, interleaving, ARQ
+//!
+//! Everything between raw PHY bits and node payloads:
+//!
+//! * [`crc`] — CRC-8 / CRC-16-CCITT / CRC-32 integrity checks;
+//! * [`fec`] — repetition, Hamming(7,4), extended Golay(24,12) and K=7
+//!   rate-½ convolutional codes (hard and soft Viterbi decoding);
+//! * [`interleave`] — block interleaving against burst errors (surface-wave
+//!   fades are bursty);
+//! * [`whiten`] — PN9 scrambling so FM0 sees balanced data;
+//! * [`frame`] — the uplink/downlink frame format;
+//! * [`arq`] — stop-and-wait retransmission for lossy links.
+
+pub mod arq;
+pub mod bits;
+pub mod crc;
+pub mod fec;
+pub mod frame;
+pub mod golay;
+pub mod interleave;
+pub mod whiten;
+
+pub use fec::Fec;
+pub use frame::{Frame, FrameError, LinkConfig};

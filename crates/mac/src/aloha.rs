@@ -1,0 +1,197 @@
+//! Framed slotted ALOHA with window adaptation.
+//!
+//! For an unknown node population, the reader announces a contention window
+//! of `w` slots; each unidentified node picks one uniformly and backscatters
+//! its address there. The reader classifies every slot as idle, single
+//! (success — that node is identified and told to shut up) or collision,
+//! then adapts `w` toward the remaining population (Q-algorithm style:
+//! too many collisions → double, too many idles → halve).
+
+use rand::{Rng, RngExt};
+
+/// What the reader observed in one contention slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlotOutcome {
+    /// Nobody answered.
+    Idle,
+    /// Exactly one node answered (identified).
+    Single(u8),
+    /// Two or more nodes answered on top of each other.
+    Collision,
+}
+
+/// Classifies a slot given the addresses that chose it.
+pub fn classify_slot(respondents: &[u8]) -> SlotOutcome {
+    match respondents {
+        [] => SlotOutcome::Idle,
+        [one] => SlotOutcome::Single(*one),
+        _ => SlotOutcome::Collision,
+    }
+}
+
+/// Reader-side framed-ALOHA controller.
+#[derive(Debug, Clone)]
+pub struct AlohaReader {
+    window: usize,
+    min_window: usize,
+    max_window: usize,
+    /// Identified node addresses, in discovery order.
+    pub identified: Vec<u8>,
+    /// Total slots spent.
+    pub slots_used: u64,
+    /// Total collisions observed.
+    pub collisions: u64,
+}
+
+impl AlohaReader {
+    /// Creates a controller with an initial window of `w` slots.
+    pub fn new(w: usize) -> Self {
+        assert!(w >= 1);
+        Self {
+            window: w,
+            min_window: 1,
+            max_window: 256,
+            identified: Vec::new(),
+            slots_used: 0,
+            collisions: 0,
+        }
+    }
+
+    /// Current contention window.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Runs one contention round against the (hidden) set of unidentified
+    /// nodes, using `rng` for their slot choices. Returns outcomes per slot.
+    ///
+    /// `pending` is mutated: identified nodes are removed.
+    pub fn run_round<R: Rng + ?Sized>(
+        &mut self,
+        pending: &mut Vec<u8>,
+        rng: &mut R,
+    ) -> Vec<SlotOutcome> {
+        let w = self.window;
+        let mut chosen: Vec<Vec<u8>> = vec![Vec::new(); w];
+        for &addr in pending.iter() {
+            let s = rng.random_range(0..w);
+            chosen[s].push(addr);
+        }
+        let outcomes: Vec<SlotOutcome> = chosen.iter().map(|v| classify_slot(v)).collect();
+        let mut idles = 0usize;
+        let mut colls = 0usize;
+        for o in &outcomes {
+            self.slots_used += 1;
+            match o {
+                SlotOutcome::Idle => idles += 1,
+                SlotOutcome::Single(addr) => {
+                    self.identified.push(*addr);
+                    pending.retain(|&a| a != *addr);
+                }
+                SlotOutcome::Collision => {
+                    colls += 1;
+                    self.collisions += 1;
+                }
+            }
+        }
+        // Window adaptation: aim for ~one node per slot.
+        if colls * 2 > w {
+            self.window = (self.window * 2).min(self.max_window);
+        } else if idles * 2 > w && colls == 0 {
+            self.window = (self.window / 2).max(self.min_window);
+        }
+        outcomes
+    }
+}
+
+/// Theoretical throughput of framed slotted ALOHA: the success probability
+/// per slot with `n` contenders in `w` slots, `n/w·(1−1/w)^{n−1}`.
+pub fn slot_success_probability(n: usize, w: usize) -> f64 {
+    if n == 0 || w == 0 {
+        return 0.0;
+    }
+    let n = n as f64;
+    let w = w as f64;
+    n / w * (1.0 - 1.0 / w).powf(n - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vab_util::rng::seeded;
+
+    #[test]
+    fn classification() {
+        assert_eq!(classify_slot(&[]), SlotOutcome::Idle);
+        assert_eq!(classify_slot(&[7]), SlotOutcome::Single(7));
+        assert_eq!(classify_slot(&[1, 2]), SlotOutcome::Collision);
+    }
+
+    #[test]
+    fn eventually_identifies_everyone() {
+        let mut rng = seeded(71);
+        let mut reader = AlohaReader::new(4);
+        let mut pending: Vec<u8> = (1..=20).collect();
+        let mut rounds = 0;
+        while !pending.is_empty() && rounds < 100 {
+            reader.run_round(&mut pending, &mut rng);
+            rounds += 1;
+        }
+        assert!(pending.is_empty(), "{} nodes never identified", pending.len());
+        let mut ids = reader.identified.clone();
+        ids.sort();
+        assert_eq!(ids, (1..=20).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn window_grows_under_collisions() {
+        let mut rng = seeded(72);
+        let mut reader = AlohaReader::new(2);
+        let mut pending: Vec<u8> = (1..=50).collect();
+        reader.run_round(&mut pending, &mut rng);
+        assert!(reader.window() > 2, "50 nodes in 2 slots must collide");
+    }
+
+    #[test]
+    fn window_shrinks_when_empty() {
+        let mut rng = seeded(73);
+        let mut reader = AlohaReader::new(64);
+        let mut pending: Vec<u8> = vec![1];
+        reader.run_round(&mut pending, &mut rng);
+        assert!(reader.window() < 64);
+    }
+
+    #[test]
+    fn efficiency_near_theory() {
+        // With w ≈ n the per-slot success probability approaches 1/e; total
+        // slots to identify n nodes ≈ e·n. Allow generous slack for the
+        // adaptive transient.
+        let mut rng = seeded(74);
+        let mut reader = AlohaReader::new(32);
+        let mut pending: Vec<u8> = (1..=32).collect();
+        while !pending.is_empty() {
+            reader.run_round(&mut pending, &mut rng);
+        }
+        let slots_per_node = reader.slots_used as f64 / 32.0;
+        assert!(
+            slots_per_node > 1.5 && slots_per_node < 6.0,
+            "slots/node = {slots_per_node} (theory ≈ e ≈ 2.7)"
+        );
+    }
+
+    #[test]
+    fn success_probability_peaks_at_w_equals_n() {
+        let n = 16;
+        let at_n = slot_success_probability(n, n);
+        assert!(at_n > slot_success_probability(n, 4));
+        assert!(at_n > slot_success_probability(n, 128));
+        // Peak value tends to 1/e for large n.
+        assert!((at_n - (-1.0f64).exp()).abs() < 0.05, "{at_n}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(slot_success_probability(0, 8), 0.0);
+        assert_eq!(slot_success_probability(8, 0), 0.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Network inventory: discover an unknown population, then hand out TDMA
+//! slots — the bootstrap sequence of a VAB deployment.
+
+use crate::aloha::AlohaReader;
+use crate::tdma::TdmaSchedule;
+use rand::Rng;
+use vab_util::units::Seconds;
+
+/// Result of an inventory run.
+#[derive(Debug, Clone)]
+pub struct InventoryReport {
+    /// Addresses discovered, in discovery order.
+    pub discovered: Vec<u8>,
+    /// Contention rounds used.
+    pub rounds: u32,
+    /// Total contention slots spent.
+    pub slots_used: u64,
+    /// Collisions along the way.
+    pub collisions: u64,
+    /// The TDMA schedule assigned afterwards.
+    pub schedule: TdmaSchedule,
+}
+
+/// Discovers `population` (hidden from the reader) with framed ALOHA and
+/// assigns every discovered node a TDMA slot.
+///
+/// `slot_duration`/`guard` configure the resulting schedule. Gives up after
+/// `max_rounds` (partial schedules are still returned).
+pub fn run_inventory<R: Rng + ?Sized>(
+    population: &[u8],
+    initial_window: usize,
+    max_rounds: u32,
+    slot_duration: Seconds,
+    guard: Seconds,
+    rng: &mut R,
+) -> InventoryReport {
+    let mut reader = AlohaReader::new(initial_window);
+    let mut pending = population.to_vec();
+    let mut rounds = 0;
+    while !pending.is_empty() && rounds < max_rounds {
+        reader.run_round(&mut pending, rng);
+        rounds += 1;
+    }
+    let n = reader.identified.len().clamp(1, 255) as u8;
+    let mut schedule = TdmaSchedule::new(n, slot_duration, guard);
+    schedule.assign_all(&reader.identified);
+    InventoryReport {
+        discovered: reader.identified.clone(),
+        rounds,
+        slots_used: reader.slots_used,
+        collisions: reader.collisions,
+        schedule,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vab_util::rng::seeded;
+
+    #[test]
+    fn full_population_discovered_and_scheduled() {
+        let mut rng = seeded(81);
+        let population: Vec<u8> = (10..20).collect();
+        let report = run_inventory(&population, 8, 100, Seconds(1.0), Seconds(0.2), &mut rng);
+        assert_eq!(report.discovered.len(), 10);
+        for &a in &population {
+            assert!(report.schedule.slot_of(a).is_some(), "node {a} unscheduled");
+        }
+        // Slots are unique.
+        let mut slots: Vec<u8> = population.iter().map(|&a| report.schedule.slot_of(a).expect("assigned")).collect();
+        slots.sort();
+        slots.dedup();
+        assert_eq!(slots.len(), 10);
+    }
+
+    #[test]
+    fn empty_population_is_fine() {
+        let mut rng = seeded(82);
+        let report = run_inventory(&[], 8, 10, Seconds(1.0), Seconds(0.1), &mut rng);
+        assert!(report.discovered.is_empty());
+        assert_eq!(report.rounds, 0);
+    }
+
+    #[test]
+    fn round_limit_respected() {
+        let mut rng = seeded(83);
+        let population: Vec<u8> = (1..=100).collect();
+        let report = run_inventory(&population, 1, 2, Seconds(1.0), Seconds(0.1), &mut rng);
+        assert!(report.rounds <= 2);
+        assert!(report.discovered.len() < 100, "cannot finish in 2 tiny rounds");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let population: Vec<u8> = (1..=15).collect();
+        let a = run_inventory(&population, 8, 100, Seconds(1.0), Seconds(0.1), &mut seeded(84));
+        let b = run_inventory(&population, 8, 100, Seconds(1.0), Seconds(0.1), &mut seeded(84));
+        assert_eq!(a.discovered, b.discovered);
+        assert_eq!(a.slots_used, b.slots_used);
+    }
+}

@@ -1,0 +1,22 @@
+//! # vab-mac — medium access for backscatter networks
+//!
+//! Backscatter MAC is reader-driven: nodes cannot hear each other and only
+//! speak when illuminated, so the reader owns the schedule. Three layers:
+//!
+//! * [`poll`] — round-robin polling of a known node population;
+//! * [`tdma`] — slotted schedules for periodic monitoring (collision-free);
+//! * [`aloha`] — framed slotted ALOHA with Q-style window adaptation for
+//!   discovering an unknown population ([`inventory`]);
+//! * [`rate_adapt`] — per-node uplink rate control over the rate table.
+
+pub mod aloha;
+pub mod inventory;
+pub mod poll;
+pub mod rate_adapt;
+pub mod tdma;
+
+pub use aloha::{AlohaReader, SlotOutcome};
+pub use inventory::run_inventory;
+pub use poll::PollingMac;
+pub use rate_adapt::{RateController, RateDecision};
+pub use tdma::TdmaSchedule;

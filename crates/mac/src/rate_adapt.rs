@@ -1,0 +1,204 @@
+//! Uplink rate adaptation.
+//!
+//! The reader measures per-frame outcomes and walks each node up and down
+//! the rate table (100/250/500/1000 bps) — conservative up, fast down,
+//! like wireless rate control everywhere: a drifting boat changes the
+//! link budget by tens of dB over minutes and a fixed rate wastes either
+//! airtime (too slow) or frames (too fast).
+//!
+//! The controller is deliberately simple enough to audit: consecutive
+//! successes above a threshold promote one step; any `fail_down` failures
+//! within a window demote one step and reset.
+
+use crate::poll::NodeStats;
+use std::collections::HashMap;
+use vab_core::commands::RATE_TABLE_BPS;
+
+/// Per-node rate-control state.
+#[derive(Debug, Clone, Copy)]
+struct NodeRate {
+    /// Index into [`RATE_TABLE_BPS`].
+    code: u8,
+    /// Consecutive successes at the current rate.
+    streak: u32,
+    /// Consecutive failures at the current rate.
+    fails: u32,
+}
+
+/// Reader-side adaptive rate controller.
+#[derive(Debug, Clone)]
+pub struct RateController {
+    nodes: HashMap<u8, NodeRate>,
+    /// Successes needed before promoting.
+    up_after: u32,
+    /// Consecutive failures that force a demotion.
+    down_after: u32,
+    /// Rate changes issued (statistics).
+    pub changes: u64,
+}
+
+/// What the controller wants done after an outcome report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RateDecision {
+    /// Keep the current rate.
+    Hold,
+    /// Send a `SetRate` command with this rate code.
+    Change {
+        /// New index into [`RATE_TABLE_BPS`].
+        rate_code: u8,
+    },
+}
+
+impl RateController {
+    /// Default policy: promote after 8 clean frames, demote after 2
+    /// consecutive losses. Starts everyone at the most robust rate.
+    pub fn new() -> Self {
+        Self { nodes: HashMap::new(), up_after: 8, down_after: 2, changes: 0 }
+    }
+
+    /// Custom thresholds.
+    pub fn with_policy(up_after: u32, down_after: u32) -> Self {
+        assert!(up_after >= 1 && down_after >= 1);
+        Self { nodes: HashMap::new(), up_after, down_after, changes: 0 }
+    }
+
+    fn entry(&mut self, addr: u8) -> &mut NodeRate {
+        self.nodes.entry(addr).or_insert(NodeRate { code: 0, streak: 0, fails: 0 })
+    }
+
+    /// Current rate code for a node.
+    pub fn rate_code(&self, addr: u8) -> u8 {
+        self.nodes.get(&addr).map(|n| n.code).unwrap_or(0)
+    }
+
+    /// Current rate in bps.
+    pub fn rate_bps(&self, addr: u8) -> f64 {
+        RATE_TABLE_BPS[self.rate_code(addr) as usize]
+    }
+
+    /// Reports a frame outcome for `addr`; returns the control decision.
+    pub fn on_outcome(&mut self, addr: u8, success: bool) -> RateDecision {
+        let (up_after, down_after) = (self.up_after, self.down_after);
+        let max_code = (RATE_TABLE_BPS.len() - 1) as u8;
+        let n = self.entry(addr);
+        if success {
+            n.fails = 0;
+            n.streak += 1;
+            if n.streak >= up_after && n.code < max_code {
+                n.code += 1;
+                n.streak = 0;
+                self.changes += 1;
+                return RateDecision::Change { rate_code: self.rate_code(addr) };
+            }
+        } else {
+            n.streak = 0;
+            n.fails += 1;
+            if n.fails >= down_after && n.code > 0 {
+                n.code -= 1;
+                n.fails = 0;
+                self.changes += 1;
+                return RateDecision::Change { rate_code: self.rate_code(addr) };
+            }
+            n.fails = n.fails.min(down_after); // saturate at the floor rate
+        }
+        RateDecision::Hold
+    }
+
+    /// Long-run goodput estimate for a node given its delivery statistics
+    /// at the current rate (bits/s of useful payload for `payload_bits`
+    /// per frame… per query).
+    pub fn goodput_estimate(&self, addr: u8, stats: &NodeStats, payload_bits: usize, query_period_s: f64) -> f64 {
+        let _ = self.rate_bps(addr); // rate affects query period upstream
+        stats.delivery_ratio() * payload_bits as f64 / query_period_s.max(1e-9)
+    }
+}
+
+impl Default for RateController {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_the_floor() {
+        let rc = RateController::new();
+        assert_eq!(rc.rate_code(7), 0);
+        assert_eq!(rc.rate_bps(7), 100.0);
+    }
+
+    #[test]
+    fn promotes_after_streak() {
+        let mut rc = RateController::with_policy(3, 2);
+        assert_eq!(rc.on_outcome(1, true), RateDecision::Hold);
+        assert_eq!(rc.on_outcome(1, true), RateDecision::Hold);
+        assert_eq!(rc.on_outcome(1, true), RateDecision::Change { rate_code: 1 });
+        assert_eq!(rc.rate_bps(1), 250.0);
+    }
+
+    #[test]
+    fn demotes_after_consecutive_failures() {
+        let mut rc = RateController::with_policy(2, 2);
+        // Climb to 500 bps.
+        for _ in 0..4 {
+            rc.on_outcome(1, true);
+        }
+        assert_eq!(rc.rate_code(1), 2);
+        assert_eq!(rc.on_outcome(1, false), RateDecision::Hold);
+        assert_eq!(rc.on_outcome(1, false), RateDecision::Change { rate_code: 1 });
+        assert_eq!(rc.rate_code(1), 1);
+    }
+
+    #[test]
+    fn single_failure_does_not_demote() {
+        let mut rc = RateController::with_policy(2, 2);
+        rc.on_outcome(1, true);
+        rc.on_outcome(1, true); // now at code 1
+        rc.on_outcome(1, false);
+        assert_eq!(rc.rate_code(1), 1, "one loss must not demote");
+        rc.on_outcome(1, true); // success resets the fail counter
+        rc.on_outcome(1, false);
+        assert_eq!(rc.rate_code(1), 1);
+    }
+
+    #[test]
+    fn saturates_at_table_edges() {
+        let mut rc = RateController::with_policy(1, 1);
+        for _ in 0..10 {
+            rc.on_outcome(1, true);
+        }
+        assert_eq!(rc.rate_code(1), 3, "caps at the top rate");
+        for _ in 0..10 {
+            rc.on_outcome(1, false);
+        }
+        assert_eq!(rc.rate_code(1), 0, "floors at the bottom rate");
+    }
+
+    #[test]
+    fn nodes_are_independent() {
+        let mut rc = RateController::with_policy(1, 1);
+        rc.on_outcome(1, true);
+        assert_eq!(rc.rate_code(1), 1);
+        assert_eq!(rc.rate_code(2), 0);
+    }
+
+    #[test]
+    fn converges_to_channel_capacity() {
+        // A channel that supports ≤ 500 bps: frames at 1000 bps always
+        // fail, everything else succeeds. The controller must settle at
+        // code 2 and oscillate gently around it.
+        let mut rc = RateController::new();
+        let mut at_rate = [0u32; 4];
+        for _ in 0..400 {
+            let code = rc.rate_code(9);
+            let success = code < 3;
+            rc.on_outcome(9, success);
+            at_rate[code as usize] += 1;
+        }
+        assert!(at_rate[2] > 200, "should dwell at 500 bps, distribution {at_rate:?}");
+        assert!(at_rate[0] < 40, "should not hide at the floor");
+    }
+}

@@ -1,0 +1,174 @@
+//! TDMA scheduling for periodic monitoring.
+//!
+//! Once the population is known (via [`crate::inventory`]), the reader
+//! assigns each node a slot; a round is `n_slots × slot duration`, preceded
+//! by a broadcast beacon that nodes use as the time reference — backscatter
+//! nodes have no clocks worth trusting, so every round is re-synchronized.
+
+use std::collections::HashMap;
+use vab_util::units::Seconds;
+
+/// A TDMA round schedule.
+#[derive(Debug, Clone)]
+pub struct TdmaSchedule {
+    slot_duration: Seconds,
+    /// Guard interval appended to each slot (propagation spread).
+    guard: Seconds,
+    assignments: HashMap<u8, u8>, // addr → slot
+    n_slots: u8,
+}
+
+impl TdmaSchedule {
+    /// Creates a schedule with `n_slots` slots of `slot_duration` plus
+    /// `guard` each.
+    pub fn new(n_slots: u8, slot_duration: Seconds, guard: Seconds) -> Self {
+        assert!(n_slots > 0 && slot_duration.value() > 0.0 && guard.value() >= 0.0);
+        Self { slot_duration, guard, assignments: HashMap::new(), n_slots }
+    }
+
+    /// Sizes slots for a frame of `frame_bits` channel bits at `bit_rate`,
+    /// with a guard covering the worst-case round-trip spread at
+    /// `max_range_m` (sound speed `c`).
+    pub fn for_frames(
+        n_slots: u8,
+        frame_bits: usize,
+        bit_rate: f64,
+        max_range_m: f64,
+        sound_speed: f64,
+    ) -> Self {
+        let tx_time = frame_bits as f64 / bit_rate;
+        let guard = 2.0 * max_range_m / sound_speed;
+        Self::new(n_slots, Seconds(tx_time), Seconds(guard))
+    }
+
+    /// Assigns `addr` to `slot`. Returns `false` if the slot is taken or
+    /// out of range.
+    pub fn assign(&mut self, addr: u8, slot: u8) -> bool {
+        if slot >= self.n_slots || self.assignments.values().any(|&s| s == slot) {
+            return false;
+        }
+        self.assignments.insert(addr, slot);
+        true
+    }
+
+    /// Assigns every address in order to the first free slots. Returns the
+    /// number assigned (stops when slots run out).
+    pub fn assign_all(&mut self, addrs: &[u8]) -> usize {
+        let mut assigned = 0;
+        let mut next = 0u8;
+        for &a in addrs {
+            while next < self.n_slots && self.assignments.values().any(|&s| s == next) {
+                next += 1;
+            }
+            if next >= self.n_slots {
+                break;
+            }
+            self.assignments.insert(a, next);
+            assigned += 1;
+            next += 1;
+        }
+        assigned
+    }
+
+    /// Slot assigned to `addr`.
+    pub fn slot_of(&self, addr: u8) -> Option<u8> {
+        self.assignments.get(&addr).copied()
+    }
+
+    /// Which slot is active at time `t` since the round beacon, or `None`
+    /// if `t` is past the end of the round.
+    pub fn slot_at(&self, t: Seconds) -> Option<u8> {
+        let per_slot = self.slot_duration.value() + self.guard.value();
+        if t.value() < 0.0 {
+            return None;
+        }
+        let idx = (t.value() / per_slot) as u64;
+        if idx < self.n_slots as u64 {
+            Some(idx as u8)
+        } else {
+            None
+        }
+    }
+
+    /// Which node owns the slot active at `t`.
+    pub fn owner_at(&self, t: Seconds) -> Option<u8> {
+        let slot = self.slot_at(t)?;
+        self.assignments.iter().find(|(_, &s)| s == slot).map(|(&a, _)| a)
+    }
+
+    /// Full round duration.
+    pub fn round_duration(&self) -> Seconds {
+        Seconds((self.slot_duration.value() + self.guard.value()) * self.n_slots as f64)
+    }
+
+    /// Fraction of round time spent on payload (vs. guard).
+    pub fn efficiency(&self) -> f64 {
+        self.slot_duration.value() / (self.slot_duration.value() + self.guard.value())
+    }
+
+    /// Aggregate network throughput for `payload_bits` of useful payload per
+    /// slot, bits/s across the whole round.
+    pub fn network_throughput(&self, payload_bits: usize) -> f64 {
+        let used = self.assignments.len() as f64;
+        used * payload_bits as f64 / self.round_duration().value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vab_util::approx_eq;
+
+    #[test]
+    fn assignment_rejects_conflicts() {
+        let mut t = TdmaSchedule::new(4, Seconds(1.0), Seconds(0.1));
+        assert!(t.assign(10, 0));
+        assert!(!t.assign(11, 0), "slot already taken");
+        assert!(!t.assign(12, 4), "slot out of range");
+        assert!(t.assign(11, 3));
+        assert_eq!(t.slot_of(10), Some(0));
+        assert_eq!(t.slot_of(11), Some(3));
+        assert_eq!(t.slot_of(99), None);
+    }
+
+    #[test]
+    fn assign_all_fills_free_slots() {
+        let mut t = TdmaSchedule::new(3, Seconds(1.0), Seconds(0.0));
+        t.assign(7, 1);
+        let n = t.assign_all(&[1, 2, 3]);
+        assert_eq!(n, 2, "only slots 0 and 2 were free");
+        assert_eq!(t.slot_of(1), Some(0));
+        assert_eq!(t.slot_of(2), Some(2));
+        assert_eq!(t.slot_of(3), None);
+    }
+
+    #[test]
+    fn slot_timing() {
+        let mut t = TdmaSchedule::new(3, Seconds(2.0), Seconds(0.5));
+        t.assign(42, 1);
+        assert_eq!(t.slot_at(Seconds(0.0)), Some(0));
+        assert_eq!(t.slot_at(Seconds(2.6)), Some(1));
+        assert_eq!(t.owner_at(Seconds(2.6)), Some(42));
+        assert_eq!(t.owner_at(Seconds(0.5)), None, "slot 0 unowned");
+        assert_eq!(t.slot_at(Seconds(8.0)), None, "past round end");
+        assert!(approx_eq(t.round_duration().value(), 7.5, 1e-12));
+    }
+
+    #[test]
+    fn for_frames_sizes_guard_from_range() {
+        // 300 m, 1480 m/s → 405 ms round trip guard.
+        let t = TdmaSchedule::for_frames(4, 256, 100.0, 300.0, 1480.0);
+        assert!(approx_eq(t.guard.value(), 0.4054, 1e-3));
+        assert!(approx_eq(t.slot_duration.value(), 2.56, 1e-9));
+        // Guard overhead at 100 bps is modest.
+        assert!(t.efficiency() > 0.8, "eff {}", t.efficiency());
+    }
+
+    #[test]
+    fn throughput_scales_with_assignments() {
+        let mut t = TdmaSchedule::new(10, Seconds(1.0), Seconds(0.0));
+        t.assign_all(&[1, 2, 3, 4, 5]);
+        let thr = t.network_throughput(100);
+        assert!(approx_eq(thr, 5.0 * 100.0 / 10.0, 1e-9));
+    }
+}

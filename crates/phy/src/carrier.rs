@@ -1,0 +1,157 @@
+//! Carrier cancellation.
+//!
+//! The reader's hydrophone hears its own projector 40–80 dB louder than the
+//! backscattered sidebands. At complex baseband the un-modulated carrier
+//! (direct arrival plus every static reflection) is a DC term; the
+//! information lives at ± the chip rate. Cancellation is therefore a DC/
+//! slow-drift removal problem at baseband, or a narrow band-stop at the
+//! carrier in passband.
+
+use vab_util::complex::C64;
+use vab_util::filter::{Band, Fir};
+use vab_util::window::Window;
+
+/// Subtracts the complex mean — ideal static-carrier cancellation.
+pub fn remove_dc(x: &[C64]) -> Vec<C64> {
+    if x.is_empty() {
+        return Vec::new();
+    }
+    let mean = x.iter().copied().sum::<C64>() / x.len() as f64;
+    x.iter().map(|&v| v - mean).collect()
+}
+
+/// Sliding-window DC removal: subtracts a local mean over `window` samples,
+/// tracking slow carrier drift (clock offset, platform motion) that a global
+/// mean would miss. `window` should span many chips but be shorter than the
+/// drift timescale.
+pub fn remove_dc_sliding(x: &[C64], window: usize) -> Vec<C64> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let w = window.clamp(1, n);
+    // Prefix sums for O(n) local means.
+    let mut prefix = Vec::with_capacity(n + 1);
+    prefix.push(C64::ZERO);
+    for &v in x {
+        let last = *prefix.last().expect("nonempty");
+        prefix.push(last + v);
+    }
+    (0..n)
+        .map(|i| {
+            let lo = i.saturating_sub(w / 2);
+            let hi = (i + w / 2 + 1).min(n);
+            let mean = (prefix[hi] - prefix[lo]) / (hi - lo) as f64;
+            x[i] - mean
+        })
+        .collect()
+}
+
+/// A passband carrier notch: band-stop FIR centred on the carrier with the
+/// given half-width, at sample rate `fs`.
+pub fn carrier_notch(carrier_hz: f64, half_width_hz: f64, fs: f64, taps: usize) -> Fir {
+    let lo = ((carrier_hz - half_width_hz) / fs).clamp(1e-4, 0.4999);
+    let hi = ((carrier_hz + half_width_hz) / fs).clamp(lo + 1e-4, 0.4999);
+    Fir::design(Band::Bandstop { lo, hi }, taps, Window::Hamming)
+}
+
+/// Residual carrier rejection in dB achieved by [`remove_dc`] on a given
+/// block (for diagnostics): carrier power before vs. after.
+pub fn rejection_db(before: &[C64], after: &[C64]) -> f64 {
+    let p = |v: &[C64]| {
+        if v.is_empty() {
+            return 0.0;
+        }
+        let m = v.iter().copied().sum::<C64>() / v.len() as f64;
+        m.norm_sq()
+    };
+    let b = p(before);
+    let a = p(after);
+    if a <= 0.0 {
+        200.0
+    } else {
+        10.0 * (b / a).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vab_util::rng::{complex_gaussian, seeded};
+    use vab_util::TAU;
+
+    #[test]
+    fn remove_dc_zeroes_the_mean() {
+        let x: Vec<C64> = (0..100).map(|i| C64::new(5.0 + (i as f64 * 0.3).sin(), -2.0)).collect();
+        let y = remove_dc(&x);
+        let mean = y.iter().copied().sum::<C64>() / y.len() as f64;
+        assert!(mean.abs() < 1e-12);
+    }
+
+    #[test]
+    fn remove_dc_preserves_modulation() {
+        // DC + square modulation: after removal the square survives.
+        let x: Vec<C64> = (0..64)
+            .map(|i| C64::real(100.0 + if (i / 8) % 2 == 0 { 1.0 } else { -1.0 }))
+            .collect();
+        let y = remove_dc(&x);
+        let swing = y.iter().map(|c| c.re).fold(f64::MIN, f64::max)
+            - y.iter().map(|c| c.re).fold(f64::MAX, f64::min);
+        assert!((swing - 2.0).abs() < 1e-9, "swing {swing}");
+    }
+
+    #[test]
+    fn sliding_dc_tracks_drift() {
+        // Carrier drifting linearly in phase; global mean can't cancel it,
+        // sliding mean mostly can.
+        let n = 2000;
+        let x: Vec<C64> = (0..n)
+            .map(|i| {
+                let drift = C64::from_polar(50.0, 1e-3 * i as f64);
+                let signal = C64::real(if (i / 20) % 2 == 0 { 1.0 } else { -1.0 });
+                drift + signal
+            })
+            .collect();
+        let global = remove_dc(&x);
+        let sliding = remove_dc_sliding(&x, 200);
+        let resid = |v: &[C64]| {
+            v.iter().map(|c| c.norm_sq()).sum::<f64>() / v.len() as f64
+        };
+        // Signal power is 1; global removal leaves large drift residual.
+        assert!(resid(&sliding) < resid(&global) / 3.0,
+            "sliding {} vs global {}", resid(&sliding), resid(&global));
+    }
+
+    #[test]
+    fn rejection_reported_in_db() {
+        let mut rng = seeded(9);
+        let x: Vec<C64> = (0..500).map(|_| C64::real(30.0) + complex_gaussian(&mut rng, 1.0)).collect();
+        let y = remove_dc(&x);
+        assert!(rejection_db(&x, &y) > 40.0);
+    }
+
+    #[test]
+    fn notch_kills_carrier_keeps_sidebands() {
+        let fs = 96000.0;
+        let f0 = 18500.0;
+        let notch = carrier_notch(f0, 250.0, fs, 2401);
+        let n = 8192;
+        let carrier: Vec<f64> = (0..n).map(|i| (TAU * f0 * i as f64 / fs).sin()).collect();
+        let sideband: Vec<f64> = (0..n).map(|i| (TAU * (f0 + 600.0) * i as f64 / fs).sin()).collect();
+        let c_out = notch.filter_same(&carrier);
+        let s_out = notch.filter_same(&sideband);
+        // Evaluate in steady state, away from the filter's edge transients.
+        let pow = |v: &[f64]| {
+            let inner = &v[1500..v.len() - 1500];
+            inner.iter().map(|x| x * x).sum::<f64>() / inner.len() as f64
+        };
+        assert!(pow(&c_out) < 1e-3 * pow(&carrier), "carrier leaked: {}", pow(&c_out));
+        assert!(pow(&s_out) > 0.5 * pow(&sideband), "sideband damaged: {}", pow(&s_out));
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        assert!(remove_dc(&[]).is_empty());
+        assert!(remove_dc_sliding(&[], 10).is_empty());
+    }
+}

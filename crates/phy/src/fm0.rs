@@ -1,0 +1,141 @@
+//! FM0 (bi-phase space) line coding.
+//!
+//! The standard backscatter line code (also used by EPC Gen2 RFID): the
+//! level always inverts at a bit boundary; a **0** additionally inverts in
+//! the middle of the bit, a **1** holds. Properties that matter underwater:
+//! DC balance (survives the reader's carrier-leak high-pass) and a
+//! transition at every bit edge (self-clocking).
+//!
+//! Chips are represented as `±1.0`; two chips per bit.
+
+/// Encodes bits into FM0 chips (two per bit). The encoder starts from level
+/// `+1` before the first bit and returns the chip sequence.
+pub fn fm0_encode(bits: &[bool]) -> Vec<f64> {
+    let mut chips = Vec::with_capacity(bits.len() * 2);
+    let mut level = 1.0;
+    for &b in bits {
+        // Invert at the bit boundary.
+        level = -level;
+        if b {
+            // 1: hold for the whole bit.
+            chips.push(level);
+            chips.push(level);
+        } else {
+            // 0: mid-bit inversion.
+            chips.push(level);
+            level = -level;
+            chips.push(level);
+        }
+    }
+    chips
+}
+
+/// Hard-decision FM0 decode from (possibly noisy) chip samples.
+///
+/// Decoding is differential and does not need the absolute polarity: a bit
+/// is **1** when its two half-chips agree in sign and **0** when they
+/// differ. Returns `None` when the chip count is odd.
+pub fn fm0_decode_hard(chips: &[f64]) -> Option<Vec<bool>> {
+    if !chips.len().is_multiple_of(2) {
+        return None;
+    }
+    Some(
+        chips
+            .chunks_exact(2)
+            .map(|pair| (pair[0] >= 0.0) == (pair[1] >= 0.0))
+            .collect(),
+    )
+}
+
+/// Soft FM0 decode with complex chip observations (noncoherent): compares
+/// the energy of the "hold" hypothesis `|c0 + c1|²` against the "invert"
+/// hypothesis `|c0 − c1|²` per bit. Works for any unknown channel phase.
+pub fn fm0_decode_soft(chips: &[vab_util::complex::C64]) -> Option<Vec<bool>> {
+    if !chips.len().is_multiple_of(2) {
+        return None;
+    }
+    Some(
+        chips
+            .chunks_exact(2)
+            .map(|p| (p[0] + p[1]).norm_sq() >= (p[0] - p[1]).norm_sq())
+            .collect(),
+    )
+}
+
+/// Verifies the FM0 invariant on a clean chip stream: the level must invert
+/// across every bit boundary. Returns the index of the first violation.
+pub fn fm0_check_boundaries(chips: &[f64]) -> Option<usize> {
+    (2..chips.len()).step_by(2).find(|&i| (chips[i - 1] >= 0.0) == (chips[i] >= 0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vab_util::complex::C64;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let bits = vec![true, false, false, true, true, true, false];
+        let chips = fm0_encode(&bits);
+        assert_eq!(chips.len(), bits.len() * 2);
+        assert_eq!(fm0_decode_hard(&chips).expect("even"), bits);
+    }
+
+    #[test]
+    fn all_patterns_roundtrip() {
+        for pattern in 0u8..=255 {
+            let bits: Vec<bool> = (0..8).map(|i| pattern >> i & 1 == 1).collect();
+            let chips = fm0_encode(&bits);
+            assert_eq!(fm0_decode_hard(&chips).expect("even"), bits, "pattern {pattern:08b}");
+        }
+    }
+
+    #[test]
+    fn boundary_invariant_holds() {
+        let bits = vec![true, true, false, true, false, false, true];
+        let chips = fm0_encode(&bits);
+        assert_eq!(fm0_check_boundaries(&chips), None);
+    }
+
+    #[test]
+    fn dc_balance_of_alternating_data() {
+        // FM0 is DC-balanced for any data over long runs (each 0 is balanced
+        // within itself; 1s alternate polarity thanks to boundary flips).
+        let bits: Vec<bool> = (0..1000).map(|i| i % 3 == 0).collect();
+        let chips = fm0_encode(&bits);
+        let sum: f64 = chips.iter().sum();
+        assert!(sum.abs() <= 2.0, "DC offset {sum}");
+    }
+
+    #[test]
+    fn decode_survives_global_polarity_flip() {
+        let bits = vec![true, false, true, true, false];
+        let mut chips = fm0_encode(&bits);
+        for c in chips.iter_mut() {
+            *c = -*c;
+        }
+        assert_eq!(fm0_decode_hard(&chips).expect("even"), bits);
+    }
+
+    #[test]
+    fn soft_decode_survives_channel_phase() {
+        let bits = vec![true, false, false, true, true];
+        let chips = fm0_encode(&bits);
+        // Rotate every chip by an arbitrary channel phase.
+        let rotated: Vec<C64> = chips.iter().map(|&c| C64::from_polar(c.abs(), 1.234) * c.signum()).collect();
+        assert_eq!(fm0_decode_soft(&rotated).expect("even"), bits);
+    }
+
+    #[test]
+    fn odd_chip_count_rejected() {
+        assert!(fm0_decode_hard(&[1.0, -1.0, 1.0]).is_none());
+        assert!(fm0_decode_soft(&[C64::ONE]).is_none());
+    }
+
+    #[test]
+    fn violation_detected() {
+        // Handcraft chips violating the boundary rule.
+        let chips = [1.0, 1.0, 1.0, 1.0]; // no inversion at boundary index 2
+        assert_eq!(fm0_check_boundaries(&chips), Some(2));
+    }
+}

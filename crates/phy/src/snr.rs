@@ -1,0 +1,121 @@
+//! SNR estimation from received baseband blocks.
+
+use vab_util::complex::C64;
+
+/// Data-aided SNR estimate: given the known transmitted ±1 chip sequence and
+/// the received per-chip soft symbols, splits received energy into a
+/// coherent (signal) part and a residual (noise) part.
+///
+/// Returns the linear per-chip SNR estimate, or `None` with fewer than two
+/// chips.
+pub fn data_aided_snr(chips_rx: &[C64], chips_tx: &[f64]) -> Option<f64> {
+    let n = chips_rx.len().min(chips_tx.len());
+    if n < 2 {
+        return None;
+    }
+    // Signal amplitude estimate: correlation with the known sequence.
+    let corr: C64 = chips_rx[..n]
+        .iter()
+        .zip(&chips_tx[..n])
+        .map(|(&r, &t)| r * t)
+        .sum::<C64>()
+        / n as f64;
+    let sig_pow = corr.norm_sq();
+    // Residual after removing the reconstructed signal.
+    let noise_pow: f64 = chips_rx[..n]
+        .iter()
+        .zip(&chips_tx[..n])
+        .map(|(&r, &t)| (r - corr * t).norm_sq())
+        .sum::<f64>()
+        / n as f64;
+    if noise_pow <= 0.0 {
+        return Some(f64::INFINITY);
+    }
+    Some(sig_pow / noise_pow)
+}
+
+/// Blind SNR estimate via the M2M4 moments method (no reference needed):
+/// for a constant-modulus signal in complex Gaussian noise,
+/// `S = √(2·M2² − M4)`, `N = M2 − S`.
+pub fn m2m4_snr(samples: &[C64]) -> Option<f64> {
+    if samples.len() < 8 {
+        return None;
+    }
+    let n = samples.len() as f64;
+    let m2: f64 = samples.iter().map(|c| c.norm_sq()).sum::<f64>() / n;
+    let m4: f64 = samples.iter().map(|c| c.norm_sq().powi(2)).sum::<f64>() / n;
+    let s2 = (2.0 * m2 * m2 - m4).max(0.0).sqrt();
+    let noise = (m2 - s2).max(1e-300);
+    Some(s2 / noise)
+}
+
+/// Converts a linear SNR to dB.
+pub fn snr_db(lin: f64) -> f64 {
+    10.0 * lin.log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vab_util::approx_eq;
+    use vab_util::rng::{complex_gaussian, seeded};
+    use rand::RngExt;
+
+    fn chips_and_rx(snr_lin: f64, n: usize, seed: u64) -> (Vec<f64>, Vec<C64>) {
+        let mut rng = seeded(seed);
+        let tx: Vec<f64> = (0..n).map(|_| if rng.random::<bool>() { 1.0 } else { -1.0 }).collect();
+        let amp = snr_lin.sqrt();
+        let rx: Vec<C64> = tx
+            .iter()
+            .map(|&t| C64::from_polar(amp, 0.8) * t + complex_gaussian(&mut rng, 1.0))
+            .collect();
+        (tx, rx)
+    }
+
+    #[test]
+    fn data_aided_estimates_known_snr() {
+        for snr_db_true in [0.0, 6.0, 12.0] {
+            let lin = 10f64.powf(snr_db_true / 10.0);
+            let (tx, rx) = chips_and_rx(lin, 20_000, 31);
+            let est = data_aided_snr(&rx, &tx).expect("enough chips");
+            assert!(
+                (snr_db(est) - snr_db_true).abs() < 0.5,
+                "est {} dB vs true {snr_db_true} dB",
+                snr_db(est)
+            );
+        }
+    }
+
+    #[test]
+    fn m2m4_estimates_known_snr() {
+        for snr_db_true in [3.0, 10.0] {
+            let lin = 10f64.powf(snr_db_true / 10.0);
+            let (_, rx) = chips_and_rx(lin, 50_000, 32);
+            let est = m2m4_snr(&rx).expect("enough samples");
+            assert!(
+                (snr_db(est) - snr_db_true).abs() < 1.0,
+                "est {} dB vs true {snr_db_true} dB",
+                snr_db(est)
+            );
+        }
+    }
+
+    #[test]
+    fn noiseless_is_infinite() {
+        let tx = vec![1.0, -1.0, 1.0, 1.0];
+        let rx: Vec<C64> = tx.iter().map(|&t| C64::real(t)).collect();
+        assert_eq!(data_aided_snr(&rx, &tx), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn too_short_inputs_rejected() {
+        assert!(data_aided_snr(&[C64::ONE], &[1.0]).is_none());
+        assert!(m2m4_snr(&[C64::ONE; 4]).is_none());
+    }
+
+    #[test]
+    fn snr_db_conversion() {
+        assert!(approx_eq(snr_db(10.0), 10.0, 1e-12));
+        assert!(approx_eq(snr_db(1.0), 0.0, 1e-12));
+    }
+}

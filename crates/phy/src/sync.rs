@@ -1,0 +1,176 @@
+//! Packet synchronization: preamble design and noncoherent acquisition.
+
+use crate::fm0::fm0_encode;
+use crate::modulation::ModParams;
+use vab_util::complex::C64;
+
+/// A known bit pattern prepended to every uplink frame.
+///
+/// Default is the 13-chip Barker code expressed as bits (optimal aperiodic
+/// autocorrelation: sidelobes ≤ 1/13 of the peak).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Preamble {
+    bits: Vec<bool>,
+}
+
+impl Preamble {
+    /// Barker-13-based default preamble.
+    pub fn barker13() -> Self {
+        // +++++--++-+-+ → true×5, false×2, true×2, false, true, false, true
+        let pattern = [
+            true, true, true, true, true, false, false, true, true, false, true, false, true,
+        ];
+        Self { bits: pattern.to_vec() }
+    }
+
+    /// A custom preamble.
+    pub fn from_bits(bits: Vec<bool>) -> Self {
+        assert!(bits.len() >= 4, "preamble too short to acquire");
+        Self { bits }
+    }
+
+    /// Preamble bits.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Length in bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Never empty (constructor enforces ≥ 4 bits).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The ±1 reference waveform at `samples_per_chip` oversampling.
+    pub fn reference(&self, params: &ModParams) -> Vec<f64> {
+        let chips = fm0_encode(&self.bits);
+        let mut w = Vec::with_capacity(chips.len() * params.samples_per_chip);
+        for c in chips {
+            for _ in 0..params.samples_per_chip {
+                w.push(c);
+            }
+        }
+        w
+    }
+
+    /// Noncoherent acquisition: slides the ±1 reference over the DC-removed
+    /// baseband signal and returns the offset with the largest |correlation|,
+    /// provided it clears `threshold` × the average correlation magnitude.
+    ///
+    /// Returns `(start_of_payload_sample, peak_metric)`.
+    pub fn locate(
+        &self,
+        baseband: &[C64],
+        params: &ModParams,
+        threshold: f64,
+    ) -> Option<(usize, f64)> {
+        let reference = self.reference(params);
+        let m = reference.len();
+        if baseband.len() < m {
+            return None;
+        }
+        let mut best = (0usize, 0.0f64);
+        let mut sum = 0.0f64;
+        let mut count = 0usize;
+        for off in 0..=(baseband.len() - m) {
+            let corr: C64 = reference
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| baseband[off + i] * r)
+                .sum();
+            let mag = corr.abs();
+            sum += mag;
+            count += 1;
+            if mag > best.1 {
+                best = (off, mag);
+            }
+        }
+        let mean = sum / count.max(1) as f64;
+        if best.1 > threshold * mean.max(1e-300) {
+            Some((best.0 + m, best.1))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::carrier::remove_dc;
+    use crate::modulation::BackscatterModulator;
+    use vab_util::rng::{complex_gaussian, seeded};
+
+    fn params() -> ModParams {
+        ModParams::vab_default()
+    }
+
+    #[test]
+    fn barker13_has_13_bits() {
+        assert_eq!(Preamble::barker13().len(), 13);
+    }
+
+    #[test]
+    fn locates_preamble_in_clean_signal() {
+        let p = Preamble::barker13();
+        let m = BackscatterModulator::new(params());
+        let delay = 37;
+        // signal: silence, preamble, payload
+        let mut bits = p.bits().to_vec();
+        bits.extend([true, false, true, true]);
+        let wave = m.switch_waveform(&bits);
+        let mut sig = vec![C64::ZERO; delay];
+        sig.extend(wave.iter().map(|&w| C64::from_polar(1.0, 0.7) * w));
+        sig.extend(vec![C64::ZERO; 50]);
+        let (start, _) = p.locate(&sig, &params(), 3.0).expect("should acquire");
+        let expected = delay + p.len() * params().samples_per_bit();
+        assert_eq!(start, expected);
+    }
+
+    #[test]
+    fn locates_preamble_under_noise_and_phase() {
+        let mut rng = seeded(11);
+        let p = Preamble::barker13();
+        let m = BackscatterModulator::new(params());
+        let delay = 120;
+        let mut bits = p.bits().to_vec();
+        bits.extend([false, true, false, false, true, true]);
+        let wave = m.switch_waveform(&bits);
+        let mut sig = vec![C64::ZERO; delay];
+        sig.extend(wave.iter().map(|&w| C64::from_polar(1.0, 2.1) * w));
+        sig.extend(vec![C64::ZERO; 80]);
+        // Carrier leak + noise.
+        let noisy: Vec<C64> = sig
+            .iter()
+            .map(|&s| s + C64::real(25.0) + complex_gaussian(&mut rng, 0.3))
+            .collect();
+        let clean = remove_dc(&noisy);
+        let (start, _) = p.locate(&clean, &params(), 3.0).expect("acquire under noise");
+        let expected = delay + p.len() * params().samples_per_bit();
+        assert!((start as i64 - expected as i64).abs() <= 2, "start {start} vs {expected}");
+    }
+
+    #[test]
+    fn no_false_acquisition_on_noise() {
+        let mut rng = seeded(12);
+        let p = Preamble::barker13();
+        let noise: Vec<C64> = (0..2000).map(|_| complex_gaussian(&mut rng, 1.0)).collect();
+        assert!(p.locate(&noise, &params(), 5.0).is_none());
+    }
+
+    #[test]
+    fn too_short_buffer_returns_none() {
+        let p = Preamble::barker13();
+        let sig = vec![C64::ONE; 10];
+        assert!(p.locate(&sig, &params(), 3.0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn tiny_custom_preamble_rejected() {
+        let _ = Preamble::from_bits(vec![true, false]);
+    }
+}

@@ -1,0 +1,29 @@
+//! # vab-piezo — piezoelectric transducer electro-mechanics
+//!
+//! The paper's central engineering challenge is *electro-mechanical*: an
+//! underwater backscatter node modulates the acoustic reflection of a
+//! piezoelectric transducer by switching its electrical load, and the
+//! transducer's complex, resonant impedance makes the naive RF-backscatter
+//! recipe (open/short switching) behave very differently underwater.
+//!
+//! This crate models that physics:
+//! * [`bvd`] — Butterworth–Van Dyke equivalent circuit and its impedance.
+//! * [`transduction`] — transmit/receive sensitivity around resonance.
+//! * [`reflection`] — load-dependent reflection coefficient Γ(Z_L) and the
+//!   modulation depth |ΔΓ| between two load states.
+//! * [`matching`] — L-section matching networks that maximize |ΔΓ| and
+//!   harvested power.
+//! * [`switch`] — the modulation switch and its non-idealities;
+//! * [`tolerance`] — manufacturing-tolerance Monte Carlo (build yield).
+
+pub mod bvd;
+pub mod matching;
+pub mod reflection;
+pub mod switch;
+pub mod tolerance;
+pub mod transduction;
+
+pub use bvd::Bvd;
+pub use reflection::{Load, ModulationStates};
+pub use switch::Switch;
+pub use transduction::Transducer;

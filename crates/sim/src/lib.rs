@@ -1,0 +1,35 @@
+//! # vab-sim — the end-to-end VAB experiment engine
+//!
+//! Replaces the paper's river/ocean testbed. Two simulation fidelities that
+//! cross-validate:
+//!
+//! * **Link budget** ([`linkbudget`]) — the sonar equation plus closed-form
+//!   modulation theory gives a per-trial channel-bit error probability;
+//!   bits then flow through the *real* link-layer codecs. Fast enough for
+//!   thousands-of-trial Monte Carlo sweeps ([`montecarlo`]).
+//! * **Sample level** ([`samplelevel`]) — complex-baseband waveforms through
+//!   the image-method multipath channel, the actual modulator, carrier
+//!   leak, synchronizer and demodulator. Slow; used at a handful of
+//!   operating points to validate the fast path.
+//!
+//! [`baseline`] defines the comparison systems (PAB-like single-element
+//! backscatter, conventional non-retrodirective array); [`scenario`] wires
+//! geometry + environment + system; [`metrics`] collects results and writes
+//! CSV.
+
+pub mod baseline;
+pub mod campaign;
+pub mod linkbudget;
+pub mod metrics;
+pub mod montecarlo;
+pub mod samplelevel;
+pub mod scenario;
+pub mod session;
+
+pub use baseline::SystemKind;
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport};
+pub use linkbudget::{LinkBudget, ReaderParams};
+pub use metrics::{BerPoint, CsvTable};
+pub use montecarlo::{run_ber_sweep, MonteCarloConfig, TrialEngine};
+pub use scenario::Scenario;
+pub use session::{run_exchange, SessionError, SessionOutcome};

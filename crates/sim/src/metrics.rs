@@ -1,0 +1,167 @@
+//! Result containers and CSV emission.
+//!
+//! Experiments print CSV tables to stdout (and optionally to files) so every
+//! figure/table of the paper can be regenerated as a diff-able artifact
+//! without a serialization dependency.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// One point of a BER-vs-X sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct BerPoint {
+    /// The swept quantity (range in m, angle in degrees, …).
+    pub x: f64,
+    /// Measured bit error rate.
+    pub ber: f64,
+    /// Measured packet error rate.
+    pub per: f64,
+    /// Mean Eb/N0 across trials, dB.
+    pub ebn0_db: f64,
+    /// Bits observed.
+    pub bits: u64,
+    /// Trials run.
+    pub trials: u64,
+}
+
+/// A simple CSV table builder.
+#[derive(Debug, Clone)]
+pub struct CsvTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl CsvTable {
+    /// Creates a table with the given column names.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        let header: Vec<String> = header.into_iter().map(Into::into).collect();
+        assert!(!header.is_empty());
+        Self { header, rows: Vec::new() }
+    }
+
+    /// Appends a row of formatted values; must match the header width.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Appends a row of floats with `prec` decimal places.
+    pub fn row_f64<I: IntoIterator<Item = f64>>(&mut self, cells: I, prec: usize) {
+        self.row(cells.into_iter().map(|v| format!("{v:.prec$}")));
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the CSV (quotes cells containing commas).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |cell: &str| -> String {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let _ = writeln!(out, "{}", self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Renders an aligned text table for terminal output.
+    pub fn to_pretty(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+        let _ = writeln!(out, "{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Writes the CSV to a file.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_csv().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_rendering() {
+        let mut t = CsvTable::new(["range_m", "ber"]);
+        t.row_f64([100.0, 0.001234], 4);
+        t.row(["300", "1e-3"]);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("range_m,ber\n"));
+        assert!(csv.contains("100.0000,0.0012"));
+        assert!(csv.contains("300,1e-3"));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = CsvTable::new(["name", "value"]);
+        t.row(["a,b", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn pretty_alignment() {
+        let mut t = CsvTable::new(["x", "long_column"]);
+        t.row(["1", "2"]);
+        let pretty = t.to_pretty();
+        let lines: Vec<&str> = pretty.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_row_rejected() {
+        let mut t = CsvTable::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut t = CsvTable::new(["a"]);
+        t.row(["1"]);
+        let dir = std::env::temp_dir().join("vab_csv_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let p = dir.join("t.csv");
+        t.write_csv(&p).expect("write");
+        let back = std::fs::read_to_string(&p).expect("read");
+        assert_eq!(back, "a\n1\n");
+    }
+}

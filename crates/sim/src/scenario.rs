@@ -1,0 +1,144 @@
+//! Experiment scenario: geometry + environment + system + reader, bundled.
+
+use crate::baseline::{FrontEnd, SystemKind};
+use crate::linkbudget::ReaderParams;
+use vab_acoustics::environment::Environment;
+use vab_acoustics::geometry::Position;
+use vab_phy::modulation::ModParams;
+use vab_util::units::{Degrees, Hertz, Meters};
+
+/// A complete experiment setup.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Water and noise environment.
+    pub env: Environment,
+    /// Reader (projector + co-located hydrophone) position.
+    pub reader_pos: Position,
+    /// Node position.
+    pub node_pos: Position,
+    /// Node orientation: rotation of the array broadside away from the
+    /// reader direction (0° = facing the reader).
+    pub node_rotation: Degrees,
+    /// The deployed system.
+    pub system: SystemKind,
+    /// Reader parameters.
+    pub reader: ReaderParams,
+    /// PHY parameters (carrier, bit rate, oversampling).
+    pub mod_params: ModParams,
+    /// Optional link-layer override (defaults to the system's own stack);
+    /// used by coding ablations.
+    pub link_override: Option<vab_link::frame::LinkConfig>,
+}
+
+impl Scenario {
+    /// The canonical river trial: reader at 2 m depth, node at `range`
+    /// facing the reader, 100 bps.
+    pub fn river(system: SystemKind, range: Meters) -> Self {
+        Self {
+            env: Environment::river(),
+            reader_pos: Position::new(0.0, 0.0, 2.0),
+            node_pos: Position::new(range.value(), 0.0, 2.0),
+            node_rotation: Degrees(0.0),
+            system,
+            reader: ReaderParams::vab_default(),
+            mod_params: ModParams::vab_default(),
+            link_override: None,
+        }
+    }
+
+    /// The ocean trial at a given sea state.
+    pub fn ocean(
+        system: SystemKind,
+        range: Meters,
+        sea_state: vab_acoustics::environment::SeaState,
+    ) -> Self {
+        Self {
+            env: Environment::ocean(sea_state),
+            reader_pos: Position::new(0.0, 0.0, 5.0),
+            node_pos: Position::new(range.value(), 0.0, 6.0),
+            node_rotation: Degrees(0.0),
+            system,
+            reader: ReaderParams::vab_default(),
+            mod_params: ModParams::vab_default(),
+            link_override: None,
+        }
+    }
+
+    /// Sets the uplink bit rate.
+    pub fn with_bit_rate(mut self, bps: f64) -> Self {
+        self.mod_params = self.mod_params.with_bit_rate(bps);
+        self
+    }
+
+    /// Sets the node orientation.
+    pub fn with_rotation(mut self, rot: Degrees) -> Self {
+        self.node_rotation = rot;
+        self
+    }
+
+    /// Overrides the link-layer stack (coding ablations).
+    pub fn with_link(mut self, link: vab_link::frame::LinkConfig) -> Self {
+        self.link_override = Some(link);
+        self
+    }
+
+    /// The link configuration in force: the override if set, else the
+    /// system's own stack.
+    pub fn link_config(&self) -> vab_link::frame::LinkConfig {
+        self.link_override.unwrap_or_else(|| self.system.link_config())
+    }
+
+    /// Reader–node separation.
+    pub fn range(&self) -> Meters {
+        self.reader_pos.distance_to(&self.node_pos)
+    }
+
+    /// Carrier frequency.
+    pub fn carrier(&self) -> Hertz {
+        self.mod_params.carrier
+    }
+
+    /// Angle of incidence at the array: the bearing from the node to the
+    /// reader, offset by the node's rotation.
+    pub fn incidence_angle(&self) -> Degrees {
+        // With the node's broadside nominally pointed at the reader,
+        // rotation *is* the incidence angle.
+        self.node_rotation
+    }
+
+    /// Instantiates the node front end.
+    pub fn front_end(&self) -> FrontEnd {
+        FrontEnd::new(self.system, self.carrier())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vab_acoustics::environment::SeaState;
+    use vab_util::approx_eq;
+
+    #[test]
+    fn river_scenario_geometry() {
+        let s = Scenario::river(SystemKind::Vab { n_pairs: 4 }, Meters(100.0));
+        assert!(approx_eq(s.range().value(), 100.0, 1e-9));
+        assert_eq!(s.incidence_angle().value(), 0.0);
+        assert_eq!(s.carrier().value(), 18_500.0);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let s = Scenario::river(SystemKind::Pab, Meters(50.0))
+            .with_bit_rate(500.0)
+            .with_rotation(Degrees(30.0));
+        assert_eq!(s.mod_params.bit_rate, 500.0);
+        assert_eq!(s.incidence_angle().value(), 30.0);
+    }
+
+    #[test]
+    fn ocean_scenario_uses_salt_water() {
+        let s = Scenario::ocean(SystemKind::Vab { n_pairs: 4 }, Meters(200.0), SeaState::Slight);
+        assert_eq!(s.env.kind, vab_acoustics::environment::WaterKind::Salt);
+        assert_eq!(s.env.sea_state, SeaState::Slight);
+    }
+}

@@ -1,0 +1,261 @@
+//! Radix-2 decimation-in-time FFT and a Goertzel single-bin DFT.
+//!
+//! The FFT is the iterative Cooley–Tukey algorithm with a precomputed
+//! bit-reversal permutation. It is not the fastest FFT in the world, but it
+//! is allocation-free after planning, exact enough for simulation work, and
+//! keeps the workspace free of FFT dependencies.
+
+use crate::complex::C64;
+use crate::TAU;
+
+/// Smallest power of two ≥ `n` (and ≥ 1).
+#[inline]
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// A reusable FFT plan for a fixed power-of-two size.
+#[derive(Debug, Clone)]
+pub struct Fft {
+    n: usize,
+    /// Bit-reversal permutation indices.
+    rev: Vec<u32>,
+    /// Twiddle factors e^{-2πik/n} for k in 0..n/2 (forward direction).
+    twiddles: Vec<C64>,
+}
+
+impl Fft {
+    /// Plans an FFT of size `n`.
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two or is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n > 0, "FFT size must be a power of two, got {n}");
+        let bits = n.trailing_zeros();
+        let rev = (0..n as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits.max(1)))
+            .map(|i| if n == 1 { 0 } else { i })
+            .collect();
+        let twiddles = (0..n / 2)
+            .map(|k| C64::cis(-TAU * k as f64 / n as f64))
+            .collect();
+        Self { n, rev, twiddles }
+    }
+
+    /// Planned transform size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the planned size is 1 (the degenerate transform).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 1
+    }
+
+    /// In-place forward FFT. `data.len()` must equal the planned size.
+    pub fn forward(&self, data: &mut [C64]) {
+        self.transform(data, false);
+    }
+
+    /// In-place inverse FFT, including the 1/N normalization.
+    pub fn inverse(&self, data: &mut [C64]) {
+        self.transform(data, true);
+        let scale = 1.0 / self.n as f64;
+        for x in data.iter_mut() {
+            *x = x.scale(scale);
+        }
+    }
+
+    fn transform(&self, data: &mut [C64], inverse: bool) {
+        assert_eq!(data.len(), self.n, "buffer length must match planned FFT size");
+        let n = self.n;
+        if n == 1 {
+            return;
+        }
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        // Butterflies.
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let step = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let mut w = self.twiddles[k * step];
+                    if inverse {
+                        w = w.conj();
+                    }
+                    let a = data[start + k];
+                    let b = data[start + k + half] * w;
+                    data[start + k] = a + b;
+                    data[start + k + half] = a - b;
+                }
+            }
+            len *= 2;
+        }
+    }
+}
+
+/// Forward FFT of a real signal, zero-padded to the next power of two.
+///
+/// Returns the full complex spectrum (length `next_pow2(x.len())`).
+pub fn rfft(x: &[f64]) -> Vec<C64> {
+    let n = next_pow2(x.len());
+    let mut buf: Vec<C64> = x.iter().map(|&v| C64::real(v)).collect();
+    buf.resize(n, C64::ZERO);
+    Fft::new(n).forward(&mut buf);
+    buf
+}
+
+/// Power spectral density estimate `|X[k]|²/N` of a real signal (one-sided not
+/// applied; bins cover 0..fs).
+pub fn power_spectrum(x: &[f64]) -> Vec<f64> {
+    let spec = rfft(x);
+    let n = spec.len() as f64;
+    spec.iter().map(|c| c.norm_sq() / n).collect()
+}
+
+/// Frequency of FFT bin `k` for sample rate `fs` and size `n`.
+#[inline]
+pub fn bin_freq(k: usize, n: usize, fs: f64) -> f64 {
+    k as f64 * fs / n as f64
+}
+
+/// Goertzel algorithm: the DFT of `x` evaluated at a single frequency.
+///
+/// Much cheaper than a full FFT when only one tone matters — exactly the
+/// situation of an OOK/FSK backscatter receiver watching one subcarrier.
+/// Returns the complex DFT coefficient (same scaling as an FFT bin).
+pub fn goertzel(x: &[f64], freq_hz: f64, fs: f64) -> C64 {
+    let n = x.len();
+    let w = TAU * freq_hz / fs;
+    let coeff = 2.0 * w.cos();
+    let (mut s_prev, mut s_prev2) = (0.0f64, 0.0f64);
+    for &sample in x {
+        let s = sample + coeff * s_prev - s_prev2;
+        s_prev2 = s_prev;
+        s_prev = s;
+    }
+    // Standard Goertzel finalization; phase referenced to the start of the block.
+    let real = s_prev - s_prev2 * w.cos();
+    let imag = s_prev2 * w.sin();
+    // Rotate so the result matches sum x[m] e^{-j w m} over m=0..n-1.
+    C64::new(real, imag) * C64::cis(-w * (n as f64 - 1.0))
+}
+
+/// Magnitude of the Goertzel bin — the usual tone-detection statistic.
+#[inline]
+pub fn goertzel_power(x: &[f64], freq_hz: f64, fs: f64) -> f64 {
+    goertzel(x, freq_hz, fs).norm_sq()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn naive_dft(x: &[C64]) -> Vec<C64> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                (0..n)
+                    .map(|m| x[m] * C64::cis(-TAU * (k * m) as f64 / n as f64))
+                    .sum()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 32, 64] {
+            let x: Vec<C64> = (0..n)
+                .map(|i| C64::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+                .collect();
+            let mut got = x.clone();
+            Fft::new(n).forward(&mut got);
+            let want = naive_dft(&x);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.re - w.re).abs() < 1e-9 && (g.im - w.im).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let n = 256;
+        let x: Vec<C64> = (0..n).map(|i| C64::new((i as f64).sin(), (i as f64 * 0.1).cos())).collect();
+        let mut buf = x.clone();
+        let plan = Fft::new(n);
+        plan.forward(&mut buf);
+        plan.inverse(&mut buf);
+        for (a, b) in buf.iter().zip(&x) {
+            assert!((a.re - b.re).abs() < 1e-10 && (a.im - b.im).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn pure_tone_concentrates_in_one_bin() {
+        let n = 128;
+        let fs = 1000.0;
+        let k = 10; // bin-centered tone
+        let f = bin_freq(k, n, fs);
+        let x: Vec<f64> = (0..n).map(|i| (TAU * f * i as f64 / fs).cos()).collect();
+        let spec = rfft(&x);
+        let mags: Vec<f64> = spec.iter().map(|c| c.abs()).collect();
+        // Energy should be in bins k and n-k only.
+        assert!(mags[k] > 60.0);
+        assert!(mags[n - k] > 60.0);
+        for (i, &m) in mags.iter().enumerate() {
+            if i != k && i != n - k {
+                assert!(m < 1e-9, "leakage at bin {i}: {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn goertzel_matches_fft_bin() {
+        let n = 64;
+        let fs = 8000.0;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (TAU * 1000.0 * i as f64 / fs).sin() + 0.5 * (TAU * 2500.0 * i as f64 / fs).cos())
+            .collect();
+        let spec = rfft(&x);
+        for k in [8usize, 20] {
+            let g = goertzel(&x, bin_freq(k, n, fs), fs);
+            assert!(approx_eq(g.abs(), spec[k].abs(), 1e-6), "k={k} g={} fft={}", g.abs(), spec[k].abs());
+        }
+    }
+
+    #[test]
+    fn goertzel_detects_tone_presence() {
+        let fs = 44100.0;
+        let f = 18500.0;
+        let n = 441;
+        let on: Vec<f64> = (0..n).map(|i| (TAU * f * i as f64 / fs).sin()).collect();
+        let off: Vec<f64> = (0..n).map(|i| (TAU * (f + 4000.0) * i as f64 / fs).sin()).collect();
+        assert!(goertzel_power(&on, f, fs) > 100.0 * goertzel_power(&off, f, fs));
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 128;
+        let x: Vec<f64> = (0..n).map(|i| ((i * i) as f64 * 0.01).sin()).collect();
+        let time_energy: f64 = x.iter().map(|v| v * v).sum();
+        let spec = rfft(&x);
+        let freq_energy: f64 = spec.iter().map(|c| c.norm_sq()).sum::<f64>() / n as f64;
+        assert!(approx_eq(time_energy, freq_energy, 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_size_panics() {
+        let _ = Fft::new(100);
+    }
+}

@@ -1,0 +1,79 @@
+//! Coastal-monitoring deployment: the application the paper motivates.
+//!
+//! A boat-mounted reader inventories a field of battery-free sensor nodes
+//! moored along a coastline, assigns TDMA slots, and collects one round of
+//! temperature readings — exercising the node FSM, the downlink command
+//! set, the MAC layer, and the energy model together.
+//!
+//! ```text
+//! cargo run --release --example coastal_monitoring
+//! ```
+
+use vab::link::frame::Frame;
+use vab::mac::inventory::run_inventory;
+use vab::node::array::VanAttaArray;
+use vab::node::commands::Command;
+use vab::node::node::{Node, NodeConfig, NodeEvent};
+use vab::util::rng::seeded;
+use vab::util::units::{Hertz, Seconds};
+
+const READER: u8 = 0x00;
+const F0: Hertz = Hertz(18_500.0);
+
+fn main() {
+    // --- Deploy six nodes, each with a 4-pair Van Atta array.
+    let mut nodes: Vec<Node> = (1u8..=6)
+        .map(|addr| {
+            let mut n = Node::new(NodeConfig::new(addr), VanAttaArray::vab_default(4, F0));
+            n.force_powered(); // pre-charged at deployment
+            n.queue_reading(vec![20 + addr, addr]); // fake temperature reading
+            n
+        })
+        .collect();
+    let addresses: Vec<u8> = nodes.iter().map(|n| n.config.address).collect();
+
+    // --- Phase 1: discover the population with framed slotted ALOHA.
+    let mut rng = seeded(7);
+    let report = run_inventory(&addresses, 8, 64, Seconds(0.5), Seconds(0.41), &mut rng);
+    println!(
+        "inventory: discovered {} nodes in {} rounds / {} slots ({} collisions)",
+        report.discovered.len(),
+        report.rounds,
+        report.slots_used,
+        report.collisions
+    );
+
+    // --- Phase 2: push each node its TDMA slot over the downlink.
+    for node in nodes.iter_mut() {
+        let slot = report.schedule.slot_of(node.config.address).expect("scheduled");
+        let cmd = Frame::new(node.config.address, READER, 0, Command::AssignSlot { slot }.to_payload());
+        match node.handle_downlink(&cmd) {
+            NodeEvent::SlotAssigned(s) => println!("node {:#04x} took slot {s}", node.config.address),
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    // --- Phase 3: one collection round — query each slot owner in turn.
+    println!("\ncollection round ({}s):", report.schedule.round_duration());
+    let mut readings = Vec::new();
+    for node in nodes.iter_mut() {
+        let query = Frame::new(node.config.address, READER, 0, Command::Query.to_payload());
+        let NodeEvent::Reply { channel_bits, bit_rate } = node.handle_downlink(&query) else {
+            panic!("node did not reply");
+        };
+        // (The acoustic leg is exercised in the quickstart / experiments;
+        // here we decode the clean channel bits at the reader.)
+        let frame = node.config.link.decode(&channel_bits).expect("clean decode");
+        println!(
+            "  slot {}: node {:#04x} -> {} channel bits @ {bit_rate} bps, payload {:?}",
+            node.assigned_slot().expect("assigned"),
+            frame.src,
+            channel_bits.len(),
+            frame.payload
+        );
+        node.reply_done();
+        readings.push(frame.payload);
+    }
+    assert_eq!(readings.len(), 6);
+    println!("\nall {} readings collected; next round in {}.", readings.len(), report.schedule.round_duration());
+}

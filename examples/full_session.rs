@@ -1,0 +1,59 @@
+//! The deepest end-to-end demo: a complete reader↔node exchange where
+//! *both* directions are simulated at the waveform level.
+//!
+//! Downlink: the reader PIE-keys a `Query` onto its carrier; the envelope
+//! crosses 300 m of river (multipath included); the node's µW envelope
+//! detector slices it and the node FSM decodes the frame. Uplink: the node
+//! backscatters its coded reply through the retrodirective round trip,
+//! carrier leak and noise; the reader synchronizes, demodulates, runs soft
+//! Viterbi, and recovers the frame.
+//!
+//! ```text
+//! cargo run --release --example full_session
+//! ```
+
+use vab::link::frame::Frame;
+use vab::node::array::VanAttaArray;
+use vab::node::commands::Command;
+use vab::node::node::{Node, NodeConfig};
+use vab::sim::baseline::SystemKind;
+use vab::sim::scenario::Scenario;
+use vab::sim::session::run_exchange;
+use vab::util::rng::seeded;
+use vab::util::units::{Hertz, Meters};
+
+const READER: u8 = 0x00;
+const NODE: u8 = 0x42;
+
+fn main() {
+    let mut node = Node::new(NodeConfig::new(NODE), VanAttaArray::vab_default(4, Hertz(18_500.0)));
+    node.force_powered();
+    node.queue_reading(vec![0x17, 0x2A]); // 23.42° — a temperature reading
+    node.queue_reading(vec![0x17, 0x31]);
+
+    let mut rng = seeded(2023);
+    for (i, range) in [100.0, 300.0].iter().enumerate() {
+        let scenario = Scenario::river(SystemKind::Vab { n_pairs: 4 }, Meters(*range));
+        println!("=== exchange {} at {range} m ===", i + 1);
+        let query = Frame::new(NODE, READER, 0, Command::Query.to_payload());
+        println!("reader: PIE-keying Query for node {NODE:#04x} onto the carrier…");
+        let out = run_exchange(&scenario, &mut node, &query, &mut rng);
+        println!(
+            "node:   envelope detector {} the command (event: {})",
+            if out.downlink_ok { "decoded" } else { "missed" },
+            out.node_event_kind
+        );
+        match out.uplink_frame {
+            Ok(frame) => {
+                println!(
+                    "reader: backscatter reply synchronized and decoded — node {:#04x} says {:?}",
+                    frame.src, frame.payload
+                );
+            }
+            Err(e) => println!("reader: no reply recovered ({e:?})"),
+        }
+        println!();
+    }
+    println!("Both exchanges crossed real multipath water in both directions,");
+    println!("through the actual detector, modulator, synchronizer and decoder.");
+}

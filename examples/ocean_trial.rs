@@ -1,0 +1,66 @@
+//! The ocean trial: sea states, surface motion, and what they cost.
+//!
+//! Reproduces the flavour of the paper's first-ever ocean validation of
+//! underwater backscatter: BER vs range at increasing sea state, plus a
+//! look at the channel structure (arrivals, Doppler-bearing surface paths).
+//!
+//! ```text
+//! cargo run --release --example ocean_trial
+//! ```
+
+use vab::acoustics::channel::ChannelModel;
+use vab::acoustics::environment::SeaState;
+use vab::acoustics::geometry::Position;
+use vab::sim::baseline::SystemKind;
+use vab::sim::montecarlo::{run_point, MonteCarloConfig, TrialEngine};
+use vab::sim::scenario::Scenario;
+use vab::util::rng::seeded;
+use vab::util::units::{Hertz, Meters};
+
+fn main() {
+    // Peek at the physical channel first: 100 m in a 12 m coastal column.
+    let env = vab::acoustics::environment::Environment::ocean(SeaState::Slight);
+    let ch = ChannelModel::new(
+        env,
+        Position::new(0.0, 0.0, 5.0),
+        Position::new(100.0, 0.0, 6.0),
+        Hertz(18_500.0),
+    );
+    let mut rng = seeded(3);
+    let arrivals = ch.arrivals(&mut rng);
+    println!("channel at 100 m, sea state 3 (slight): {} coherent arrivals", arrivals.len());
+    for a in &arrivals {
+        println!(
+            "  τ={:>7.2} ms  |a|={:.2e}  bounces s/b={}/{}  surface wobble β={:.2} rad @ {:.1} Hz",
+            a.delay_s * 1e3,
+            a.gain.abs(),
+            a.n_surface,
+            a.n_bottom,
+            a.surface_mod.beta_rad,
+            a.surface_mod.freq_hz,
+        );
+    }
+
+    // BER vs range across sea states.
+    let mc = MonteCarloConfig {
+        trials: 80,
+        bits_per_trial: 256,
+        seed: 1,
+        engine: TrialEngine::LinkBudget,
+        threads: 0,
+    };
+    println!("\nVAB BER vs range across sea states (100 bps):");
+    println!("{:>8} {:>12} {:>12} {:>12} {:>12}", "range", "calm", "smooth", "slight", "moderate");
+    for d in [50.0, 100.0, 125.0, 150.0, 175.0] {
+        print!("{d:>6} m ");
+        for ss in [SeaState::Calm, SeaState::Smooth, SeaState::Slight, SeaState::Moderate] {
+            let s = Scenario::ocean(SystemKind::Vab { n_pairs: 4 }, Meters(d), ss);
+            let r = run_point(&s, &mc);
+            print!(" {:>11.2e}", r.ber.ber());
+        }
+        println!();
+    }
+    println!("\nRougher seas scatter the coherent surface paths away and cost the");
+    println!("retrodirective array part of its multipath-recombination gain —");
+    println!("graceful degradation rather than collapse.");
+}

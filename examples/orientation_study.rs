@@ -1,0 +1,54 @@
+//! Why Van Atta? The orientation study, in miniature.
+//!
+//! Sweeps the node's rotation and prints the backscatter gain of the
+//! retrodirective array against the same aperture wired conventionally —
+//! the figure-8 collapse that motivates the paper's architecture — then
+//! confirms the link-level consequence with a quick BER run at ±45°.
+//!
+//! ```text
+//! cargo run --release --example orientation_study
+//! ```
+
+use vab::node::array::{conventional_backscatter_factor, VanAttaArray};
+use vab::sim::baseline::SystemKind;
+use vab::sim::montecarlo::{run_point, MonteCarloConfig, TrialEngine};
+use vab::sim::scenario::Scenario;
+use vab::util::units::{Degrees, Hertz, Meters};
+
+const F0: Hertz = Hertz(18_500.0);
+
+fn bar(db: f64) -> String {
+    let n = ((db + 10.0) / 1.5).clamp(0.0, 28.0) as usize;
+    "#".repeat(n)
+}
+
+fn main() {
+    let array = VanAttaArray::vab_default(4, F0);
+    println!("monostatic backscatter gain vs incidence (8 elements, λ/2 spacing)\n");
+    println!("{:>6}  {:>10} {:28}  {:>12}", "angle", "Van Atta", "", "conventional");
+    for deg in (-75..=75).step_by(15) {
+        let theta = Degrees(deg as f64);
+        let van = array.retro_gain_db(theta, F0);
+        let conv = 20.0
+            * (conventional_backscatter_factor(&array.geometry, theta, F0).abs())
+                .max(1e-6)
+                .log10();
+        println!("{:>5}°  {:>9.1}dB {:28}  {:>10.1}dB  {}", deg, van, bar(van), conv, bar(conv));
+    }
+
+    // Link-level confirmation at 100 m, rotated 45°.
+    let mc = MonteCarloConfig {
+        trials: 60,
+        bits_per_trial: 256,
+        seed: 11,
+        engine: TrialEngine::LinkBudget,
+        threads: 0,
+    };
+    println!("\nBER at 100 m, node rotated 45°:");
+    for sys in [SystemKind::Vab { n_pairs: 4 }, SystemKind::ConventionalArray { n_elements: 8 }] {
+        let s = Scenario::river(sys, Meters(100.0)).with_rotation(Degrees(45.0));
+        let r = run_point(&s, &mc);
+        println!("  {:<30} BER {:.2e}   (mean Eb/N0 {:>6.1} dB)", sys.label(), r.ber.ber(), r.ebn0.mean());
+    }
+    println!("\nThe pair-swap costs nothing at broadside and buys the entire off-axis range.");
+}

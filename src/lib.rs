@@ -1,0 +1,14 @@
+//! # vab — Van Atta Acoustic Backscatter
+//!
+//! Umbrella crate re-exporting the full VAB workspace public API. See the
+//! README for a tour and `examples/` for runnable entry points.
+
+pub use vab_acoustics as acoustics;
+pub use vab_core as node;
+pub use vab_harvest as harvest;
+pub use vab_link as link;
+pub use vab_mac as mac;
+pub use vab_phy as phy;
+pub use vab_piezo as piezo;
+pub use vab_sim as sim;
+pub use vab_util as util;

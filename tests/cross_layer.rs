@@ -1,0 +1,173 @@
+//! Cross-layer integration: node FSM × link codecs × MAC × ARQ, with a
+//! misbehaving (bit-flipping, frame-dropping) channel between them.
+
+use rand::RngExt;
+use vab::link::arq::{ArqReceiver, ArqSender, ReceiveOutcome, SenderAction};
+use vab::link::frame::{Frame, LinkConfig};
+use vab::mac::poll::PollingMac;
+use vab::node::array::VanAttaArray;
+use vab::node::commands::Command;
+use vab::node::node::{Node, NodeConfig, NodeEvent};
+use vab::util::rng::seeded;
+use vab::util::units::Hertz;
+
+const F0: Hertz = Hertz(18_500.0);
+
+fn powered_node(addr: u8) -> Node {
+    let mut n = Node::new(NodeConfig::new(addr), VanAttaArray::vab_default(4, F0));
+    n.force_powered();
+    n
+}
+
+/// Flips each channel bit with probability `p`.
+fn noisy(bits: &[bool], p: f64, rng: &mut rand::rngs::StdRng) -> Vec<bool> {
+    bits.iter().map(|&b| if rng.random::<f64>() < p { !b } else { b }).collect()
+}
+
+#[test]
+fn query_reply_survives_two_percent_channel_errors() {
+    let mut rng = seeded(5);
+    let mut node = powered_node(0x21);
+    node.queue_reading(vec![0xDE, 0xAD, 0xBE, 0xEF]);
+    let query = Frame::new(0x21, 0x00, 0, Command::Query.to_payload());
+    let NodeEvent::Reply { channel_bits, .. } = node.handle_downlink(&query) else {
+        panic!("no reply")
+    };
+    // 2 % random channel errors: Viterbi + interleaver must absorb them.
+    let dirty = noisy(&channel_bits, 0.02, &mut rng);
+    let frame = node.config.link.decode(&dirty).expect("coded link shrugs off 2%");
+    assert_eq!(frame.payload, vec![0xDE, 0xAD, 0xBE, 0xEF]);
+    assert_eq!(frame.src, 0x21);
+}
+
+#[test]
+fn uncoded_link_dies_where_coded_link_lives() {
+    let mut rng = seeded(6);
+    let frame = Frame::new(1, 2, 0, vec![7; 24]);
+    let coded = LinkConfig::vab_default();
+    let uncoded = LinkConfig::uncoded();
+    let mut coded_fail = 0;
+    let mut uncoded_fail = 0;
+    for _ in 0..25 {
+        let bits_c = noisy(&coded.encode(&frame), 0.02, &mut rng);
+        let bits_u = noisy(&uncoded.encode(&frame), 0.02, &mut rng);
+        if coded.decode(&bits_c).is_err() {
+            coded_fail += 1;
+        }
+        if uncoded.decode(&bits_u).is_err() {
+            uncoded_fail += 1;
+        }
+    }
+    assert!(coded_fail <= 2, "coded link failed {coded_fail}/25");
+    assert!(uncoded_fail >= 20, "uncoded link only failed {uncoded_fail}/25");
+}
+
+#[test]
+fn polling_mac_collects_from_a_lossy_field() {
+    // Three nodes behind a channel that drops every third reply frame.
+    let mut rng = seeded(7);
+    let mut nodes: Vec<Node> = [0x01u8, 0x02, 0x03].iter().map(|&a| powered_node(a)).collect();
+    for (i, n) in nodes.iter_mut().enumerate() {
+        for k in 0..4 {
+            n.queue_reading(vec![i as u8, k]);
+        }
+    }
+    let mut mac = PollingMac::new(0x00, vec![0x01, 0x02, 0x03], 3);
+    let mut collected = 0;
+    let mut drop_counter = 0u32;
+    for _ in 0..40 {
+        let query = mac.next_query();
+        let node = nodes.iter_mut().find(|n| n.config.address == query.dest).expect("known node");
+        match node.handle_downlink(&query) {
+            NodeEvent::Reply { channel_bits, .. } => {
+                node.reply_done();
+                drop_counter += 1;
+                let lost = drop_counter.is_multiple_of(3);
+                // Light channel noise on the surviving frames.
+                let dirty = noisy(&channel_bits, 0.01, &mut rng);
+                if !lost {
+                    if let Ok(frame) = node.config.link.decode(&dirty) {
+                        mac.on_reply(frame.src);
+                        collected += 1;
+                        continue;
+                    }
+                }
+                mac.on_timeout();
+            }
+            _ => {
+                mac.on_timeout();
+            }
+        }
+    }
+    assert!(collected >= 20, "only collected {collected} replies");
+    assert!(mac.total_delivery_ratio() > 0.5);
+}
+
+#[test]
+fn arq_over_frame_codec_delivers_in_order() {
+    // Stop-and-wait ARQ across the real frame codec with a deaf interval.
+    let link = LinkConfig::vab_default();
+    let mut tx = ArqSender::new(4);
+    let mut rx = ArqReceiver::new();
+    let mut delivered: Vec<Vec<u8>> = Vec::new();
+    for (i, payload) in [vec![1u8], vec![2, 2], vec![3, 3, 3]].into_iter().enumerate() {
+        let SenderAction::Transmit { seq, payload: p } = tx.offer(payload).expect("ready") else {
+            panic!()
+        };
+        // First attempt of frame 1 vanishes in a fade.
+        let mut attempts = 0;
+        let mut current = (seq, p);
+        loop {
+            attempts += 1;
+            let lost = i == 1 && attempts == 1;
+            if !lost {
+                let wire = link.encode(&Frame::new(0, 9, current.0, current.1.clone()));
+                let frame = link.decode(&wire).expect("clean decode");
+                match rx.on_frame(frame.seq, frame.payload) {
+                    ReceiveOutcome::Deliver { payload, ack_seq } => {
+                        delivered.push(payload);
+                        tx.on_ack(ack_seq);
+                        break;
+                    }
+                    ReceiveOutcome::Duplicate { ack_seq } => {
+                        tx.on_ack(ack_seq);
+                        break;
+                    }
+                }
+            }
+            match tx.on_timeout() {
+                SenderAction::Transmit { seq, payload } => current = (seq, payload),
+                SenderAction::Idle => break,
+            }
+        }
+    }
+    assert_eq!(delivered, vec![vec![1u8], vec![2, 2], vec![3, 3, 3]]);
+    assert_eq!(tx.delivered, 3);
+    assert_eq!(tx.dropped, 0);
+}
+
+#[test]
+fn node_honours_rate_change_end_to_end() {
+    let mut node = powered_node(0x05);
+    node.queue_reading(vec![1]);
+    let set = Frame::new(0x05, 0, 0, Command::SetRate { rate_code: 3 }.to_payload());
+    node.handle_downlink(&set);
+    let query = Frame::new(0x05, 0, 0, Command::Query.to_payload());
+    let NodeEvent::Reply { bit_rate, .. } = node.handle_downlink(&query) else { panic!() };
+    assert_eq!(bit_rate, 1000.0);
+}
+
+#[test]
+fn dead_node_is_silent_until_recharged() {
+    let mut node = Node::new(NodeConfig::new(0x09), VanAttaArray::vab_default(2, F0));
+    let query = Frame::new(0x09, 0, 0, Command::Query.to_payload());
+    assert_eq!(node.handle_downlink(&query), NodeEvent::None, "dead node must not reply");
+    // Strong field for a while → wakes and answers.
+    for _ in 0..100_000 {
+        if node.step_energy(vab::util::units::Db(165.0), vab::util::units::Seconds(0.05)) {
+            break;
+        }
+    }
+    node.queue_reading(vec![42]);
+    assert!(matches!(node.handle_downlink(&query), NodeEvent::Reply { .. }));
+}

@@ -1,0 +1,133 @@
+//! Whole-stack integration tests: the paper's claims exercised through the
+//! public API of the umbrella crate.
+
+use vab::sim::baseline::SystemKind;
+use vab::sim::linkbudget::LinkBudget;
+use vab::sim::montecarlo::{run_point, MonteCarloConfig, TrialEngine};
+use vab::sim::scenario::Scenario;
+use vab::util::units::{Degrees, Meters};
+
+fn mc(trials: usize, engine: TrialEngine) -> MonteCarloConfig {
+    MonteCarloConfig { trials, bits_per_trial: 256, seed: 99, engine, threads: 0 }
+}
+
+#[test]
+fn headline_300m_river_at_ber_1e3() {
+    // The abstract: "communication range that exceeds 300 m ... at BER 10⁻³".
+    let s = Scenario::river(SystemKind::Vab { n_pairs: 4 }, Meters(300.0));
+    let r = run_point(&s, &mc(80, TrialEngine::LinkBudget));
+    assert!(
+        r.median_ber() <= 1e-3,
+        "median BER at 300 m = {:.2e}",
+        r.median_ber()
+    );
+}
+
+#[test]
+fn order_of_magnitude_over_prior_art() {
+    // The 15× claim, at reduced fidelity: VAB must reach ≥ 8× PAB's range.
+    let target = 1e-3;
+    let cfg = mc(40, TrialEngine::LinkBudget);
+    let range_of = |sys: SystemKind| -> f64 {
+        let ok = |d: f64| {
+            run_point(&Scenario::river(sys, Meters(d)), &cfg).median_ber() <= target
+        };
+        let (mut lo, mut hi) = (2.0, 2000.0);
+        if !ok(lo) {
+            return 0.0;
+        }
+        for _ in 0..10 {
+            let mid = 0.5 * (lo + hi);
+            if ok(mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    };
+    let vab = range_of(SystemKind::Vab { n_pairs: 4 });
+    let pab = range_of(SystemKind::Pab);
+    assert!(pab > 5.0, "PAB range {pab}");
+    assert!(vab / pab > 8.0, "VAB {vab} m vs PAB {pab} m — only {:.1}×", vab / pab);
+}
+
+#[test]
+fn retrodirectivity_across_orientations() {
+    // "...across orientations": VAB at 45° barely degrades; the
+    // conventional array at 45° falls apart at the same range.
+    let cfg = mc(40, TrialEngine::LinkBudget);
+    let at = |sys: SystemKind, deg: f64| {
+        let s = Scenario::river(sys, Meters(150.0)).with_rotation(Degrees(deg));
+        run_point(&s, &cfg)
+    };
+    let vab = at(SystemKind::Vab { n_pairs: 4 }, 45.0);
+    let conv = at(SystemKind::ConventionalArray { n_elements: 8 }, 45.0);
+    assert!(vab.ber.ber() < 1e-3, "VAB rotated BER {:.2e}", vab.ber.ber());
+    assert!(conv.ber.ber() > 1e-2, "conventional rotated BER {:.2e}", conv.ber.ber());
+}
+
+#[test]
+fn engines_agree_in_the_clean_regime() {
+    // The fast sonar-equation engine and the honest waveform engine must
+    // both report error-free operation at comfortable margins...
+    let s = Scenario::river(SystemKind::Vab { n_pairs: 4 }, Meters(120.0));
+    let fast = run_point(&s, &mc(6, TrialEngine::LinkBudget));
+    let slow = run_point(&s, &mc(6, TrialEngine::SampleLevel));
+    assert_eq!(fast.ber.errors(), 0);
+    assert_eq!(slow.ber.errors(), 0);
+}
+
+#[test]
+fn engines_agree_in_the_hopeless_regime() {
+    // ...and both report failure far past the budget.
+    let s = Scenario::river(SystemKind::Pab, Meters(3_000.0));
+    let fast = run_point(&s, &mc(6, TrialEngine::LinkBudget));
+    let slow = run_point(&s, &mc(4, TrialEngine::SampleLevel));
+    assert!(fast.ber.ber() > 0.2, "fast {:.2}", fast.ber.ber());
+    assert!(slow.ber.ber() > 0.2, "slow {:.2}", slow.ber.ber());
+}
+
+#[test]
+fn budget_predicts_monte_carlo_snr() {
+    // The Monte Carlo's mean Eb/N0 must sit within a few dB of the static
+    // budget (the difference is the retro multipath bonus).
+    let s = Scenario::river(SystemKind::Vab { n_pairs: 4 }, Meters(200.0));
+    let b = LinkBudget::compute(&s);
+    let r = run_point(&s, &mc(60, TrialEngine::LinkBudget));
+    let delta = r.ebn0.mean() - b.ebn0_db;
+    assert!(delta > 0.0 && delta < 8.0, "multipath bonus {delta} dB out of range");
+}
+
+#[test]
+fn throughput_range_tradeoff_is_monotone() {
+    // At a fixed range, raising the bit rate can only hurt BER.
+    let cfg = mc(40, TrialEngine::LinkBudget);
+    let mut prev = -1.0;
+    for bps in [100.0, 250.0, 500.0, 1000.0] {
+        let s = Scenario::river(SystemKind::Vab { n_pairs: 4 }, Meters(260.0)).with_bit_rate(bps);
+        let ber = run_point(&s, &cfg).ber.ber();
+        assert!(ber >= prev, "BER fell from {prev} to {ber} at {bps} bps");
+        prev = ber;
+    }
+}
+
+#[test]
+fn more_pairs_more_range() {
+    let cfg = mc(30, TrialEngine::LinkBudget);
+    let ber_at = |pairs: usize| {
+        let s = Scenario::river(SystemKind::Vab { n_pairs: pairs }, Meters(320.0));
+        run_point(&s, &cfg).ber.ber()
+    };
+    let small = ber_at(1);
+    let large = ber_at(8);
+    assert!(large < small, "8 pairs ({large:.2e}) must beat 1 pair ({small:.2e}) at 320 m");
+}
+
+#[test]
+fn ocean_deployment_works_at_100m() {
+    use vab::acoustics::environment::SeaState;
+    let s = Scenario::ocean(SystemKind::Vab { n_pairs: 4 }, Meters(100.0), SeaState::Smooth);
+    let r = run_point(&s, &mc(40, TrialEngine::LinkBudget));
+    assert!(r.median_ber() <= 1e-3, "ocean 100 m BER {:.2e}", r.median_ber());
+}

@@ -1,0 +1,150 @@
+//! Passband-path validation: the real-waveform route (tone synthesis →
+//! passband multipath → carrier notch → tone detection) must agree with the
+//! complex-baseband route used by the Monte Carlo engines.
+
+use vab::acoustics::channel::ChannelModel;
+use vab::acoustics::environment::{Environment, SeaState};
+use vab::acoustics::geometry::Position;
+use vab::phy::carrier::carrier_notch;
+use vab::phy::waveform::{apply_ramps, chirp, tone, tone_burst};
+use vab::util::fft::goertzel_power;
+use vab::util::rng::seeded;
+use vab::util::units::Hertz;
+
+const F0: f64 = 18_500.0;
+const FS: f64 = 96_000.0;
+
+fn calm_river_channel(range: f64) -> ChannelModel {
+    let mut env = Environment::river();
+    env.sea_state = SeaState::Calm;
+    ChannelModel::new(
+        env,
+        Position::new(0.0, 0.0, 2.0),
+        Position::new(range, 0.0, 2.0),
+        Hertz(F0),
+    )
+}
+
+#[test]
+fn passband_tone_amplitude_matches_narrowband_gain() {
+    let ch = calm_river_channel(60.0);
+    let mut rng = seeded(1);
+    let ir = ch.impulse_response(FS, &mut rng);
+    let h = ir.narrowband_gain().abs();
+
+    let n = 48_000; // 0.5 s of carrier
+    let x = tone(F0, FS, n, 1.0, 0.0);
+    let y = ir.apply_passband(&x);
+    // Steady-state amplitude from the Goertzel bin over an interior window.
+    let win = 8_192;
+    let start = y.len() / 2;
+    let seg = &y[start..start + win];
+    let amp = 2.0 * goertzel_power(seg, F0, FS).sqrt() / win as f64;
+    let rel_err = (amp - h).abs() / h;
+    assert!(
+        rel_err < 0.05,
+        "passband amplitude {amp:.4e} vs narrowband gain {h:.4e} (rel err {rel_err:.3})"
+    );
+}
+
+#[test]
+fn passband_delay_matches_geometry_via_chirp() {
+    let ch = calm_river_channel(45.0);
+    let mut rng = seeded(2);
+    let ir = ch.impulse_response(FS, &mut rng);
+    let c = ch.environment().sound_speed();
+    let expected_delay_s = 45.0 / c;
+
+    // Probe with a chirp and find the matched-filter peak.
+    let n = 9_600;
+    let probe = chirp(15_000.0, 22_000.0, FS, n, 1.0);
+    let y = ir.apply_passband(&probe);
+    let mut best = (0usize, f64::MIN);
+    // Correlate at integer lags around the expected arrival.
+    let guess = (expected_delay_s * FS) as usize;
+    for lag in guess.saturating_sub(30)..guess + 30 {
+        if lag + n > y.len() {
+            break;
+        }
+        let corr: f64 = probe.iter().zip(&y[lag..lag + n]).map(|(a, b)| a * b).sum();
+        if corr > best.1 {
+            best = (lag, corr);
+        }
+    }
+    let measured_delay_s = best.0 as f64 / FS;
+    // Multipath pulls the combined correlation peak slightly late (bounce
+    // arrivals land within the delay spread of the direct path), so the
+    // peak must sit in [direct, direct + spread].
+    let spread = ir.delay_spread();
+    assert!(
+        measured_delay_s >= expected_delay_s - 3.0 / FS
+            && measured_delay_s <= expected_delay_s + spread + 3.0 / FS,
+        "chirp arrival at {measured_delay_s:.6}s vs geometric {expected_delay_s:.6}s (+spread {spread:.6}s)"
+    );
+}
+
+#[test]
+fn carrier_notch_reveals_backscatter_sidebands() {
+    // An OOK-modulated passband signal: carrier plus ±400 Hz sidebands at
+    // −30 dB. After the notch the sidebands must dominate the residual
+    // carrier — the passband version of the reader's front end.
+    let n = 32_768;
+    let chip_rate = 600.0; // square-wave fundamental, comfortably past the notch edge
+    let x: Vec<f64> = (0..n)
+        .map(|i| {
+            let t = i as f64 / FS;
+            // ±1 square wave with fundamental at `chip_rate`.
+            let chip = if ((t * 2.0 * chip_rate) as u64) % 2 == 0 { 1.0 } else { -1.0 };
+            (vab::util::TAU * F0 * t).sin() * (1.0 + 0.1 * chip)
+        })
+        .collect();
+    let notch = carrier_notch(F0, 150.0, FS, 2401);
+    let y = notch.filter_same(&x);
+    let interior = &y[3000..n - 3000];
+    let carrier_power = goertzel_power(interior, F0, FS);
+    let sideband_power = goertzel_power(interior, F0 + chip_rate, FS)
+        + goertzel_power(interior, F0 - chip_rate, FS);
+    assert!(
+        sideband_power > 10.0 * carrier_power,
+        "sidebands {sideband_power:.2e} must dominate residual carrier {carrier_power:.2e}"
+    );
+}
+
+#[test]
+fn tone_burst_and_ramps_are_spectrally_contained() {
+    // A ramped burst must put less energy into far-off bins than a hard-keyed
+    // burst (the projector-friendliness argument for ramping).
+    let n = 9_600;
+    let mut ramped = tone_burst(F0, FS, 100, n, 1.0);
+    apply_ramps(&mut ramped[..5189.min(n)], 480);
+    let hard = tone_burst(F0, FS, 100, n, 1.0);
+    let off = F0 + 3_000.0;
+    let leak_ramped = goertzel_power(&ramped, off, FS);
+    let leak_hard = goertzel_power(&hard, off, FS);
+    assert!(
+        leak_ramped < leak_hard,
+        "ramping should reduce splatter: {leak_ramped:.3e} vs {leak_hard:.3e}"
+    );
+}
+
+#[test]
+fn multipath_channel_produces_visible_passband_isi() {
+    // Shallow water at longer range: bounce arrivals within a fraction of a
+    // millisecond. The passband response to a short burst must be longer
+    // than the burst by about the delay spread.
+    let ch = calm_river_channel(120.0);
+    let mut rng = seeded(3);
+    let ir = ch.impulse_response(FS, &mut rng);
+    let spread = ir.delay_spread();
+    assert!(spread > 0.0);
+    let burst = tone_burst(F0, FS, 50, 400, 1.0); // ~260 samples of tone
+    let y = ir.apply_passband(&burst);
+    // Energy beyond (delay + burst length) exists because of late arrivals.
+    let first = (ir.arrivals()[0].delay_s * FS) as usize;
+    let burst_end = first + 300;
+    let tail_energy: f64 = y[burst_end..burst_end + (spread * FS) as usize + 64]
+        .iter()
+        .map(|v| v * v)
+        .sum();
+    assert!(tail_energy > 0.0, "late multipath arrivals must leave a tail");
+}

@@ -1,0 +1,238 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants across the workspace.
+
+use proptest::prelude::*;
+use vab::link::bits::{bits_to_bytes, bytes_to_bits};
+use vab::link::crc::{crc16_ccitt, crc32};
+use vab::link::fec::Fec;
+use vab::link::frame::{Frame, LinkConfig, MAX_PAYLOAD};
+use vab::link::interleave::Interleaver;
+use vab::link::whiten::whiten;
+use vab::phy::fm0::{fm0_check_boundaries, fm0_decode_hard, fm0_encode};
+use vab::piezo::bvd::Bvd;
+use vab::piezo::reflection::{gamma, gamma_to_load, Load};
+use vab::util::complex::C64;
+use vab::util::db::{db_to_lin_pow, lin_pow_to_db};
+use vab::util::fft::Fft;
+use vab::util::resample::fractional_delay;
+use vab::util::stats::RunningStats;
+use vab::util::units::Hertz;
+
+proptest! {
+    // ---------------- numerics
+
+    #[test]
+    fn fft_roundtrip_any_signal(values in prop::collection::vec(-1e3f64..1e3, 64)) {
+        let mut buf: Vec<C64> = values.iter().map(|&v| C64::real(v)).collect();
+        let plan = Fft::new(64);
+        plan.forward(&mut buf);
+        plan.inverse(&mut buf);
+        for (b, &v) in buf.iter().zip(&values) {
+            prop_assert!((b.re - v).abs() < 1e-6);
+            prop_assert!(b.im.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn db_roundtrip(db in -200.0f64..200.0) {
+        let back = lin_pow_to_db(db_to_lin_pow(db));
+        prop_assert!((back - db).abs() < 1e-9);
+    }
+
+    #[test]
+    fn complex_multiplication_preserves_magnitude_product(
+        a_re in -10.0f64..10.0, a_im in -10.0f64..10.0,
+        b_re in -10.0f64..10.0, b_im in -10.0f64..10.0,
+    ) {
+        let a = C64::new(a_re, a_im);
+        let b = C64::new(b_re, b_im);
+        let prod = (a * b).abs();
+        prop_assert!((prod - a.abs() * b.abs()).abs() < 1e-9 * (1.0 + prod));
+    }
+
+    #[test]
+    fn running_stats_mean_within_bounds(values in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut s = RunningStats::new();
+        for &v in &values {
+            s.push(v);
+        }
+        prop_assert!(s.mean() >= s.min() - 1e-9);
+        prop_assert!(s.mean() <= s.max() + 1e-9);
+        prop_assert!(s.variance() >= 0.0);
+    }
+
+    #[test]
+    fn fractional_delay_conserves_peak_order(
+        delay in 0.0f64..20.0,
+    ) {
+        // An impulse stays a localized, unit-ish pulse under any delay.
+        let mut x = vec![0.0; 64];
+        x[10] = 1.0;
+        let y = fractional_delay(&x, delay, 16);
+        let total: f64 = y.iter().sum();
+        prop_assert!((total - 1.0).abs() < 0.05, "energy leaked: {total}");
+    }
+
+    // ---------------- link layer
+
+    #[test]
+    fn bits_bytes_roundtrip(data in prop::collection::vec(any::<u8>(), 0..64)) {
+        prop_assert_eq!(bits_to_bytes(&bytes_to_bits(&data)), data);
+    }
+
+    #[test]
+    fn fm0_roundtrip_any_bits(bits in prop::collection::vec(any::<bool>(), 1..256)) {
+        let chips = fm0_encode(&bits);
+        prop_assert_eq!(fm0_check_boundaries(&chips), None);
+        prop_assert_eq!(fm0_decode_hard(&chips).expect("even"), bits);
+    }
+
+    #[test]
+    fn whitening_is_involution_any_bits(bits in prop::collection::vec(any::<bool>(), 0..600)) {
+        prop_assert_eq!(whiten(&whiten(&bits)), bits);
+    }
+
+    #[test]
+    fn crc_detects_any_single_flip(
+        data in prop::collection::vec(any::<u8>(), 1..40),
+        byte_idx in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let mut corrupted = data.clone();
+        let i = byte_idx.index(corrupted.len());
+        corrupted[i] ^= 1 << bit;
+        prop_assert_ne!(crc16_ccitt(&data), crc16_ccitt(&corrupted));
+        prop_assert_ne!(crc32(&data), crc32(&corrupted));
+    }
+
+    #[test]
+    fn fec_roundtrips_any_bits(
+        bits in prop::collection::vec(any::<bool>(), 1..128),
+        which in 0usize..4,
+    ) {
+        let fec = [Fec::None, Fec::Repetition(3), Fec::Hamming74, Fec::Conv][which];
+        let decoded = fec.decode(&fec.encode(&bits));
+        prop_assert_eq!(&decoded[..bits.len()], &bits[..]);
+    }
+
+    #[test]
+    fn hamming_corrects_any_single_error(
+        bits in prop::collection::vec(any::<bool>(), 4),
+        pos in 0usize..7,
+    ) {
+        let mut coded = Fec::Hamming74.encode(&bits);
+        coded[pos] = !coded[pos];
+        prop_assert_eq!(Fec::Hamming74.decode(&coded), bits);
+    }
+
+    #[test]
+    fn interleaver_is_a_permutation(
+        bits in prop::collection::vec(any::<bool>(), 1..200),
+        rows in 1usize..8,
+        cols in 1usize..8,
+    ) {
+        let il = Interleaver::new(rows, cols);
+        let tx = il.interleave(&bits);
+        let rx = il.deinterleave(&tx);
+        prop_assert_eq!(&rx[..bits.len()], &bits[..]);
+        // Population is conserved (it is a permutation + padding).
+        let ones_in: usize = bits.iter().filter(|&&b| b).count();
+        let ones_out: usize = tx.iter().filter(|&&b| b).count();
+        prop_assert_eq!(ones_in, ones_out);
+    }
+
+    #[test]
+    fn frame_roundtrip_any_payload(
+        dest in any::<u8>(),
+        src in any::<u8>(),
+        seq in any::<u8>(),
+        payload in prop::collection::vec(any::<u8>(), 0..MAX_PAYLOAD),
+    ) {
+        let f = Frame::new(dest, src, seq, payload);
+        prop_assert_eq!(Frame::from_bytes(&f.to_bytes()).expect("clean"), f);
+    }
+
+    #[test]
+    fn coded_frame_roundtrip_any_payload(
+        payload in prop::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let link = LinkConfig::vab_default();
+        let f = Frame::new(1, 2, 3, payload);
+        let decoded = link.decode(&link.encode(&f)).expect("clean channel");
+        prop_assert_eq!(decoded, f);
+    }
+
+    // ---------------- electro-mechanics
+
+    #[test]
+    fn passive_loads_never_amplify(
+        r in 0.0f64..1e6,
+        x in -1e6f64..1e6,
+        khz in 5.0f64..60.0,
+    ) {
+        let bvd = Bvd::vab_default();
+        let g = gamma(&bvd, Load::Custom(C64::new(r, x)), Hertz(khz * 1e3)).abs();
+        prop_assert!(g <= 1.0 + 1e-6, "|Γ| = {g} for Z = {r}+j{x}");
+    }
+
+    #[test]
+    fn gamma_load_inverse_consistency(
+        mag in 0.0f64..0.95,
+        phase in 0.0f64..std::f64::consts::TAU,
+    ) {
+        let bvd = Bvd::vab_default();
+        let f = bvd.series_resonance();
+        let g = C64::from_polar(mag, phase);
+        let z = gamma_to_load(&bvd, g, f);
+        // Any |Γ| < 1 must map to a passive load...
+        prop_assert!(z.re >= -1e-6, "non-passive load {z}");
+        // ...and back to the same Γ.
+        let back = gamma(&bvd, Load::Custom(z), f);
+        prop_assert!((back - g).abs() < 1e-6);
+    }
+}
+
+// Van Atta invariants get their own block with fewer cases (heavier math).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn retro_gain_bounded_by_element_count(
+        pairs in 1usize..6,
+        angle in -80.0f64..80.0,
+    ) {
+        use vab::node::array::VanAttaArray;
+        use vab::util::units::Degrees;
+        let arr = VanAttaArray::vab_default(pairs, Hertz(18_500.0));
+        let g = arr.retro_gain(Degrees(angle), Hertz(18_500.0));
+        prop_assert!(g <= 2.0 * pairs as f64 + 1e-9, "gain {g} exceeds N");
+        prop_assert!(g >= 0.0);
+    }
+
+    #[test]
+    fn retro_gain_is_symmetric_in_angle(
+        pairs in 1usize..6,
+        angle in 0.0f64..80.0,
+    ) {
+        use vab::node::array::VanAttaArray;
+        use vab::util::units::Degrees;
+        let arr = VanAttaArray::vab_default(pairs, Hertz(18_500.0));
+        let plus = arr.retro_gain(Degrees(angle), Hertz(18_500.0));
+        let minus = arr.retro_gain(Degrees(-angle), Hertz(18_500.0));
+        prop_assert!((plus - minus).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transmission_loss_monotone_any_environment(
+        d1 in 1.0f64..1000.0,
+        extra in 1.0f64..1000.0,
+        salt in any::<bool>(),
+    ) {
+        use vab::acoustics::environment::{Environment, SeaState};
+        let env = if salt { Environment::ocean(SeaState::Smooth) } else { Environment::river() };
+        let f = Hertz(18_500.0);
+        let tl1 = env.transmission_loss(f, vab::util::units::Meters(d1)).value();
+        let tl2 = env.transmission_loss(f, vab::util::units::Meters(d1 + extra)).value();
+        prop_assert!(tl2 >= tl1);
+    }
+}
