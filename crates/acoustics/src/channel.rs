@@ -108,10 +108,96 @@ pub struct ChannelModel {
     bounce_scattering_db: f64,
 }
 
+/// Why a channel geometry is unusable by the image method.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GeometryError {
+    /// A coordinate or the carrier is NaN/infinite.
+    NonFinite,
+    /// The water column has zero or negative depth.
+    BadDepth {
+        /// The offending depth, metres.
+        depth_m: f64,
+    },
+    /// An endpoint lies outside the water column (above the surface or
+    /// below the bottom).
+    OutOfColumn {
+        /// The offending endpoint depth, metres (positive down).
+        z_m: f64,
+        /// The column depth, metres.
+        depth_m: f64,
+    },
+    /// The carrier frequency is not positive.
+    BadCarrier {
+        /// The offending carrier, Hz.
+        carrier_hz: f64,
+    },
+}
+
+impl std::fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GeometryError::NonFinite => write!(f, "non-finite coordinate or carrier"),
+            GeometryError::BadDepth { depth_m } => {
+                write!(f, "water column depth {depth_m} m must be positive")
+            }
+            GeometryError::OutOfColumn { z_m, depth_m } => {
+                write!(f, "endpoint at z = {z_m} m outside the 0–{depth_m} m water column")
+            }
+            GeometryError::BadCarrier { carrier_hz } => {
+                write!(f, "carrier {carrier_hz} Hz must be positive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
 impl ChannelModel {
     /// Creates a channel between `tx` and `rx` at carrier `f`.
+    ///
+    /// Infallible by construction for the scenario builders (which only
+    /// produce in-column geometries); external callers with untrusted
+    /// coordinates should prefer [`ChannelModel::try_new`].
     pub fn new(env: Environment, tx: Position, rx: Position, carrier: Hertz) -> Self {
-        Self { env, tx, rx, carrier, max_bounces: 4, amplitude_floor: 1e-3, bounce_scattering_db: 2.0 }
+        Self {
+            env,
+            tx,
+            rx,
+            carrier,
+            max_bounces: 4,
+            amplitude_floor: 1e-3,
+            bounce_scattering_db: 2.0,
+        }
+    }
+
+    /// [`ChannelModel::new`] with the geometry validated: coordinates and
+    /// carrier finite, depth positive, both endpoints inside the water
+    /// column. The image method silently produces nonsense (or NaN delays)
+    /// on such inputs, so untrusted deployment descriptions go through
+    /// here.
+    pub fn try_new(
+        env: Environment,
+        tx: Position,
+        rx: Position,
+        carrier: Hertz,
+    ) -> Result<Self, GeometryError> {
+        let depth = env.depth.value();
+        let coords = [tx.x, tx.y, tx.z, rx.x, rx.y, rx.z, depth, carrier.value()];
+        if coords.iter().any(|v| !v.is_finite()) {
+            return Err(GeometryError::NonFinite);
+        }
+        if depth <= 0.0 {
+            return Err(GeometryError::BadDepth { depth_m: depth });
+        }
+        for z in [tx.z, rx.z] {
+            if !(0.0..=depth).contains(&z) {
+                return Err(GeometryError::OutOfColumn { z_m: z, depth_m: depth });
+            }
+        }
+        if carrier.value() <= 0.0 {
+            return Err(GeometryError::BadCarrier { carrier_hz: carrier.value() });
+        }
+        Ok(Self::new(env, tx, rx, carrier))
     }
 
     /// Overrides the per-bounce scattering loss (default 2 dB/bounce).
@@ -234,8 +320,12 @@ impl ChannelModel {
                 });
             }
         }
-        out.sort_by(|a, b| a.delay_s.partial_cmp(&b.delay_s).expect("finite delays"));
-        out.dedup_by(|a, b| (a.delay_s - b.delay_s).abs() < 1e-9 && a.n_surface == b.n_surface && a.n_bottom == b.n_bottom);
+        out.sort_by(|a, b| a.delay_s.total_cmp(&b.delay_s));
+        out.dedup_by(|a, b| {
+            (a.delay_s - b.delay_s).abs() < 1e-9
+                && a.n_surface == b.n_surface
+                && a.n_bottom == b.n_bottom
+        });
         out
     }
 
@@ -246,7 +336,8 @@ impl ChannelModel {
 }
 
 fn direct_amp(path: f64, spreading: crate::spreading::Spreading, alpha: f64) -> f64 {
-    10f64.powf(-spreading.loss(Meters(path)).value() / 20.0) * 10f64.powf(-alpha * path / 1000.0 / 20.0)
+    10f64.powf(-spreading.loss(Meters(path)).value() / 20.0)
+        * 10f64.powf(-alpha * path / 1000.0 / 20.0)
 }
 
 /// A sampled multipath impulse response ready to apply to waveforms.
@@ -298,7 +389,7 @@ impl ImpulseResponse {
         if self.arrivals.is_empty() || x.is_empty() {
             return vec![0.0; x.len()];
         }
-        let max_delay = self.arrivals.last().expect("nonempty").delay_s;
+        let max_delay = self.arrivals.last().map_or(0.0, |a| a.delay_s);
         let out_len = x.len() + (max_delay * self.fs).ceil() as usize + 40;
         let mut y = vec![0.0; out_len];
         for a in &self.arrivals {
@@ -337,7 +428,7 @@ impl ImpulseResponse {
         if self.arrivals.is_empty() || x.is_empty() {
             return vec![C64::ZERO; x.len()];
         }
-        let max_delay = self.arrivals.last().expect("nonempty").delay_s;
+        let max_delay = self.arrivals.last().map_or(0.0, |a| a.delay_s);
         let out_len = x.len() + (max_delay * self.fs).ceil() as usize + 2;
         let mut y = vec![C64::ZERO; out_len];
         for a in &self.arrivals {
@@ -440,7 +531,8 @@ mod tests {
         let mut rng = seeded(6);
         let mut env = Environment::ocean(SeaState::Calm);
         env.sea_state = SeaState::Calm;
-        let ch = ChannelModel::new(env, Position::new(0.0, 0.0, 5.0), Position::new(80.0, 0.0, 5.0), F);
+        let ch =
+            ChannelModel::new(env, Position::new(0.0, 0.0, 5.0), Position::new(80.0, 0.0, 5.0), F);
         for a in ch.arrivals(&mut rng) {
             assert!(a.surface_mod.is_static());
         }
@@ -477,7 +569,10 @@ mod tests {
             F,
         );
         let arr = ch.arrivals(&mut rng);
-        assert!(arr.iter().all(|a| a.n_surface == 0), "coherent surface paths should vanish at SS4");
+        assert!(
+            arr.iter().all(|a| a.n_surface == 0),
+            "coherent surface paths should vanish at SS4"
+        );
         // The direct and bottom-bounce structure remains.
         assert!(arr.iter().any(|a| a.is_direct()));
     }
@@ -496,7 +591,11 @@ mod tests {
         let ir = ImpulseResponse::from_arrivals(arr, 48000.0, F);
         let x = vec![0.0, 0.0, 1.0, 0.0, 0.0];
         let y = ir.apply_passband(&x);
-        assert!((y[12] - 0.5).abs() < 1e-9, "impulse should land at 12 scaled 0.5, y[12]={}", y[12]);
+        assert!(
+            (y[12] - 0.5).abs() < 1e-9,
+            "impulse should land at 12 scaled 0.5, y[12]={}",
+            y[12]
+        );
     }
 
     #[test]
@@ -525,7 +624,8 @@ mod tests {
         let mut rng = seeded(8);
         let mut env = Environment::river();
         env.sea_state = SeaState::Calm;
-        let ch = ChannelModel::new(env, Position::new(0.0, 0.0, 2.0), Position::new(40.0, 0.0, 2.0), F);
+        let ch =
+            ChannelModel::new(env, Position::new(0.0, 0.0, 2.0), Position::new(40.0, 0.0, 2.0), F);
         let ir = ch.impulse_response(4000.0, &mut rng);
         let h = ir.narrowband_gain();
         let x = vec![C64::ONE; 200];
@@ -542,5 +642,46 @@ mod tests {
         assert!(ir.delay_spread() > 0.0);
         // Bounce geometry bound: extra path ≤ a few× depth at this range.
         assert!(ir.delay_spread() < 0.05);
+    }
+
+    #[test]
+    fn try_new_accepts_in_column_geometry() {
+        let env = Environment::river(); // 4 m column
+        let ch = ChannelModel::try_new(
+            env,
+            Position::new(0.0, 0.0, 2.0),
+            Position::new(50.0, 0.0, 2.0),
+            F,
+        );
+        assert!(ch.is_ok());
+    }
+
+    #[test]
+    fn try_new_rejects_bad_geometry() {
+        let env = Environment::river();
+        let inside = Position::new(0.0, 0.0, 2.0);
+        // Above the surface.
+        let above = Position::new(10.0, 0.0, -1.0);
+        assert_eq!(
+            ChannelModel::try_new(env.clone(), inside, above, F).err(),
+            Some(GeometryError::OutOfColumn { z_m: -1.0, depth_m: 4.0 })
+        );
+        // Below the bottom.
+        let below = Position::new(10.0, 0.0, 9.0);
+        assert!(matches!(
+            ChannelModel::try_new(env.clone(), below, inside, F),
+            Err(GeometryError::OutOfColumn { .. })
+        ));
+        // NaN coordinate.
+        let nan = Position::new(f64::NAN, 0.0, 2.0);
+        assert_eq!(
+            ChannelModel::try_new(env.clone(), nan, inside, F).err(),
+            Some(GeometryError::NonFinite)
+        );
+        // Silly carrier.
+        assert!(matches!(
+            ChannelModel::try_new(env, inside, inside, Hertz(0.0)),
+            Err(GeometryError::BadCarrier { .. })
+        ));
     }
 }

@@ -153,7 +153,13 @@ impl Environment {
     /// Absorption coefficient at `f`, dB/km (Francois–Garrison — valid for
     /// both the fresh and salt presets).
     pub fn absorption_db_per_km(&self, f: Hertz) -> f64 {
-        francois_garrison_db_per_km(f, self.temp_c, self.salinity_ppt, self.depth.value() / 2.0, self.ph)
+        francois_garrison_db_per_km(
+            f,
+            self.temp_c,
+            self.salinity_ppt,
+            self.depth.value() / 2.0,
+            self.ph,
+        )
     }
 
     /// One-way transmission loss at `f` over distance `d` (dB re 1 m).

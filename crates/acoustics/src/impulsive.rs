@@ -105,13 +105,9 @@ mod tests {
         let mut rng = seeded(1);
         let fs = 16_000.0;
         let samples = model.generate(400_000, fs, &mut rng);
-        let mean_pow: f64 =
-            samples.iter().map(|c| c.norm_sq()).sum::<f64>() / samples.len() as f64;
+        let mean_pow: f64 = samples.iter().map(|c| c.norm_sq()).sum::<f64>() / samples.len() as f64;
         let want = model.power_penalty_lin();
-        assert!(
-            (mean_pow / want - 1.0).abs() < 0.25,
-            "measured {mean_pow:.1} vs theory {want:.1}"
-        );
+        assert!((mean_pow / want - 1.0).abs() < 0.25, "measured {mean_pow:.1} vs theory {want:.1}");
     }
 
     #[test]

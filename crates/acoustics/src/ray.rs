@@ -104,7 +104,7 @@ impl RayTracer {
                 n_bottom += 1;
             }
             i += 1;
-            if i % record_every == 0 {
+            if i.is_multiple_of(record_every) {
                 points.push((r, z));
             }
         }
@@ -216,10 +216,7 @@ mod tests {
         // The earliest eigenray is the direct path: t = √(150² + 2²)/c.
         let want = (150.0f64.powi(2) + 2.0f64.powi(2)).sqrt() / c;
         let got = rays[0].travel_time_s;
-        assert!(
-            (got - want).abs() < 2e-4,
-            "direct eigenray {got:.6}s vs geometric {want:.6}s"
-        );
+        assert!((got - want).abs() < 2e-4, "direct eigenray {got:.6}s vs geometric {want:.6}s");
         // And a surface- or bottom-bounce eigenray should exist too.
         assert!(rays.len() >= 2, "expected bounce eigenrays, got {}", rays.len());
         assert!(rays[1].travel_time_s > rays[0].travel_time_s);

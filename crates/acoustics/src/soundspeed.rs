@@ -14,7 +14,8 @@ pub fn mackenzie(temp_c: f64, salinity_ppt: f64, depth_m: f64) -> f64 {
     let t = temp_c;
     let s = salinity_ppt;
     let d = depth_m;
-    1448.96 + 4.591 * t - 5.304e-2 * t * t + 2.374e-4 * t * t * t
+    1448.96 + 4.591 * t - 5.304e-2 * t * t
+        + 2.374e-4 * t * t * t
         + 1.340 * (s - 35.0)
         + 1.630e-2 * d
         + 1.675e-7 * d * d

@@ -54,5 +54,10 @@ fn bench_parallel_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(end_to_end, bench_link_budget_point, bench_sample_level_trial, bench_parallel_scaling);
+criterion_group!(
+    end_to_end,
+    bench_link_budget_point,
+    bench_sample_level_trial,
+    bench_parallel_scaling
+);
 criterion_main!(end_to_end);

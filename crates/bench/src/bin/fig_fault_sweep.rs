@@ -1,0 +1,24 @@
+//! F19 - cross-layer fault sweep: graceful degradation under injected faults
+//!
+//! Usage: `cargo run --release -p vab-bench --bin fig_fault_sweep` (add `--quick`
+//! for a fast low-trial run, `--csv <path>` to also write CSV).
+
+use vab_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cfg = if args.iter().any(|a| a == "--quick") {
+        experiments::ExpConfig::quick()
+    } else {
+        experiments::ExpConfig::full()
+    };
+    let table = experiments::f19_fault_sweep(&cfg);
+    println!("# F19 - cross-layer fault sweep (adaptive vs static stack)");
+    println!();
+    print!("{}", table.to_pretty());
+    if let Some(i) = args.iter().position(|a| a == "--csv") {
+        let path = args.get(i + 1).expect("--csv needs a path");
+        table.write_csv(std::path::Path::new(path)).expect("write CSV");
+        eprintln!("wrote {path}");
+    }
+}

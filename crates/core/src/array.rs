@@ -35,7 +35,10 @@ pub struct ArrayGeometry {
 impl ArrayGeometry {
     /// Creates a geometry; `n_elements` must be even and ≥ 2.
     pub fn new(n_elements: usize, spacing: Meters) -> Self {
-        assert!(n_elements >= 2 && n_elements.is_multiple_of(2), "Van Atta needs an even element count");
+        assert!(
+            n_elements >= 2 && n_elements.is_multiple_of(2),
+            "Van Atta needs an even element count"
+        );
         assert!(spacing.value() > 0.0);
         Self { n_elements, spacing }
     }
@@ -85,6 +88,10 @@ pub struct VanAttaArray {
     pub delay_mismatch: Vec<f64>,
     /// Element failure mask (`true` = dead element; kills its whole pair).
     pub failed: Vec<bool>,
+    /// Stuck-switch mask (`true` = modulation switch frozen in the reflect
+    /// state): the element still scatters and harvests, but its pair no
+    /// longer contributes *modulated* signal.
+    pub stuck: Vec<bool>,
     /// Element directivity exponent: amplitude pattern `cos^q θ`
     /// (q ≈ 0.35 for a small potted cylinder near a baffle).
     pub element_pattern_exp: f64,
@@ -107,6 +114,7 @@ impl VanAttaArray {
             line_loss: 10f64.powf(-0.25 / 20.0),
             delay_mismatch: vec![0.0; n_pairs],
             failed: vec![false; 2 * n_pairs],
+            stuck: vec![false; 2 * n_pairs],
             element_pattern_exp: 0.35,
         }
     }
@@ -132,6 +140,23 @@ impl VanAttaArray {
         self
     }
 
+    /// Applies a set of typed element faults from a fault plan:
+    /// stuck-open switches kill the element outright, stuck-short switches
+    /// freeze it in the reflect state (no modulation, harvest intact).
+    /// Out-of-range element indices (a plan sampled for a larger array)
+    /// are ignored.
+    pub fn apply_element_faults(&mut self, faults: &[vab_fault::ElementFault]) {
+        for f in faults {
+            if f.element >= self.geometry.n_elements {
+                continue;
+            }
+            match f.kind {
+                vab_fault::SwitchFault::StuckOpen => self.failed[f.element] = true,
+                vab_fault::SwitchFault::StuckShort => self.stuck[f.element] = true,
+            }
+        }
+    }
+
     /// Element amplitude pattern at angle θ from broadside.
     fn element_pattern(&self, theta: Degrees) -> f64 {
         let c = theta.radians().cos();
@@ -154,7 +179,7 @@ impl VanAttaArray {
         let n = self.geometry.n_elements;
         for i in 0..n / 2 {
             let j = self.geometry.pair_of(i);
-            if self.failed[i] || self.failed[j] {
+            if self.failed[i] || self.failed[j] || self.stuck[i] || self.stuck[j] {
                 continue;
             }
             let xi = self.geometry.element_x(i);
@@ -184,8 +209,12 @@ impl VanAttaArray {
 
     /// Realized modulation depth |ΔΓ|/2 of the shared switch at `f`.
     pub fn modulation_depth(&self, f: Hertz) -> f64 {
-        self.switch
-            .realized_modulation_depth(&self.transducer.bvd, self.states.reflect, self.states.absorb, f)
+        self.switch.realized_modulation_depth(
+            &self.transducer.bvd,
+            self.states.reflect,
+            self.states.absorb,
+            f,
+        )
     }
 
     /// The single complex scalar the link-budget and sample-level simulators
@@ -204,7 +233,11 @@ impl VanAttaArray {
     /// Acoustic power available to the harvester: `live_elements ×` the
     /// single-element available power, scaled by the absorb-state harvest
     /// fraction.
-    pub fn harvest_power(&self, f: Hertz, incident_level_db_upa: vab_util::units::Db) -> vab_util::units::Watts {
+    pub fn harvest_power(
+        &self,
+        f: Hertz,
+        incident_level_db_upa: vab_util::units::Db,
+    ) -> vab_util::units::Watts {
         let single = self.transducer.available_power(f, incident_level_db_upa);
         let frac = self.states.harvest_fraction(&self.transducer.bvd, f);
         vab_util::units::Watts(single * self.live_elements() as f64 * frac)
@@ -218,9 +251,7 @@ pub fn conventional_backscatter_factor(geometry: &ArrayGeometry, theta: Degrees,
     let c = 1480.0;
     let k = TAU * f.value() / c;
     let s = theta.radians().sin();
-    (0..geometry.n_elements)
-        .map(|i| C64::cis(2.0 * k * geometry.element_x(i) * s))
-        .sum()
+    (0..geometry.n_elements).map(|i| C64::cis(2.0 * k * geometry.element_x(i) * s)).sum()
 }
 
 #[cfg(test)]
@@ -265,10 +296,7 @@ mod tests {
         let broadside = a.retro_gain(Degrees(0.0), F0);
         for deg in [-60.0, -45.0, -20.0, 20.0, 45.0, 60.0] {
             let g = a.retro_gain(Degrees(deg), F0);
-            assert!(
-                g > 0.6 * broadside,
-                "retro gain at {deg}° = {g} vs broadside {broadside}"
-            );
+            assert!(g > 0.6 * broadside, "retro gain at {deg}° = {g} vs broadside {broadside}");
         }
     }
 
@@ -316,11 +344,7 @@ mod tests {
         // hurts — covered in the next test.)
         let a = arr(4).with_uniform_mismatch(0.25);
         let b = arr(4);
-        assert!(approx_eq(
-            a.retro_gain(Degrees(33.0), F0),
-            b.retro_gain(Degrees(33.0), F0),
-            1e-9
-        ));
+        assert!(approx_eq(a.retro_gain(Degrees(33.0), F0), b.retro_gain(Degrees(33.0), F0), 1e-9));
     }
 
     #[test]
@@ -340,6 +364,37 @@ mod tests {
         let full = arr(4).retro_gain(Degrees(0.0), F0);
         // One of four pairs gone → amplitude drops by ≈ 1/4.
         assert!(approx_eq(g / full, 0.75, 0.02), "{}", g / full);
+    }
+
+    #[test]
+    fn stuck_short_kills_modulation_but_not_harvest() {
+        let mut a = arr(4);
+        a.apply_element_faults(&[vab_fault::ElementFault {
+            element: 1,
+            kind: vab_fault::SwitchFault::StuckShort,
+        }]);
+        // The pair no longer modulates...
+        let g = a.retro_gain(Degrees(0.0), F0);
+        let full = arr(4).retro_gain(Degrees(0.0), F0);
+        assert!(approx_eq(g / full, 0.75, 0.02), "{}", g / full);
+        // ...but the element still harvests.
+        assert_eq!(a.live_elements(), 8);
+    }
+
+    #[test]
+    fn stuck_open_fault_kills_element() {
+        let mut a = arr(4);
+        a.apply_element_faults(&[vab_fault::ElementFault {
+            element: 0,
+            kind: vab_fault::SwitchFault::StuckOpen,
+        }]);
+        assert_eq!(a.live_elements(), 7);
+        // Out-of-range faults are ignored.
+        a.apply_element_faults(&[vab_fault::ElementFault {
+            element: 99,
+            kind: vab_fault::SwitchFault::StuckOpen,
+        }]);
+        assert_eq!(a.live_elements(), 7);
     }
 
     #[test]

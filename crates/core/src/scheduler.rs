@@ -9,6 +9,23 @@
 use vab_harvest::budget::{NodeMode, PowerBudget};
 use vab_util::units::{Seconds, Watts};
 
+/// Fraction of the harvested power the planner allows schedules to spend.
+///
+/// The remaining 10 % absorbs rectifier-efficiency drift, capacitor
+/// leakage growth, and harvest estimation error — a schedule that needs
+/// every harvested microwatt browns out on the first bad estimate.
+pub const ENERGY_MARGIN: f64 = 0.9;
+
+/// Relative tolerance when comparing harvest against average draw, so a
+/// schedule planned exactly at the energy-neutral boundary still reports
+/// itself sustainable despite floating-point rounding.
+pub const SUSTAIN_REL_TOL: f64 = 1e-9;
+
+/// Extra derating applied to the harvest estimate when re-planning after
+/// a brownout: the estimate just proved optimistic, so plan the next
+/// schedule as if only half the margin-adjusted harvest were available.
+pub const BROWNOUT_DERATE: f64 = 0.5;
+
 /// A periodic wake schedule: `period` seconds between wake-ups, each with a
 /// listen window and (at most) one reply.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,9 +51,10 @@ impl DutySchedule {
     }
 
     /// Whether `harvested` sustains this schedule indefinitely
-    /// (energy-neutral operation with a 10 % engineering margin).
+    /// (energy-neutral operation with the [`ENERGY_MARGIN`] headroom).
     pub fn sustainable(&self, budget: &PowerBudget, harvested: Watts) -> bool {
-        harvested.value() * 0.9 >= self.average_power(budget).value() * (1.0 - 1e-9)
+        harvested.value() * ENERGY_MARGIN
+            >= self.average_power(budget).value() * (1.0 - SUSTAIN_REL_TOL)
     }
 }
 
@@ -53,7 +71,7 @@ pub fn plan_schedule(
     reply: Seconds,
     max_period: Seconds,
 ) -> Option<DutySchedule> {
-    let h = harvested.value() * 0.9; // engineering margin
+    let h = harvested.value() * ENERGY_MARGIN;
     let sleep = budget.total(NodeMode::Sleep).value();
     if h <= sleep {
         return None; // cannot even fund deep sleep
@@ -72,9 +90,34 @@ pub fn plan_schedule(
 
 /// The responsiveness frontier: wake period vs. harvested power, for
 /// reporting (each row of the energy experiments).
-pub fn min_period_s(budget: &PowerBudget, harvested: Watts, listen: Seconds, reply: Seconds) -> Option<f64> {
+pub fn min_period_s(
+    budget: &PowerBudget,
+    harvested: Watts,
+    listen: Seconds,
+    reply: Seconds,
+) -> Option<f64> {
     plan_schedule(budget, harvested, listen, reply, Seconds(f64::INFINITY))
         .map(|s| s.period.value())
+}
+
+/// Re-plans after a brownout: the previous schedule drained the capacitor,
+/// which means the harvest estimate it was planned against was optimistic.
+/// Derates the estimate by [`BROWNOUT_DERATE`] and plans again with the
+/// same windows and cap.
+///
+/// Returns `None` when even the derated re-plan cannot be funded — the
+/// node should fall back to opportunistic (cold-start) operation.
+pub fn replan_after_brownout(
+    budget: &PowerBudget,
+    harvested: Watts,
+    previous: &DutySchedule,
+    max_period: Seconds,
+) -> Option<DutySchedule> {
+    let derated = Watts(harvested.value() * BROWNOUT_DERATE);
+    let next = plan_schedule(budget, derated, previous.listen, previous.reply, max_period)?;
+    // Monotonicity guard: the recovery schedule must never be more
+    // aggressive than the one that browned out.
+    Some(DutySchedule { period: Seconds(next.period.value().max(previous.period.value())), ..next })
 }
 
 #[cfg(test)]
@@ -89,8 +132,14 @@ mod tests {
     #[test]
     fn abundant_harvest_runs_continuously() {
         // 50 µW harvest ≫ 7 µW listen: the period collapses to the window.
-        let s = plan_schedule(&budget(), Watts::from_uw(50.0), Seconds(2.0), Seconds(1.0), Seconds(3600.0))
-            .expect("sustainable");
+        let s = plan_schedule(
+            &budget(),
+            Watts::from_uw(50.0),
+            Seconds(2.0),
+            Seconds(1.0),
+            Seconds(3600.0),
+        )
+        .expect("sustainable");
         assert!(approx_eq(s.period.value(), 3.0, 1e-9), "period {}", s.period);
         assert!(s.sustainable(&budget(), Watts::from_uw(50.0)));
     }
@@ -99,8 +148,14 @@ mod tests {
     fn scarce_harvest_stretches_the_period() {
         // 2 µW harvest: below the 6.95 µW listen draw — the node must sleep
         // most of the time.
-        let s = plan_schedule(&budget(), Watts::from_uw(2.0), Seconds(2.0), Seconds(1.0), Seconds(3600.0))
-            .expect("sustainable with duty cycling");
+        let s = plan_schedule(
+            &budget(),
+            Watts::from_uw(2.0),
+            Seconds(2.0),
+            Seconds(1.0),
+            Seconds(3600.0),
+        )
+        .expect("sustainable with duty cycling");
         assert!(s.period.value() > 10.0, "period {}", s.period);
         assert!(s.listen_duty() < 0.2);
         assert!(s.sustainable(&budget(), Watts::from_uw(2.0)));
@@ -120,14 +175,52 @@ mod tests {
     #[test]
     fn below_sleep_floor_is_hopeless() {
         // Sleep draws 1.0 µW; harvesting 0.5 µW can never be neutral.
-        assert!(plan_schedule(&budget(), Watts::from_uw(0.5), Seconds(1.0), Seconds(0.5), Seconds(1e6)).is_none());
+        assert!(plan_schedule(
+            &budget(),
+            Watts::from_uw(0.5),
+            Seconds(1.0),
+            Seconds(0.5),
+            Seconds(1e6)
+        )
+        .is_none());
     }
 
     #[test]
     fn max_period_bound_is_respected() {
         // Sustainable only with a long period, but the caller caps it.
-        let s = plan_schedule(&budget(), Watts::from_uw(1.5), Seconds(2.0), Seconds(1.0), Seconds(5.0));
+        let s =
+            plan_schedule(&budget(), Watts::from_uw(1.5), Seconds(2.0), Seconds(1.0), Seconds(5.0));
         assert!(s.is_none(), "should refuse schedules beyond the responsiveness cap");
+    }
+
+    #[test]
+    fn brownout_replan_is_strictly_more_conservative() {
+        let b = budget();
+        let first =
+            plan_schedule(&b, Watts::from_uw(4.0), Seconds(2.0), Seconds(1.0), Seconds(3600.0))
+                .expect("sustainable");
+        let replanned = replan_after_brownout(&b, Watts::from_uw(4.0), &first, Seconds(3600.0))
+            .expect("derated plan still fundable at 4 µW");
+        assert!(
+            replanned.period.value() > first.period.value(),
+            "recovery period {} must exceed the browned-out period {}",
+            replanned.period,
+            first.period
+        );
+        // The derated schedule is sustainable under the *derated* harvest.
+        assert!(replanned.sustainable(&b, Watts::from_uw(4.0 * BROWNOUT_DERATE)));
+    }
+
+    #[test]
+    fn brownout_replan_gives_up_near_the_sleep_floor() {
+        // 1.5 µW is fundable, but half of it (0.75 µW) is below the 1 µW
+        // sleep floor — the re-plan must refuse rather than promise a
+        // schedule that browns out again.
+        let b = budget();
+        let first =
+            plan_schedule(&b, Watts::from_uw(1.5), Seconds(2.0), Seconds(1.0), Seconds(1e6))
+                .expect("sustainable");
+        assert!(replan_after_brownout(&b, Watts::from_uw(1.5), &first, Seconds(1e6)).is_none());
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! Fault-intensity profiles.
+//!
+//! All probabilities are per-trial (one trial = one deployment geometry /
+//! packet exchange, matching the Monte Carlo engines' unit of work);
+//! element-failure probability is per *element* per trial.
+
+use vab_util::units::Hertz;
+
+/// The impairment profile a [`crate::FaultPlan`] samples from.
+///
+/// Build one with [`FaultConfig::off`], [`FaultConfig::severe`], or — the
+/// usual route — [`FaultConfig::with_intensity`], which interpolates
+/// linearly between those two anchors so sweeps have a single scalar axis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// The master knob this profile was built from (0 = nominal,
+    /// 1 = severe). Retained for reporting; the per-category fields below
+    /// are what the sampler actually uses.
+    pub intensity: f64,
+
+    // -- array-element faults ------------------------------------------
+    /// Per-element probability of a switch fault (stuck-open or -short).
+    pub element_fail_prob: f64,
+    /// Probability a switch fault is stuck-*short* (else stuck-open).
+    pub stuck_short_fraction: f64,
+    /// 1-σ fractional resonance drift applied to every element
+    /// (temperature/biofouling detuning on top of build tolerance).
+    pub resonance_drift: f64,
+
+    // -- channel impairments -------------------------------------------
+    /// Probability of an impulsive-noise burst during the trial.
+    pub burst_prob: f64,
+    /// SNR penalty of a full burst, dB.
+    pub burst_penalty_db: f64,
+    /// Probability of a bubble-cloud fade during the trial.
+    pub fade_prob: f64,
+    /// Maximum fade depth, dB (realized depth is uniform in `[0, max]`).
+    pub fade_depth_db: f64,
+    /// Probability the surface motion drops the reply outright.
+    pub dropout_prob: f64,
+
+    // -- energy faults --------------------------------------------------
+    /// Probability of a harvest blackout window during the trial.
+    pub blackout_prob: f64,
+    /// Fraction of the harvest interval lost to a blackout.
+    pub blackout_frac: f64,
+    /// Probability the storage capacitor develops a leakage step.
+    pub leak_prob: f64,
+    /// Leakage-current multiplier once the step occurs.
+    pub leak_multiplier: f64,
+    /// Probability the node browns out mid-reply.
+    pub brownout_prob: f64,
+
+    // -- protocol faults -------------------------------------------------
+    /// Probability the ACK for this exchange is corrupted in flight.
+    pub ack_corrupt_prob: f64,
+    /// Probability the reader restarts (loses MAC state) this trial.
+    pub reader_restart_prob: f64,
+
+    /// Carrier used when evaluating resonance-drift detuning.
+    pub carrier: Hertz,
+}
+
+/// Default carrier for drift evaluation (the paper's 18.5 kHz operating
+/// point).
+pub const DEFAULT_CARRIER: Hertz = Hertz(18_500.0);
+
+impl FaultConfig {
+    /// No faults at all: every sampler draw is a no-op and
+    /// [`crate::TrialFaults`] comes back nominal.
+    pub fn off() -> Self {
+        Self {
+            intensity: 0.0,
+            element_fail_prob: 0.0,
+            stuck_short_fraction: 0.5,
+            resonance_drift: 0.0,
+            burst_prob: 0.0,
+            burst_penalty_db: 0.0,
+            fade_prob: 0.0,
+            fade_depth_db: 0.0,
+            dropout_prob: 0.0,
+            blackout_prob: 0.0,
+            blackout_frac: 0.0,
+            leak_prob: 0.0,
+            leak_multiplier: 1.0,
+            brownout_prob: 0.0,
+            ack_corrupt_prob: 0.0,
+            reader_restart_prob: 0.0,
+            carrier: DEFAULT_CARRIER,
+        }
+    }
+
+    /// The severe anchor (`intensity = 1`): a node mid-storm in a snapping
+    /// shrimp colony with a corroding capacitor — every category active at
+    /// rates that push the stack hard without making delivery impossible.
+    pub fn severe() -> Self {
+        Self {
+            intensity: 1.0,
+            element_fail_prob: 0.08,
+            stuck_short_fraction: 0.5,
+            resonance_drift: 0.03,
+            burst_prob: 0.50,
+            burst_penalty_db: 6.0,
+            fade_prob: 0.40,
+            fade_depth_db: 8.0,
+            dropout_prob: 0.15,
+            blackout_prob: 0.30,
+            blackout_frac: 0.50,
+            leak_prob: 0.30,
+            leak_multiplier: 8.0,
+            brownout_prob: 0.20,
+            ack_corrupt_prob: 0.25,
+            reader_restart_prob: 0.05,
+            carrier: DEFAULT_CARRIER,
+        }
+    }
+
+    /// Linear interpolation between [`off`](Self::off) and
+    /// [`severe`](Self::severe); `intensity` is clamped to `[0, 1]`.
+    pub fn with_intensity(intensity: f64) -> Self {
+        let x = intensity.clamp(0.0, 1.0);
+        let lo = Self::off();
+        let hi = Self::severe();
+        let lerp = |a: f64, b: f64| a + x * (b - a);
+        Self {
+            intensity: x,
+            element_fail_prob: lerp(lo.element_fail_prob, hi.element_fail_prob),
+            stuck_short_fraction: hi.stuck_short_fraction,
+            resonance_drift: lerp(lo.resonance_drift, hi.resonance_drift),
+            burst_prob: lerp(lo.burst_prob, hi.burst_prob),
+            burst_penalty_db: lerp(lo.burst_penalty_db, hi.burst_penalty_db),
+            fade_prob: lerp(lo.fade_prob, hi.fade_prob),
+            fade_depth_db: lerp(lo.fade_depth_db, hi.fade_depth_db),
+            dropout_prob: lerp(lo.dropout_prob, hi.dropout_prob),
+            blackout_prob: lerp(lo.blackout_prob, hi.blackout_prob),
+            blackout_frac: lerp(lo.blackout_frac, hi.blackout_frac),
+            leak_prob: lerp(lo.leak_prob, hi.leak_prob),
+            leak_multiplier: lerp(lo.leak_multiplier, hi.leak_multiplier),
+            brownout_prob: lerp(lo.brownout_prob, hi.brownout_prob),
+            ack_corrupt_prob: lerp(lo.ack_corrupt_prob, hi.ack_corrupt_prob),
+            reader_restart_prob: lerp(lo.reader_restart_prob, hi.reader_restart_prob),
+            carrier: DEFAULT_CARRIER,
+        }
+    }
+
+    /// `true` when this profile can never produce a fault.
+    pub fn is_off(&self) -> bool {
+        self.element_fail_prob == 0.0
+            && self.resonance_drift == 0.0
+            && self.burst_prob == 0.0
+            && self.fade_prob == 0.0
+            && self.dropout_prob == 0.0
+            && self.blackout_prob == 0.0
+            && self.leak_prob == 0.0
+            && self.brownout_prob == 0.0
+            && self.ack_corrupt_prob == 0.0
+            && self.reader_restart_prob == 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_is_off() {
+        assert!(FaultConfig::off().is_off());
+        assert!(!FaultConfig::severe().is_off());
+    }
+
+    #[test]
+    fn intensity_interpolates_monotonically() {
+        let a = FaultConfig::with_intensity(0.2);
+        let b = FaultConfig::with_intensity(0.7);
+        assert!(a.burst_prob < b.burst_prob);
+        assert!(a.element_fail_prob < b.element_fail_prob);
+        assert!(a.fade_depth_db < b.fade_depth_db);
+        assert!(a.leak_multiplier < b.leak_multiplier);
+    }
+
+    #[test]
+    fn intensity_clamps() {
+        assert_eq!(FaultConfig::with_intensity(-3.0), FaultConfig::with_intensity(0.0));
+        assert_eq!(FaultConfig::with_intensity(9.0), FaultConfig::with_intensity(1.0));
+    }
+
+    #[test]
+    fn zero_intensity_is_off() {
+        assert!(FaultConfig::with_intensity(0.0).is_off());
+    }
+}

@@ -1,0 +1,31 @@
+//! Deterministic cross-layer fault injection for the VAB reproduction.
+//!
+//! The paper's headline claim is *robustness*: the link keeps delivering
+//! packets while array elements detune, shrimp snap, the surface heaves,
+//! and the energy harvester browns the node out. This crate turns those
+//! impairments into a typed, seed-derived **fault plan** the rest of the
+//! stack consumes:
+//!
+//! * [`FaultConfig`] — the impairment intensity profile (one master knob,
+//!   `0.0` = nominal, `1.0` = severe, plus per-category probabilities);
+//! * [`FaultPlan`] — a schedule built from the campaign master seed that
+//!   emits [`TrialFaults`] for any trial index. Like `vab-sim`'s Monte
+//!   Carlo sharding, every trial's faults derive from
+//!   `derive_seed(plan_seed, trial)`, so a faulted campaign is
+//!   bit-reproducible regardless of thread count or evaluation order.
+//!
+//! Consumers: `vab_core::array` applies [`ElementFault`]s, the simulator
+//! engines apply [`ChannelFaults`], `vab_harvest` applies [`EnergyFaults`],
+//! and the ARQ/MAC layers react to [`ProtocolFaults`]. The graceful
+//! *responses* (ARQ backoff, rate fallback, re-inventory, schedule
+//! re-planning) live with the state machines they protect; this crate only
+//! decides, deterministically, what breaks and when.
+
+pub mod config;
+pub mod plan;
+
+pub use config::FaultConfig;
+pub use plan::{
+    BurstFault, ChannelFaults, ElementFault, EnergyFaults, FaultPlan, ProtocolFaults, SwitchFault,
+    TrialFaults,
+};

@@ -59,26 +59,14 @@ impl PowerBudget {
         let u = Watts::from_uw;
         Self {
             items: vec![
-                BudgetItem {
-                    component: "wake-up comparator",
-                    draw: [u(0.25), u(0.25), u(0.25)],
-                },
+                BudgetItem { component: "wake-up comparator", draw: [u(0.25), u(0.25), u(0.25)] },
                 BudgetItem {
                     component: "downlink envelope detector",
                     draw: [u(0.0), u(1.8), u(0.0)],
                 },
-                BudgetItem {
-                    component: "control logic / FSM",
-                    draw: [u(0.35), u(4.5), u(6.0)],
-                },
-                BudgetItem {
-                    component: "switch driver",
-                    draw: [u(0.0), u(0.0), u(2.4)],
-                },
-                BudgetItem {
-                    component: "PMU quiescent",
-                    draw: [u(0.4), u(0.4), u(0.4)],
-                },
+                BudgetItem { component: "control logic / FSM", draw: [u(0.35), u(4.5), u(6.0)] },
+                BudgetItem { component: "switch driver", draw: [u(0.0), u(0.0), u(2.4)] },
+                BudgetItem { component: "PMU quiescent", draw: [u(0.4), u(0.4), u(0.4)] },
             ],
         }
     }

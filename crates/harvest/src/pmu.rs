@@ -133,6 +133,24 @@ impl Pmu {
         let harvested = self.rectifier.dc_output(p_acoustic);
         self.cap.charge_time(self.v_on, harvested)
     }
+
+    /// Sets the storage capacitor's parasitic leakage (fault injection:
+    /// an aging or damaged cap drawing power continuously).
+    pub fn set_leak(&mut self, leak: Watts) {
+        self.cap.set_leak(leak);
+    }
+
+    /// Forces an immediate brown-out (fault injection: a supply glitch or
+    /// latch-up dumping the capacitor mid-operation). The node returns to
+    /// cold start with an empty cap; counts as a brown-out only if the
+    /// logic was actually running.
+    pub fn force_brownout(&mut self) {
+        if self.state == PmuState::Active {
+            self.brownouts += 1;
+        }
+        self.state = PmuState::ColdStart;
+        self.cap.set_voltage(Volts(0.0));
+    }
 }
 
 #[cfg(test)]
@@ -165,10 +183,7 @@ mod tests {
             pmu.step(p, NodeMode::Sleep, Seconds(0.05));
             t += 0.05;
         }
-        assert!(
-            (t - predicted).abs() < 0.05 * predicted + 0.1,
-            "sim {t} vs predicted {predicted}"
-        );
+        assert!((t - predicted).abs() < 0.05 * predicted + 0.1, "sim {t} vs predicted {predicted}");
     }
 
     #[test]
@@ -219,6 +234,42 @@ mod tests {
     #[test]
     fn availability_zero_before_any_time() {
         assert_eq!(Pmu::vab_default().availability(), 0.0);
+    }
+
+    #[test]
+    fn forced_brownout_resets_to_cold_start() {
+        let mut pmu = Pmu::vab_default();
+        // A forced brown-out during cold start is not counted (nothing ran).
+        pmu.force_brownout();
+        assert_eq!(pmu.brownouts, 0);
+        while !pmu.is_active() {
+            pmu.step(Watts::from_uw(200.0), NodeMode::Sleep, Seconds(0.05));
+        }
+        pmu.force_brownout();
+        assert_eq!(pmu.brownouts, 1);
+        assert_eq!(pmu.state(), PmuState::ColdStart);
+        assert_eq!(pmu.voltage().value(), 0.0, "cap dumped");
+    }
+
+    #[test]
+    fn leaky_cap_raises_the_sustain_threshold() {
+        // 50 µW rectifies to ~32 µW: comfortably above the ~7 µW listen
+        // draw, so the nominal node sustains. A 40 µW leak injected after
+        // wake-up turns the balance negative and browns the node out.
+        let mut pmu = Pmu::vab_default();
+        while !pmu.is_active() {
+            pmu.step(Watts::from_uw(50.0), NodeMode::Sleep, Seconds(0.05));
+        }
+        pmu.set_leak(Watts::from_uw(40.0));
+        let mut brownouts_seen = false;
+        for _ in 0..400_000 {
+            pmu.step(Watts::from_uw(50.0), NodeMode::Listen, Seconds(0.01));
+            if pmu.brownouts > 0 {
+                brownouts_seen = true;
+                break;
+            }
+        }
+        assert!(brownouts_seen, "heavy leakage must eventually brown the node out");
     }
 
     #[test]

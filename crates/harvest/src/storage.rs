@@ -11,13 +11,17 @@ pub struct StorageCap {
     pub v_max: Volts,
     /// Present voltage.
     v: f64,
+    /// Parasitic leakage drawn continuously, watts. Nominal caps model
+    /// this as zero; fault injection steps it up to emulate an aging or
+    /// damaged capacitor.
+    leak: f64,
 }
 
 impl StorageCap {
     /// Creates a capacitor at 0 V.
     pub fn new(capacitance: f64, v_max: Volts) -> Self {
         assert!(capacitance > 0.0 && v_max.value() > 0.0);
-        Self { capacitance, v_max, v: 0.0 }
+        Self { capacitance, v_max, v: 0.0, leak: 0.0 }
     }
 
     /// The VAB node default: 100 µF to 3.0 V.
@@ -40,15 +44,26 @@ impl StorageCap {
         Joules(0.5 * self.capacitance * self.v_max.value() * self.v_max.value())
     }
 
-    /// Integrates net power (`harvest − load`) over `dt`. Voltage clamps to
-    /// `[0, v_max]` (a real PMU shunts surplus at `v_max`). Returns the
-    /// actual energy delta applied.
+    /// Integrates net power (`harvest − load − leak`) over `dt`. Voltage
+    /// clamps to `[0, v_max]` (a real PMU shunts surplus at `v_max`).
+    /// Returns the actual energy delta applied.
     pub fn step(&mut self, harvest: Watts, load: Watts, dt: Seconds) -> Joules {
         let before = self.energy().value();
-        let net = (harvest.value() - load.value()) * dt.value();
+        let net = (harvest.value() - load.value() - self.leak) * dt.value();
         let e_new = (before + net).clamp(0.0, self.capacity().value());
         self.v = (2.0 * e_new / self.capacitance).sqrt();
         Joules(e_new - before)
+    }
+
+    /// Sets the parasitic leakage power (fault injection). Negative values
+    /// clamp to zero.
+    pub fn set_leak(&mut self, leak: Watts) {
+        self.leak = leak.value().max(0.0);
+    }
+
+    /// Present parasitic leakage power.
+    pub fn leak(&self) -> Watts {
+        Watts(self.leak)
     }
 
     /// Directly sets the voltage (test setup / pre-charged deployments).
@@ -121,5 +136,24 @@ mod tests {
         let c = StorageCap::vab_default();
         assert!(c.charge_time(Volts(1.0), Watts(0.0)).is_none());
         assert!(c.charge_time(Volts(1.0), Watts(-1e-6)).is_none());
+    }
+
+    #[test]
+    fn leakage_drains_the_cap() {
+        let mut leaky = StorageCap::vab_default();
+        let mut clean = StorageCap::vab_default();
+        leaky.set_voltage(Volts(3.0));
+        clean.set_voltage(Volts(3.0));
+        leaky.set_leak(Watts::from_uw(5.0));
+        for _ in 0..1000 {
+            leaky.step(Watts(0.0), Watts(0.0), Seconds(0.01));
+            clean.step(Watts(0.0), Watts(0.0), Seconds(0.01));
+        }
+        assert!(approx_eq(clean.voltage().value(), 3.0, 1e-9), "no self-discharge nominally");
+        // 5 µW × 10 s = 50 µJ out of 450 µJ: v = sqrt(2·400e-6/100e-6) ≈ 2.83.
+        assert!(approx_eq(leaky.voltage().value(), (2.0 * 400e-6 / 100e-6_f64).sqrt(), 1e-6));
+        // Negative leak clamps to zero rather than becoming free energy.
+        leaky.set_leak(Watts(-1.0));
+        assert_eq!(leaky.leak().value(), 0.0);
     }
 }

@@ -4,6 +4,25 @@
 //! at 300 m) and node memory is tiny, so stop-and-wait with a 1-bit sequence
 //! number is the right-size protocol. Both ends are pure state machines —
 //! no timers inside; the caller drives time via explicit events.
+//!
+//! ## Graceful degradation
+//!
+//! Sustained loss (impulsive-noise storms, harvest blackouts) used to make
+//! the sender hammer the channel at a fixed cadence. The sender now keeps a
+//! bounded exponential backoff driven by recent loss: each timeout doubles
+//! the recommended timeout multiplier ([`ArqSender::timeout_scale`], capped
+//! at [`MAX_BACKOFF_EXP`] doublings) and each delivery halves it. A small
+//! deterministic jitter decorrelates retry instants across nodes without
+//! any RNG inside the state machine.
+
+use vab_util::rng::derive_seed;
+
+/// Cap on backoff doublings: timeouts stretch at most `2^MAX_BACKOFF_EXP`×
+/// (64× — minutes, not hours, at VAB round-trip times).
+pub const MAX_BACKOFF_EXP: u32 = 6;
+
+/// Fractional jitter span applied on top of the exponential scale.
+pub const BACKOFF_JITTER: f64 = 0.25;
 
 /// Sender (node-side) state machine.
 #[derive(Debug, Clone)]
@@ -12,12 +31,16 @@ pub struct ArqSender {
     outstanding: Option<Vec<u8>>,
     retries: u32,
     max_retries: u32,
+    /// Current backoff level (doublings of the base timeout).
+    backoff_exp: u32,
     /// Statistics: total transmissions (including retransmissions).
     pub tx_count: u64,
     /// Statistics: payloads delivered (acked).
     pub delivered: u64,
     /// Statistics: payloads dropped after exhausting retries.
     pub dropped: u64,
+    /// Statistics: ACKs that arrived corrupted (fault-plan protocol hook).
+    pub corrupt_acks: u64,
 }
 
 /// What the sender wants to do next.
@@ -37,10 +60,42 @@ impl ArqSender {
             outstanding: None,
             retries: 0,
             max_retries,
+            backoff_exp: 0,
             tx_count: 0,
             delivered: 0,
             dropped: 0,
+            corrupt_acks: 0,
         }
+    }
+
+    /// Recommended timeout multiplier for the *next* wait: `2^backoff ×
+    /// (1 + jitter)`, where the jitter is a deterministic hash of the
+    /// sender's progress counters (so two nodes with identical histories
+    /// but different traffic still decorrelate, with no RNG in the state
+    /// machine). Always ≥ 1; bounded by `2^`[`MAX_BACKOFF_EXP`]` × (1 +
+    /// `[`BACKOFF_JITTER`]`)`.
+    pub fn timeout_scale(&self) -> f64 {
+        let base = (1u64 << self.backoff_exp) as f64;
+        let h = derive_seed(self.tx_count ^ (self.seq as u64) << 32, self.retries as u64);
+        let jitter = (h % 1024) as f64 / 1024.0 * BACKOFF_JITTER;
+        base * (1.0 + jitter)
+    }
+
+    /// Current backoff level (number of timeout doublings in force).
+    pub fn backoff_exp(&self) -> u32 {
+        self.backoff_exp
+    }
+
+    /// Consumes a corrupted-ACK fault: the payload stays outstanding (the
+    /// sender cannot trust the corrupted frame) and loss pressure rises as
+    /// if a timeout had occurred. The caller follows up with
+    /// [`ArqSender::on_timeout`] once the (scaled) timer expires.
+    pub fn on_corrupt_ack(&mut self) -> SenderAction {
+        self.corrupt_acks += 1;
+        if self.outstanding.is_some() {
+            self.backoff_exp = (self.backoff_exp + 1).min(MAX_BACKOFF_EXP);
+        }
+        SenderAction::Idle
     }
 
     /// True when the previous payload is finished (acked or dropped).
@@ -65,21 +120,25 @@ impl ArqSender {
         Some(SenderAction::Transmit { seq: self.seq, payload })
     }
 
-    /// Handles an ACK carrying the acked sequence number.
+    /// Handles an ACK carrying the acked sequence number. Delivery relaxes
+    /// the backoff by one level (recent-loss pressure decays).
     pub fn on_ack(&mut self, acked_seq: u8) -> SenderAction {
         if self.outstanding.is_some() && acked_seq == self.seq {
             self.outstanding = None;
             self.seq ^= 1;
             self.delivered += 1;
+            self.backoff_exp = self.backoff_exp.saturating_sub(1);
         }
         SenderAction::Idle
     }
 
-    /// Handles a timeout: retransmits or gives up.
+    /// Handles a timeout: retransmits or gives up. Either way the loss
+    /// raises the backoff level (bounded).
     pub fn on_timeout(&mut self) -> SenderAction {
         match &self.outstanding {
             None => SenderAction::Idle,
             Some(p) => {
+                self.backoff_exp = (self.backoff_exp + 1).min(MAX_BACKOFF_EXP);
                 if self.retries >= self.max_retries {
                     self.outstanding = None;
                     self.dropped += 1;
@@ -218,5 +277,87 @@ mod tests {
         tx.offer(vec![1]).expect("ready");
         tx.on_ack(1); // wrong seq (current is 0)
         assert!(!tx.ready());
+    }
+
+    #[test]
+    fn backoff_grows_on_loss_and_is_bounded() {
+        let mut tx = ArqSender::new(100);
+        assert_eq!(tx.backoff_exp(), 0);
+        assert!(tx.timeout_scale() >= 1.0 && tx.timeout_scale() < 1.0 + BACKOFF_JITTER);
+        tx.offer(vec![1]).expect("ready");
+        let mut last = 0.0;
+        for _ in 0..4 {
+            tx.on_timeout();
+            let s = tx.timeout_scale();
+            assert!(s > last, "scale must grow: {s} after {last}");
+            last = s;
+        }
+        // Bounded: many more timeouts never exceed the cap.
+        for _ in 0..50 {
+            tx.on_timeout();
+        }
+        assert_eq!(tx.backoff_exp(), MAX_BACKOFF_EXP);
+        let cap = (1u64 << MAX_BACKOFF_EXP) as f64 * (1.0 + BACKOFF_JITTER);
+        assert!(tx.timeout_scale() <= cap);
+    }
+
+    #[test]
+    fn backoff_relaxes_on_delivery() {
+        let mut tx = ArqSender::new(100);
+        let mut rx = ArqReceiver::new();
+        tx.offer(vec![1]).expect("ready");
+        tx.on_timeout();
+        tx.on_timeout();
+        assert_eq!(tx.backoff_exp(), 2);
+        // A delivered exchange halves the pressure.
+        let SenderAction::Transmit { seq, payload } = tx.on_timeout() else { panic!() };
+        let ReceiveOutcome::Deliver { ack_seq, .. } = rx.on_frame(seq, payload) else { panic!() };
+        tx.on_ack(ack_seq);
+        assert_eq!(tx.backoff_exp(), 2, "3 timeouts then 1 ack → 3 − 1 = 2");
+        // Further clean exchanges decay it to zero.
+        for _ in 0..3 {
+            let SenderAction::Transmit { seq, payload } = tx.offer(vec![2]).expect("ready") else {
+                panic!()
+            };
+            let ReceiveOutcome::Deliver { ack_seq, .. } = rx.on_frame(seq, payload) else {
+                panic!()
+            };
+            tx.on_ack(ack_seq);
+        }
+        assert_eq!(tx.backoff_exp(), 0);
+    }
+
+    #[test]
+    fn corrupt_ack_keeps_payload_outstanding() {
+        let mut tx = ArqSender::new(3);
+        let mut rx = ArqReceiver::new();
+        let SenderAction::Transmit { seq, payload } = tx.offer(vec![5]).expect("ready") else {
+            panic!()
+        };
+        // Receiver delivers, but the ACK comes back corrupted.
+        let _ = rx.on_frame(seq, payload);
+        tx.on_corrupt_ack();
+        assert!(!tx.ready(), "corrupted ACK must not complete the exchange");
+        assert_eq!(tx.corrupt_acks, 1);
+        assert_eq!(tx.backoff_exp(), 1, "corruption is loss pressure");
+        // Timeout → retransmit → duplicate path re-ACKs and completes.
+        let SenderAction::Transmit { seq: s2, payload: p2 } = tx.on_timeout() else { panic!() };
+        let ReceiveOutcome::Duplicate { ack_seq } = rx.on_frame(s2, p2) else { panic!() };
+        tx.on_ack(ack_seq);
+        assert!(tx.ready());
+        assert_eq!(tx.delivered, 1);
+        assert_eq!(rx.accepted, 1, "payload delivered exactly once");
+    }
+
+    #[test]
+    fn timeout_scale_jitter_stays_in_band() {
+        let mut tx = ArqSender::new(100);
+        tx.offer(vec![1]).expect("ready");
+        for _ in 0..20 {
+            tx.on_timeout();
+            let base = (1u64 << tx.backoff_exp()) as f64;
+            let s = tx.timeout_scale();
+            assert!(s >= base && s <= base * (1.0 + BACKOFF_JITTER), "scale {s} vs base {base}");
+        }
     }
 }

@@ -83,9 +83,7 @@ fn repetition_encode(bits: &[bool], n: usize) -> Vec<bool> {
 
 fn repetition_decode(bits: &[bool], n: usize) -> Vec<bool> {
     assert!(n >= 1 && n % 2 == 1, "repetition factor must be odd");
-    bits.chunks(n)
-        .map(|c| c.iter().filter(|&&b| b).count() * 2 > c.len())
-        .collect()
+    bits.chunks(n).map(|c| c.iter().filter(|&&b| b).count() * 2 > c.len()).collect()
 }
 
 // --- Hamming(7,4) -------------------------------------------------------
@@ -327,10 +325,7 @@ mod tests {
             hard_errs += hd.iter().zip(&bits).filter(|(a, b)| a != b).count();
             soft_errs += sd.iter().zip(&bits).filter(|(a, b)| a != b).count();
         }
-        assert!(
-            soft_errs < hard_errs,
-            "soft ({soft_errs}) should beat hard ({hard_errs})"
-        );
+        assert!(soft_errs < hard_errs, "soft ({soft_errs}) should beat hard ({hard_errs})");
     }
 
     #[test]

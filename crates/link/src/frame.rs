@@ -220,7 +220,11 @@ mod tests {
         for cfg in [
             LinkConfig::uncoded(),
             LinkConfig { fec: Fec::Repetition(3), interleaver: None, whitening: true },
-            LinkConfig { fec: Fec::Hamming74, interleaver: Some(Interleaver::new(4, 7)), whitening: true },
+            LinkConfig {
+                fec: Fec::Hamming74,
+                interleaver: Some(Interleaver::new(4, 7)),
+                whitening: true,
+            },
             LinkConfig::vab_default(),
         ] {
             let f = Frame::new(3, 1, 42, random_bytes(&mut rng, 16));

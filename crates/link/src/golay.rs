@@ -135,6 +135,7 @@ mod tests {
     use vab_util::rng::{random_bits, seeded};
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn b_matrix_is_symmetric() {
         for i in 0..12 {
             for j in 0..12 {
@@ -202,7 +203,7 @@ mod tests {
         for _ in 0..2000 {
             let mut e = 0u32;
             while weight(e) < 3 {
-                e |= 1 << rng.random_range(0..24);
+                e |= 1u32 << rng.random_range(0..24u32);
             }
             if weight(e) > 3 {
                 continue;
@@ -226,7 +227,7 @@ mod tests {
         for _ in 0..500 {
             let mut e = 0u32;
             while weight(e) < 4 {
-                e |= 1 << rng.random_range(0..24);
+                e |= 1u32 << rng.random_range(0..24u32);
             }
             if weight(e) > 4 {
                 continue;
@@ -257,9 +258,9 @@ mod tests {
         let mut coded = golay24_encode(&bits);
         // Up to 3 errors per 24-bit word: flip 2 per word deterministically.
         for w in 0..coded.len() / 24 {
-            let a = w * 24 + rng.random_range(0..24);
+            let a = w * 24 + rng.random_range(0..24usize);
             coded[a] = !coded[a];
-            let b = w * 24 + rng.random_range(0..24);
+            let b = w * 24 + rng.random_range(0..24usize);
             coded[b] = !coded[b];
         }
         let decoded = golay24_decode(&coded);

@@ -1,10 +1,97 @@
 //! Network inventory: discover an unknown population, then hand out TDMA
 //! slots — the bootstrap sequence of a VAB deployment.
+//!
+//! Deployments also need the reverse operation: nodes that *were*
+//! inventoried can fall silent (harvest blackout, reader restart losing
+//! its schedule, a boat parked over the array). [`SilenceMonitor`] tracks
+//! consecutive missed polls per node, and [`reinventory`] re-runs
+//! contention over the silent set and merges the survivors back into a
+//! rebuilt schedule instead of forgetting them forever.
 
 use crate::aloha::AlohaReader;
 use crate::tdma::TdmaSchedule;
 use rand::Rng;
+use std::collections::HashMap;
 use vab_util::units::Seconds;
+
+/// Consecutive missed polls after which a node counts as silent.
+pub const SILENCE_THRESHOLD: u32 = 3;
+
+/// Tracks per-node consecutive missed polls so the reader can notice
+/// nodes that dropped off the schedule.
+#[derive(Debug, Clone, Default)]
+pub struct SilenceMonitor {
+    misses: HashMap<u8, u32>,
+    threshold: u32,
+}
+
+impl SilenceMonitor {
+    /// Monitor flagging nodes after `threshold` consecutive missed polls.
+    pub fn new(threshold: u32) -> Self {
+        assert!(threshold >= 1);
+        Self { misses: HashMap::new(), threshold }
+    }
+
+    /// Records a poll outcome; returns `true` if this miss crossed the
+    /// silence threshold (edge-triggered: fires once per silence spell).
+    pub fn on_poll(&mut self, addr: u8, replied: bool) -> bool {
+        let m = self.misses.entry(addr).or_insert(0);
+        if replied {
+            *m = 0;
+            return false;
+        }
+        *m += 1;
+        *m == self.threshold
+    }
+
+    /// Nodes currently at or past the silence threshold.
+    pub fn silent_nodes(&self) -> Vec<u8> {
+        let mut v: Vec<u8> =
+            self.misses.iter().filter(|(_, &m)| m >= self.threshold).map(|(&a, _)| a).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Clears the miss counter for `addr` (e.g. after re-inventory).
+    pub fn reset(&mut self, addr: u8) {
+        self.misses.remove(&addr);
+    }
+}
+
+/// Re-inventories `silent` nodes of which `responsive` subset is actually
+/// reachable again, and rebuilds the TDMA schedule over the still-alive
+/// population (`alive` = nodes answering polls + rediscovered ones).
+///
+/// Returns the merged report; nodes in `silent` that stayed unreachable
+/// are simply absent from the new schedule.
+pub fn reinventory<R: Rng + ?Sized>(
+    alive: &[u8],
+    silent_but_reachable: &[u8],
+    initial_window: usize,
+    max_rounds: u32,
+    slot_duration: Seconds,
+    guard: Seconds,
+    rng: &mut R,
+) -> InventoryReport {
+    let rediscovered =
+        run_inventory(silent_but_reachable, initial_window, max_rounds, slot_duration, guard, rng);
+    let mut merged: Vec<u8> = alive.to_vec();
+    for &a in &rediscovered.discovered {
+        if !merged.contains(&a) {
+            merged.push(a);
+        }
+    }
+    let n = merged.len().clamp(1, 255) as u8;
+    let mut schedule = TdmaSchedule::new(n, slot_duration, guard);
+    schedule.assign_all(&merged);
+    InventoryReport {
+        discovered: merged,
+        rounds: rediscovered.rounds,
+        slots_used: rediscovered.slots_used,
+        collisions: rediscovered.collisions,
+        schedule,
+    }
+}
 
 /// Result of an inventory run.
 #[derive(Debug, Clone)]
@@ -68,7 +155,8 @@ mod tests {
             assert!(report.schedule.slot_of(a).is_some(), "node {a} unscheduled");
         }
         // Slots are unique.
-        let mut slots: Vec<u8> = population.iter().map(|&a| report.schedule.slot_of(a).expect("assigned")).collect();
+        let mut slots: Vec<u8> =
+            population.iter().map(|&a| report.schedule.slot_of(a).expect("assigned")).collect();
         slots.sort();
         slots.dedup();
         assert_eq!(slots.len(), 10);
@@ -98,5 +186,48 @@ mod tests {
         let b = run_inventory(&population, 8, 100, Seconds(1.0), Seconds(0.1), &mut seeded(84));
         assert_eq!(a.discovered, b.discovered);
         assert_eq!(a.slots_used, b.slots_used);
+    }
+
+    #[test]
+    fn silence_monitor_is_edge_triggered() {
+        let mut mon = SilenceMonitor::new(3);
+        assert!(!mon.on_poll(5, false));
+        assert!(!mon.on_poll(5, false));
+        assert!(mon.on_poll(5, false), "third miss crosses the threshold");
+        assert!(!mon.on_poll(5, false), "fires only once per spell");
+        assert_eq!(mon.silent_nodes(), vec![5]);
+        assert!(!mon.on_poll(5, true), "a reply clears the counter");
+        assert!(mon.silent_nodes().is_empty());
+    }
+
+    #[test]
+    fn reinventory_merges_rediscovered_nodes() {
+        let mut rng = seeded(85);
+        let alive = [1u8, 2, 3];
+        let silent_reachable = [7u8, 9]; // node 8 stayed dark: not offered
+        let report =
+            reinventory(&alive, &silent_reachable, 8, 100, Seconds(1.0), Seconds(0.1), &mut rng);
+        for a in [1u8, 2, 3, 7, 9] {
+            assert!(report.discovered.contains(&a), "node {a} missing after re-inventory");
+            assert!(report.schedule.slot_of(a).is_some(), "node {a} unscheduled");
+        }
+        assert!(!report.discovered.contains(&8));
+        // Slots unique over the merged set.
+        let mut slots: Vec<u8> = report
+            .discovered
+            .iter()
+            .map(|&a| report.schedule.slot_of(a).expect("assigned"))
+            .collect();
+        slots.sort_unstable();
+        slots.dedup();
+        assert_eq!(slots.len(), 5);
+    }
+
+    #[test]
+    fn reinventory_with_nothing_reachable_keeps_alive_set() {
+        let mut rng = seeded(86);
+        let report = reinventory(&[4u8, 6], &[], 8, 10, Seconds(1.0), Seconds(0.1), &mut rng);
+        assert_eq!(report.discovered, vec![4, 6]);
+        assert!(report.schedule.slot_of(4).is_some());
     }
 }

@@ -115,10 +115,8 @@ impl PollingMac {
 
     /// Aggregate delivery ratio across all nodes.
     pub fn total_delivery_ratio(&self) -> f64 {
-        let (q, r) = self
-            .stats
-            .values()
-            .fold((0u64, 0u64), |(q, r), s| (q + s.queries, r + s.replies));
+        let (q, r) =
+            self.stats.values().fold((0u64, 0u64), |(q, r), s| (q + s.queries, r + s.replies));
         if q == 0 {
             1.0
         } else {

@@ -14,6 +14,15 @@ use crate::poll::NodeStats;
 use std::collections::HashMap;
 use vab_core::commands::RATE_TABLE_BPS;
 
+/// BER above which a measurement counts as a spike (immediate fallback).
+pub const BER_SPIKE: f64 = 1e-2;
+
+/// BER below which a window counts as clean (eligible to probe back up).
+pub const BER_CLEAN: f64 = 1e-4;
+
+/// Clean windows required before probing one rate up.
+pub const CLEAN_WINDOWS_TO_PROBE: u32 = 4;
+
 /// Per-node rate-control state.
 #[derive(Debug, Clone, Copy)]
 struct NodeRate {
@@ -23,6 +32,8 @@ struct NodeRate {
     streak: u32,
     /// Consecutive failures at the current rate.
     fails: u32,
+    /// Consecutive clean BER windows at the current rate.
+    clean: u32,
 }
 
 /// Reader-side adaptive rate controller.
@@ -33,8 +44,16 @@ pub struct RateController {
     up_after: u32,
     /// Consecutive failures that force a demotion.
     down_after: u32,
+    /// BER spike threshold (≥ → immediate one-step fallback).
+    ber_spike: f64,
+    /// Clean-window BER threshold (≤ → counts toward a probe).
+    ber_clean: f64,
+    /// Clean windows needed before probing up.
+    clean_to_probe: u32,
     /// Rate changes issued (statistics).
     pub changes: u64,
+    /// BER-spike fallbacks issued (statistics).
+    pub spike_fallbacks: u64,
 }
 
 /// What the controller wants done after an outcome report.
@@ -53,17 +72,35 @@ impl RateController {
     /// Default policy: promote after 8 clean frames, demote after 2
     /// consecutive losses. Starts everyone at the most robust rate.
     pub fn new() -> Self {
-        Self { nodes: HashMap::new(), up_after: 8, down_after: 2, changes: 0 }
+        Self::with_policy(8, 2)
     }
 
     /// Custom thresholds.
     pub fn with_policy(up_after: u32, down_after: u32) -> Self {
         assert!(up_after >= 1 && down_after >= 1);
-        Self { nodes: HashMap::new(), up_after, down_after, changes: 0 }
+        Self {
+            nodes: HashMap::new(),
+            up_after,
+            down_after,
+            ber_spike: BER_SPIKE,
+            ber_clean: BER_CLEAN,
+            clean_to_probe: CLEAN_WINDOWS_TO_PROBE,
+            changes: 0,
+            spike_fallbacks: 0,
+        }
+    }
+
+    /// Custom BER thresholds for the spike-fallback / clean-probe path.
+    pub fn with_ber_policy(mut self, ber_spike: f64, ber_clean: f64, clean_to_probe: u32) -> Self {
+        assert!(ber_spike > ber_clean && clean_to_probe >= 1);
+        self.ber_spike = ber_spike;
+        self.ber_clean = ber_clean;
+        self.clean_to_probe = clean_to_probe;
+        self
     }
 
     fn entry(&mut self, addr: u8) -> &mut NodeRate {
-        self.nodes.entry(addr).or_insert(NodeRate { code: 0, streak: 0, fails: 0 })
+        self.nodes.entry(addr).or_insert(NodeRate { code: 0, streak: 0, fails: 0, clean: 0 })
     }
 
     /// Current rate code for a node.
@@ -104,10 +141,55 @@ impl RateController {
         RateDecision::Hold
     }
 
+    /// Reports a measured BER for a decoding window of `addr` — the
+    /// spike/clean degradation path that complements the frame-outcome
+    /// walk:
+    ///
+    /// * BER ≥ spike threshold → fall back one rate *immediately* (no
+    ///   waiting for `down_after` consecutive frame losses — a noise storm
+    ///   at 1000 bps costs whole frames while the outcome counter winds
+    ///   up);
+    /// * BER ≤ clean threshold for `clean_to_probe` consecutive windows →
+    ///   probe one rate up (the impairment has passed);
+    /// * anything between → hold and reset the clean streak.
+    pub fn on_ber_sample(&mut self, addr: u8, ber: f64) -> RateDecision {
+        let (spike, clean, to_probe) = (self.ber_spike, self.ber_clean, self.clean_to_probe);
+        let max_code = (RATE_TABLE_BPS.len() - 1) as u8;
+        let n = self.entry(addr);
+        if ber >= spike {
+            n.clean = 0;
+            n.streak = 0;
+            n.fails = 0;
+            if n.code > 0 {
+                n.code -= 1;
+                self.changes += 1;
+                self.spike_fallbacks += 1;
+                return RateDecision::Change { rate_code: self.rate_code(addr) };
+            }
+        } else if ber <= clean {
+            n.clean += 1;
+            if n.clean >= to_probe && n.code < max_code {
+                n.code += 1;
+                n.clean = 0;
+                self.changes += 1;
+                return RateDecision::Change { rate_code: self.rate_code(addr) };
+            }
+        } else {
+            n.clean = 0;
+        }
+        RateDecision::Hold
+    }
+
     /// Long-run goodput estimate for a node given its delivery statistics
     /// at the current rate (bits/s of useful payload for `payload_bits`
     /// per frame… per query).
-    pub fn goodput_estimate(&self, addr: u8, stats: &NodeStats, payload_bits: usize, query_period_s: f64) -> f64 {
+    pub fn goodput_estimate(
+        &self,
+        addr: u8,
+        stats: &NodeStats,
+        payload_bits: usize,
+        query_period_s: f64,
+    ) -> f64 {
         let _ = self.rate_bps(addr); // rate affects query period upstream
         stats.delivery_ratio() * payload_bits as f64 / query_period_s.max(1e-9)
     }
@@ -183,6 +265,49 @@ mod tests {
         rc.on_outcome(1, true);
         assert_eq!(rc.rate_code(1), 1);
         assert_eq!(rc.rate_code(2), 0);
+    }
+
+    #[test]
+    fn ber_spike_falls_back_immediately() {
+        let mut rc = RateController::with_policy(1, 4);
+        for _ in 0..3 {
+            rc.on_outcome(1, true);
+        }
+        assert_eq!(rc.rate_code(1), 3);
+        // One spiked window demotes without waiting for 4 frame losses.
+        assert_eq!(rc.on_ber_sample(1, 5e-2), RateDecision::Change { rate_code: 2 });
+        assert_eq!(rc.spike_fallbacks, 1);
+        // At the floor a spike holds (nowhere left to fall).
+        let mut floor = RateController::new();
+        assert_eq!(floor.on_ber_sample(2, 1.0), RateDecision::Hold);
+        assert_eq!(floor.rate_code(2), 0);
+    }
+
+    #[test]
+    fn clean_windows_probe_back_up() {
+        let mut rc = RateController::new().with_ber_policy(1e-2, 1e-4, 3);
+        rc.on_ber_sample(1, 0.0);
+        rc.on_ber_sample(1, 0.0);
+        assert_eq!(rc.on_ber_sample(1, 0.0), RateDecision::Change { rate_code: 1 });
+        // A mid-band window resets the clean streak.
+        rc.on_ber_sample(1, 0.0);
+        rc.on_ber_sample(1, 1e-3);
+        rc.on_ber_sample(1, 0.0);
+        rc.on_ber_sample(1, 0.0);
+        assert_eq!(rc.rate_code(1), 1, "streak must restart after a dirty window");
+        assert_eq!(rc.on_ber_sample(1, 0.0), RateDecision::Change { rate_code: 2 });
+    }
+
+    #[test]
+    fn spike_then_clean_recovers_the_rate() {
+        let mut rc = RateController::new().with_ber_policy(1e-2, 1e-4, 2);
+        rc.on_ber_sample(3, 0.0);
+        rc.on_ber_sample(3, 0.0); // → code 1
+        rc.on_ber_sample(3, 0.5); // spike → back to 0
+        assert_eq!(rc.rate_code(3), 0);
+        rc.on_ber_sample(3, 0.0);
+        rc.on_ber_sample(3, 0.0);
+        assert_eq!(rc.rate_code(3), 1, "clean windows win the rate back");
     }
 
     #[test]

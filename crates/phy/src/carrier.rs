@@ -91,9 +91,8 @@ mod tests {
     #[test]
     fn remove_dc_preserves_modulation() {
         // DC + square modulation: after removal the square survives.
-        let x: Vec<C64> = (0..64)
-            .map(|i| C64::real(100.0 + if (i / 8) % 2 == 0 { 1.0 } else { -1.0 }))
-            .collect();
+        let x: Vec<C64> =
+            (0..64).map(|i| C64::real(100.0 + if (i / 8) % 2 == 0 { 1.0 } else { -1.0 })).collect();
         let y = remove_dc(&x);
         let swing = y.iter().map(|c| c.re).fold(f64::MIN, f64::max)
             - y.iter().map(|c| c.re).fold(f64::MAX, f64::min);
@@ -114,18 +113,21 @@ mod tests {
             .collect();
         let global = remove_dc(&x);
         let sliding = remove_dc_sliding(&x, 200);
-        let resid = |v: &[C64]| {
-            v.iter().map(|c| c.norm_sq()).sum::<f64>() / v.len() as f64
-        };
+        let resid = |v: &[C64]| v.iter().map(|c| c.norm_sq()).sum::<f64>() / v.len() as f64;
         // Signal power is 1; global removal leaves large drift residual.
-        assert!(resid(&sliding) < resid(&global) / 3.0,
-            "sliding {} vs global {}", resid(&sliding), resid(&global));
+        assert!(
+            resid(&sliding) < resid(&global) / 3.0,
+            "sliding {} vs global {}",
+            resid(&sliding),
+            resid(&global)
+        );
     }
 
     #[test]
     fn rejection_reported_in_db() {
         let mut rng = seeded(9);
-        let x: Vec<C64> = (0..500).map(|_| C64::real(30.0) + complex_gaussian(&mut rng, 1.0)).collect();
+        let x: Vec<C64> =
+            (0..500).map(|_| C64::real(30.0) + complex_gaussian(&mut rng, 1.0)).collect();
         let y = remove_dc(&x);
         assert!(rejection_db(&x, &y) > 40.0);
     }
@@ -137,7 +139,8 @@ mod tests {
         let notch = carrier_notch(f0, 250.0, fs, 2401);
         let n = 8192;
         let carrier: Vec<f64> = (0..n).map(|i| (TAU * f0 * i as f64 / fs).sin()).collect();
-        let sideband: Vec<f64> = (0..n).map(|i| (TAU * (f0 + 600.0) * i as f64 / fs).sin()).collect();
+        let sideband: Vec<f64> =
+            (0..n).map(|i| (TAU * (f0 + 600.0) * i as f64 / fs).sin()).collect();
         let c_out = notch.filter_same(&carrier);
         let s_out = notch.filter_same(&sideband);
         // Evaluate in steady state, away from the filter's edge transients.

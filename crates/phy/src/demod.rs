@@ -79,10 +79,7 @@ impl Demodulator {
             baseband
         };
         let chips = self.chip_integrate(view, start, n_bits);
-        chips
-            .chunks_exact(2)
-            .map(|p| (p[0] + p[1]).norm_sq() - (p[0] - p[1]).norm_sq())
-            .collect()
+        chips.chunks_exact(2).map(|p| (p[0] + p[1]).norm_sq() - (p[0] - p[1]).norm_sq()).collect()
     }
 }
 
@@ -124,7 +121,9 @@ mod tests {
         let wave = m.switch_waveform(&bits);
         let bb: Vec<C64> = wave
             .iter()
-            .map(|&w| C64::real(40.0) + C64::from_polar(1.0, 0.4) * w + complex_gaussian(&mut rng, 0.5))
+            .map(|&w| {
+                C64::real(40.0) + C64::from_polar(1.0, 0.4) * w + complex_gaussian(&mut rng, 0.5)
+            })
             .collect();
         let d = Demodulator::new(params());
         let rx = d.demodulate(&bb, 0, bits.len());
@@ -138,10 +137,8 @@ mod tests {
         let m = BackscatterModulator::new(params());
         let wave = m.switch_waveform(&bits);
         // Chip SNR ≈ −6 dB before integration.
-        let bb: Vec<C64> = wave
-            .iter()
-            .map(|&w| C64::real(w) + complex_gaussian(&mut rng, 2.0))
-            .collect();
+        let bb: Vec<C64> =
+            wave.iter().map(|&w| C64::real(w) + complex_gaussian(&mut rng, 2.0)).collect();
         let d = Demodulator::new(params()).without_dc_removal();
         let rx = d.demodulate(&bb, 0, bits.len());
         let errors = count_bit_errors(&bits, &rx);

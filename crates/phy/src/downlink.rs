@@ -229,10 +229,8 @@ mod tests {
         // 26 dB envelope SNR — generous, but the downlink rides the *full*
         // carrier (the same signal the node harvests µW from), so its SNR
         // at the node is enormous compared to the uplink's.
-        let bb: Vec<C64> = env
-            .iter()
-            .map(|&e| C64::real(20.0 * e) + complex_gaussian(&mut rng, 1.0))
-            .collect();
+        let bb: Vec<C64> =
+            env.iter().map(|&e| C64::real(20.0 * e) + complex_gaussian(&mut rng, 1.0)).collect();
         let det = EnvelopeDetector::for_params(&p());
         let decoded = pie_decode(&det.slice(&bb), &p()).expect("delimiter");
         assert_eq!(decoded, bits);
@@ -277,7 +275,8 @@ mod tests {
     fn empty_payload_roundtrips() {
         let env = pie_encode(&[], &p());
         let det = EnvelopeDetector::for_params(&p());
-        let decoded = pie_decode(&det.slice(&to_baseband(&env, 1.0, 0.0)), &p()).expect("delimiter");
+        let decoded =
+            pie_decode(&det.slice(&to_baseband(&env, 1.0, 0.0)), &p()).expect("delimiter");
         assert!(decoded.is_empty());
     }
 }

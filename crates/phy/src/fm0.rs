@@ -39,12 +39,7 @@ pub fn fm0_decode_hard(chips: &[f64]) -> Option<Vec<bool>> {
     if !chips.len().is_multiple_of(2) {
         return None;
     }
-    Some(
-        chips
-            .chunks_exact(2)
-            .map(|pair| (pair[0] >= 0.0) == (pair[1] >= 0.0))
-            .collect(),
-    )
+    Some(chips.chunks_exact(2).map(|pair| (pair[0] >= 0.0) == (pair[1] >= 0.0)).collect())
 }
 
 /// Soft FM0 decode with complex chip observations (noncoherent): compares
@@ -55,10 +50,7 @@ pub fn fm0_decode_soft(chips: &[vab_util::complex::C64]) -> Option<Vec<bool>> {
         return None;
     }
     Some(
-        chips
-            .chunks_exact(2)
-            .map(|p| (p[0] + p[1]).norm_sq() >= (p[0] - p[1]).norm_sq())
-            .collect(),
+        chips.chunks_exact(2).map(|p| (p[0] + p[1]).norm_sq() >= (p[0] - p[1]).norm_sq()).collect(),
     )
 }
 
@@ -122,7 +114,8 @@ mod tests {
         let bits = vec![true, false, false, true, true];
         let chips = fm0_encode(&bits);
         // Rotate every chip by an arbitrary channel phase.
-        let rotated: Vec<C64> = chips.iter().map(|&c| C64::from_polar(c.abs(), 1.234) * c.signum()).collect();
+        let rotated: Vec<C64> =
+            chips.iter().map(|&c| C64::from_polar(c.abs(), 1.234) * c.signum()).collect();
         assert_eq!(fm0_decode_soft(&rotated).expect("even"), bits);
     }
 

@@ -185,7 +185,9 @@ mod tests {
         // because the decision statistics live at ±f₀/±f₁.
         let bb: Vec<C64> = wave
             .iter()
-            .map(|&w| C64::real(50.0) + C64::from_polar(1.0, 0.2) * w + complex_gaussian(&mut rng, 0.8))
+            .map(|&w| {
+                C64::real(50.0) + C64::from_polar(1.0, 0.2) * w + complex_gaussian(&mut rng, 0.8)
+            })
             .collect();
         let d = FskDemodulator::new(p());
         let rx = d.demodulate(&bb, 0, bits.len());
@@ -199,7 +201,8 @@ mod tests {
         let bits = random_bits(&mut rng, 200);
         let m = FskModulator::new(p());
         let wave = m.switch_waveform(&bits);
-        let bb: Vec<C64> = wave.iter().map(|&w| C64::real(w) + complex_gaussian(&mut rng, 6.0)).collect();
+        let bb: Vec<C64> =
+            wave.iter().map(|&w| C64::real(w) + complex_gaussian(&mut rng, 6.0)).collect();
         let d = FskDemodulator::new(p());
         let rx = d.demodulate(&bb, 0, bits.len());
         let errors = rx.iter().zip(&bits).filter(|(a, b)| a != b).count();

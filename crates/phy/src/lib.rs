@@ -24,10 +24,12 @@ pub mod snr;
 pub mod sync;
 pub mod waveform;
 
-pub use ber::{ber_coherent_bpsk, ber_noncoherent_orthogonal, ber_ook_noncoherent, required_ebn0_db};
+pub use ber::{
+    ber_coherent_bpsk, ber_noncoherent_orthogonal, ber_ook_noncoherent, required_ebn0_db,
+};
 pub use demod::Demodulator;
-pub use fm0::{fm0_decode_hard, fm0_encode};
-pub use modulation::{BackscatterModulator, ModParams};
 pub use downlink::{pie_decode, pie_encode, EnvelopeDetector, PieParams};
+pub use fm0::{fm0_decode_hard, fm0_encode};
 pub use fsk::{FskDemodulator, FskModulator, FskParams};
+pub use modulation::{BackscatterModulator, ModParams};
 pub use sync::Preamble;

@@ -102,11 +102,7 @@ impl BackscatterModulator {
         g_absorb: C64,
     ) -> Vec<C64> {
         let stream = self.gamma_stream(bits, g_reflect, g_absorb);
-        incident
-            .iter()
-            .enumerate()
-            .map(|(i, &x)| x * *stream.get(i).unwrap_or(&g_absorb))
-            .collect()
+        incident.iter().enumerate().map(|(i, &x)| x * *stream.get(i).unwrap_or(&g_absorb)).collect()
     }
 
     /// Duration of `n_bits` of payload, seconds.

@@ -14,12 +14,8 @@ pub fn data_aided_snr(chips_rx: &[C64], chips_tx: &[f64]) -> Option<f64> {
         return None;
     }
     // Signal amplitude estimate: correlation with the known sequence.
-    let corr: C64 = chips_rx[..n]
-        .iter()
-        .zip(&chips_tx[..n])
-        .map(|(&r, &t)| r * t)
-        .sum::<C64>()
-        / n as f64;
+    let corr: C64 =
+        chips_rx[..n].iter().zip(&chips_tx[..n]).map(|(&r, &t)| r * t).sum::<C64>() / n as f64;
     let sig_pow = corr.norm_sq();
     // Residual after removing the reconstructed signal.
     let noise_pow: f64 = chips_rx[..n]
@@ -57,9 +53,9 @@ pub fn snr_db(lin: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::RngExt;
     use vab_util::approx_eq;
     use vab_util::rng::{complex_gaussian, seeded};
-    use rand::RngExt;
 
     fn chips_and_rx(snr_lin: f64, n: usize, seed: u64) -> (Vec<f64>, Vec<C64>) {
         let mut rng = seeded(seed);

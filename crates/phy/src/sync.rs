@@ -17,9 +17,8 @@ impl Preamble {
     /// Barker-13-based default preamble.
     pub fn barker13() -> Self {
         // +++++--++-+-+ → true×5, false×2, true×2, false, true, false, true
-        let pattern = [
-            true, true, true, true, true, false, false, true, true, false, true, false, true,
-        ];
+        let pattern =
+            [true, true, true, true, true, false, false, true, true, false, true, false, true];
         Self { bits: pattern.to_vec() }
     }
 
@@ -76,11 +75,7 @@ impl Preamble {
         let mut sum = 0.0f64;
         let mut count = 0usize;
         for off in 0..=(baseband.len() - m) {
-            let corr: C64 = reference
-                .iter()
-                .enumerate()
-                .map(|(i, &r)| baseband[off + i] * r)
-                .sum();
+            let corr: C64 = reference.iter().enumerate().map(|(i, &r)| baseband[off + i] * r).sum();
             let mag = corr.abs();
             sum += mag;
             count += 1;
@@ -143,10 +138,8 @@ mod tests {
         sig.extend(wave.iter().map(|&w| C64::from_polar(1.0, 2.1) * w));
         sig.extend(vec![C64::ZERO; 80]);
         // Carrier leak + noise.
-        let noisy: Vec<C64> = sig
-            .iter()
-            .map(|&s| s + C64::real(25.0) + complex_gaussian(&mut rng, 0.3))
-            .collect();
+        let noisy: Vec<C64> =
+            sig.iter().map(|&s| s + C64::real(25.0) + complex_gaussian(&mut rng, 0.3)).collect();
         let clean = remove_dc(&noisy);
         let (start, _) = p.locate(&clean, &params(), 3.0).expect("acquire under noise");
         let expected = delay + p.len() * params().samples_per_bit();

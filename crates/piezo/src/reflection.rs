@@ -108,10 +108,8 @@ pub fn best_reactive_pair(transducer: &Bvd, f: Hertz) -> (C64, C64, f64) {
         candidates.push(C64::new(0.0, -x));
         x *= 1.3;
     }
-    let gammas: Vec<C64> = candidates
-        .iter()
-        .map(|&z| gamma(transducer, Load::Custom(z), f))
-        .collect();
+    let gammas: Vec<C64> =
+        candidates.iter().map(|&z| gamma(transducer, Load::Custom(z), f)).collect();
     let mut best = (candidates[0], candidates[1], -1.0);
     for i in 0..candidates.len() {
         for j in (i + 1)..candidates.len() {
@@ -160,7 +158,10 @@ impl ModulationStates {
         let g2 = gamma(transducer, Load::Custom(z2), f0);
         let (z_r, g_r) = if g1.abs() >= g2.abs() { (z1, g1) } else { (z2, g2) };
         // Absorb: magnitude √(1−h), phase opposite Γ_r.
-        let g_a = C64::from_polar((1.0 - harvest).sqrt().min(0.999_999), g_r.arg() + std::f64::consts::PI);
+        let g_a = C64::from_polar(
+            (1.0 - harvest).sqrt().min(0.999_999),
+            g_r.arg() + std::f64::consts::PI,
+        );
         let z_a = gamma_to_load(transducer, g_a, f0);
         Self { reflect: Load::Custom(z_r), absorb: Load::Custom(z_a) }
     }
@@ -207,7 +208,8 @@ pub fn best_pair(transducer: &Bvd, candidates: &[Load], f: Hertz) -> (Load, Load
             let d = (gamma(transducer, a, f) - gamma(transducer, b, f)).abs() / 2.0;
             if d > best.2 {
                 // Order so the state with more absorption harvests.
-                let (ga, gb) = (gamma(transducer, a, f).norm_sq(), gamma(transducer, b, f).norm_sq());
+                let (ga, gb) =
+                    (gamma(transducer, a, f).norm_sq(), gamma(transducer, b, f).norm_sq());
                 best = if ga >= gb { (a, b, d) } else { (b, a, d) };
             }
         }
@@ -275,10 +277,7 @@ mod tests {
         let tr = t();
         let naive = ModulationStates::open_short().modulation_depth(&tr, f0());
         let vab = ModulationStates::vab(&tr, f0()).modulation_depth(&tr, f0());
-        assert!(
-            vab > naive,
-            "co-designed states ({vab:.3}) must beat open/short ({naive:.3})"
-        );
+        assert!(vab > naive, "co-designed states ({vab:.3}) must beat open/short ({naive:.3})");
         assert!(vab > 0.75, "VAB modulation depth {vab:.3} too small");
     }
 
@@ -326,12 +325,7 @@ mod tests {
     #[test]
     fn gamma_to_load_inverts_gamma() {
         let tr = t();
-        for g in [
-            C64::new(0.3, 0.2),
-            C64::new(-0.5, 0.4),
-            C64::from_polar(0.9, 2.0),
-            C64::ZERO,
-        ] {
+        for g in [C64::new(0.3, 0.2), C64::new(-0.5, 0.4), C64::from_polar(0.9, 2.0), C64::ZERO] {
             let z = gamma_to_load(&tr, g, f0());
             let back = gamma(&tr, Load::Custom(z), f0());
             assert!((back - g).abs() < 1e-9, "γ {g} → Z {z} → {back}");

@@ -107,12 +107,8 @@ mod tests {
         let f0 = tr.series_resonance();
         let states = ModulationStates::vab(&tr, f0);
         let pure = states.modulation_depth(&tr, f0);
-        let with_ideal = Switch::ideal().realized_modulation_depth(
-            &tr,
-            states.reflect,
-            states.absorb,
-            f0,
-        );
+        let with_ideal =
+            Switch::ideal().realized_modulation_depth(&tr, states.reflect, states.absorb, f0);
         assert!(approx_eq(pure, with_ideal, 1e-6), "{pure} vs {with_ideal}");
     }
 
@@ -122,12 +118,8 @@ mod tests {
         let f0 = tr.series_resonance();
         let states = ModulationStates::vab(&tr, f0);
         let pure = states.modulation_depth(&tr, f0);
-        let real = Switch::typical().realized_modulation_depth(
-            &tr,
-            states.reflect,
-            states.absorb,
-            f0,
-        );
+        let real =
+            Switch::typical().realized_modulation_depth(&tr, states.reflect, states.absorb, f0);
         assert!(real > 0.7 * pure, "typical switch should keep most depth: {real} vs {pure}");
     }
 
@@ -138,7 +130,8 @@ mod tests {
         let bad = Switch { c_off: 100e-9, ..Switch::typical() };
         let states = ModulationStates::vab(&tr, f0);
         let depth = bad.realized_modulation_depth(&tr, states.reflect, states.absorb, f0);
-        let good = Switch::typical().realized_modulation_depth(&tr, states.reflect, states.absorb, f0);
+        let good =
+            Switch::typical().realized_modulation_depth(&tr, states.reflect, states.absorb, f0);
         assert!(depth < good, "100 nF C_off should hurt: {depth} vs {good}");
     }
 

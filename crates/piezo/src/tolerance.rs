@@ -51,7 +51,11 @@ pub fn sample_transducer<R: Rng + ?Sized>(nominal: &Bvd, tol: &Tolerances, rng: 
 
 /// Perturbs an L-section's element values (reactance/susceptance scale
 /// linearly with L and C).
-pub fn sample_network<R: Rng + ?Sized>(nominal: &LSection, tol: &Tolerances, rng: &mut R) -> LSection {
+pub fn sample_network<R: Rng + ?Sized>(
+    nominal: &LSection,
+    tol: &Tolerances,
+    rng: &mut R,
+) -> LSection {
     LSection {
         series_reactance: nominal.series_reactance * (1.0 + tol.network * gaussian(rng)),
         shunt_susceptance: nominal.shunt_susceptance * (1.0 + tol.network * gaussian(rng)),
@@ -125,7 +129,9 @@ mod tests {
         let tol = Tolerances { resonance: 0.0, q_factor: 0.0, c0: 0.0, network: 0.0 };
         let mut rng = seeded(91);
         let unit = sample_transducer(&nominal(), &tol, &mut rng);
-        assert!((unit.series_resonance().value() - nominal().series_resonance().value()).abs() < 1e-6);
+        assert!(
+            (unit.series_resonance().value() - nominal().series_resonance().value()).abs() < 1e-6
+        );
         assert!((unit.q_factor() - nominal().q_factor()).abs() < 1e-9);
     }
 
@@ -159,14 +165,20 @@ mod tests {
     fn matched_network_degrades_with_tolerance() {
         let mut rng = seeded(94);
         let f0 = nominal().series_resonance();
-        let perfect =
-            match_quality_sample(&nominal(), f0, 1000.0, &Tolerances { resonance: 0.0, q_factor: 0.0, c0: 0.0, network: 0.0 }, &mut rng)
-                .expect("design");
+        let perfect = match_quality_sample(
+            &nominal(),
+            f0,
+            1000.0,
+            &Tolerances { resonance: 0.0, q_factor: 0.0, c0: 0.0, network: 0.0 },
+            &mut rng,
+        )
+        .expect("design");
         assert!(perfect < 1e-6, "nominal build should match: |Γ| = {perfect}");
         let mut worst = 0.0f64;
         for _ in 0..100 {
-            let g = match_quality_sample(&nominal(), f0, 1000.0, &Tolerances::commercial(), &mut rng)
-                .expect("design");
+            let g =
+                match_quality_sample(&nominal(), f0, 1000.0, &Tolerances::commercial(), &mut rng)
+                    .expect("design");
             worst = worst.max(g);
         }
         assert!(worst > 0.05, "tolerances must cost some match, worst |Γ| = {worst}");

@@ -29,12 +29,7 @@ impl Transducer {
     /// backscatter prototypes: TVR ≈ 140 dB re µPa·m/V, RVS ≈ −193 dB re
     /// V/µPa, efficiency ≈ 0.5.
     pub fn vab_default() -> Self {
-        Self {
-            bvd: Bvd::vab_default(),
-            tvr_peak_db: 140.0,
-            rvs_peak_db: -193.0,
-            efficiency: 0.5,
-        }
+        Self { bvd: Bvd::vab_default(), tvr_peak_db: 140.0, rvs_peak_db: -193.0, efficiency: 0.5 }
     }
 
     /// Lorentzian resonance shaping (power units) shared by TVR and RVS.

@@ -12,9 +12,9 @@
 //!   strawman.
 
 use vab_core::array::{conventional_backscatter_factor, VanAttaArray};
+use vab_link::frame::LinkConfig;
 use vab_piezo::reflection::{gamma, gamma_to_load, Load, ModulationStates};
 use vab_piezo::transduction::Transducer;
-use vab_link::frame::LinkConfig;
 use vab_util::units::{Db, Degrees, Hertz, Watts};
 
 /// Which node architecture is deployed.
@@ -152,11 +152,8 @@ impl FrontEnd {
             (SystemKind::Vab { .. }, Some(a)) => a.retro_gain(theta, self.f0),
             (SystemKind::Pab, _) => pat * pat,
             (SystemKind::ConventionalArray { n_elements }, _) => {
-                let g = vab_core::array::ArrayGeometry::half_wavelength(
-                    *n_elements,
-                    self.f0,
-                    1480.0,
-                );
+                let g =
+                    vab_core::array::ArrayGeometry::half_wavelength(*n_elements, self.f0, 1480.0);
                 conventional_backscatter_factor(&g, theta, self.f0).abs() * pat * pat
             }
             (SystemKind::Vab { .. }, None) => unreachable!("VAB always has an array"),
@@ -180,9 +177,9 @@ impl FrontEnd {
     pub fn harvest_power(&self, incident_db_upa: Db) -> Watts {
         match (&self.kind, &self.array) {
             (SystemKind::Vab { .. }, Some(a)) => a.harvest_power(self.f0, incident_db_upa),
-            (SystemKind::Pab, _) => Watts(
-                self.transducer.available_power(self.f0, incident_db_upa) * self.pab_harvest,
-            ),
+            (SystemKind::Pab, _) => {
+                Watts(self.transducer.available_power(self.f0, incident_db_upa) * self.pab_harvest)
+            }
             (SystemKind::ConventionalArray { n_elements }, _) => {
                 // Elements all harvest in the absorb state (like VAB).
                 let states = ModulationStates::vab(&self.transducer.bvd, self.f0);

@@ -7,10 +7,11 @@
 //! bucketed summaries.
 
 use crate::baseline::SystemKind;
-use crate::montecarlo::{run_point, MonteCarloConfig, TrialEngine};
+use crate::montecarlo::{run_point, run_point_with_trial_faults, MonteCarloConfig, TrialEngine};
 use crate::scenario::Scenario;
 use rand::{Rng, RngExt};
 use vab_acoustics::environment::SeaState;
+use vab_fault::{FaultConfig, FaultPlan};
 use vab_util::rng::{derive_seed, seeded};
 use vab_util::units::{Degrees, Meters};
 
@@ -32,6 +33,11 @@ pub struct CampaignConfig {
     pub system: SystemKind,
     /// Master seed.
     pub seed: u64,
+    /// Optional fault injection: when set, each deployment draws its
+    /// faults deterministically from a [`FaultPlan`] keyed on the campaign
+    /// seed (deployment `i` always experiences the same faults regardless
+    /// of thread count or which other trials run).
+    pub faults: Option<FaultConfig>,
 }
 
 impl CampaignConfig {
@@ -47,6 +53,7 @@ impl CampaignConfig {
             max_rotation_deg: 60.0,
             system: SystemKind::Vab { n_pairs: 4 },
             seed: 1500,
+            faults: None,
         }
     }
 }
@@ -113,11 +120,7 @@ impl CampaignReport {
 
     /// The farthest *successful* deployment.
     pub fn max_successful_range(&self) -> f64 {
-        self.records
-            .iter()
-            .filter(|r| r.success())
-            .map(|r| r.range_m)
-            .fold(0.0, f64::max)
+        self.records.iter().filter(|r| r.success()).map(|r| r.range_m).fold(0.0, f64::max)
     }
 }
 
@@ -141,6 +144,7 @@ fn sample_scenario<R: Rng + ?Sized>(cfg: &CampaignConfig, rng: &mut R) -> (Scena
 /// are cheap; the loop itself could be sharded, but 1,500 link-budget
 /// trials complete in seconds single-threaded and stay bit-reproducible).
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    let plan = cfg.faults.map(|fc| FaultPlan::new(cfg.seed, fc));
     let mut records = Vec::with_capacity(cfg.n_trials);
     for id in 0..cfg.n_trials {
         let mut rng = seeded(derive_seed(cfg.seed, id as u64));
@@ -152,7 +156,16 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
             engine: TrialEngine::LinkBudget,
             threads: 1,
         };
-        let point = run_point(&scenario, &mc);
+        let point = match &plan {
+            None => run_point(&scenario, &mc),
+            Some(p) => {
+                // Deployment `id` indexes the plan, so its faults do not
+                // depend on how many deployments ran before it.
+                let faults = p.trial_faults(id as u64, cfg.system.n_elements());
+                let fe = scenario.front_end();
+                run_point_with_trial_faults(&scenario, &fe, &mc, &faults)
+            }
+        };
         records.push(TrialRecord {
             id,
             river,
@@ -225,6 +238,32 @@ mod tests {
     fn campaign_is_reproducible() {
         let a = run_campaign(&small());
         let b = run_campaign(&small());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.errors, y.errors);
+            assert_eq!(x.range_m, y.range_m);
+        }
+    }
+
+    #[test]
+    fn faulted_campaign_underperforms_the_clean_one() {
+        let clean = run_campaign(&small());
+        let faulted = run_campaign(&CampaignConfig {
+            faults: Some(FaultConfig::with_intensity(0.6)),
+            ..small()
+        });
+        assert!(
+            faulted.success_fraction() < clean.success_fraction(),
+            "faults must cost deployments: {} vs {}",
+            faulted.success_fraction(),
+            clean.success_fraction()
+        );
+    }
+
+    #[test]
+    fn faulted_campaign_is_reproducible() {
+        let cfg = CampaignConfig { faults: Some(FaultConfig::with_intensity(0.4)), ..small() };
+        let a = run_campaign(&cfg);
+        let b = run_campaign(&cfg);
         for (x, y) in a.records.iter().zip(&b.records) {
             assert_eq!(x.errors, y.errors);
             assert_eq!(x.range_m, y.range_m);

@@ -72,7 +72,8 @@ impl CsvTable {
                 cell.to_string()
             }
         };
-        let _ = writeln!(out, "{}", self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        let _ =
+            writeln!(out, "{}", self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
         for row in &self.rows {
             let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
         }
@@ -89,15 +90,14 @@ impl CsvTable {
         }
         let mut out = String::new();
         let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:>w$}"))
-                .collect::<Vec<_>>()
-                .join("  ")
+            cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}")).collect::<Vec<_>>().join("  ")
         };
         let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
-        let _ = writeln!(out, "{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+        let _ = writeln!(
+            out,
+            "{}",
+            widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  ")
+        );
         for row in &self.rows {
             let _ = writeln!(out, "{}", fmt_row(row, &widths));
         }

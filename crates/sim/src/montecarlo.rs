@@ -3,20 +3,53 @@
 //! Each trial draws a fresh multipath/Doppler realization (the analogue of
 //! one field trial among the paper's 1,500), runs payload bits through the
 //! selected engine, and accumulates exact error counts. Trials shard across
-//! threads with crossbeam; every shard derives its RNG stream from the
+//! threads with `std::thread::scope`; every shard derives its RNG stream from the
 //! master seed, so results are bit-reproducible regardless of thread count.
 
 use crate::baseline::FrontEnd;
 use crate::linkbudget::LinkBudget;
 use crate::metrics::BerPoint;
-use crate::samplelevel::run_sample_trial;
+use crate::samplelevel::run_sample_trial_scaled;
 use crate::scenario::Scenario;
 use rand::rngs::StdRng;
 use rand::RngExt;
+use std::fmt;
 use vab_acoustics::channel::ChannelModel;
+use vab_fault::{FaultPlan, TrialFaults};
 use vab_phy::ber::{ber_noncoherent_orthogonal, BerCounter};
 use vab_util::rng::{derive_seed, random_bits, seeded};
 use vab_util::stats::RunningStats;
+
+/// Dedicated stream tag for the deterministic "does this packet land in a
+/// harvest blackout window" draw (independent of the channel RNG stream).
+const BLACKOUT_STREAM: u64 = 0x0B1A_C007;
+
+/// Typed failure of a Monte Carlo run — the driver's worker threads can
+/// die (a panic in an engine), and callers automating large campaigns want
+/// an error they can log and skip instead of a process abort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonteCarloError {
+    /// A worker thread panicked; carries the shard index and the panic
+    /// message when it was a string.
+    WorkerPanicked {
+        /// Which shard died.
+        shard: usize,
+        /// Best-effort panic payload.
+        message: String,
+    },
+}
+
+impl fmt::Display for MonteCarloError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::WorkerPanicked { shard, message } => {
+                write!(f, "Monte Carlo worker {shard} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MonteCarloError {}
 
 /// Which simulation fidelity runs each trial.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -161,11 +194,8 @@ fn fading_delta_db(scenario: &Scenario, rng: &mut StdRng) -> f64 {
             let h: vab_util::complex::C64 = arrivals
                 .iter()
                 .map(|a| {
-                    let phase = if a.is_direct() {
-                        0.0
-                    } else {
-                        rng.random::<f64>() * vab_util::TAU
-                    };
+                    let phase =
+                        if a.is_direct() { 0.0 } else { rng.random::<f64>() * vab_util::TAU };
                     a.gain
                         * vab_util::complex::C64::cis(
                             -vab_util::TAU * scenario.carrier().value() * a.delay_s + phase,
@@ -185,14 +215,17 @@ fn fading_delta_db(scenario: &Scenario, rng: &mut StdRng) -> f64 {
 }
 
 /// One link-budget-engine trial: returns (bit errors, packet error, Eb/N0 dB).
+/// `delta_db` is an additive fault-injection term on the effective Eb/N0
+/// (0.0 for nominal trials).
 fn link_budget_trial(
     scenario: &Scenario,
     fe: &FrontEnd,
     bits_per_trial: usize,
     rng: &mut StdRng,
+    delta_db: f64,
 ) -> (usize, bool, f64) {
     let base = LinkBudget::compute_with_front_end(scenario, fe);
-    let ebn0_db = base.ebn0_db + fading_delta_db(scenario, rng);
+    let ebn0_db = base.ebn0_db + fading_delta_db(scenario, rng) + delta_db;
     let ebn0_lin = 10f64.powf(ebn0_db / 10.0);
     let link = scenario.link_config();
     // Energy per *channel* bit is the info-bit energy × code rate.
@@ -215,11 +248,8 @@ fn link_budget_trial(
         // The reader decodes convolutional codes with *soft* Viterbi. Model
         // the per-channel-bit soft metric as a unit signal in Gaussian
         // noise whose sigma reproduces the raw error probability p_chan.
-        let sigma = if p_chan >= 0.5 {
-            1e6
-        } else {
-            1.0 / vab_util::special::q_inv(p_chan.max(1e-12))
-        };
+        let sigma =
+            if p_chan >= 0.5 { 1e6 } else { 1.0 / vab_util::special::q_inv(p_chan.max(1e-12)) };
         let mut soft: Vec<f64> = coded
             .iter()
             .map(|&b| {
@@ -263,6 +293,50 @@ fn link_budget_trial(
     (errors, errors > 0, ebn0_db)
 }
 
+/// How faults reach the trials of one operating point.
+#[derive(Debug, Clone, Copy)]
+enum FaultSource<'a> {
+    /// No fault injection (nominal physics).
+    None,
+    /// Per-trial faults drawn from the plan (fault sweeps, determinism
+    /// tests): trial `t` gets `plan.trial_faults(t, …)`.
+    Plan(&'a FaultPlan),
+    /// The same pre-sampled faults for every trial of this point (the
+    /// campaign samples faults once per deployment and runs one packet).
+    Fixed(&'a TrialFaults),
+}
+
+/// Translates one trial's faults into the engine-level impairment:
+/// `(front-end override, Eb/N0 delta dB, reply lost, reply truncated)`.
+fn trial_impairment(
+    scenario: &Scenario,
+    fe: &FrontEnd,
+    faults: &TrialFaults,
+    trial: u64,
+) -> (Option<FrontEnd>, f64, bool, bool) {
+    let fe_override = if faults.elements.is_empty() {
+        None
+    } else {
+        fe.array().map(|array| {
+            let mut faulted = array.clone();
+            faulted.apply_element_faults(&faults.elements);
+            FrontEnd::from_array(faulted, scenario.carrier())
+        })
+    };
+    // Modulation-depth loss from resonance drift scales received *power*
+    // as amplitude²; channel impairments subtract straight dB.
+    let delta_db = 20.0 * faults.depth_scale.max(1e-9).log10() - faults.channel.extra_loss_db();
+    let mut lost = faults.channel.dropout;
+    if faults.energy.blackout_frac > 0.0 {
+        // Did this packet's wake-up land inside the blackout window? A
+        // dedicated deterministic draw keyed on the trial index keeps the
+        // channel RNG stream untouched.
+        let u = (derive_seed(BLACKOUT_STREAM, trial) % 4096) as f64 / 4096.0;
+        lost |= u < faults.energy.blackout_frac;
+    }
+    (fe_override, delta_db, lost, faults.energy.brownout_mid_reply)
+}
+
 /// Runs all trials for one operating point.
 pub fn run_point(scenario: &Scenario, cfg: &MonteCarloConfig) -> PointResult {
     let fe = scenario.front_end();
@@ -276,6 +350,50 @@ pub fn run_point_with_front_end(
     fe: &FrontEnd,
     cfg: &MonteCarloConfig,
 ) -> PointResult {
+    try_run_point_with_front_end(scenario, fe, cfg).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`run_point_with_front_end`]: worker-thread panics surface as
+/// a typed [`MonteCarloError`] instead of aborting the caller.
+pub fn try_run_point_with_front_end(
+    scenario: &Scenario,
+    fe: &FrontEnd,
+    cfg: &MonteCarloConfig,
+) -> Result<PointResult, MonteCarloError> {
+    run_point_impl(scenario, fe, cfg, FaultSource::None)
+}
+
+/// [`run_point`] under a deterministic fault plan: trial `t` experiences
+/// `plan.trial_faults(t, n_elements)` — element failures rebuild the front
+/// end, resonance drift and channel impairments shift the effective Eb/N0,
+/// blackouts/dropouts lose the packet, mid-reply brownouts truncate it.
+pub fn run_point_faulted(
+    scenario: &Scenario,
+    cfg: &MonteCarloConfig,
+    plan: &FaultPlan,
+) -> PointResult {
+    let fe = scenario.front_end();
+    run_point_impl(scenario, &fe, cfg, FaultSource::Plan(plan)).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_point`] with one pre-sampled [`TrialFaults`] applied to every
+/// trial of the point (the campaign path: faults are sampled per
+/// deployment, and each deployment is a single-packet point).
+pub fn run_point_with_trial_faults(
+    scenario: &Scenario,
+    fe: &FrontEnd,
+    cfg: &MonteCarloConfig,
+    faults: &TrialFaults,
+) -> PointResult {
+    run_point_impl(scenario, fe, cfg, FaultSource::Fixed(faults)).unwrap_or_else(|e| panic!("{e}"))
+}
+
+fn run_point_impl(
+    scenario: &Scenario,
+    fe: &FrontEnd,
+    cfg: &MonteCarloConfig,
+    faults: FaultSource<'_>,
+) -> Result<PointResult, MonteCarloError> {
     let threads = if cfg.threads == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
     } else {
@@ -283,48 +401,91 @@ pub fn run_point_with_front_end(
     }
     .min(cfg.trials.max(1));
     let trials_per = cfg.trials.div_ceil(threads);
-    let mut shards: Vec<PointResult> = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    let n_elements = scenario.system.n_elements();
+    let mut shards: Vec<Result<PointResult, MonteCarloError>> = Vec::new();
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
             let fe = &fe;
             let scenario = &scenario;
+            let faults = &faults;
             let lo = t * trials_per;
             let hi = ((t + 1) * trials_per).min(cfg.trials);
             if lo >= hi {
                 continue;
             }
-            handles.push(scope.spawn(move |_| {
-                let mut ber = BerCounter::new();
-                let mut packet_errors = 0u64;
-                let mut ebn0 = RunningStats::new();
-                let mut trial_bers = Vec::with_capacity(hi - lo);
-                for trial in lo..hi {
-                    let mut rng = seeded(derive_seed(cfg.seed, trial as u64));
-                    let (errors, pkt_err, snr) = match cfg.engine {
-                        TrialEngine::LinkBudget => {
-                            link_budget_trial(scenario, fe, cfg.bits_per_trial, &mut rng)
+            handles.push((
+                t,
+                scope.spawn(move || {
+                    let mut ber = BerCounter::new();
+                    let mut packet_errors = 0u64;
+                    let mut ebn0 = RunningStats::new();
+                    let mut trial_bers = Vec::with_capacity(hi - lo);
+                    for trial in lo..hi {
+                        let mut rng = seeded(derive_seed(cfg.seed, trial as u64));
+                        let trial_faults = match faults {
+                            FaultSource::None => None,
+                            FaultSource::Plan(p) => Some(p.trial_faults(trial as u64, n_elements)),
+                            FaultSource::Fixed(f) => Some((*f).clone()),
+                        };
+                        let (fe_override, delta_db, lost, truncated) = match &trial_faults {
+                            None => (None, 0.0, false, false),
+                            Some(f) => trial_impairment(scenario, fe, f, trial as u64),
+                        };
+                        let fe_trial = fe_override.as_ref().unwrap_or(fe);
+                        let (mut errors, mut pkt_err, snr) = if lost {
+                            // The reply never aired (blackout / dropout): the
+                            // reader's detector integrates pure noise — half
+                            // the bits wrong, packet gone.
+                            let base = LinkBudget::compute_with_front_end(scenario, fe_trial);
+                            (cfg.bits_per_trial / 2, true, base.ebn0_db + delta_db)
+                        } else {
+                            match cfg.engine {
+                                TrialEngine::LinkBudget => link_budget_trial(
+                                    scenario,
+                                    fe_trial,
+                                    cfg.bits_per_trial,
+                                    &mut rng,
+                                    delta_db,
+                                ),
+                                TrialEngine::SampleLevel => run_sample_trial_scaled(
+                                    scenario,
+                                    fe_trial,
+                                    cfg.bits_per_trial,
+                                    10f64.powf(delta_db / 20.0),
+                                    &mut rng,
+                                ),
+                            }
+                        };
+                        if truncated {
+                            // Brown-out mid-reply: the packet tail never airs,
+                            // so the CRC fails and the lost tail reads as noise.
+                            errors += cfg.bits_per_trial / 4;
+                            pkt_err = true;
                         }
-                        TrialEngine::SampleLevel => {
-                            run_sample_trial(scenario, fe, cfg.bits_per_trial, &mut rng)
+                        let errors = errors.min(cfg.bits_per_trial);
+                        ber.record(errors, cfg.bits_per_trial);
+                        trial_bers.push(errors as f64 / cfg.bits_per_trial as f64);
+                        if pkt_err {
+                            packet_errors += 1;
                         }
-                    };
-                    let errors = errors.min(cfg.bits_per_trial);
-                    ber.record(errors, cfg.bits_per_trial);
-                    trial_bers.push(errors as f64 / cfg.bits_per_trial as f64);
-                    if pkt_err {
-                        packet_errors += 1;
+                        ebn0.push(snr);
                     }
-                    ebn0.push(snr);
-                }
-                PointResult { ber, packet_errors, trials: (hi - lo) as u64, ebn0, trial_bers }
+                    PointResult { ber, packet_errors, trials: (hi - lo) as u64, ebn0, trial_bers }
+                }),
+            ));
+        }
+        for (shard, h) in handles {
+            shards.push(h.join().map_err(|payload| {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                MonteCarloError::WorkerPanicked { shard, message }
             }));
         }
-        for h in handles {
-            shards.push(h.join().expect("Monte Carlo worker panicked"));
-        }
-    })
-    .expect("crossbeam scope");
+    });
     let mut total = PointResult {
         ber: BerCounter::new(),
         packet_errors: 0,
@@ -333,6 +494,7 @@ pub fn run_point_with_front_end(
         trial_bers: Vec::with_capacity(cfg.trials),
     };
     for s in shards {
+        let s = s?;
         total.ber.merge(&s.ber);
         total.packet_errors += s.packet_errors;
         total.trials += s.trials;
@@ -341,15 +503,12 @@ pub fn run_point_with_front_end(
     }
     // Keep trial order deterministic regardless of shard join order.
     total.trial_bers.sort_by(|a, b| a.partial_cmp(b).expect("finite BER"));
-    total
+    Ok(total)
 }
 
 /// Sweeps an axis: `points` are `(x, scenario)` pairs.
 pub fn run_ber_sweep(points: &[(f64, Scenario)], cfg: &MonteCarloConfig) -> Vec<BerPoint> {
-    points
-        .iter()
-        .map(|(x, s)| run_point(s, cfg).to_point(*x))
-        .collect()
+    points.iter().map(|(x, s)| run_point(s, cfg).to_point(*x)).collect()
 }
 
 #[cfg(test)]
@@ -418,17 +577,67 @@ mod tests {
         let uncoded = coded.clone().with_link(vab_link::frame::LinkConfig::uncoded());
         let rc = run_point(&coded, &cfg(60, 512));
         let ru = run_point(&uncoded, &cfg(60, 512));
-        assert!(
-            ru.ber.ber() > 5e-3,
-            "uncoded must show errors at 340 m, got {}",
-            ru.ber.ber()
-        );
+        assert!(ru.ber.ber() > 5e-3, "uncoded must show errors at 340 m, got {}", ru.ber.ber());
         assert!(
             rc.ber.ber() < ru.ber.ber() / 3.0,
             "coded {} should clearly beat uncoded {}",
             rc.ber.ber(),
             ru.ber.ber()
         );
+    }
+
+    #[test]
+    fn off_fault_plan_matches_unfaulted_bit_for_bit() {
+        use vab_fault::{FaultConfig, FaultPlan};
+        let s = Scenario::river(SystemKind::Vab { n_pairs: 4 }, Meters(280.0));
+        let c = cfg(24, 128);
+        let plain = run_point(&s, &c);
+        let plan = FaultPlan::new(c.seed, FaultConfig::off());
+        let faulted = run_point_faulted(&s, &c, &plan);
+        assert_eq!(plain.ber.errors(), faulted.ber.errors());
+        assert_eq!(plain.packet_errors, faulted.packet_errors);
+        assert_eq!(plain.trial_bers, faulted.trial_bers);
+    }
+
+    #[test]
+    fn severe_faults_degrade_the_point() {
+        use vab_fault::{FaultConfig, FaultPlan};
+        let s = Scenario::river(SystemKind::Vab { n_pairs: 4 }, Meters(200.0));
+        let c = cfg(60, 256);
+        let nominal = run_point(&s, &c);
+        let plan = FaultPlan::new(c.seed, FaultConfig::severe());
+        let faulted = run_point_faulted(&s, &c, &plan);
+        assert!(
+            faulted.ber.ber() > nominal.ber.ber(),
+            "severe faults must raise BER: {} vs {}",
+            faulted.ber.ber(),
+            nominal.ber.ber()
+        );
+        assert!(faulted.packet_errors > nominal.packet_errors);
+    }
+
+    #[test]
+    fn faulted_point_reproducible_across_thread_counts() {
+        use vab_fault::{FaultConfig, FaultPlan};
+        let s = Scenario::river(SystemKind::Vab { n_pairs: 4 }, Meters(280.0));
+        let plan = FaultPlan::new(9, FaultConfig::with_intensity(0.5));
+        let mut c1 = cfg(16, 128);
+        c1.threads = 1;
+        let mut c8 = cfg(16, 128);
+        c8.threads = 8;
+        let r1 = run_point_faulted(&s, &c1, &plan);
+        let r8 = run_point_faulted(&s, &c8, &plan);
+        assert_eq!(r1.ber.errors(), r8.ber.errors());
+        assert_eq!(r1.packet_errors, r8.packet_errors);
+        assert_eq!(r1.trial_bers, r8.trial_bers);
+    }
+
+    #[test]
+    fn try_variant_returns_ok_on_clean_runs() {
+        let s = Scenario::river(SystemKind::Vab { n_pairs: 4 }, Meters(50.0));
+        let fe = s.front_end();
+        let r = try_run_point_with_front_end(&s, &fe, &cfg(4, 64)).expect("no worker panic");
+        assert_eq!(r.trials, 4);
     }
 
     #[test]

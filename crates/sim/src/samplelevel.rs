@@ -38,6 +38,22 @@ pub fn transport_uplink(
     channel_bits: &[bool],
     rng: &mut StdRng,
 ) -> Option<TransportedUplink> {
+    transport_uplink_scaled(scenario, fe, channel_bits, 1.0, rng)
+}
+
+/// Like [`transport_uplink`] but with the *modulated* reflection amplitude
+/// scaled by `amp_scale` — the waveform-level fault-injection hook.
+/// Resonance drift across the array, bubble-cloud attenuation and
+/// impulsive-burst penalties all reach the receiver as a weaker modulation
+/// sideband against an unchanged noise floor, which is exactly what this
+/// models (the static clutter and carrier leak are left untouched).
+pub fn transport_uplink_scaled(
+    scenario: &Scenario,
+    fe: &FrontEnd,
+    channel_bits: &[bool],
+    amp_scale: f64,
+    rng: &mut StdRng,
+) -> Option<TransportedUplink> {
     let params = scenario.mod_params;
     let fs = params.baseband_fs();
     let budget = LinkBudget::compute_with_front_end(scenario, fe);
@@ -66,7 +82,7 @@ pub fn transport_uplink(
     let total = lead + chips.len() + 64;
 
     // --- Node reflection envelope (before the return trip).
-    let mod_amp = fe.modulated_amplitude(scenario.incidence_angle());
+    let mod_amp = fe.modulated_amplitude(scenario.incidence_angle()) * amp_scale.max(0.0);
     let array_gain = fe.array_gain(scenario.incidence_angle());
     // The un-modulated mean reflection also re-radiates with the array's
     // gain; it ends up as a DC-like clutter the receiver cancels.
@@ -138,10 +154,8 @@ pub fn transport_uplink(
     let noise_sigma = (10f64.powf(budget.noise_psd_db / 10.0) * fs).sqrt();
     // Residual un-cancelled carrier: −50 dB of the direct coupling.
     let leak = C64::from_polar(source_amp * 10f64.powf(-50.0 / 20.0), 0.3);
-    let rx: Vec<C64> = uplink
-        .iter()
-        .map(|&v| v + leak + complex_gaussian(rng, noise_sigma))
-        .collect();
+    let rx: Vec<C64> =
+        uplink.iter().map(|&v| v + leak + complex_gaussian(rng, noise_sigma)).collect();
 
     // --- Receiver: carrier strip → sync → per-bit demod.
     let cleaned = remove_dc_sliding(&rx, params.samples_per_bit() * 32);
@@ -150,9 +164,8 @@ pub fn transport_uplink(
     let hard = demod.demodulate(&cleaned, payload_start, channel_bits.len());
     let mut soft = demod.soft_bits(&cleaned, payload_start, channel_bits.len());
     // Normalize so metric magnitudes are O(1) for soft decoders.
-    let rms = (soft.iter().map(|m| m * m).sum::<f64>() / soft.len().max(1) as f64)
-        .sqrt()
-        .max(1e-300);
+    let rms =
+        (soft.iter().map(|m| m * m).sum::<f64>() / soft.len().max(1) as f64).sqrt().max(1e-300);
     for m in soft.iter_mut() {
         *m /= rms;
     }
@@ -212,6 +225,18 @@ pub fn run_sample_trial(
     n_info_bits: usize,
     rng: &mut StdRng,
 ) -> (usize, bool, f64) {
+    run_sample_trial_scaled(scenario, fe, n_info_bits, 1.0, rng)
+}
+
+/// [`run_sample_trial`] with the modulated amplitude scaled by `amp_scale`
+/// (see [`transport_uplink_scaled`]) — the fault-injected waveform trial.
+pub fn run_sample_trial_scaled(
+    scenario: &Scenario,
+    fe: &FrontEnd,
+    n_info_bits: usize,
+    amp_scale: f64,
+    rng: &mut StdRng,
+) -> (usize, bool, f64) {
     let budget = LinkBudget::compute_with_front_end(scenario, fe);
     let link = scenario.link_config();
     let info = random_bits(rng, n_info_bits);
@@ -226,7 +251,7 @@ pub fn run_sample_trial(
         }
         b
     };
-    let Some(up) = transport_uplink(scenario, fe, &channel_bits, rng) else {
+    let Some(up) = transport_uplink_scaled(scenario, fe, &channel_bits, amp_scale, rng) else {
         return (n_info_bits, true, budget.ebn0_db); // sync lost: whole packet gone
     };
     let mut decoded = decode_uplink(&link, &up);

@@ -13,11 +13,13 @@
 //! This is the path the `full_session` example and the deepest integration
 //! tests drive.
 
-use crate::samplelevel::{decode_uplink, transport_uplink};
+use crate::baseline::FrontEnd;
+use crate::samplelevel::{decode_uplink, transport_uplink_scaled};
 use crate::scenario::Scenario;
 use rand::rngs::StdRng;
 use vab_acoustics::channel::ChannelModel;
 use vab_core::node::{Node, NodeEvent};
+use vab_fault::TrialFaults;
 use vab_link::bits::bytes_to_bits;
 use vab_link::frame::{Frame, FrameError};
 use vab_phy::downlink::{pie_encode, PieParams};
@@ -59,8 +61,43 @@ pub fn run_exchange(
     command: &Frame,
     rng: &mut StdRng,
 ) -> SessionOutcome {
+    run_exchange_faulted(scenario, node, command, &TrialFaults::nominal(), rng)
+}
+
+/// [`run_exchange`] under injected faults:
+///
+/// * element faults rebuild the node's front end with the failed/stuck
+///   switches applied (a dead pair stops contributing to the retro beam);
+/// * resonance drift (`depth_scale`) and channel impairments (burst duty,
+///   bubble fade) scale the modulated reflection amplitude;
+/// * a surface-motion dropout suppresses the uplink entirely — the reader's
+///   synchronizer never locks.
+///
+/// Protocol faults (corrupted ACKs, reader restarts) are *not* consumed
+/// here: they live above the waveform exchange, in the caller's ARQ/MAC
+/// loop.
+pub fn run_exchange_faulted(
+    scenario: &Scenario,
+    node: &mut Node,
+    command: &Frame,
+    faults: &TrialFaults,
+    rng: &mut StdRng,
+) -> SessionOutcome {
     let pie = PieParams::vab_default();
-    let fe = scenario.front_end();
+    let fe = {
+        let base = scenario.front_end();
+        if faults.elements.is_empty() {
+            base
+        } else if let Some(array) = base.array() {
+            let mut faulted = array.clone();
+            faulted.apply_element_faults(&faults.elements);
+            FrontEnd::from_array(faulted, scenario.carrier())
+        } else {
+            base // single-element systems have no switches to fail
+        }
+    };
+    let amp_scale =
+        faults.depth_scale.max(0.0) * 10f64.powf(-faults.channel.extra_loss_db() / 20.0);
 
     // --- Downlink leg.
     let env = pie_encode(&bytes_to_bits(&command.to_bytes()), &pie);
@@ -75,9 +112,8 @@ pub fn run_exchange(
     let ir = ch.impulse_response(pie.fs, rng);
     // Ambient noise at the node (the node has no carrier leak problem —
     // the carrier IS its power and its signal).
-    let ambient_sigma = (10f64.powf(scenario.env.noise_psd(scenario.carrier()).value() / 10.0)
-        * pie.fs)
-        .sqrt();
+    let ambient_sigma =
+        (10f64.powf(scenario.env.noise_psd(scenario.carrier()).value() / 10.0) * pie.fs).sqrt();
     let incident: Vec<C64> = ir
         .apply_baseband(&tx)
         .into_iter()
@@ -94,8 +130,9 @@ pub fn run_exchange(
 
     // --- Uplink leg, if the node replied.
     let uplink_frame = match event {
+        NodeEvent::Reply { .. } if faults.channel.dropout => Err(SessionError::SyncLost),
         NodeEvent::Reply { channel_bits, .. } => {
-            match transport_uplink(scenario, &fe, &channel_bits, rng) {
+            match transport_uplink_scaled(scenario, &fe, &channel_bits, amp_scale, rng) {
                 None => Err(SessionError::SyncLost),
                 Some(up) => {
                     let bits = decode_uplink(&node.config.link, &up);
@@ -169,6 +206,53 @@ mod tests {
         // The waveform decoded fine but the command was not for this node.
         assert!(!out.downlink_ok);
         assert_eq!(out.uplink_frame, Err(SessionError::DownlinkLost));
+    }
+
+    #[test]
+    fn dropout_fault_loses_the_uplink() {
+        let s = Scenario::river(SystemKind::Vab { n_pairs: 4 }, Meters(100.0));
+        let mut node = node_at(0x31);
+        node.queue_reading(vec![0xAB]);
+        let query = Frame::new(0x31, 0x00, 0, Command::Query.to_payload());
+        let mut faults = TrialFaults::nominal();
+        faults.channel.dropout = true;
+        let mut rng = seeded(501); // known-good downlink seed at 100 m
+        let out = run_exchange_faulted(&s, &mut node, &query, &faults, &mut rng);
+        assert!(out.downlink_ok, "dropout hits the uplink leg only");
+        assert_eq!(out.uplink_frame, Err(SessionError::SyncLost));
+    }
+
+    #[test]
+    fn deep_fade_fault_breaks_a_marginal_exchange() {
+        // 300 m works nominally (see exchange_at_the_headline_range); a
+        // 25 dB bubble-cloud fade must take it down.
+        let s = Scenario::river(SystemKind::Vab { n_pairs: 4 }, Meters(300.0));
+        let mut node = node_at(0x32);
+        node.queue_reading(vec![7; 8]);
+        let query = Frame::new(0x32, 0x00, 0, Command::Query.to_payload());
+        let mut faults = TrialFaults::nominal();
+        faults.channel.fade_db = 25.0;
+        let mut rng = seeded(502);
+        let out = run_exchange_faulted(&s, &mut node, &query, &faults, &mut rng);
+        assert!(out.uplink_frame.is_err(), "25 dB fade at 300 m must kill the frame");
+    }
+
+    #[test]
+    fn nominal_faults_reproduce_the_unfaulted_exchange() {
+        let s = Scenario::river(SystemKind::Vab { n_pairs: 4 }, Meters(100.0));
+        let query = Frame::new(0x31, 0x00, 0, Command::Query.to_payload());
+        let mut n1 = node_at(0x31);
+        n1.queue_reading(vec![0xCA, 0xFE]);
+        let a = run_exchange(&s, &mut n1, &query, &mut seeded(501));
+        let mut n2 = node_at(0x31);
+        n2.queue_reading(vec![0xCA, 0xFE]);
+        let b =
+            run_exchange_faulted(&s, &mut n2, &query, &TrialFaults::nominal(), &mut seeded(501));
+        assert_eq!(a.downlink_ok, b.downlink_ok);
+        assert_eq!(
+            a.uplink_frame.expect("decodes").payload,
+            b.uplink_frame.expect("decodes").payload
+        );
     }
 
     #[test]

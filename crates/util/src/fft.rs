@@ -36,9 +36,7 @@ impl Fft {
             .map(|i| i.reverse_bits() >> (32 - bits.max(1)))
             .map(|i| if n == 1 { 0 } else { i })
             .collect();
-        let twiddles = (0..n / 2)
-            .map(|k| C64::cis(-TAU * k as f64 / n as f64))
-            .collect();
+        let twiddles = (0..n / 2).map(|k| C64::cis(-TAU * k as f64 / n as f64)).collect();
         Self { n, rev, twiddles }
     }
 
@@ -164,20 +162,15 @@ mod tests {
     fn naive_dft(x: &[C64]) -> Vec<C64> {
         let n = x.len();
         (0..n)
-            .map(|k| {
-                (0..n)
-                    .map(|m| x[m] * C64::cis(-TAU * (k * m) as f64 / n as f64))
-                    .sum()
-            })
+            .map(|k| (0..n).map(|m| x[m] * C64::cis(-TAU * (k * m) as f64 / n as f64)).sum())
             .collect()
     }
 
     #[test]
     fn matches_naive_dft() {
         for n in [1usize, 2, 4, 8, 32, 64] {
-            let x: Vec<C64> = (0..n)
-                .map(|i| C64::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
-                .collect();
+            let x: Vec<C64> =
+                (0..n).map(|i| C64::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos())).collect();
             let mut got = x.clone();
             Fft::new(n).forward(&mut got);
             let want = naive_dft(&x);
@@ -190,7 +183,8 @@ mod tests {
     #[test]
     fn forward_inverse_roundtrip() {
         let n = 256;
-        let x: Vec<C64> = (0..n).map(|i| C64::new((i as f64).sin(), (i as f64 * 0.1).cos())).collect();
+        let x: Vec<C64> =
+            (0..n).map(|i| C64::new((i as f64).sin(), (i as f64 * 0.1).cos())).collect();
         let mut buf = x.clone();
         let plan = Fft::new(n);
         plan.forward(&mut buf);
@@ -224,12 +218,19 @@ mod tests {
         let n = 64;
         let fs = 8000.0;
         let x: Vec<f64> = (0..n)
-            .map(|i| (TAU * 1000.0 * i as f64 / fs).sin() + 0.5 * (TAU * 2500.0 * i as f64 / fs).cos())
+            .map(|i| {
+                (TAU * 1000.0 * i as f64 / fs).sin() + 0.5 * (TAU * 2500.0 * i as f64 / fs).cos()
+            })
             .collect();
         let spec = rfft(&x);
         for k in [8usize, 20] {
             let g = goertzel(&x, bin_freq(k, n, fs), fs);
-            assert!(approx_eq(g.abs(), spec[k].abs(), 1e-6), "k={k} g={} fft={}", g.abs(), spec[k].abs());
+            assert!(
+                approx_eq(g.abs(), spec[k].abs(), 1e-6),
+                "k={k} g={} fft={}",
+                g.abs(),
+                spec[k].abs()
+            );
         }
     }
 

@@ -180,7 +180,6 @@ impl DcBlocker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     #[test]
     fn convolution_identity() {

@@ -46,9 +46,12 @@ fn main() {
     // --- Phase 2: push each node its TDMA slot over the downlink.
     for node in nodes.iter_mut() {
         let slot = report.schedule.slot_of(node.config.address).expect("scheduled");
-        let cmd = Frame::new(node.config.address, READER, 0, Command::AssignSlot { slot }.to_payload());
+        let cmd =
+            Frame::new(node.config.address, READER, 0, Command::AssignSlot { slot }.to_payload());
         match node.handle_downlink(&cmd) {
-            NodeEvent::SlotAssigned(s) => println!("node {:#04x} took slot {s}", node.config.address),
+            NodeEvent::SlotAssigned(s) => {
+                println!("node {:#04x} took slot {s}", node.config.address)
+            }
             other => panic!("unexpected response {other:?}"),
         }
     }
@@ -75,5 +78,9 @@ fn main() {
         readings.push(frame.payload);
     }
     assert_eq!(readings.len(), 6);
-    println!("\nall {} readings collected; next round in {}.", readings.len(), report.schedule.round_duration());
+    println!(
+        "\nall {} readings collected; next round in {}.",
+        readings.len(),
+        report.schedule.round_duration()
+    );
 }

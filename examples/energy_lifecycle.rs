@@ -59,8 +59,11 @@ fn main() {
         pmu.step(p_in, NodeMode::Listen, dt);
         t += dt.value();
     }
-    println!("  t={t:>7.1}s  after 60 s of listening: {:.2}, availability {:.0}%",
-        pmu.voltage(), 100.0 * pmu.availability());
+    println!(
+        "  t={t:>7.1}s  after 60 s of listening: {:.2}, availability {:.0}%",
+        pmu.voltage(),
+        100.0 * pmu.availability()
+    );
     // The boat leaves: no carrier, node keeps listening until brown-out.
     let mut starve_time = 0.0;
     while pmu.is_active() {
@@ -68,7 +71,9 @@ fn main() {
         t += dt.value();
         starve_time += dt.value();
     }
-    println!("  t={t:>7.1}s  carrier gone: survived {starve_time:.0} s on the capacitor, then brown-out");
+    println!(
+        "  t={t:>7.1}s  carrier gone: survived {starve_time:.0} s on the capacitor, then brown-out"
+    );
     // The boat returns.
     while !pmu.is_active() {
         pmu.step(p_in, NodeMode::Sleep, dt);

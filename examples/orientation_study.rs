@@ -30,9 +30,7 @@ fn main() {
         let theta = Degrees(deg as f64);
         let van = array.retro_gain_db(theta, F0);
         let conv = 20.0
-            * (conventional_backscatter_factor(&array.geometry, theta, F0).abs())
-                .max(1e-6)
-                .log10();
+            * (conventional_backscatter_factor(&array.geometry, theta, F0).abs()).max(1e-6).log10();
         println!("{:>5}°  {:>9.1}dB {:28}  {:>10.1}dB  {}", deg, van, bar(van), conv, bar(conv));
     }
 
@@ -48,7 +46,12 @@ fn main() {
     for sys in [SystemKind::Vab { n_pairs: 4 }, SystemKind::ConventionalArray { n_elements: 8 }] {
         let s = Scenario::river(sys, Meters(100.0)).with_rotation(Degrees(45.0));
         let r = run_point(&s, &mc);
-        println!("  {:<30} BER {:.2e}   (mean Eb/N0 {:>6.1} dB)", sys.label(), r.ber.ber(), r.ebn0.mean());
+        println!(
+            "  {:<30} BER {:.2e}   (mean Eb/N0 {:>6.1} dB)",
+            sys.label(),
+            r.ber.ber(),
+            r.ebn0.mean()
+        );
     }
     println!("\nThe pair-swap costs nothing at broadside and buys the entire off-axis range.");
 }

@@ -5,6 +5,7 @@
 
 pub use vab_acoustics as acoustics;
 pub use vab_core as node;
+pub use vab_fault as fault;
 pub use vab_harvest as harvest;
 pub use vab_link as link;
 pub use vab_mac as mac;

@@ -56,6 +56,53 @@ fn experiment_tables_are_reproducible() {
 }
 
 #[test]
+fn faulted_point_independent_of_thread_count() {
+    use vab::fault::{FaultConfig, FaultPlan};
+    use vab::sim::montecarlo::run_point_faulted;
+    let s = Scenario::river(SystemKind::Vab { n_pairs: 4 }, Meters(280.0));
+    let plan = FaultPlan::new(42, FaultConfig::with_intensity(0.5));
+    let r1 = run_point_faulted(&s, &cfg(1, 42), &plan);
+    let r8 = run_point_faulted(&s, &cfg(8, 42), &plan);
+    assert_eq!(r1.ber.errors(), r8.ber.errors());
+    assert_eq!(r1.packet_errors, r8.packet_errors);
+    assert_eq!(r1.trial_bers, r8.trial_bers);
+    assert!((r1.ebn0.mean() - r8.ebn0.mean()).abs() < 1e-9);
+}
+
+#[test]
+fn faulted_campaign_bit_identical_across_runs() {
+    use vab::fault::FaultConfig;
+    use vab::sim::campaign::{run_campaign, CampaignConfig};
+    let cfg = CampaignConfig {
+        n_trials: 80,
+        faults: Some(FaultConfig::with_intensity(0.6)),
+        ..CampaignConfig::vab_default()
+    };
+    let a = run_campaign(&cfg);
+    let b = run_campaign(&cfg);
+    for (x, y) in a.records.iter().zip(&b.records) {
+        assert_eq!(x.errors, y.errors);
+        assert_eq!(x.bits, y.bits);
+        assert_eq!(x.range_m, y.range_m);
+        assert_eq!(x.ebn0_db, y.ebn0_db);
+    }
+}
+
+#[test]
+fn fault_plans_are_pure_functions_of_seed_and_trial() {
+    use vab::fault::{FaultConfig, FaultPlan};
+    let plan = FaultPlan::new(9, FaultConfig::severe());
+    // Trial faults must not depend on draw order: querying out of order,
+    // repeatedly, or from clones yields identical faults.
+    let forward: Vec<_> = (0..16).map(|t| plan.trial_faults(t, 8)).collect();
+    let mut backward: Vec<_> = (0..16).rev().map(|t| plan.trial_faults(t, 8)).collect();
+    backward.reverse();
+    for (a, b) in forward.iter().zip(&backward) {
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}
+
+#[test]
 fn sample_level_trials_reproducible() {
     let s = Scenario::river(SystemKind::Vab { n_pairs: 4 }, Meters(150.0));
     let mc = MonteCarloConfig {

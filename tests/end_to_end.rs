@@ -16,11 +16,7 @@ fn headline_300m_river_at_ber_1e3() {
     // The abstract: "communication range that exceeds 300 m ... at BER 10⁻³".
     let s = Scenario::river(SystemKind::Vab { n_pairs: 4 }, Meters(300.0));
     let r = run_point(&s, &mc(80, TrialEngine::LinkBudget));
-    assert!(
-        r.median_ber() <= 1e-3,
-        "median BER at 300 m = {:.2e}",
-        r.median_ber()
-    );
+    assert!(r.median_ber() <= 1e-3, "median BER at 300 m = {:.2e}", r.median_ber());
 }
 
 #[test]
@@ -29,9 +25,7 @@ fn order_of_magnitude_over_prior_art() {
     let target = 1e-3;
     let cfg = mc(40, TrialEngine::LinkBudget);
     let range_of = |sys: SystemKind| -> f64 {
-        let ok = |d: f64| {
-            run_point(&Scenario::river(sys, Meters(d)), &cfg).median_ber() <= target
-        };
+        let ok = |d: f64| run_point(&Scenario::river(sys, Meters(d)), &cfg).median_ber() <= target;
         let (mut lo, mut hi) = (2.0, 2000.0);
         if !ok(lo) {
             return 0.0;

@@ -17,12 +17,7 @@ const FS: f64 = 96_000.0;
 fn calm_river_channel(range: f64) -> ChannelModel {
     let mut env = Environment::river();
     env.sea_state = SeaState::Calm;
-    ChannelModel::new(
-        env,
-        Position::new(0.0, 0.0, 2.0),
-        Position::new(range, 0.0, 2.0),
-        Hertz(F0),
-    )
+    ChannelModel::new(env, Position::new(0.0, 0.0, 2.0), Position::new(range, 0.0, 2.0), Hertz(F0))
 }
 
 #[test]
@@ -94,7 +89,7 @@ fn carrier_notch_reveals_backscatter_sidebands() {
         .map(|i| {
             let t = i as f64 / FS;
             // ±1 square wave with fundamental at `chip_rate`.
-            let chip = if ((t * 2.0 * chip_rate) as u64) % 2 == 0 { 1.0 } else { -1.0 };
+            let chip = if ((t * 2.0 * chip_rate) as u64).is_multiple_of(2) { 1.0 } else { -1.0 };
             (vab::util::TAU * F0 * t).sin() * (1.0 + 0.1 * chip)
         })
         .collect();
@@ -102,8 +97,8 @@ fn carrier_notch_reveals_backscatter_sidebands() {
     let y = notch.filter_same(&x);
     let interior = &y[3000..n - 3000];
     let carrier_power = goertzel_power(interior, F0, FS);
-    let sideband_power = goertzel_power(interior, F0 + chip_rate, FS)
-        + goertzel_power(interior, F0 - chip_rate, FS);
+    let sideband_power =
+        goertzel_power(interior, F0 + chip_rate, FS) + goertzel_power(interior, F0 - chip_rate, FS);
     assert!(
         sideband_power > 10.0 * carrier_power,
         "sidebands {sideband_power:.2e} must dominate residual carrier {carrier_power:.2e}"
@@ -142,9 +137,7 @@ fn multipath_channel_produces_visible_passband_isi() {
     // Energy beyond (delay + burst length) exists because of late arrivals.
     let first = (ir.arrivals()[0].delay_s * FS) as usize;
     let burst_end = first + 300;
-    let tail_energy: f64 = y[burst_end..burst_end + (spread * FS) as usize + 64]
-        .iter()
-        .map(|v| v * v)
-        .sum();
+    let tail_energy: f64 =
+        y[burst_end..burst_end + (spread * FS) as usize + 64].iter().map(|v| v * v).sum();
     assert!(tail_energy > 0.0, "late multipath arrivals must leave a tail");
 }
