@@ -1,24 +1,15 @@
 //! F16 - cross-validation: theory vs link-budget MC vs waveform engine
 //!
 //! Usage: `cargo run --release -p vab-bench --bin fig_engine_validation` (add `--quick`
-//! for a fast low-trial run, `--csv <path>` to also write CSV).
+//! for a fast low-trial run, `--csv <path>` to also write CSV; set
+//! `VAB_OBS=stderr|jsonl` for a structured trace and stage breakdown).
 
-use vab_bench::experiments;
+use vab_bench::{experiments, report};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let cfg = if args.iter().any(|a| a == "--quick") {
-        experiments::ExpConfig::quick()
-    } else {
-        experiments::ExpConfig::full()
-    };
-    let table = experiments::f16_engine_validation(&cfg);
-    println!("# F16 - cross-validation: theory vs link-budget MC vs waveform engine");
-    println!();
-    print!("{}", table.to_pretty());
-    if let Some(i) = args.iter().position(|a| a == "--csv") {
-        let path = args.get(i + 1).expect("--csv needs a path");
-        table.write_csv(std::path::Path::new(path)).expect("write CSV");
-        eprintln!("wrote {path}");
-    }
+    report::run_figure(
+        "F16",
+        "cross-validation: theory vs link-budget MC vs waveform engine",
+        experiments::f16_engine_validation,
+    );
 }

@@ -1,24 +1,15 @@
-//! F19 - cross-layer fault sweep: graceful degradation under injected faults
+//! F19 - cross-layer fault sweep (adaptive vs static stack)
 //!
 //! Usage: `cargo run --release -p vab-bench --bin fig_fault_sweep` (add `--quick`
-//! for a fast low-trial run, `--csv <path>` to also write CSV).
+//! for a fast low-trial run, `--csv <path>` to also write CSV; set
+//! `VAB_OBS=stderr|jsonl` for a structured trace and stage breakdown).
 
-use vab_bench::experiments;
+use vab_bench::{experiments, report};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let cfg = if args.iter().any(|a| a == "--quick") {
-        experiments::ExpConfig::quick()
-    } else {
-        experiments::ExpConfig::full()
-    };
-    let table = experiments::f19_fault_sweep(&cfg);
-    println!("# F19 - cross-layer fault sweep (adaptive vs static stack)");
-    println!();
-    print!("{}", table.to_pretty());
-    if let Some(i) = args.iter().position(|a| a == "--csv") {
-        let path = args.get(i + 1).expect("--csv needs a path");
-        table.write_csv(std::path::Path::new(path)).expect("write CSV");
-        eprintln!("wrote {path}");
-    }
+    report::run_figure(
+        "F19",
+        "cross-layer fault sweep (adaptive vs static stack)",
+        experiments::f19_fault_sweep,
+    );
 }

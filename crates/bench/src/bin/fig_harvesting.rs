@@ -1,25 +1,13 @@
 //! F12 - harvested power vs range against the node budget
 //!
 //! Usage: `cargo run --release -p vab-bench --bin fig_harvesting` (add `--quick`
-//! for a fast low-trial run, `--csv <path>` to also write CSV).
+//! for a fast low-trial run, `--csv <path>` to also write CSV; set
+//! `VAB_OBS=stderr|jsonl` for a structured trace and stage breakdown).
 
-use vab_bench::experiments;
+use vab_bench::{experiments, report};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let cfg = if args.iter().any(|a| a == "--quick") {
-        experiments::ExpConfig::quick()
-    } else {
-        experiments::ExpConfig::full()
-    };
-    let _ = cfg;
-    let table = experiments::f12_harvesting();
-    println!("# F12 - harvested power vs range against the node budget");
-    println!();
-    print!("{}", table.to_pretty());
-    if let Some(i) = args.iter().position(|a| a == "--csv") {
-        let path = args.get(i + 1).expect("--csv needs a path");
-        table.write_csv(std::path::Path::new(path)).expect("write CSV");
-        eprintln!("wrote {path}");
-    }
+    report::run_figure("F12", "harvested power vs range against the node budget", |_cfg| {
+        experiments::f12_harvesting()
+    });
 }

@@ -1,23 +1,15 @@
-//! F18 - FM0-OOK vs FSK backscatter at the waveform level.
+//! F18 - modulation comparison: FM0 vs FSK through the river channel
 //!
-//! Usage: `cargo run --release -p vab-bench --bin fig_modulation_comparison`
+//! Usage: `cargo run --release -p vab-bench --bin fig_modulation_comparison` (add `--quick`
+//! for a fast low-trial run, `--csv <path>` to also write CSV; set
+//! `VAB_OBS=stderr|jsonl` for a structured trace and stage breakdown).
 
-use vab_bench::experiments;
+use vab_bench::{experiments, report};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let cfg = if args.iter().any(|a| a == "--quick") {
-        experiments::ExpConfig::quick()
-    } else {
-        experiments::ExpConfig::full()
-    };
-    let table = experiments::f18_modulation_comparison(&cfg);
-    println!("# F18 - modulation comparison: FM0 vs FSK through the river channel");
-    println!();
-    print!("{}", table.to_pretty());
-    if let Some(i) = args.iter().position(|a| a == "--csv") {
-        let path = args.get(i + 1).expect("--csv needs a path");
-        table.write_csv(std::path::Path::new(path)).expect("write CSV");
-        eprintln!("wrote {path}");
-    }
+    report::run_figure(
+        "F18",
+        "modulation comparison: FM0 vs FSK through the river channel",
+        experiments::f18_modulation_comparison,
+    );
 }

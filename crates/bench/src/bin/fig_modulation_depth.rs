@@ -1,25 +1,13 @@
 //! F11 - modulation depth vs frequency for the load strategies
 //!
 //! Usage: `cargo run --release -p vab-bench --bin fig_modulation_depth` (add `--quick`
-//! for a fast low-trial run, `--csv <path>` to also write CSV).
+//! for a fast low-trial run, `--csv <path>` to also write CSV; set
+//! `VAB_OBS=stderr|jsonl` for a structured trace and stage breakdown).
 
-use vab_bench::experiments;
+use vab_bench::{experiments, report};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let cfg = if args.iter().any(|a| a == "--quick") {
-        experiments::ExpConfig::quick()
-    } else {
-        experiments::ExpConfig::full()
-    };
-    let _ = cfg;
-    let table = experiments::f11_modulation_depth();
-    println!("# F11 - modulation depth vs frequency for the load strategies");
-    println!();
-    print!("{}", table.to_pretty());
-    if let Some(i) = args.iter().position(|a| a == "--csv") {
-        let path = args.get(i + 1).expect("--csv needs a path");
-        table.write_csv(std::path::Path::new(path)).expect("write CSV");
-        eprintln!("wrote {path}");
-    }
+    report::run_figure("F11", "modulation depth vs frequency for the load strategies", |_cfg| {
+        experiments::f11_modulation_depth()
+    });
 }

@@ -1,24 +1,15 @@
 //! F15 - adaptive rate control on a drifting deployment
 //!
 //! Usage: `cargo run --release -p vab-bench --bin fig_rate_adaptation` (add `--quick`
-//! for a fast low-trial run, `--csv <path>` to also write CSV).
+//! for a fast low-trial run, `--csv <path>` to also write CSV; set
+//! `VAB_OBS=stderr|jsonl` for a structured trace and stage breakdown).
 
-use vab_bench::experiments;
+use vab_bench::{experiments, report};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let cfg = if args.iter().any(|a| a == "--quick") {
-        experiments::ExpConfig::quick()
-    } else {
-        experiments::ExpConfig::full()
-    };
-    let table = experiments::f15_rate_adaptation(&cfg);
-    println!("# F15 - adaptive rate control on a drifting deployment");
-    println!();
-    print!("{}", table.to_pretty());
-    if let Some(i) = args.iter().position(|a| a == "--csv") {
-        let path = args.get(i + 1).expect("--csv needs a path");
-        table.write_csv(std::path::Path::new(path)).expect("write CSV");
-        eprintln!("wrote {path}");
-    }
+    report::run_figure(
+        "F15",
+        "adaptive rate control on a drifting deployment",
+        experiments::f15_rate_adaptation,
+    );
 }

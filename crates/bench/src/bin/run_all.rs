@@ -4,22 +4,14 @@
 //! ```text
 //! cargo run --release -p vab-bench --bin run_all          # full fidelity
 //! cargo run --release -p vab-bench --bin run_all -- --quick
+//! VAB_OBS=jsonl cargo run --release -p vab-bench --bin run_all -- --quick
 //! ```
-
-use vab_bench::experiments;
+//!
+//! With `VAB_OBS=stderr|jsonl` each figure also reports its per-stage
+//! wall-clock breakdown, and the run ends with a metrics snapshot in
+//! `results/metrics.json` plus (for `jsonl`) a trace at
+//! `results/trace.jsonl`.
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let cfg = if quick { experiments::ExpConfig::quick() } else { experiments::ExpConfig::full() };
-    let out_dir = std::path::Path::new("results");
-    std::fs::create_dir_all(out_dir).expect("create results/");
-    let started = std::time::Instant::now();
-    for (name, table) in experiments::all_experiments(&cfg) {
-        println!("==== {name} ====");
-        print!("{}", table.to_pretty());
-        println!();
-        let path = out_dir.join(format!("{name}.csv"));
-        table.write_csv(&path).expect("write CSV");
-    }
-    eprintln!("all experiments regenerated into results/ in {:.1?}", started.elapsed());
+    vab_bench::report::run_all_main();
 }

@@ -1,25 +1,13 @@
 //! T3 - round-trip link budget at 100 m and 300 m
 //!
 //! Usage: `cargo run --release -p vab-bench --bin table_link_budget` (add `--quick`
-//! for a fast low-trial run, `--csv <path>` to also write CSV).
+//! for a fast low-trial run, `--csv <path>` to also write CSV; set
+//! `VAB_OBS=stderr|jsonl` for a structured trace and stage breakdown).
 
-use vab_bench::experiments;
+use vab_bench::{experiments, report};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let cfg = if args.iter().any(|a| a == "--quick") {
-        experiments::ExpConfig::quick()
-    } else {
-        experiments::ExpConfig::full()
-    };
-    let _ = cfg;
-    let table = experiments::t3_link_budget();
-    println!("# T3 - round-trip link budget at 100 m and 300 m");
-    println!();
-    print!("{}", table.to_pretty());
-    if let Some(i) = args.iter().position(|a| a == "--csv") {
-        let path = args.get(i + 1).expect("--csv needs a path");
-        table.write_csv(std::path::Path::new(path)).expect("write CSV");
-        eprintln!("wrote {path}");
-    }
+    report::run_figure("T3", "round-trip link budget at 100 m and 300 m", |_cfg| {
+        experiments::t3_link_budget()
+    });
 }

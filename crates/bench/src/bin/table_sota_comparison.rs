@@ -1,24 +1,15 @@
 //! T1 - head-to-head vs the prior state of the art (15x range claim)
 //!
 //! Usage: `cargo run --release -p vab-bench --bin table_sota_comparison` (add `--quick`
-//! for a fast low-trial run, `--csv <path>` to also write CSV).
+//! for a fast low-trial run, `--csv <path>` to also write CSV; set
+//! `VAB_OBS=stderr|jsonl` for a structured trace and stage breakdown).
 
-use vab_bench::experiments;
+use vab_bench::{experiments, report};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let cfg = if args.iter().any(|a| a == "--quick") {
-        experiments::ExpConfig::quick()
-    } else {
-        experiments::ExpConfig::full()
-    };
-    let table = experiments::t1_sota_comparison(&cfg);
-    println!("# T1 - head-to-head vs the prior state of the art (15x range claim)");
-    println!();
-    print!("{}", table.to_pretty());
-    if let Some(i) = args.iter().position(|a| a == "--csv") {
-        let path = args.get(i + 1).expect("--csv needs a path");
-        table.write_csv(std::path::Path::new(path)).expect("write CSV");
-        eprintln!("wrote {path}");
-    }
+    report::run_figure(
+        "T1",
+        "head-to-head vs the prior state of the art (15x range claim)",
+        experiments::t1_sota_comparison,
+    );
 }

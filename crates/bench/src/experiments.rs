@@ -906,6 +906,7 @@ pub fn a6_ablation_interleaver(cfg: &ExpConfig) -> CsvTable {
 /// reader restart. Returns delivered goodput in bit/s.
 fn fault_protocol_goodput(cfg: &ExpConfig, fc: vab_fault::FaultConfig, adaptive: bool) -> f64 {
     use vab_fault::FaultPlan;
+    use vab_link::arq::{ArqReceiver, ArqSender, ReceiveOutcome, SenderAction};
     use vab_mac::inventory::SilenceMonitor;
     use vab_mac::rate_adapt::RateController;
     use vab_sim::montecarlo::run_point_with_trial_faults;
@@ -927,6 +928,12 @@ fn fault_protocol_goodput(cfg: &ExpConfig, fc: vab_fault::FaultConfig, adaptive:
     let mut monitor = SilenceMonitor::new(3);
     // Per-node polls to skip (the MAC-level face of ARQ exponential backoff).
     let mut backoff: std::collections::HashMap<u8, u32> = std::collections::HashMap::new();
+    // Per-node stop-and-wait ARQ state machines shadow the goodput
+    // accounting below: they see the same transmit/ack/loss outcomes (so
+    // their retransmit/drop/corrupt-ack events and counters describe this
+    // run) without owning any of the delivered/elapsed arithmetic.
+    let mut arq: std::collections::HashMap<u8, (ArqSender, ArqReceiver)> =
+        NODES.iter().map(|&a| (a, (ArqSender::new(2), ArqReceiver::new()))).collect();
     let mut delivered = 0.0;
     let mut elapsed = 0.0;
     for poll in 0..n_polls {
@@ -954,6 +961,22 @@ fn fault_protocol_goodput(cfg: &ExpConfig, fc: vab_fault::FaultConfig, adaptive:
                 }
             }
         }
+        // Frame for this poll: a fresh payload when the node's sender is
+        // idle, otherwise this poll *is* the retransmission of the payload
+        // still outstanding from an earlier failed poll (firing the ARQ
+        // retransmit — or, retries exhausted, drop-then-fresh — path).
+        let (tx, rx) = arq.get_mut(&addr).expect("scheduled node has ARQ state");
+        let payload = vec![addr; (PAYLOAD_BITS as usize) / 8];
+        let frame_seq = match tx.offer(payload.clone()) {
+            Some(SenderAction::Transmit { seq, .. }) => seq,
+            _ => match tx.on_timeout() {
+                SenderAction::Transmit { seq, .. } => seq,
+                SenderAction::Idle => match tx.offer(payload.clone()) {
+                    Some(SenderAction::Transmit { seq, .. }) => seq,
+                    _ => unreachable!("sender is idle after a drop"),
+                },
+            },
+        };
         let bps = if adaptive { rc.rate_bps(addr) } else { 250.0 };
         let s = Scenario::river(SystemKind::Vab { n_pairs: 4 }, Meters(RANGE_M)).with_bit_rate(bps);
         let fe = s.front_end();
@@ -969,11 +992,26 @@ fn fault_protocol_goodput(cfg: &ExpConfig, fc: vab_fault::FaultConfig, adaptive:
         elapsed += PAYLOAD_BITS / bps + OVERHEAD_S;
         if ok {
             delivered += PAYLOAD_BITS;
+            let ack_seq = match rx.on_frame(frame_seq, payload.clone()) {
+                ReceiveOutcome::Deliver { ack_seq, .. } | ReceiveOutcome::Duplicate { ack_seq } => {
+                    ack_seq
+                }
+            };
             if faults.protocol.ack_corrupted {
                 // The sender missed the ACK and retransmits; the receiver's
                 // duplicate filter keeps the payload counted once, but the
                 // retransmission airtime is real for both stacks.
                 elapsed += PAYLOAD_BITS / bps;
+                tx.on_corrupt_ack();
+                if let SenderAction::Transmit { seq, .. } = tx.on_timeout() {
+                    let ack = match rx.on_frame(seq, payload) {
+                        ReceiveOutcome::Deliver { ack_seq, .. }
+                        | ReceiveOutcome::Duplicate { ack_seq } => ack_seq,
+                    };
+                    tx.on_ack(ack);
+                }
+            } else {
+                tx.on_ack(ack_seq);
             }
             if adaptive {
                 rc.on_outcome(addr, true);
@@ -1038,32 +1076,42 @@ pub fn f19_fault_sweep(cfg: &ExpConfig) -> CsvTable {
 
 /// Every experiment with its identifier and a closure to produce it — the
 /// registry `run_all` and the smoke tests iterate.
-pub fn all_experiments(cfg: &ExpConfig) -> Vec<(&'static str, CsvTable)> {
+/// One entry of the lazy experiment registry.
+pub type ExperimentFn = fn(&ExpConfig) -> CsvTable;
+
+/// The registry as unevaluated functions, so callers (`run_all`, the
+/// observability harness) can time or interleave per-experiment work.
+/// Config-free experiments ignore the `ExpConfig` they are handed.
+pub fn all_experiments_lazy() -> Vec<(&'static str, ExperimentFn)> {
     vec![
-        ("t1_sota_comparison", t1_sota_comparison(cfg)),
-        ("t2_power_budget", t2_power_budget()),
-        ("t3_link_budget", t3_link_budget()),
-        ("f6_snr_vs_range", f6_snr_vs_range(cfg)),
-        ("f7_ber_vs_range", f7_ber_vs_range(cfg)),
-        ("f8_orientation", f8_orientation(cfg)),
-        ("f9_scalability", f9_scalability(cfg)),
-        ("f10_ocean", f10_ocean(cfg)),
-        ("f11_modulation_depth", f11_modulation_depth()),
-        ("f12_harvesting", f12_harvesting()),
-        ("f13_throughput", f13_throughput(cfg)),
-        ("f14_multinode", f14_multinode(cfg)),
-        ("f15_rate_adaptation", f15_rate_adaptation(cfg)),
-        ("f16_engine_validation", f16_engine_validation(cfg)),
-        ("f17_campaign", f17_campaign(cfg)),
-        ("f18_modulation_comparison", f18_modulation_comparison(cfg)),
-        ("f19_fault_sweep", f19_fault_sweep(cfg)),
-        ("a1_ablation_delay", a1_ablation_delay(cfg)),
-        ("a2_ablation_fec", a2_ablation_fec(cfg)),
-        ("a3_ablation_cancellation", a3_ablation_cancellation(cfg)),
-        ("a4_ablation_failures", a4_ablation_failures(cfg)),
-        ("a5_tolerance_yield", a5_tolerance_yield(cfg)),
-        ("a6_ablation_interleaver", a6_ablation_interleaver(cfg)),
+        ("t1_sota_comparison", t1_sota_comparison as ExperimentFn),
+        ("t2_power_budget", |_cfg| t2_power_budget()),
+        ("t3_link_budget", |_cfg| t3_link_budget()),
+        ("f6_snr_vs_range", f6_snr_vs_range),
+        ("f7_ber_vs_range", f7_ber_vs_range),
+        ("f8_orientation", f8_orientation),
+        ("f9_scalability", f9_scalability),
+        ("f10_ocean", f10_ocean),
+        ("f11_modulation_depth", |_cfg| f11_modulation_depth()),
+        ("f12_harvesting", |_cfg| f12_harvesting()),
+        ("f13_throughput", f13_throughput),
+        ("f14_multinode", f14_multinode),
+        ("f15_rate_adaptation", f15_rate_adaptation),
+        ("f16_engine_validation", f16_engine_validation),
+        ("f17_campaign", f17_campaign),
+        ("f18_modulation_comparison", f18_modulation_comparison),
+        ("f19_fault_sweep", f19_fault_sweep),
+        ("a1_ablation_delay", a1_ablation_delay),
+        ("a2_ablation_fec", a2_ablation_fec),
+        ("a3_ablation_cancellation", a3_ablation_cancellation),
+        ("a4_ablation_failures", a4_ablation_failures),
+        ("a5_tolerance_yield", a5_tolerance_yield),
+        ("a6_ablation_interleaver", a6_ablation_interleaver),
     ]
+}
+
+pub fn all_experiments(cfg: &ExpConfig) -> Vec<(&'static str, CsvTable)> {
+    all_experiments_lazy().into_iter().map(|(name, run)| (name, run(cfg))).collect()
 }
 
 /// Extracts a float cell for assertions in tests (`row`, `col` 0-based on

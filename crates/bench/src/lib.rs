@@ -10,5 +10,6 @@
 //! same code with reduced trial counts.
 
 pub mod experiments;
+pub mod report;
 
 pub use experiments::ExpConfig;

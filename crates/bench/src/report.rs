@@ -1,0 +1,173 @@
+//! Shared harness for the per-figure bench binaries and `run_all`.
+//!
+//! Every `src/bin/fig_*` / `table_*` binary used to carry its own copy of
+//! the same preamble/CSV/arg-parsing boilerplate. They now all funnel
+//! through [`run_figure`], which adds on top of the old behaviour:
+//!
+//! - a uniform preamble (figure id, title, trial/bit/seed config, and the
+//!   observability mode resolved from `VAB_OBS`),
+//! - elapsed wall-clock per figure on stderr,
+//! - when observability is on: a per-stage time breakdown, a metrics
+//!   snapshot written to `results/metrics.json`, and a flushed trace.
+//!
+//! Usage stays what it was: `--quick` for reduced trial counts, `--csv
+//! <path>` to also write the table as CSV. `VAB_OBS=off|stderr|jsonl`
+//! selects the sink (see `vab_obs::init_from_env`).
+
+use std::path::Path;
+use std::time::Instant;
+
+use vab_obs::metrics::Snapshot;
+use vab_obs::ObsMode;
+use vab_sim::metrics::CsvTable;
+
+use crate::experiments::{self, ExpConfig};
+
+/// Parsed command-line options shared by every bench binary.
+struct Args {
+    quick: bool,
+    csv: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().collect();
+    let quick = argv.iter().any(|a| a == "--quick");
+    let csv = argv
+        .iter()
+        .position(|a| a == "--csv")
+        .map(|i| argv.get(i + 1).expect("--csv needs a path").clone());
+    Args { quick, csv }
+}
+
+fn init_obs() -> ObsMode {
+    match vab_obs::init_from_env() {
+        Ok(mode) => mode,
+        Err(e) => {
+            eprintln!("warning: VAB_OBS sink unavailable ({e}); observability disabled");
+            vab_obs::disable();
+            ObsMode::Off
+        }
+    }
+}
+
+/// Runs one figure/table experiment with the uniform preamble and
+/// observability plumbing. `run` receives the resolved [`ExpConfig`];
+/// experiments that take no config simply ignore it.
+pub fn run_figure<F>(id: &str, title: &str, run: F)
+where
+    F: FnOnce(&ExpConfig) -> CsvTable,
+{
+    let args = parse_args();
+    let cfg = if args.quick { ExpConfig::quick() } else { ExpConfig::full() };
+    let mode = init_obs();
+    preamble(id, title, &cfg, args.quick, &mode);
+    let started = Instant::now();
+    let table = run(&cfg);
+    let elapsed = started.elapsed();
+    println!();
+    print!("{}", table.to_pretty());
+    if let Some(path) = &args.csv {
+        table.write_csv(Path::new(path)).expect("write CSV");
+        eprintln!("wrote {path}");
+    }
+    eprintln!("[{id}] completed in {elapsed:.2?}");
+    finish(&mode);
+}
+
+/// Prints the uniform figure header: id, title, config, and obs mode.
+fn preamble(id: &str, title: &str, cfg: &ExpConfig, quick: bool, mode: &ObsMode) {
+    println!("# {id} - {title}");
+    println!(
+        "# config: {} (trials={}, bits={}, seed={})  obs={}",
+        if quick { "quick" } else { "full" },
+        cfg.trials,
+        cfg.bits,
+        cfg.seed,
+        mode.label()
+    );
+}
+
+/// End-of-run observability epilogue: stage breakdown, metrics snapshot,
+/// trace flush. A no-op when observability is off.
+fn finish(mode: &ObsMode) {
+    if !vab_obs::enabled() {
+        return;
+    }
+    let snap = Snapshot::capture();
+    if let Some(summary) = snap.stage_summary() {
+        eprint!("{summary}");
+    }
+    let path = Path::new("results/metrics.json");
+    match snap.write_json(path) {
+        Ok(()) => eprintln!("metrics snapshot: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write metrics snapshot: {e}"),
+    }
+    vab_obs::flush();
+    if let ObsMode::Jsonl(p) = mode {
+        eprintln!("trace: {}", p.display());
+    }
+}
+
+/// Per-stage difference between two snapshots: what ran *between* them.
+/// Only stages that recorded new observations survive; counters, gauges
+/// and general histograms are dropped (the delta is for stage timing).
+fn stage_delta(before: &Snapshot, after: &Snapshot) -> Snapshot {
+    let mut delta = Snapshot::default();
+    for h in &after.stages {
+        let prev = before.stages.iter().find(|p| p.name == h.name);
+        let (p_count, p_sum) = prev.map_or((0, 0.0), |p| (p.count, p.sum));
+        if h.count <= p_count {
+            continue;
+        }
+        let mut d = h.clone();
+        d.count = h.count - p_count;
+        d.sum = h.sum - p_sum;
+        if let Some(p) = prev {
+            for (b, pb) in d.buckets.iter_mut().zip(&p.buckets) {
+                *b = b.saturating_sub(*pb);
+            }
+        }
+        delta.stages.push(d);
+    }
+    delta
+}
+
+/// The `run_all` entry point: regenerates every table and figure into
+/// `results/`, with a per-figure stage-time breakdown when observability
+/// is on, and a final `results/metrics.json` snapshot.
+pub fn run_all_main() {
+    let args = parse_args();
+    let cfg = if args.quick { ExpConfig::quick() } else { ExpConfig::full() };
+    let mode = init_obs();
+    let out_dir = Path::new("results");
+    std::fs::create_dir_all(out_dir).expect("create results/");
+    let started = Instant::now();
+    eprintln!(
+        "run_all: {} (trials={}, bits={}, seed={})  obs={}",
+        if args.quick { "quick" } else { "full" },
+        cfg.trials,
+        cfg.bits,
+        cfg.seed,
+        mode.label()
+    );
+    for (name, run) in experiments::all_experiments_lazy() {
+        let before = vab_obs::enabled().then(Snapshot::capture);
+        let fig_started = Instant::now();
+        let table = run(&cfg);
+        let fig_elapsed = fig_started.elapsed();
+        println!("==== {name} ====");
+        print!("{}", table.to_pretty());
+        println!();
+        let path = out_dir.join(format!("{name}.csv"));
+        table.write_csv(&path).expect("write CSV");
+        eprintln!("[{name}] completed in {fig_elapsed:.2?}");
+        if let Some(before) = before {
+            let delta = stage_delta(&before, &Snapshot::capture());
+            if let Some(summary) = delta.stage_summary() {
+                eprint!("{summary}");
+            }
+        }
+    }
+    eprintln!("all experiments regenerated into results/ in {:.1?}", started.elapsed());
+    finish(&mode);
+}

@@ -114,7 +114,17 @@ pub fn replan_after_brownout(
     max_period: Seconds,
 ) -> Option<DutySchedule> {
     let derated = Watts(harvested.value() * BROWNOUT_DERATE);
-    let next = plan_schedule(budget, derated, previous.listen, previous.reply, max_period)?;
+    let next = plan_schedule(budget, derated, previous.listen, previous.reply, max_period);
+    vab_obs::event!(
+        "core.scheduler",
+        "brownout_replan",
+        harvested_uw = harvested.value() * 1e6,
+        derated_uw = derated.value() * 1e6,
+        prev_period_s = previous.period.value(),
+        fundable = next.is_some(),
+    );
+    vab_obs::metrics::inc("scheduler.brownout_replans", 1);
+    let next = next?;
     // Monotonicity guard: the recovery schedule must never be more
     // aggressive than the one that browned out.
     Some(DutySchedule { period: Seconds(next.period.value().max(previous.period.value())), ..next })

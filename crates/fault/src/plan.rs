@@ -212,13 +212,31 @@ impl FaultPlan {
         let ack_corrupted = rng.random::<f64>() < cfg.ack_corrupt_prob;
         let reader_restart = rng.random::<f64>() < cfg.reader_restart_prob;
 
-        TrialFaults {
+        let faults = TrialFaults {
             elements,
             depth_scale,
             channel: ChannelFaults { burst, fade_db, dropout },
             energy: EnergyFaults { blackout_frac, leak_multiplier, brownout_mid_reply },
             protocol: ProtocolFaults { ack_corrupted, reader_restart },
+        };
+        if !faults.is_nominal() {
+            vab_obs::event!(
+                "fault.plan",
+                "fault_activated",
+                trial = trial,
+                events = faults.event_count(),
+                element_faults = faults.elements.len(),
+                fade_db = faults.channel.fade_db,
+                burst = faults.channel.burst.is_some(),
+                dropout = faults.channel.dropout,
+                brownout_mid_reply = faults.energy.brownout_mid_reply,
+                ack_corrupted = faults.protocol.ack_corrupted,
+                reader_restart = faults.protocol.reader_restart,
+            );
+            vab_obs::metrics::inc("fault.activations", 1);
+            vab_obs::metrics::inc("fault.events", faults.event_count() as u64);
         }
+        faults
     }
 }
 

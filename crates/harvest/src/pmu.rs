@@ -102,6 +102,13 @@ impl Pmu {
             PmuState::ColdStart => {
                 if self.cap.voltage().value() >= self.v_on.value() {
                     self.state = PmuState::Active;
+                    vab_obs::event!(
+                        "harvest.pmu",
+                        "wake",
+                        v = self.cap.voltage().value(),
+                        t_s = self.elapsed,
+                    );
+                    vab_obs::metrics::inc("pmu.wakes", 1);
                 }
                 false
             }
@@ -109,6 +116,14 @@ impl Pmu {
                 if self.cap.voltage().value() < self.v_off.value() {
                     self.state = PmuState::ColdStart;
                     self.brownouts += 1;
+                    vab_obs::event!(
+                        "harvest.pmu",
+                        "brownout",
+                        v = self.cap.voltage().value(),
+                        t_s = self.elapsed,
+                        total = self.brownouts,
+                    );
+                    vab_obs::metrics::inc("pmu.brownouts", 1);
                     false
                 } else {
                     self.uptime += dt.value();
@@ -147,6 +162,14 @@ impl Pmu {
     pub fn force_brownout(&mut self) {
         if self.state == PmuState::Active {
             self.brownouts += 1;
+            vab_obs::event!(
+                "harvest.pmu",
+                "brownout",
+                forced = true,
+                t_s = self.elapsed,
+                total = self.brownouts,
+            );
+            vab_obs::metrics::inc("pmu.brownouts", 1);
         }
         self.state = PmuState::ColdStart;
         self.cap.set_voltage(Volts(0.0));

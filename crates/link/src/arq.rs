@@ -95,6 +95,14 @@ impl ArqSender {
         if self.outstanding.is_some() {
             self.backoff_exp = (self.backoff_exp + 1).min(MAX_BACKOFF_EXP);
         }
+        vab_obs::event!(
+            "link.arq",
+            "corrupt_ack",
+            seq = self.seq,
+            backoff_exp = self.backoff_exp,
+            total = self.corrupt_acks,
+        );
+        vab_obs::metrics::inc("arq.corrupt_acks", 1);
         SenderAction::Idle
     }
 
@@ -143,10 +151,25 @@ impl ArqSender {
                     self.outstanding = None;
                     self.dropped += 1;
                     self.seq ^= 1;
+                    vab_obs::event!(
+                        "link.arq",
+                        "drop",
+                        retries = self.retries,
+                        total_dropped = self.dropped,
+                    );
+                    vab_obs::metrics::inc("arq.drops", 1);
                     SenderAction::Idle
                 } else {
                     self.retries += 1;
                     self.tx_count += 1;
+                    vab_obs::event!(
+                        "link.arq",
+                        "retransmit",
+                        seq = self.seq,
+                        retry = self.retries,
+                        backoff_exp = self.backoff_exp,
+                    );
+                    vab_obs::metrics::inc("arq.retransmits", 1);
                     SenderAction::Transmit { seq: self.seq, payload: p.clone() }
                 }
             }

@@ -38,6 +38,7 @@ impl Fec {
 
     /// Encodes information bits into channel bits.
     pub fn encode(&self, bits: &[bool]) -> Vec<bool> {
+        let _t = vab_obs::time_stage("fec.encode");
         match self {
             Fec::None => bits.to_vec(),
             Fec::Repetition(n) => repetition_encode(bits, *n),
@@ -49,6 +50,7 @@ impl Fec {
 
     /// Decodes channel bits back to information bits (hard decision).
     pub fn decode(&self, bits: &[bool]) -> Vec<bool> {
+        let _t = vab_obs::time_stage("fec.decode");
         match self {
             Fec::None => bits.to_vec(),
             Fec::Repetition(n) => repetition_decode(bits, *n),
@@ -173,6 +175,7 @@ pub fn conv_decode_hard(bits: &[bool]) -> Vec<bool> {
 /// positive meaning "probably 1" (e.g. the demodulator's soft statistic).
 /// Returns the information bits (tail removed).
 pub fn conv_decode_soft(metrics: &[f64]) -> Vec<bool> {
+    let _t = vab_obs::time_stage("fec.viterbi");
     let n_steps = metrics.len() / 2;
     if n_steps < CONV_K {
         return Vec::new();

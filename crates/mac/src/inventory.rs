@@ -41,7 +41,12 @@ impl SilenceMonitor {
             return false;
         }
         *m += 1;
-        *m == self.threshold
+        let crossed = *m == self.threshold;
+        if crossed {
+            vab_obs::event!("mac.inventory", "node_silent", addr = addr, misses = *m);
+            vab_obs::metrics::inc("inventory.silences", 1);
+        }
+        crossed
     }
 
     /// Nodes currently at or past the silence threshold.
@@ -84,6 +89,15 @@ pub fn reinventory<R: Rng + ?Sized>(
     let n = merged.len().clamp(1, 255) as u8;
     let mut schedule = TdmaSchedule::new(n, slot_duration, guard);
     schedule.assign_all(&merged);
+    vab_obs::event!(
+        "mac.inventory",
+        "reinventory",
+        offered = silent_but_reachable.len(),
+        rediscovered = rediscovered.discovered.len(),
+        scheduled = merged.len(),
+        rounds = rediscovered.rounds,
+    );
+    vab_obs::metrics::inc("inventory.reinventories", 1);
     InventoryReport {
         discovered: merged,
         rounds: rediscovered.rounds,

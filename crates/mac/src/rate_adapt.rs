@@ -99,6 +99,19 @@ impl RateController {
         self
     }
 
+    /// Emits the rate-change event/metric for one decision.
+    fn trace_change(addr: u8, rate_code: u8, reason: &'static str) {
+        vab_obs::event!(
+            "mac.rate_adapt",
+            "rate_change",
+            addr = addr,
+            rate_code = rate_code,
+            rate_bps = RATE_TABLE_BPS[rate_code as usize],
+            reason = reason,
+        );
+        vab_obs::metrics::inc("rate_adapt.changes", 1);
+    }
+
     fn entry(&mut self, addr: u8) -> &mut NodeRate {
         self.nodes.entry(addr).or_insert(NodeRate { code: 0, streak: 0, fails: 0, clean: 0 })
     }
@@ -125,6 +138,7 @@ impl RateController {
                 n.code += 1;
                 n.streak = 0;
                 self.changes += 1;
+                Self::trace_change(addr, self.rate_code(addr), "outcome_up");
                 return RateDecision::Change { rate_code: self.rate_code(addr) };
             }
         } else {
@@ -134,6 +148,7 @@ impl RateController {
                 n.code -= 1;
                 n.fails = 0;
                 self.changes += 1;
+                Self::trace_change(addr, self.rate_code(addr), "outcome_down");
                 return RateDecision::Change { rate_code: self.rate_code(addr) };
             }
             n.fails = n.fails.min(down_after); // saturate at the floor rate
@@ -164,6 +179,7 @@ impl RateController {
                 n.code -= 1;
                 self.changes += 1;
                 self.spike_fallbacks += 1;
+                Self::trace_change(addr, self.rate_code(addr), "ber_spike");
                 return RateDecision::Change { rate_code: self.rate_code(addr) };
             }
         } else if ber <= clean {
@@ -172,6 +188,7 @@ impl RateController {
                 n.code += 1;
                 n.clean = 0;
                 self.changes += 1;
+                Self::trace_change(addr, self.rate_code(addr), "clean_probe");
                 return RateDecision::Change { rate_code: self.rate_code(addr) };
             }
         } else {

@@ -1,0 +1,441 @@
+//! Global metrics registry: counters, gauges, fixed-bucket histograms.
+//!
+//! Instruments are looked up (and lazily created) by name in a global
+//! registry; the instruments themselves are plain atomics, so recording
+//! never blocks other threads. Call sites on hot paths should cache the
+//! returned [`Arc`] instead of re-resolving the name per event.
+//!
+//! [`Snapshot::capture`] freezes everything into plain data that renders to
+//! JSON (hand-rolled — the crate stays dependency-free) for the
+//! machine-readable report written next to the campaign CSVs.
+
+use crate::event::write_json_string;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Monotone saturating counter (stops at `u64::MAX` instead of wrapping).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n`, saturating at `u64::MAX`.
+    pub fn add(&self, n: u64) {
+        let _ = self
+            .value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_add(n)));
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins float gauge.
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge { bits: AtomicU64::new(0f64.to_bits()) }
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Fixed-bucket histogram: `bounds.len() + 1` buckets, the last catching
+/// everything above the top bound. Bounds are upper-inclusive
+/// (`v <= bound` lands at that bound's bucket), matching the cumulative
+/// `le` convention of the JSON snapshot.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending upper bounds.
+    pub fn new(bounds: &[f64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = self.bounds.partition_point(|b| v > *b);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let _ = self.sum_bits.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+            Some((f64::from_bits(bits) + v).to_bits())
+        });
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Upper bounds (the final overflow bucket has none).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (`bounds().len() + 1` entries).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<&'static str, Arc<Counter>>,
+    gauges: BTreeMap<&'static str, Arc<Gauge>>,
+    histograms: BTreeMap<&'static str, Arc<Histogram>>,
+    stages: BTreeMap<&'static str, Arc<Histogram>>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+fn lock() -> std::sync::MutexGuard<'static, Registry> {
+    registry().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Returns (creating if needed) the counter named `name`.
+pub fn counter(name: &'static str) -> Arc<Counter> {
+    lock().counters.entry(name).or_default().clone()
+}
+
+/// Returns (creating if needed) the gauge named `name`.
+pub fn gauge(name: &'static str) -> Arc<Gauge> {
+    lock().gauges.entry(name).or_default().clone()
+}
+
+/// Returns (creating if needed) the histogram named `name` with `bounds`.
+/// The first caller's bounds win.
+pub fn histogram(name: &'static str, bounds: &[f64]) -> Arc<Histogram> {
+    lock().histograms.entry(name).or_insert_with(|| Arc::new(Histogram::new(bounds))).clone()
+}
+
+/// Returns (creating if needed) the per-stage wall-clock histogram for
+/// `name`, in seconds with the standard stage buckets.
+pub fn stage(name: &'static str) -> Arc<Histogram> {
+    lock()
+        .stages
+        .entry(name)
+        .or_insert_with(|| Arc::new(Histogram::new(crate::timer::STAGE_BUCKETS_S)))
+        .clone()
+}
+
+/// Adds `n` to counter `name` when observability is enabled; no-op otherwise.
+pub fn inc(name: &'static str, n: u64) {
+    if crate::enabled() {
+        counter(name).add(n);
+    }
+}
+
+/// Sets gauge `name` when observability is enabled; no-op otherwise.
+pub fn set(name: &'static str, v: f64) {
+    if crate::enabled() {
+        gauge(name).set(v);
+    }
+}
+
+/// Clears every registered instrument. Test hook — snapshots taken after
+/// a reset only see instruments touched since.
+pub fn reset() {
+    let mut reg = lock();
+    *reg = Registry::default();
+}
+
+/// Frozen view of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Instrument name.
+    pub name: String,
+    /// Observation count.
+    pub count: u64,
+    /// Observation sum.
+    pub sum: f64,
+    /// Ascending upper bounds (overflow bucket excluded).
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts (`bounds.len() + 1` entries).
+    pub buckets: Vec<u64>,
+}
+
+/// Frozen view of the whole registry, ready for JSON rendering.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name.
+    pub gauges: Vec<(String, f64)>,
+    /// General histograms.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Per-stage wall-clock histograms (seconds).
+    pub stages: Vec<HistogramSnapshot>,
+}
+
+fn freeze(map: &BTreeMap<&'static str, Arc<Histogram>>) -> Vec<HistogramSnapshot> {
+    map.iter()
+        .map(|(name, h)| HistogramSnapshot {
+            name: (*name).to_string(),
+            count: h.count(),
+            sum: h.sum(),
+            bounds: h.bounds().to_vec(),
+            buckets: h.bucket_counts(),
+        })
+        .collect()
+}
+
+impl Snapshot {
+    /// Captures the current state of every registered instrument.
+    pub fn capture() -> Snapshot {
+        let reg = lock();
+        Snapshot {
+            counters: reg.counters.iter().map(|(n, c)| ((*n).to_string(), c.get())).collect(),
+            gauges: reg.gauges.iter().map(|(n, g)| ((*n).to_string(), g.get())).collect(),
+            histograms: freeze(&reg.histograms),
+            stages: freeze(&reg.stages),
+        }
+    }
+
+    /// Renders the snapshot as a JSON object (pretty, stable key order).
+    pub fn to_json(&self) -> String {
+        fn json_f64(out: &mut String, v: f64) {
+            if v.is_finite() {
+                let _ = write!(out, "{v:?}");
+            } else {
+                write_json_string(out, &format!("{v}"));
+            }
+        }
+        fn hist_json(out: &mut String, h: &HistogramSnapshot, indent: &str) {
+            let _ = write!(out, "{indent}{{\"name\":");
+            write_json_string(out, &h.name);
+            let _ = write!(out, ",\"count\":{},\"sum\":", h.count);
+            json_f64(out, h.sum);
+            out.push_str(",\"buckets\":[");
+            for (i, count) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"le\":");
+                match h.bounds.get(i) {
+                    Some(b) => json_f64(out, *b),
+                    None => out.push_str("\"+inf\""),
+                }
+                let _ = write!(out, ",\"count\":{count}}}");
+            }
+            out.push_str("]}");
+        }
+
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            write_json_string(&mut out, name);
+            let _ = write!(out, ": {v}");
+        }
+        out.push_str(if self.counters.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            write_json_string(&mut out, name);
+            out.push_str(": ");
+            json_f64(&mut out, *v);
+        }
+        out.push_str(if self.gauges.is_empty() { "},\n" } else { "\n  },\n" });
+        for (key, hists, last) in
+            [("histograms", &self.histograms, false), ("stages", &self.stages, true)]
+        {
+            let _ = write!(out, "  \"{key}\": [");
+            for (i, h) in hists.iter().enumerate() {
+                out.push_str(if i > 0 { ",\n" } else { "\n" });
+                hist_json(&mut out, h, "    ");
+            }
+            out.push_str(if hists.is_empty() { "]" } else { "\n  ]" });
+            out.push_str(if last { "\n" } else { ",\n" });
+        }
+        out.push('}');
+        out
+    }
+
+    /// Writes the JSON snapshot to `path` (creating parent directories).
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Human-readable per-stage time breakdown (one line per stage),
+    /// or `None` when no stage has recorded anything.
+    pub fn stage_summary(&self) -> Option<String> {
+        let active: Vec<&HistogramSnapshot> = self.stages.iter().filter(|h| h.count > 0).collect();
+        if active.is_empty() {
+            return None;
+        }
+        let total: f64 = active.iter().map(|h| h.sum).sum();
+        let mut out = String::from("stage breakdown (wall-clock):\n");
+        for h in &active {
+            let share = if total > 0.0 { 100.0 * h.sum / total } else { 0.0 };
+            let mean_us = if h.count > 0 { 1e6 * h.sum / h.count as f64 } else { 0.0 };
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>10} calls  {:>10.3} s total  {:>10.1} us/call  {:>5.1}%",
+                h.name, h.count, h.sum, mean_us, share
+            );
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Registry tests share global state with each other; reuse the crate
+    /// test lock so parallel test threads do not interleave resets.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        crate::tests::test_guard()
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_wrapping() {
+        let c = Counter::default();
+        c.add(u64::MAX - 1);
+        c.add(5);
+        assert_eq!(c.get(), u64::MAX);
+        c.inc();
+        assert_eq!(c.get(), u64::MAX, "saturated counter must stay saturated");
+    }
+
+    #[test]
+    fn gauge_stores_last_write() {
+        let g = Gauge::default();
+        assert_eq!(g.get(), 0.0);
+        g.set(-2.5);
+        assert_eq!(g.get(), -2.5);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_upper_inclusive() {
+        let h = Histogram::new(&[1.0, 10.0, 100.0]);
+        // v <= bound lands in that bound's bucket; above-top goes to overflow.
+        for v in [0.5, 1.0] {
+            h.observe(v); // bucket 0 (le 1.0)
+        }
+        h.observe(1.0000001); // bucket 1 (le 10.0)
+        h.observe(10.0); // bucket 1
+        h.observe(100.0); // bucket 2 (le 100.0)
+        h.observe(100.5); // overflow bucket
+        assert_eq!(h.bucket_counts(), vec![2, 2, 1, 1]);
+        assert_eq!(h.count(), 6);
+        let expected: f64 = 0.5 + 1.0 + 1.0000001 + 10.0 + 100.0 + 100.5;
+        assert!((h.sum() - expected).abs() < 1e-9, "sum: {}", h.sum());
+    }
+
+    #[test]
+    fn histogram_concurrent_observations_all_counted() {
+        let h = Arc::new(Histogram::new(&[0.5]));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let h = h.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        h.observe(0.25);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 8000);
+        assert_eq!(h.bucket_counts(), vec![8000, 0]);
+        assert!((h.sum() - 2000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn registry_returns_same_instrument_for_same_name() {
+        let _g = guard();
+        reset();
+        counter("pr2.same").add(3);
+        counter("pr2.same").add(4);
+        assert_eq!(counter("pr2.same").get(), 7);
+        let h1 = histogram("pr2.h", &[1.0]);
+        let h2 = histogram("pr2.h", &[99.0]); // first bounds win
+        assert_eq!(h2.bounds(), h1.bounds());
+        reset();
+    }
+
+    #[test]
+    fn snapshot_json_is_valid_and_stable() {
+        let _g = guard();
+        reset();
+        counter("pr2.trials").add(10);
+        gauge("pr2.level").set(1.5);
+        histogram("pr2.lat", &[0.001, 0.01]).observe(0.005);
+        stage("pr2.stage_demod").observe(0.002);
+        let snap = Snapshot::capture();
+        let json = snap.to_json();
+        assert!(json.contains("\"pr2.trials\": 10"), "json: {json}");
+        assert!(json.contains("\"pr2.level\": 1.5"), "json: {json}");
+        assert!(json.contains("\"name\":\"pr2.lat\""), "json: {json}");
+        assert!(json.contains("\"le\":\"+inf\""), "json: {json}");
+        assert!(json.contains("\"name\":\"pr2.stage_demod\""), "json: {json}");
+        // Balanced braces/brackets as a cheap structural sanity check.
+        let balance = |open: char, close: char| {
+            json.chars().filter(|&c| c == open).count()
+                == json.chars().filter(|&c| c == close).count()
+        };
+        assert!(balance('{', '}') && balance('[', ']'));
+        let summary = snap.stage_summary().expect("stage summary");
+        assert!(summary.contains("pr2.stage_demod"), "summary: {summary}");
+        reset();
+    }
+
+    #[test]
+    fn empty_snapshot_has_no_stage_summary() {
+        let _g = guard();
+        reset();
+        let snap = Snapshot::capture();
+        assert!(snap.stage_summary().is_none());
+        assert!(snap.to_json().contains("\"counters\": {}"));
+        reset();
+    }
+}

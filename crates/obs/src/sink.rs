@@ -1,0 +1,197 @@
+//! Pluggable event sinks: null, stderr pretty-printer, JSONL file writer.
+//!
+//! The JSONL sink is the one that matters for performance: Monte Carlo
+//! workers emit concurrently, so it keeps per-shard string buffers (threads
+//! hash onto independent `Mutex<String>`s) and only takes the file lock when
+//! a shard buffer passes its flush threshold. Workers therefore almost never
+//! contend with each other, and never serialize on the file per event.
+
+use crate::event::Event;
+use std::collections::hash_map::DefaultHasher;
+use std::fs::File;
+use std::hash::{Hash, Hasher};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Destination for structured events.
+pub trait Sink: Send + Sync {
+    /// Records one event. Called concurrently from worker threads.
+    fn record(&self, e: &Event<'_>);
+    /// Drains any internal buffers. Default: nothing buffered.
+    fn flush(&self) {}
+}
+
+/// Discards everything. Useful to keep timers/metrics live without a stream.
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn record(&self, _e: &Event<'_>) {}
+}
+
+/// Pretty-prints each event to stderr, one line per event.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl StderrSink {
+    /// Creates a stderr pretty-printing sink.
+    pub fn new() -> Self {
+        StderrSink
+    }
+}
+
+impl Sink for StderrSink {
+    fn record(&self, e: &Event<'_>) {
+        eprintln!("{}", e.to_pretty_line());
+    }
+}
+
+/// Number of independent line buffers; threads hash onto one each.
+const SHARDS: usize = 16;
+
+/// Bytes a shard buffer may hold before it is drained to the file.
+const FLUSH_THRESHOLD: usize = 64 * 1024;
+
+/// Appends events as JSON lines to a file, buffered per thread shard.
+pub struct JsonlSink {
+    shards: [Mutex<String>; SHARDS],
+    file: Mutex<File>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the trace file at `path`.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            shards: std::array::from_fn(|_| Mutex::new(String::new())),
+            file: Mutex::new(file),
+        })
+    }
+
+    fn shard_index() -> usize {
+        let mut h = DefaultHasher::new();
+        std::thread::current().id().hash(&mut h);
+        (h.finish() as usize) % SHARDS
+    }
+
+    fn drain(&self, buf: &mut String) {
+        if buf.is_empty() {
+            return;
+        }
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        // Trace loss on a full disk is not worth killing a campaign over.
+        let _ = file.write_all(buf.as_bytes());
+        buf.clear();
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, e: &Event<'_>) {
+        let mut buf = self.shards[Self::shard_index()].lock().unwrap_or_else(|p| p.into_inner());
+        e.write_json_line(&mut buf);
+        buf.push('\n');
+        if buf.len() >= FLUSH_THRESHOLD {
+            let mut local = std::mem::take(&mut *buf);
+            drop(buf); // release the shard before touching the file lock
+            self.drain(&mut local);
+        }
+    }
+
+    fn flush(&self) {
+        for shard in &self.shards {
+            let mut local = {
+                let mut buf = shard.lock().unwrap_or_else(|p| p.into_inner());
+                std::mem::take(&mut *buf)
+            };
+            self.drain(&mut local);
+        }
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = file.flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Value;
+
+    fn sample_event<'a>(fields: &'a [(&'static str, Value)]) -> Event<'a> {
+        Event { seq: 0, t_us: 42, target: "test", name: "tick", fields }
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let dir = std::env::temp_dir().join("vab-obs-test-jsonl");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("one_line_per_event.jsonl");
+        let sink = JsonlSink::create(&path).expect("create");
+        let fields = [("k", Value::from(1u64))];
+        for _ in 0..3 {
+            sink.record(&sample_event(&fields));
+        }
+        sink.flush();
+        let text = std::fs::read_to_string(&path).expect("read");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "line: {line}");
+            assert!(line.contains("\"event\":\"tick\""), "line: {line}");
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_escapes_field_strings() {
+        let dir = std::env::temp_dir().join("vab-obs-test-jsonl");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("escaping.jsonl");
+        let sink = JsonlSink::create(&path).expect("create");
+        let fields = [("msg", Value::from(String::from("line1\nline2\t\"q\"\\")))];
+        sink.record(&sample_event(&fields));
+        sink.flush();
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(text.lines().count(), 1, "embedded newline must stay escaped");
+        assert!(text.contains(r#"line1\nline2\t\"q\"\\"#), "text: {text}");
+    }
+
+    #[test]
+    fn jsonl_sink_drop_flushes_buffers() {
+        let dir = std::env::temp_dir().join("vab-obs-test-jsonl");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("drop_flush.jsonl");
+        {
+            let sink = JsonlSink::create(&path).expect("create");
+            sink.record(&sample_event(&[]));
+            // no explicit flush: Drop must drain the shard buffers
+        }
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(text.lines().count(), 1);
+    }
+
+    #[test]
+    fn concurrent_records_all_land_after_flush() {
+        let dir = std::env::temp_dir().join("vab-obs-test-jsonl");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("concurrent.jsonl");
+        let sink = JsonlSink::create(&path).expect("create");
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let fields = [("k", Value::from(1u64))];
+                    for _ in 0..100 {
+                        sink.record(&sample_event(&fields));
+                    }
+                });
+            }
+        });
+        sink.flush();
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(text.lines().count(), 800);
+    }
+}

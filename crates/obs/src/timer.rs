@@ -1,0 +1,129 @@
+//! Profiling hooks: scoped stage timers and begin/end spans.
+//!
+//! [`time_stage`] is the workhorse — a drop guard that measures wall-clock
+//! time for one named stage and folds it into that stage's global latency
+//! histogram. When observability is disabled the guard holds no `Instant`
+//! and drop does nothing, so hot paths pay a single relaxed load.
+
+use crate::metrics;
+use std::time::Instant;
+
+/// Upper bounds (seconds) for stage latency histograms: log-spaced from
+/// 1 µs to 10 s, two buckets per decade.
+pub const STAGE_BUCKETS_S: &[f64] = &[
+    1e-6, 3.16e-6, 1e-5, 3.16e-5, 1e-4, 3.16e-4, 1e-3, 3.16e-3, 1e-2, 3.16e-2, 1e-1, 3.16e-1, 1.0,
+    3.16, 10.0,
+];
+
+/// Drop guard that records elapsed seconds into the stage histogram
+/// named at construction. Inert when observability is disabled.
+#[must_use = "the timer measures until dropped"]
+#[derive(Debug)]
+pub struct StageTimer {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for StageTimer {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            metrics::stage(self.name).observe(start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Starts timing stage `name`; the elapsed wall-clock time lands in the
+/// stage's latency histogram when the returned guard drops.
+#[inline]
+pub fn time_stage(name: &'static str) -> StageTimer {
+    let start = if crate::enabled() { Some(Instant::now()) } else { None };
+    StageTimer { name, start }
+}
+
+/// Drop guard that emits paired `span_begin` / `span_end` events (the end
+/// event carries `dur_us`). Inert when observability is disabled.
+#[must_use = "the span measures until dropped"]
+#[derive(Debug)]
+pub struct Span {
+    target: &'static str,
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Opens a span; `span_begin` is emitted immediately.
+    pub fn enter(target: &'static str, name: &'static str) -> Span {
+        let start = if crate::enabled() {
+            crate::emit(target, "span_begin", &[("span", crate::Value::Str(name))]);
+            Some(Instant::now())
+        } else {
+            None
+        };
+        Span { target, name, start }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let dur_us = start.elapsed().as_micros() as u64;
+            crate::emit(
+                self.target,
+                "span_end",
+                &[("span", crate::Value::Str(self.name)), ("dur_us", crate::Value::U64(dur_us))],
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::{test_guard, CaptureSink};
+    use std::sync::Arc;
+
+    #[test]
+    fn stage_timer_records_into_stage_histogram_when_enabled() {
+        let _g = test_guard();
+        metrics::reset();
+        crate::install(Arc::new(crate::NullSink));
+        {
+            let _t = time_stage("pr2.timer_test");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        crate::disable();
+        let h = metrics::stage("pr2.timer_test");
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= 0.001, "sum: {}", h.sum());
+        metrics::reset();
+    }
+
+    #[test]
+    fn stage_timer_is_inert_when_disabled() {
+        let _g = test_guard();
+        metrics::reset();
+        crate::disable();
+        {
+            let _t = time_stage("pr2.timer_off");
+        }
+        assert_eq!(metrics::stage("pr2.timer_off").count(), 0);
+        metrics::reset();
+    }
+
+    #[test]
+    fn span_emits_begin_and_end_with_duration() {
+        let _g = test_guard();
+        let cap = Arc::new(CaptureSink::default());
+        crate::install(cap.clone());
+        {
+            let _s = Span::enter("sim.test", "trial");
+        }
+        crate::disable();
+        let lines = cap.lines.lock().expect("lock");
+        assert_eq!(lines.len(), 2, "lines: {lines:?}");
+        assert!(lines[0].contains("\"event\":\"span_begin\""));
+        assert!(lines[0].contains("\"span\":\"trial\""));
+        assert!(lines[1].contains("\"event\":\"span_end\""));
+        assert!(lines[1].contains("\"dur_us\":"));
+    }
+}

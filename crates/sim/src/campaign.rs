@@ -144,6 +144,14 @@ fn sample_scenario<R: Rng + ?Sized>(cfg: &CampaignConfig, rng: &mut R) -> (Scena
 /// are cheap; the loop itself could be sharded, but 1,500 link-budget
 /// trials complete in seconds single-threaded and stay bit-reproducible).
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    let _span = vab_obs::Span::enter("sim.campaign", "run_campaign");
+    vab_obs::event!(
+        "sim.campaign",
+        "campaign_start",
+        n_trials = cfg.n_trials,
+        seed = cfg.seed,
+        faulted = cfg.faults.is_some(),
+    );
     let plan = cfg.faults.map(|fc| FaultPlan::new(cfg.seed, fc));
     let mut records = Vec::with_capacity(cfg.n_trials);
     for id in 0..cfg.n_trials {
@@ -166,7 +174,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
                 run_point_with_trial_faults(&scenario, &fe, &mc, &faults)
             }
         };
-        records.push(TrialRecord {
+        let record = TrialRecord {
             id,
             river,
             sea_state,
@@ -175,9 +183,27 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
             ebn0_db: point.ebn0.mean(),
             errors: (point.ber.errors()) as usize,
             bits: point.ber.bits() as usize,
-        });
+        };
+        vab_obs::event!(
+            "sim.campaign",
+            "deployment_done",
+            trial = id,
+            river = river,
+            range_m = record.range_m,
+            ebn0_db = record.ebn0_db,
+            errors = record.errors,
+            success = record.success(),
+        );
+        records.push(record);
     }
-    CampaignReport { records }
+    let report = CampaignReport { records };
+    vab_obs::metrics::inc("campaign.deployments", report.records.len() as u64);
+    if vab_obs::enabled() {
+        vab_obs::metrics::gauge("campaign.success_fraction").set(report.success_fraction());
+        vab_obs::metrics::gauge("campaign.max_successful_range_m")
+            .set(report.max_successful_range());
+    }
+    report
 }
 
 #[cfg(test)]

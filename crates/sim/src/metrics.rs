@@ -62,11 +62,18 @@ impl CsvTable {
         self.rows.is_empty()
     }
 
-    /// Renders the CSV (quotes cells containing commas).
+    /// Renders the CSV. Cells containing commas, quotes, newlines, or
+    /// leading/trailing whitespace are quoted (RFC 4180), so multi-line
+    /// scenario descriptions survive a round trip through other parsers.
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         let esc = |cell: &str| -> String {
-            if cell.contains(',') || cell.contains('"') {
+            let needs_quoting = cell.contains(',')
+                || cell.contains('"')
+                || cell.contains('\n')
+                || cell.contains('\r')
+                || cell.trim() != cell;
+            if needs_quoting {
                 format!("\"{}\"", cell.replace('"', "\"\""))
             } else {
                 cell.to_string()
@@ -134,6 +141,22 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.contains("\"a,b\""));
         assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn csv_quotes_newlines_and_edge_whitespace() {
+        let mut t = CsvTable::new(["scenario", "note"]);
+        t.row(["river\n300 m", " padded "]);
+        t.row(["tab\tinside", "trailing "]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"river\n300 m\""), "newline cell must be quoted: {csv}");
+        assert!(csv.contains("\" padded \""), "edge whitespace must be quoted: {csv}");
+        assert!(csv.contains("\"trailing \""), "trailing space must be quoted: {csv}");
+        assert!(csv.contains("tab\tinside"), "interior tabs need no quoting");
+        assert!(!csv.contains("\"tab\tinside\""));
+        // The quoted newline must not add a logical record: header + 2 rows
+        // = 3 records, but 4 physical lines (one cell spans two).
+        assert_eq!(csv.lines().count(), 4);
     }
 
     #[test]

@@ -51,6 +51,21 @@ impl fmt::Display for MonteCarloError {
 
 impl std::error::Error for MonteCarloError {}
 
+/// Best-effort rendering of a worker panic payload. `panic!` with a format
+/// string yields `String`, a literal yields `&str`; `std::panic::panic_any`
+/// can carry anything, in which case the concrete type is unrecoverable
+/// from `dyn Any` — report the `TypeId` so the payload is at least
+/// distinguishable instead of silently dropping it.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        format!("non-string panic payload ({:?})", payload.type_id())
+    }
+}
+
 /// Which simulation fidelity runs each trial.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TrialEngine {
@@ -157,6 +172,7 @@ impl PointResult {
 /// Bounce-path phases get a per-trial random component (platform sway of a
 /// centimetre re-rolls them at 18.5 kHz).
 fn fading_delta_db(scenario: &Scenario, rng: &mut StdRng) -> f64 {
+    let _t = vab_obs::time_stage("sim.channel_realization");
     let ch = ChannelModel::new(
         scenario.env.clone(),
         scenario.reader_pos,
@@ -224,6 +240,7 @@ fn link_budget_trial(
     rng: &mut StdRng,
     delta_db: f64,
 ) -> (usize, bool, f64) {
+    let _t = vab_obs::time_stage("sim.linkbudget_trial");
     let base = LinkBudget::compute_with_front_end(scenario, fe);
     let ebn0_db = base.ebn0_db + fading_delta_db(scenario, rng) + delta_db;
     let ebn0_lin = 10f64.powf(ebn0_db / 10.0);
@@ -394,6 +411,7 @@ fn run_point_impl(
     cfg: &MonteCarloConfig,
     faults: FaultSource<'_>,
 ) -> Result<PointResult, MonteCarloError> {
+    let _span = vab_obs::Span::enter("sim.montecarlo", "run_point");
     let threads = if cfg.threads == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
     } else {
@@ -457,11 +475,21 @@ fn run_point_impl(
                                 ),
                             }
                         };
+                        if lost {
+                            vab_obs::event!("sim.montecarlo", "reply_lost", trial = trial as u64);
+                            vab_obs::metrics::inc("mc.lost_replies", 1);
+                        }
                         if truncated {
                             // Brown-out mid-reply: the packet tail never airs,
                             // so the CRC fails and the lost tail reads as noise.
                             errors += cfg.bits_per_trial / 4;
                             pkt_err = true;
+                            vab_obs::event!(
+                                "sim.montecarlo",
+                                "brownout_truncated_reply",
+                                trial = trial as u64,
+                            );
+                            vab_obs::metrics::inc("mc.brownout_truncations", 1);
                         }
                         let errors = errors.min(cfg.bits_per_trial);
                         ber.record(errors, cfg.bits_per_trial);
@@ -476,13 +504,9 @@ fn run_point_impl(
             ));
         }
         for (shard, h) in handles {
-            shards.push(h.join().map_err(|payload| {
-                let message = payload
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "non-string panic payload".to_string());
-                MonteCarloError::WorkerPanicked { shard, message }
+            shards.push(h.join().map_err(|payload| MonteCarloError::WorkerPanicked {
+                shard,
+                message: panic_message(payload.as_ref()),
             }));
         }
     });
@@ -503,6 +527,16 @@ fn run_point_impl(
     }
     // Keep trial order deterministic regardless of shard join order.
     total.trial_bers.sort_by(|a, b| a.partial_cmp(b).expect("finite BER"));
+    vab_obs::event!(
+        "sim.montecarlo",
+        "point_done",
+        trials = total.trials,
+        bit_errors = total.ber.errors(),
+        packet_errors = total.packet_errors,
+        threads = threads,
+    );
+    vab_obs::metrics::inc("mc.trials", total.trials);
+    vab_obs::metrics::inc("mc.packet_errors", total.packet_errors);
     Ok(total)
 }
 
@@ -630,6 +664,21 @@ mod tests {
         assert_eq!(r1.ber.errors(), r8.ber.errors());
         assert_eq!(r1.packet_errors, r8.packet_errors);
         assert_eq!(r1.trial_bers, r8.trial_bers);
+    }
+
+    #[test]
+    fn panic_message_recovers_str_string_and_marks_other_payloads() {
+        let p: Box<dyn std::any::Any + Send> = Box::new("literal message");
+        assert_eq!(panic_message(p.as_ref()), "literal message");
+        let p: Box<dyn std::any::Any + Send> = Box::new(String::from("formatted message"));
+        assert_eq!(panic_message(p.as_ref()), "formatted message");
+        let p: Box<dyn std::any::Any + Send> = Box::new(42i32);
+        let msg = panic_message(p.as_ref());
+        assert!(msg.contains("non-string panic payload"), "msg: {msg}");
+        assert!(msg.contains("TypeId"), "payload type must be identified: {msg}");
+        // Distinct payload types must yield distinct messages.
+        let q: Box<dyn std::any::Any + Send> = Box::new(1.5f64);
+        assert_ne!(panic_message(q.as_ref()), msg);
     }
 
     #[test]

@@ -59,13 +59,16 @@ pub fn transport_uplink_scaled(
     let budget = LinkBudget::compute_with_front_end(scenario, fe);
 
     // --- Channel (reciprocal: one realization reused both ways).
-    let ch = ChannelModel::new(
-        scenario.env.clone(),
-        scenario.reader_pos,
-        scenario.node_pos,
-        scenario.carrier(),
-    );
-    let ir = ch.impulse_response(fs, rng);
+    let ir = {
+        let _t = vab_obs::time_stage("sim.channel_realization");
+        let ch = ChannelModel::new(
+            scenario.env.clone(),
+            scenario.reader_pos,
+            scenario.node_pos,
+            scenario.carrier(),
+        );
+        ch.impulse_response(fs, rng)
+    };
 
     // --- Node bit stream: preamble + coded payload.
     let preamble = Preamble::barker13();
@@ -108,6 +111,7 @@ pub fn transport_uplink_scaled(
     // Point-scatterer systems (PAB / conventional): the node multiplies the
     // *total* incident field and the uplink is a genuine second traversal
     // of the same channel.
+    let transport_timer = vab_obs::time_stage("sim.waveform_transport");
     let uplink = match scenario.system {
         crate::baseline::SystemKind::Vab { .. } => {
             const CONJ_EFF: f64 = 0.6;
@@ -156,8 +160,10 @@ pub fn transport_uplink_scaled(
     let leak = C64::from_polar(source_amp * 10f64.powf(-50.0 / 20.0), 0.3);
     let rx: Vec<C64> =
         uplink.iter().map(|&v| v + leak + complex_gaussian(rng, noise_sigma)).collect();
+    drop(transport_timer);
 
     // --- Receiver: carrier strip → sync → per-bit demod.
+    let _demod_timer = vab_obs::time_stage("sim.demod");
     let cleaned = remove_dc_sliding(&rx, params.samples_per_bit() * 32);
     let (payload_start, _) = preamble.locate(&cleaned, &params, 2.5)?;
     let demod = Demodulator::new(params).without_dc_removal();

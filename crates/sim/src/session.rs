@@ -83,6 +83,7 @@ pub fn run_exchange_faulted(
     faults: &TrialFaults,
     rng: &mut StdRng,
 ) -> SessionOutcome {
+    let _span = vab_obs::Span::enter("sim.session", "exchange");
     let pie = PieParams::vab_default();
     let fe = {
         let base = scenario.front_end();
@@ -147,6 +148,13 @@ pub fn run_exchange_faulted(
     if matches!(node.state(), vab_core::node::NodeState::Replying) {
         node.reply_done();
     }
+    vab_obs::event!(
+        "sim.session",
+        "exchange_done",
+        downlink_ok = downlink_ok,
+        node_event = kind,
+        uplink_ok = uplink_frame.is_ok(),
+    );
     SessionOutcome { downlink_ok, node_event_kind: kind, uplink_frame }
 }
 
