@@ -10,6 +10,8 @@
 //! same code with reduced trial counts.
 
 pub mod experiments;
+pub mod perf;
 pub mod report;
 
 pub use experiments::ExpConfig;
+pub use perf::BenchSnapshot;

@@ -11,10 +11,12 @@
 //!   snapshot written to `results/metrics.json`, and a flushed trace.
 //!
 //! Usage stays what it was: `--quick` for reduced trial counts, `--csv
-//! <path>` to also write the table as CSV. `VAB_OBS=off|stderr|jsonl`
+//! <path>` to also write the table as CSV, `--json <path>` to override
+//! where the machine-readable `BENCH_<sha>.json` perf snapshot lands
+//! (default `results/BENCH_<sha>.json`). `VAB_OBS=off|stderr|jsonl`
 //! selects the sink (see `vab_obs::init_from_env`).
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use vab_obs::metrics::Snapshot;
@@ -22,21 +24,45 @@ use vab_obs::ObsMode;
 use vab_sim::metrics::CsvTable;
 
 use crate::experiments::{self, ExpConfig};
+use crate::perf::BenchSnapshot;
 
 /// Parsed command-line options shared by every bench binary.
 struct Args {
     quick: bool,
     csv: Option<String>,
+    json: Option<String>,
+}
+
+/// Extracts `--<flag> <value>`; a flag with no following value (or one
+/// followed by another option) is a usage error, not a panic.
+fn flag_value(argv: &[String], flag: &str) -> Result<Option<String>, String> {
+    match argv.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => match argv.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(Some(v.clone())),
+            _ => Err(format!("{flag} needs a path argument")),
+        },
+    }
+}
+
+fn try_parse_args(argv: &[String]) -> Result<Args, String> {
+    let quick = argv.iter().any(|a| a == "--quick");
+    let csv = flag_value(argv, "--csv")?;
+    let json = flag_value(argv, "--json")?;
+    Ok(Args { quick, csv, json })
 }
 
 fn parse_args() -> Args {
     let argv: Vec<String> = std::env::args().collect();
-    let quick = argv.iter().any(|a| a == "--quick");
-    let csv = argv
-        .iter()
-        .position(|a| a == "--csv")
-        .map(|i| argv.get(i + 1).expect("--csv needs a path").clone());
-    Args { quick, csv }
+    match try_parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            let prog = argv.first().map(String::as_str).unwrap_or("bench");
+            eprintln!("error: {msg}");
+            eprintln!("usage: {prog} [--quick] [--csv <path>] [--json <path>]");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn init_obs() -> ObsMode {
@@ -61,6 +87,7 @@ where
     let cfg = if args.quick { ExpConfig::quick() } else { ExpConfig::full() };
     let mode = init_obs();
     preamble(id, title, &cfg, args.quick, &mode);
+    let before = vab_obs::enabled().then(Snapshot::capture);
     let started = Instant::now();
     let table = run(&cfg);
     let elapsed = started.elapsed();
@@ -71,7 +98,24 @@ where
         eprintln!("wrote {path}");
     }
     eprintln!("[{id}] completed in {elapsed:.2?}");
+    let delta = match before {
+        Some(before) => stage_delta(&before, &Snapshot::capture()),
+        None => Snapshot::default(),
+    };
+    let mut perf = BenchSnapshot::new(&cfg, args.quick);
+    perf.push_figure(id, elapsed.as_secs_f64(), table.len(), &delta);
+    write_perf(&perf, args.json.as_deref());
     finish(&mode);
+}
+
+/// Writes the perf snapshot to `override_path` or its default location,
+/// reporting (but not dying on) IO errors.
+fn write_perf(perf: &BenchSnapshot, override_path: Option<&str>) {
+    let path = override_path.map(PathBuf::from).unwrap_or_else(|| perf.default_path());
+    match perf.write(&path) {
+        Ok(()) => eprintln!("perf snapshot: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write perf snapshot {}: {e}", path.display()),
+    }
 }
 
 /// Prints the uniform figure header: id, title, config, and obs mode.
@@ -150,6 +194,7 @@ pub fn run_all_main() {
         cfg.seed,
         mode.label()
     );
+    let mut perf = BenchSnapshot::new(&cfg, args.quick);
     for (name, run) in experiments::all_experiments_lazy() {
         let before = vab_obs::enabled().then(Snapshot::capture);
         let fig_started = Instant::now();
@@ -161,13 +206,16 @@ pub fn run_all_main() {
         let path = out_dir.join(format!("{name}.csv"));
         table.write_csv(&path).expect("write CSV");
         eprintln!("[{name}] completed in {fig_elapsed:.2?}");
-        if let Some(before) = before {
-            let delta = stage_delta(&before, &Snapshot::capture());
-            if let Some(summary) = delta.stage_summary() {
-                eprint!("{summary}");
-            }
+        let delta = match before {
+            Some(before) => stage_delta(&before, &Snapshot::capture()),
+            None => Snapshot::default(),
+        };
+        if let Some(summary) = delta.stage_summary() {
+            eprint!("{summary}");
         }
+        perf.push_figure(name, fig_elapsed.as_secs_f64(), table.len(), &delta);
     }
     eprintln!("all experiments regenerated into results/ in {:.1?}", started.elapsed());
+    write_perf(&perf, args.json.as_deref());
     finish(&mode);
 }

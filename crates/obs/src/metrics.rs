@@ -198,6 +198,52 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<u64>,
 }
 
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`0 < q <= 1`) from the bucket counts.
+    ///
+    /// The rank is interpolated *geometrically* inside the bucket it lands
+    /// in — the right choice for log-spaced bounds like the stage buckets,
+    /// where the midpoint of `[1 ms, 3.16 ms]` is ~1.78 ms, not 2.08 ms.
+    /// The first bucket assumes one decade below its bound; observations in
+    /// the overflow bucket clamp to the top bound. Returns `None` when the
+    /// histogram is empty or `q` is out of range.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) || q == 0.0 {
+            return None;
+        }
+        let rank = q * self.count as f64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let below = seen as f64;
+            seen += n;
+            if (seen as f64) < rank {
+                continue;
+            }
+            let hi = match self.bounds.get(i) {
+                Some(&b) => b,
+                // Overflow bucket: no upper bound to interpolate toward.
+                None => return Some(self.bounds.last().copied().unwrap_or(f64::INFINITY)),
+            };
+            let lo = if i > 0 { self.bounds[i - 1] } else { hi / 10.0 };
+            let frac = ((rank - below) / n as f64).clamp(0.0, 1.0);
+            return Some(if lo > 0.0 && hi > lo {
+                lo * (hi / lo).powf(frac)
+            } else {
+                lo + (hi - lo) * frac
+            });
+        }
+        self.bounds.last().copied().or(Some(f64::INFINITY))
+    }
+
+    /// The standard trio of latency quantiles: (p50, p95, p99).
+    pub fn quantile_trio(&self) -> Option<(f64, f64, f64)> {
+        Some((self.percentile(0.50)?, self.percentile(0.95)?, self.percentile(0.99)?))
+    }
+}
+
 /// Frozen view of the whole registry, ready for JSON rendering.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Snapshot {
@@ -249,6 +295,14 @@ impl Snapshot {
             write_json_string(out, &h.name);
             let _ = write!(out, ",\"count\":{},\"sum\":", h.count);
             json_f64(out, h.sum);
+            // Derived quantiles (log-bucket interpolation) so consumers of
+            // the snapshot never have to re-walk the raw buckets.
+            if let Some((p50, p95, p99)) = h.quantile_trio() {
+                for (key, v) in [("p50", p50), ("p95", p95), ("p99", p99)] {
+                    let _ = write!(out, ",\"{key}\":");
+                    json_f64(out, v);
+                }
+            }
             out.push_str(",\"buckets\":[");
             for (i, count) in h.buckets.iter().enumerate() {
                 if i > 0 {
@@ -426,6 +480,76 @@ mod tests {
         assert!(balance('{', '}') && balance('[', ']'));
         let summary = snap.stage_summary().expect("stage summary");
         assert!(summary.contains("pr2.stage_demod"), "summary: {summary}");
+        reset();
+    }
+
+    #[test]
+    fn percentiles_interpolate_log_buckets() {
+        let snap = HistogramSnapshot {
+            name: "t".into(),
+            count: 100,
+            sum: 0.0,
+            bounds: vec![1e-3, 1e-2, 1e-1],
+            buckets: vec![50, 45, 5, 0],
+        };
+        // p50 sits exactly on the first bucket's upper edge.
+        let p50 = snap.percentile(0.5).expect("p50");
+        assert!((p50 - 1e-3).abs() < 1e-9, "p50 = {p50}");
+        // p95 lands on the second bucket's upper edge (50 + 45 = 95).
+        let p95 = snap.percentile(0.95).expect("p95");
+        assert!((p95 - 1e-2).abs() < 1e-9, "p95 = {p95}");
+        // p99 interpolates geometrically inside (1e-2, 1e-1]:
+        // frac = (99 - 95) / 5 = 0.8 → 1e-2 * 10^0.8.
+        let p99 = snap.percentile(0.99).expect("p99");
+        let expect = 1e-2 * 10f64.powf(0.8);
+        assert!((p99 / expect - 1.0).abs() < 1e-9, "p99 = {p99}, want {expect}");
+        let (q50, q95, q99) = snap.quantile_trio().expect("trio");
+        assert_eq!((q50, q95, q99), (p50, p95, p99));
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        let empty = HistogramSnapshot {
+            name: "e".into(),
+            count: 0,
+            sum: 0.0,
+            bounds: vec![1.0],
+            buckets: vec![0, 0],
+        };
+        assert_eq!(empty.percentile(0.5), None);
+        assert_eq!(empty.quantile_trio(), None);
+        // Everything in the overflow bucket clamps to the top bound.
+        let over = HistogramSnapshot {
+            name: "o".into(),
+            count: 4,
+            sum: 0.0,
+            bounds: vec![1.0, 10.0],
+            buckets: vec![0, 0, 4],
+        };
+        assert_eq!(over.percentile(0.5), Some(10.0));
+        // Out-of-range q is rejected.
+        let h = HistogramSnapshot {
+            name: "h".into(),
+            count: 1,
+            sum: 0.5,
+            bounds: vec![1.0],
+            buckets: vec![1, 0],
+        };
+        assert_eq!(h.percentile(0.0), None);
+        assert_eq!(h.percentile(1.5), None);
+        assert!(h.percentile(1.0).is_some());
+    }
+
+    #[test]
+    fn snapshot_json_carries_quantiles() {
+        let _g = guard();
+        reset();
+        stage("pr3.q_stage").observe(0.002);
+        let snap = Snapshot::capture();
+        let json = snap.to_json();
+        assert!(json.contains("\"p50\":"), "json: {json}");
+        assert!(json.contains("\"p95\":"), "json: {json}");
+        assert!(json.contains("\"p99\":"), "json: {json}");
         reset();
     }
 

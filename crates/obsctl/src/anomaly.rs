@@ -1,0 +1,381 @@
+//! The `anomalies` subcommand: scan a trace for the failure signatures
+//! the fault-injection PR taught the stack to survive, and show each one
+//! with enough surrounding events to diagnose it.
+//!
+//! Four detectors:
+//! * **BER spikes** — `deployment_done` bit-error outliers (≥ `factor` ×
+//!   the run's median, above an absolute floor), plus every
+//!   `rate_change` the controller attributed to `ber_spike`.
+//! * **ARQ retransmit storms** — bursts of `link.arq`
+//!   retransmit/corrupt-ack/drop events.
+//! * **Brownout cascades** — bursts of PMU brownouts, scheduler
+//!   re-plans and truncated replies.
+//! * **Silence / re-inventory bursts** — clusters of `node_silent`
+//!   crossings and re-inventory rounds.
+//!
+//! Burst windows scale with the trace (span / 50, floored at 1 ms) so
+//! the same thresholds work for a 100 ms smoke run and an hour-long
+//! campaign.
+
+use std::fmt::Write as _;
+
+use crate::trace::{Trace, TraceEvent};
+
+/// What kind of failure signature an anomaly is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnomalyKind {
+    /// Bit-error outlier (or controller-flagged BER fallback).
+    BerSpike,
+    /// Burst of ARQ retransmissions / corrupt ACKs / drops.
+    RetransmitStorm,
+    /// Burst of brownouts, brownout re-plans and truncated replies.
+    BrownoutCascade,
+    /// Cluster of node-silence crossings and re-inventory rounds.
+    SilenceBurst,
+}
+
+impl AnomalyKind {
+    /// Human label for report lines.
+    pub fn label(self) -> &'static str {
+        match self {
+            AnomalyKind::BerSpike => "BER spike",
+            AnomalyKind::RetransmitStorm => "ARQ retransmit storm",
+            AnomalyKind::BrownoutCascade => "brownout cascade",
+            AnomalyKind::SilenceBurst => "silence/re-inventory burst",
+        }
+    }
+}
+
+/// One detected anomaly, anchored to event indices in the sorted trace.
+#[derive(Debug, Clone)]
+pub struct Anomaly {
+    /// Signature class.
+    pub kind: AnomalyKind,
+    /// Index (into `trace.events`) of the first involved event.
+    pub first: usize,
+    /// Index of the last involved event.
+    pub last: usize,
+    /// How many events make up the anomaly.
+    pub hits: usize,
+    /// One-line diagnosis.
+    pub description: String,
+}
+
+/// Detector thresholds. The defaults are tuned for the workloads this
+/// repo produces (faulted campaigns, the F19 protocol loop).
+#[derive(Debug, Clone, Copy)]
+pub struct AnomalyConfig {
+    /// Events of context to print on each side of an anomaly.
+    pub context: usize,
+    /// BER spike: errors ≥ this multiple of the median deployment errors.
+    pub ber_spike_factor: f64,
+    /// BER spike: absolute error floor (quiet runs have median 0).
+    pub min_errors: u64,
+    /// Retransmit storm: minimum burst size.
+    pub storm_count: usize,
+    /// Brownout cascade: minimum burst size.
+    pub cascade_count: usize,
+    /// Silence burst: minimum burst size.
+    pub silence_count: usize,
+}
+
+impl Default for AnomalyConfig {
+    fn default() -> Self {
+        AnomalyConfig {
+            context: 3,
+            ber_spike_factor: 4.0,
+            min_errors: 16,
+            storm_count: 6,
+            cascade_count: 5,
+            silence_count: 4,
+        }
+    }
+}
+
+/// Runs all detectors over `trace`, returning anomalies in event order.
+pub fn scan(trace: &Trace, cfg: &AnomalyConfig) -> Vec<Anomaly> {
+    let mut found = Vec::new();
+    found.extend(ber_spikes(trace, cfg));
+    found.extend(bursts(
+        trace,
+        AnomalyKind::RetransmitStorm,
+        &[("link.arq", "retransmit"), ("link.arq", "corrupt_ack"), ("link.arq", "drop")],
+        cfg.storm_count,
+    ));
+    found.extend(bursts(
+        trace,
+        AnomalyKind::BrownoutCascade,
+        &[
+            ("harvest.pmu", "brownout"),
+            ("core.scheduler", "brownout_replan"),
+            ("sim.montecarlo", "brownout_truncated_reply"),
+        ],
+        cfg.cascade_count,
+    ));
+    found.extend(bursts(
+        trace,
+        AnomalyKind::SilenceBurst,
+        &[("mac.inventory", "node_silent"), ("mac.inventory", "reinventory")],
+        cfg.silence_count,
+    ));
+    found.sort_by_key(|a| a.first);
+    found
+}
+
+/// Burst window: wide enough that "several per fiftieth of the run"
+/// reads as a storm regardless of the run's absolute duration.
+fn burst_window_us(trace: &Trace) -> u64 {
+    ((trace.span_s() * 1e6) as u64 / 50).max(1_000)
+}
+
+fn ber_spikes(trace: &Trace, cfg: &AnomalyConfig) -> Vec<Anomaly> {
+    let mut out = Vec::new();
+    // Error outliers among deployments.
+    let mut errors: Vec<u64> = trace
+        .events
+        .iter()
+        .filter(|e| e.name == "deployment_done")
+        .filter_map(|e| e.fields.u64_field("errors"))
+        .collect();
+    if !errors.is_empty() {
+        errors.sort_unstable();
+        let median = errors[errors.len() / 2];
+        let threshold = ((median as f64 * cfg.ber_spike_factor) as u64).max(cfg.min_errors).max(1);
+        for (i, e) in trace.events.iter().enumerate() {
+            if e.name != "deployment_done" {
+                continue;
+            }
+            let Some(err) = e.fields.u64_field("errors") else { continue };
+            if err >= threshold {
+                out.push(Anomaly {
+                    kind: AnomalyKind::BerSpike,
+                    first: i,
+                    last: i,
+                    hits: 1,
+                    description: format!(
+                        "trial {} saw {err} bit errors (median {median}, threshold {threshold})",
+                        e.fields.u64_field("trial").unwrap_or(0),
+                    ),
+                });
+            }
+        }
+    }
+    // Rate-controller fallbacks explicitly attributed to a BER spike.
+    for (i, e) in trace.events.iter().enumerate() {
+        if e.target == "mac.rate_adapt"
+            && e.name == "rate_change"
+            && e.fields.str_field("reason") == Some("ber_spike")
+        {
+            out.push(Anomaly {
+                kind: AnomalyKind::BerSpike,
+                first: i,
+                last: i,
+                hits: 1,
+                description: format!(
+                    "rate controller fell back to {} bps on addr {} (reason: ber_spike)",
+                    e.fields.f64_field("rate_bps").unwrap_or(0.0),
+                    e.fields.u64_field("addr").unwrap_or(0),
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Generic burst detector: maximal clusters of the given families whose
+/// consecutive inter-event gaps stay inside the burst window.
+fn bursts(
+    trace: &Trace,
+    kind: AnomalyKind,
+    families: &[(&str, &str)],
+    min_count: usize,
+) -> Vec<Anomaly> {
+    let idx: Vec<usize> = trace
+        .events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| families.iter().any(|(t, n)| e.target == *t && e.name == *n))
+        .map(|(i, _)| i)
+        .collect();
+    if idx.len() < min_count {
+        return Vec::new();
+    }
+    let window = burst_window_us(trace);
+    let mut out = Vec::new();
+    let mut cluster_start = 0usize;
+    for k in 1..=idx.len() {
+        let gap_over = k == idx.len()
+            || trace.events[idx[k]].t_us.saturating_sub(trace.events[idx[k - 1]].t_us) > window;
+        if !gap_over {
+            continue;
+        }
+        let cluster = &idx[cluster_start..k];
+        if cluster.len() >= min_count {
+            let (first, last) = (cluster[0], *cluster.last().expect("nonempty"));
+            let dur_ms = (trace.events[last].t_us - trace.events[first].t_us) as f64 / 1000.0;
+            out.push(Anomaly {
+                kind,
+                first,
+                last,
+                hits: cluster.len(),
+                description: format!(
+                    "{} {} events within {dur_ms:.1} ms",
+                    cluster.len(),
+                    kind.label()
+                ),
+            });
+        }
+        cluster_start = k;
+    }
+    out
+}
+
+/// Renders the anomaly report with a ±`context`-event window around each
+/// finding (the window that makes a storm diagnosable: what the stack was
+/// doing right before and after).
+pub fn render(trace: &Trace, anomalies: &[Anomaly], context: usize) -> String {
+    let mut out = String::with_capacity(2048);
+    if anomalies.is_empty() {
+        out.push_str("no anomalies detected\n");
+        return out;
+    }
+    let _ = writeln!(out, "{} anomaly(ies) detected:\n", anomalies.len());
+    for (n, a) in anomalies.iter().enumerate() {
+        let _ = writeln!(out, "[{}] {}: {}", n + 1, a.kind.label(), a.description);
+        let lo = a.first.saturating_sub(context);
+        let hi = (a.last + context).min(trace.events.len().saturating_sub(1));
+        for i in lo..=hi {
+            let marker = if i >= a.first && i <= a.last { ">" } else { " " };
+            let _ = writeln!(out, "  {marker} {}", event_line(&trace.events[i]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn event_line(e: &TraceEvent) -> String {
+    e.to_display_line()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, t_us: u64, target: &str, name: &str, extra: &str) -> String {
+        format!(
+            "{{\"seq\":{seq},\"t_us\":{t_us},\"target\":\"{target}\",\"event\":\"{name}\",\"fields\":{{{extra}}}}}"
+        )
+    }
+
+    #[test]
+    fn detects_retransmit_storm_with_context() {
+        let mut lines = Vec::new();
+        // Quiet background spread over ~10 s so the burst window stays small.
+        for i in 0..20u64 {
+            lines.push(ev(
+                i,
+                i * 500_000,
+                "sim.campaign",
+                "deployment_done",
+                "\"trial\":1,\"errors\":0",
+            ));
+        }
+        // A tight storm of 8 retransmits within 2 ms.
+        for i in 0..8u64 {
+            lines.push(ev(100 + i, 5_000_000 + i * 250, "link.arq", "retransmit", "\"seq\":1"));
+        }
+        let trace = Trace::parse(&lines.join("\n"));
+        let found = scan(&trace, &AnomalyConfig::default());
+        assert_eq!(found.len(), 1, "found: {found:?}");
+        assert_eq!(found[0].kind, AnomalyKind::RetransmitStorm);
+        assert_eq!(found[0].hits, 8);
+        let rendered = render(&trace, &found, 2);
+        assert!(rendered.contains("ARQ retransmit storm"), "rendered: {rendered}");
+        assert!(rendered.contains("> #"), "rendered: {rendered}");
+    }
+
+    #[test]
+    fn detects_ber_spike_outlier() {
+        let mut lines = Vec::new();
+        for i in 0..10u64 {
+            let errors = if i == 7 { 120 } else { 2 };
+            lines.push(ev(
+                i,
+                i * 1000,
+                "sim.campaign",
+                "deployment_done",
+                &format!("\"trial\":{i},\"errors\":{errors}"),
+            ));
+        }
+        let trace = Trace::parse(&lines.join("\n"));
+        let found = scan(&trace, &AnomalyConfig::default());
+        assert_eq!(found.len(), 1, "found: {found:?}");
+        assert_eq!(found[0].kind, AnomalyKind::BerSpike);
+        assert!(found[0].description.contains("trial 7"), "{}", found[0].description);
+    }
+
+    #[test]
+    fn rate_fallback_counts_as_ber_spike() {
+        let lines = [
+            ev(
+                0,
+                0,
+                "mac.rate_adapt",
+                "rate_change",
+                "\"addr\":3,\"rate_bps\":100.0,\"reason\":\"ber_spike\"",
+            ),
+            ev(
+                1,
+                10,
+                "mac.rate_adapt",
+                "rate_change",
+                "\"addr\":3,\"rate_bps\":250.0,\"reason\":\"clean_probe\"",
+            ),
+        ];
+        let trace = Trace::parse(&lines.join("\n"));
+        let found = scan(&trace, &AnomalyConfig::default());
+        assert_eq!(found.len(), 1);
+        assert!(found[0].description.contains("addr 3"));
+    }
+
+    #[test]
+    fn sparse_events_do_not_trigger_bursts() {
+        let mut lines = Vec::new();
+        // 8 brownouts but spread evenly over 80 s: no cascade.
+        for i in 0..8u64 {
+            lines.push(ev(i, i * 10_000_000, "harvest.pmu", "brownout", "\"total\":1"));
+        }
+        let trace = Trace::parse(&lines.join("\n"));
+        let found = scan(&trace, &AnomalyConfig::default());
+        assert!(found.is_empty(), "found: {found:?}");
+    }
+
+    #[test]
+    fn silence_and_reinventory_cluster_together() {
+        let mut lines = Vec::new();
+        for i in 0..30u64 {
+            lines.push(ev(
+                i,
+                i * 1_000_000,
+                "sim.campaign",
+                "deployment_done",
+                "\"trial\":1,\"errors\":0",
+            ));
+        }
+        for i in 0..3u64 {
+            lines.push(ev(
+                100 + i,
+                15_000_000 + i * 100,
+                "mac.inventory",
+                "node_silent",
+                "\"addr\":2,\"misses\":3",
+            ));
+        }
+        lines.push(ev(103, 15_000_400, "mac.inventory", "reinventory", "\"offered\":1"));
+        let trace = Trace::parse(&lines.join("\n"));
+        let found = scan(&trace, &AnomalyConfig::default());
+        assert_eq!(found.len(), 1, "found: {found:?}");
+        assert_eq!(found[0].kind, AnomalyKind::SilenceBurst);
+        assert_eq!(found[0].hits, 4);
+    }
+}

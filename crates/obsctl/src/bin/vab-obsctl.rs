@@ -1,0 +1,232 @@
+//! `vab-obsctl` — trace analytics, anomaly detection and perf-regression
+//! gating for VAB telemetry.
+//!
+//! ```text
+//! vab-obsctl report    <trace.jsonl> [metrics.json]
+//! vab-obsctl anomalies <trace.jsonl> [--context N]
+//! vab-obsctl diff      <metrics-a.json> <metrics-b.json> [--rel-tol X]
+//! vab-obsctl baseline  <BENCH_<sha>.json> [--baseline <path>] [--absolute]
+//!                      [--write] [--tolerance X]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` regression / threshold breach, `2` usage or
+//! input error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use vab_obsctl::anomaly::{self, AnomalyConfig};
+use vab_obsctl::baseline::{Baseline, BenchDoc};
+use vab_obsctl::diff::{self, DiffConfig};
+use vab_obsctl::report;
+use vab_obsctl::trace::{MetricsDoc, Trace};
+
+/// Default location of the committed perf baseline, relative to the repo
+/// root (where CI and `run_all` execute).
+const DEFAULT_BASELINE: &str = "crates/bench/baseline.json";
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         vab-obsctl report    <trace.jsonl> [metrics.json]\n  \
+         vab-obsctl anomalies <trace.jsonl> [--context N]\n  \
+         vab-obsctl diff      <metrics-a.json> <metrics-b.json> [--rel-tol X]\n  \
+         vab-obsctl baseline  <BENCH.json> [--baseline <path>] [--absolute] [--write] [--tolerance X]"
+    );
+    ExitCode::from(2)
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::from(2)
+}
+
+/// Extracts `--flag <value>` from `args`, removing both tokens.
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => {
+            if i + 1 >= args.len() || args[i + 1].starts_with("--") {
+                return Err(format!("{flag} needs a value"));
+            }
+            let v = args.remove(i + 1);
+            args.remove(i);
+            Ok(Some(v))
+        }
+    }
+}
+
+/// Extracts a bare `--flag`, removing it.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+fn load_trace(path: &str) -> Result<Trace, String> {
+    let trace = Trace::load(Path::new(path)).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if trace.truncated_tail {
+        eprintln!("warning: {path}: final line truncated mid-record; skipped");
+    }
+    if !trace.skipped_lines.is_empty() {
+        eprintln!(
+            "warning: {path}: skipped {} malformed line(s): {:?}",
+            trace.skipped_lines.len(),
+            trace.skipped_lines
+        );
+    }
+    if trace.events.is_empty() {
+        return Err(format!("{path}: no parseable events"));
+    }
+    Ok(trace)
+}
+
+fn cmd_report(mut args: Vec<String>) -> ExitCode {
+    if args.is_empty() || args.len() > 2 {
+        return usage();
+    }
+    let trace = match load_trace(&args.remove(0)) {
+        Ok(t) => t,
+        Err(e) => return fail(&e),
+    };
+    let metrics = match args.pop() {
+        None => None,
+        Some(path) => match MetricsDoc::load(Path::new(&path)) {
+            Ok(m) => Some(m),
+            Err(e) => return fail(&e),
+        },
+    };
+    print!("{}", report::render(&trace, metrics.as_ref()));
+    ExitCode::SUCCESS
+}
+
+fn cmd_anomalies(mut args: Vec<String>) -> ExitCode {
+    let mut cfg = AnomalyConfig::default();
+    match take_flag_value(&mut args, "--context") {
+        Ok(Some(n)) => match n.parse() {
+            Ok(n) => cfg.context = n,
+            Err(_) => return fail("--context needs an integer"),
+        },
+        Ok(None) => {}
+        Err(e) => return fail(&e),
+    }
+    if args.len() != 1 {
+        return usage();
+    }
+    let trace = match load_trace(&args[0]) {
+        Ok(t) => t,
+        Err(e) => return fail(&e),
+    };
+    let found = anomaly::scan(&trace, &cfg);
+    print!("{}", anomaly::render(&trace, &found, cfg.context));
+    ExitCode::SUCCESS
+}
+
+fn cmd_diff(mut args: Vec<String>) -> ExitCode {
+    let mut cfg = DiffConfig::default();
+    match take_flag_value(&mut args, "--rel-tol") {
+        Ok(Some(x)) => match x.parse() {
+            Ok(x) => cfg.rel_tol = x,
+            Err(_) => return fail("--rel-tol needs a number"),
+        },
+        Ok(None) => {}
+        Err(e) => return fail(&e),
+    }
+    if args.len() != 2 {
+        return usage();
+    }
+    let a = match MetricsDoc::load(Path::new(&args[0])) {
+        Ok(m) => m,
+        Err(e) => return fail(&e),
+    };
+    let b = match MetricsDoc::load(Path::new(&args[1])) {
+        Ok(m) => m,
+        Err(e) => return fail(&e),
+    };
+    let report = diff::diff(&a, &b, &cfg);
+    print!("{}", report.render());
+    if report.regressions() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_baseline(mut args: Vec<String>) -> ExitCode {
+    let baseline_path = match take_flag_value(&mut args, "--baseline") {
+        Ok(p) => p.map(PathBuf::from).unwrap_or_else(|| PathBuf::from(DEFAULT_BASELINE)),
+        Err(e) => return fail(&e),
+    };
+    let tolerance = match take_flag_value(&mut args, "--tolerance") {
+        Ok(Some(x)) => match x.parse() {
+            Ok(x) => Some(x),
+            Err(_) => return fail("--tolerance needs a number"),
+        },
+        Ok(None) => None,
+        Err(e) => return fail(&e),
+    };
+    let absolute = take_flag(&mut args, "--absolute");
+    let write = take_flag(&mut args, "--write");
+    if args.len() != 1 {
+        return usage();
+    }
+    let doc = match BenchDoc::load(Path::new(&args[0])) {
+        Ok(d) => d,
+        Err(e) => return fail(&e),
+    };
+    if write {
+        // Refresh the committed reference from this snapshot, keeping the
+        // existing file's tolerance/min_share unless overridden.
+        let (tol, min_share) = match Baseline::load(&baseline_path) {
+            Ok(old) => (tolerance.unwrap_or(old.tolerance), old.min_share),
+            Err(_) => (tolerance.unwrap_or(0.5), 0.02),
+        };
+        let fresh = Baseline::from_bench(&doc, tol, min_share);
+        if let Err(e) = std::fs::write(&baseline_path, fresh.to_json()) {
+            return fail(&format!("cannot write {}: {e}", baseline_path.display()));
+        }
+        println!(
+            "baseline refreshed from {} run {} -> {}",
+            doc.mode,
+            doc.sha,
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let base = match Baseline::load(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => return fail(&e),
+    };
+    if base.mode != doc.mode {
+        eprintln!(
+            "warning: baseline was captured in {:?} mode but the snapshot is {:?}",
+            base.mode, doc.mode
+        );
+    }
+    let report = vab_obsctl::baseline::check(&doc, &base, absolute);
+    print!("{}", report.render());
+    if report.regressions() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn main() -> ExitCode {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        return usage();
+    }
+    let cmd = argv.remove(0);
+    match cmd.as_str() {
+        "report" => cmd_report(argv),
+        "anomalies" => cmd_anomalies(argv),
+        "diff" => cmd_diff(argv),
+        "baseline" => cmd_baseline(argv),
+        _ => usage(),
+    }
+}

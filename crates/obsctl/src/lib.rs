@@ -1,0 +1,33 @@
+//! # vab-obsctl — the analysis layer over `vab-obs` telemetry
+//!
+//! PR 2 (`vab-obs`) made every layer of the VAB stack emit JSONL event
+//! traces, metrics snapshots and stage timings; this crate is what
+//! *reads* them. It turns raw telemetry into decisions:
+//!
+//! * [`report`] — per-trial/session timeline reconstruction, event-rate
+//!   tables, stage-latency percentiles and an indented stage tree of
+//!   where campaign wall-time goes.
+//! * [`anomaly`] — BER spikes, ARQ retransmit storms, brownout cascades
+//!   and silence/re-inventory bursts, each with a ±N-event context
+//!   window.
+//! * [`diff`] — two-run metrics/stage comparison with configurable
+//!   relative thresholds; regressions drive a non-zero exit.
+//! * [`baseline`] — gates `BENCH_<sha>.json` perf snapshots against the
+//!   committed `crates/bench/baseline.json` so a slow channel
+//!   realization or Viterbi decode cannot ship silently.
+//!
+//! Everything is zero-dependency (including the [`json`] parser): the
+//! crate analyzes only what the workspace itself emitted.
+
+pub mod anomaly;
+pub mod baseline;
+pub mod diff;
+pub mod json;
+pub mod report;
+pub mod trace;
+
+/// The `BENCH_<sha>.json` schema this analyzer understands (written by
+/// `vab_bench::perf`).
+pub const PERF_SCHEMA: &str = "vab-bench-perf/1";
+
+pub use trace::{MetricsDoc, Trace, TraceEvent};

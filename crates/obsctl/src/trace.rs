@@ -1,0 +1,370 @@
+//! Loading `trace.jsonl` event streams and `metrics.json` snapshots.
+//!
+//! The JSONL sink shards its buffers per thread, so on-disk line order is
+//! *not* sequence order: [`Trace::load`] re-sorts by `seq` after parsing.
+//! A campaign killed mid-write leaves a truncated final line; the loader
+//! skips it (and any isolated corrupt line) with a warning instead of
+//! failing the whole analysis.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::json::Json;
+
+/// One parsed trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Global monotone sequence number.
+    pub seq: u64,
+    /// Microseconds since the observability epoch.
+    pub t_us: u64,
+    /// Emitting subsystem (`"link.arq"`, `"sim.campaign"`, …).
+    pub target: String,
+    /// Event name (`"retransmit"`, `"deployment_done"`, …).
+    pub name: String,
+    /// Typed payload (always a JSON object for well-formed traces).
+    pub fields: Json,
+}
+
+impl TraceEvent {
+    /// `target.name`, the event-family key used across the analyzer.
+    pub fn family(&self) -> String {
+        format!("{}.{}", self.target, self.name)
+    }
+
+    /// Compact single-line rendering for context windows.
+    pub fn to_display_line(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(96);
+        let _ = write!(
+            out,
+            "#{:<8} {:>10.3} ms  {}.{}",
+            self.seq,
+            self.t_us as f64 / 1000.0,
+            self.target,
+            self.name
+        );
+        if let Some(fields) = self.fields.as_obj() {
+            for (k, v) in fields {
+                match v {
+                    Json::Num(n) => {
+                        let _ = write!(out, " {k}={n}");
+                    }
+                    Json::Str(s) => {
+                        let _ = write!(out, " {k}={s}");
+                    }
+                    Json::Bool(b) => {
+                        let _ = write!(out, " {k}={b}");
+                    }
+                    other => {
+                        let _ = write!(out, " {k}={other:?}");
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A parsed trace plus bookkeeping about what had to be skipped.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Events sorted by sequence number.
+    pub events: Vec<TraceEvent>,
+    /// Malformed non-final lines that were skipped (line numbers, 1-based).
+    pub skipped_lines: Vec<usize>,
+    /// True when the final line was truncated mid-record (killed writer).
+    pub truncated_tail: bool,
+}
+
+impl Trace {
+    /// Parses a JSONL trace from a string. Malformed lines are skipped and
+    /// recorded; an unparseable *final* line is flagged as a truncated
+    /// tail, which callers should surface as a warning, not an error.
+    pub fn parse(text: &str) -> Trace {
+        let lines: Vec<&str> = text.lines().collect();
+        let last_idx = lines.len().saturating_sub(1);
+        let mut trace = Trace::default();
+        for (i, line) in lines.iter().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match Json::parse(line).ok().and_then(|v| event_from_json(&v)) {
+                Some(e) => trace.events.push(e),
+                None if i == last_idx => trace.truncated_tail = true,
+                None => trace.skipped_lines.push(i + 1),
+            }
+        }
+        trace.events.sort_by_key(|e| e.seq);
+        trace
+    }
+
+    /// Loads and parses `path`.
+    pub fn load(path: &Path) -> std::io::Result<Trace> {
+        Ok(Trace::parse(&std::fs::read_to_string(path)?))
+    }
+
+    /// Wall-clock span covered by the events, in seconds.
+    pub fn span_s(&self) -> f64 {
+        match (self.events.first(), self.events.iter().map(|e| e.t_us).max()) {
+            (Some(first), Some(t_max)) => {
+                let t_min = self.events.iter().map(|e| e.t_us).min().unwrap_or(first.t_us);
+                (t_max - t_min) as f64 / 1e6
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Event counts per `target.name` family, sorted by name.
+    pub fn family_counts(&self) -> BTreeMap<String, usize> {
+        let mut counts = BTreeMap::new();
+        for e in &self.events {
+            *counts.entry(e.family()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Indices of the events in `family`, in sequence order.
+    pub fn family_indices(&self, target: &str, name: &str) -> Vec<usize> {
+        self.events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.target == target && e.name == name)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+fn event_from_json(v: &Json) -> Option<TraceEvent> {
+    Some(TraceEvent {
+        seq: v.u64_field("seq")?,
+        t_us: v.u64_field("t_us")?,
+        target: v.str_field("target")?.to_string(),
+        name: v.str_field("event")?.to_string(),
+        fields: v.get("fields").cloned().unwrap_or(Json::Obj(Vec::new())),
+    })
+}
+
+/// One histogram from a `metrics.json` snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistDoc {
+    /// Instrument name.
+    pub name: String,
+    /// Observation count.
+    pub count: u64,
+    /// Observation sum.
+    pub sum: f64,
+    /// `(upper_bound, cumulative-style bucket count)`; the overflow bucket
+    /// carries `f64::INFINITY` as its bound.
+    pub buckets: Vec<(f64, u64)>,
+    /// Derived quantiles, when the snapshot carries them.
+    pub p50: Option<f64>,
+    /// 95th percentile.
+    pub p95: Option<f64>,
+    /// 99th percentile.
+    pub p99: Option<f64>,
+}
+
+impl HistDoc {
+    /// Mean seconds (or whatever unit the histogram records) per call.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile: the snapshot's embedded value when present (p50 /
+    /// p95 / p99), else re-derived from the buckets with the same
+    /// log-interpolation rule `vab-obs` uses — so old snapshots without
+    /// embedded quantiles still report percentiles.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        match q {
+            _ if self.count == 0 || !(q > 0.0 && q <= 1.0) => return None,
+            _ if (q - 0.50).abs() < 1e-12 && self.p50.is_some() => return self.p50,
+            _ if (q - 0.95).abs() < 1e-12 && self.p95.is_some() => return self.p95,
+            _ if (q - 0.99).abs() < 1e-12 && self.p99.is_some() => return self.p99,
+            _ => {}
+        }
+        let rank = q * self.count as f64;
+        let mut seen = 0u64;
+        let mut last_finite = None;
+        for (i, &(bound, n)) in self.buckets.iter().enumerate() {
+            if bound.is_finite() {
+                last_finite = Some(bound);
+            }
+            if n == 0 {
+                continue;
+            }
+            let below = seen as f64;
+            seen += n;
+            if (seen as f64) < rank {
+                continue;
+            }
+            if !bound.is_finite() {
+                return last_finite.or(Some(f64::INFINITY));
+            }
+            let lo = if i > 0 { self.buckets[i - 1].0 } else { bound / 10.0 };
+            let frac = ((rank - below) / n as f64).clamp(0.0, 1.0);
+            return Some(if lo > 0.0 && bound > lo {
+                lo * (bound / lo).powf(frac)
+            } else {
+                lo + (bound - lo) * frac
+            });
+        }
+        last_finite.or(Some(f64::INFINITY))
+    }
+}
+
+/// A parsed `metrics.json` snapshot.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsDoc {
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name.
+    pub gauges: Vec<(String, f64)>,
+    /// General histograms.
+    pub histograms: Vec<HistDoc>,
+    /// Per-stage wall-clock histograms (seconds).
+    pub stages: Vec<HistDoc>,
+}
+
+impl MetricsDoc {
+    /// Parses the JSON text of a snapshot.
+    pub fn parse(text: &str) -> Result<MetricsDoc, String> {
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        let mut doc = MetricsDoc::default();
+        if let Some(counters) = v.get("counters").and_then(Json::as_obj) {
+            for (name, val) in counters {
+                doc.counters.push((name.clone(), val.as_u64().unwrap_or(0)));
+            }
+        }
+        if let Some(gauges) = v.get("gauges").and_then(Json::as_obj) {
+            for (name, val) in gauges {
+                doc.gauges.push((name.clone(), val.as_f64().unwrap_or(f64::NAN)));
+            }
+        }
+        for (key, dst) in [("histograms", 0usize), ("stages", 1)] {
+            if let Some(hists) = v.get(key).and_then(Json::as_arr) {
+                for h in hists {
+                    let parsed = hist_from_json(h)
+                        .ok_or_else(|| format!("malformed histogram entry in {key:?}"))?;
+                    if dst == 0 {
+                        doc.histograms.push(parsed);
+                    } else {
+                        doc.stages.push(parsed);
+                    }
+                }
+            }
+        }
+        Ok(doc)
+    }
+
+    /// Loads and parses `path`.
+    pub fn load(path: &Path) -> Result<MetricsDoc, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        MetricsDoc::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Counter lookup.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Stage-histogram lookup.
+    pub fn stage(&self, name: &str) -> Option<&HistDoc> {
+        self.stages.iter().find(|h| h.name == name)
+    }
+}
+
+fn hist_from_json(v: &Json) -> Option<HistDoc> {
+    let mut buckets = Vec::new();
+    for b in v.get("buckets").and_then(Json::as_arr)? {
+        let le = match b.get("le") {
+            Some(Json::Num(x)) => *x,
+            Some(Json::Str(s)) if s == "+inf" => f64::INFINITY,
+            _ => return None,
+        };
+        buckets.push((le, b.u64_field("count")?));
+    }
+    Some(HistDoc {
+        name: v.str_field("name")?.to_string(),
+        count: v.u64_field("count")?,
+        sum: v.f64_field("sum").unwrap_or(f64::NAN),
+        buckets,
+        p50: v.f64_field("p50"),
+        p95: v.f64_field("p95"),
+        p99: v.f64_field("p99"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(seq: u64, target: &str, name: &str) -> String {
+        format!(
+            "{{\"seq\":{seq},\"t_us\":{},\"target\":\"{target}\",\"event\":\"{name}\",\"fields\":{{\"trial\":{seq}}}}}",
+            seq * 100
+        )
+    }
+
+    #[test]
+    fn parses_and_resorts_sharded_order() {
+        let text = format!(
+            "{}\n{}\n{}\n",
+            line(5, "link.arq", "retransmit"),
+            line(1, "sim.campaign", "campaign_start"),
+            line(3, "harvest.pmu", "brownout")
+        );
+        let t = Trace::parse(&text);
+        assert_eq!(t.events.len(), 3);
+        assert_eq!(t.events[0].seq, 1);
+        assert_eq!(t.events[2].seq, 5);
+        assert!(!t.truncated_tail);
+        assert!(t.skipped_lines.is_empty());
+        assert_eq!(t.family_counts().get("link.arq.retransmit"), Some(&1));
+        assert_eq!(t.family_indices("harvest.pmu", "brownout"), vec![1]);
+        assert!((t.span_s() - 400e-6).abs() < 1e-12, "span: {}", t.span_s());
+    }
+
+    #[test]
+    fn truncated_tail_is_flagged_not_fatal() {
+        let mut text = format!("{}\n{}\n", line(1, "a", "b"), line(2, "a", "b"));
+        text.push_str("{\"seq\":3,\"t_us\":99,\"targ"); // killed mid-write
+        let t = Trace::parse(&text);
+        assert_eq!(t.events.len(), 2);
+        assert!(t.truncated_tail);
+        assert!(t.skipped_lines.is_empty());
+    }
+
+    #[test]
+    fn interior_corruption_is_skipped_with_line_numbers() {
+        let text = format!("{}\nnot json at all\n{}\n", line(1, "a", "b"), line(2, "a", "b"));
+        let t = Trace::parse(&text);
+        assert_eq!(t.events.len(), 2);
+        assert_eq!(t.skipped_lines, vec![2]);
+        assert!(!t.truncated_tail);
+    }
+
+    #[test]
+    fn metrics_doc_parses_the_snapshot_shape() {
+        let text = r#"{
+  "counters": {"arq.retransmits": 12, "mc.trials": 150},
+  "gauges": {"x": 1.5},
+  "histograms": [],
+  "stages": [
+    {"name":"sim.linkbudget_trial","count":4,"sum":0.02,"p50":0.004,"p95":0.009,"p99":0.0099,"buckets":[{"le":0.001,"count":0},{"le":0.01,"count":3},{"le":"+inf","count":1}]}
+  ]
+}"#;
+        let doc = MetricsDoc::parse(text).expect("parse");
+        assert_eq!(doc.counter("arq.retransmits"), Some(12));
+        let st = doc.stage("sim.linkbudget_trial").expect("stage");
+        assert_eq!(st.count, 4);
+        assert_eq!(st.p95, Some(0.009));
+        assert_eq!(st.buckets.last().map(|b| b.0), Some(f64::INFINITY));
+        assert!((st.mean() - 0.005).abs() < 1e-12);
+    }
+}
