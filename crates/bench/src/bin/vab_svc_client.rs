@@ -1,0 +1,190 @@
+//! `vab-svc` — the command-line client for `vab-svcd`.
+//!
+//! ```text
+//! vab-svc [--addr 127.0.0.1:7411] batch [--quick] [--figures a,b,c] [--expect-cached]
+//! vab-svc [--addr ...] submit '<job json>'
+//! vab-svc [--addr ...] status <id>
+//! vab-svc [--addr ...] fetch <id> [--wait-ms N]
+//! vab-svc [--addr ...] stats
+//! vab-svc [--addr ...] shutdown
+//! ```
+//!
+//! `batch` submits figure jobs (default: three representative figures)
+//! and waits for all of them, printing one status line each plus a
+//! summary. `--expect-cached` exits non-zero unless *every* response was
+//! a cache hit — CI uses it to prove the second identical batch never
+//! recomputes.
+
+use vab_bench::serve::figure_job;
+use vab_bench::ExpConfig;
+use vab_svc::client::Client;
+use vab_svc::job::JobSpec;
+use vab_svc::wire::Request;
+use vab_util::json::Json;
+
+const DEFAULT_FIGURES: &[&str] = &["t3_link_budget", "f6_snr_vs_range", "f7_ber_vs_range"];
+
+fn usage(prog: &str) -> ! {
+    eprintln!(
+        "usage: {prog} [--addr 127.0.0.1:7411] <command>\n\
+         commands:\n\
+         \x20 batch [--quick] [--figures a,b,c] [--expect-cached]\n\
+         \x20 submit '<job json>'\n\
+         \x20 status <id>\n\
+         \x20 fetch <id> [--wait-ms N]\n\
+         \x20 stats\n\
+         \x20 shutdown"
+    );
+    std::process::exit(2);
+}
+
+fn flag_value(argv: &[String], flag: &str) -> Option<String> {
+    argv.iter().position(|a| a == flag).and_then(|i| argv.get(i + 1).cloned())
+}
+
+fn connect(addr: &str) -> Client {
+    match Client::connect(addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("vab-svc: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let prog = argv.first().cloned().unwrap_or_else(|| "vab-svc".into());
+    let addr = flag_value(&argv, "--addr").unwrap_or_else(|| "127.0.0.1:7411".into());
+    let command = argv
+        .iter()
+        .skip(1)
+        .find(|a| {
+            !a.starts_with("--") && Some(a.as_str()) != flag_value(&argv, "--addr").as_deref()
+        })
+        .cloned()
+        .unwrap_or_else(|| usage(&prog));
+    let exit = match command.as_str() {
+        "batch" => batch(&addr, &argv),
+        "submit" => submit(&addr, &argv, &command),
+        "status" => simple_id_op(&addr, &argv, &command, |id| Request::Status { id }),
+        "fetch" => {
+            let wait_ms =
+                flag_value(&argv, "--wait-ms").and_then(|v| v.parse().ok()).unwrap_or(30_000);
+            simple_id_op(&addr, &argv, &command, move |id| Request::Fetch { id, wait_ms })
+        }
+        "stats" => roundtrip(&addr, &Request::Stats),
+        "shutdown" => roundtrip(&addr, &Request::Shutdown),
+        _ => usage(&prog),
+    };
+    std::process::exit(exit);
+}
+
+fn roundtrip(addr: &str, req: &Request) -> i32 {
+    let mut client = connect(addr);
+    match client.roundtrip(req) {
+        Ok(resp) => {
+            println!("{}", resp.render());
+            0
+        }
+        Err(e) => {
+            eprintln!("vab-svc: {e}");
+            1
+        }
+    }
+}
+
+/// `status <id>` / `fetch <id>`: the id is the first non-flag argument
+/// after the command name.
+fn simple_id_op(
+    addr: &str,
+    argv: &[String],
+    command: &str,
+    make: impl FnOnce(String) -> Request,
+) -> i32 {
+    let pos = argv.iter().position(|a| a == command).expect("command present");
+    let Some(id) = argv.get(pos + 1).filter(|a| !a.starts_with("--")) else {
+        eprintln!("vab-svc: {command} needs a job id");
+        return 2;
+    };
+    roundtrip(addr, &make(id.clone()))
+}
+
+/// `submit '<job json>'`: parse, submit, print the response.
+fn submit(addr: &str, argv: &[String], command: &str) -> i32 {
+    let pos = argv.iter().position(|a| a == command).expect("command present");
+    let Some(raw) = argv.get(pos + 1) else {
+        eprintln!("vab-svc: submit needs a job JSON argument");
+        return 2;
+    };
+    let spec =
+        match Json::parse(raw).map_err(|e| e.to_string()).and_then(|v| JobSpec::from_json(&v)) {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("vab-svc: bad job spec: {e}");
+                return 2;
+            }
+        };
+    roundtrip(addr, &Request::Submit { job: Box::new(spec), deadline_ms: None })
+}
+
+/// `batch`: submit a set of figure jobs, wait for all, summarize.
+fn batch(addr: &str, argv: &[String]) -> i32 {
+    let cfg =
+        if argv.iter().any(|a| a == "--quick") { ExpConfig::quick() } else { ExpConfig::full() };
+    let expect_cached = argv.iter().any(|a| a == "--expect-cached");
+    let figures: Vec<String> = match flag_value(argv, "--figures") {
+        Some(list) => list.split(',').map(str::trim).map(String::from).collect(),
+        None => DEFAULT_FIGURES.iter().map(|s| s.to_string()).collect(),
+    };
+    let mut client = connect(addr);
+    let mut ids = Vec::new();
+    for name in &figures {
+        let job = figure_job(name, &cfg);
+        match client.submit_with_retry(&job, None, 200) {
+            Ok(resp) => {
+                let id = resp.str_field("id").unwrap_or("?").to_string();
+                let cached_at_submit = resp.str_field("status") == Some("done")
+                    && resp.bool_field("cached") == Some(true);
+                ids.push((name.clone(), id, cached_at_submit));
+            }
+            Err(e) => {
+                eprintln!("vab-svc: submit {name}: {e}");
+                return 1;
+            }
+        }
+    }
+    let mut all_cached = true;
+    let mut failures = 0;
+    for (name, id, cached_at_submit) in &ids {
+        let resp = loop {
+            match client.fetch_wait(id, 30_000) {
+                Ok(resp) => match resp.str_field("status") {
+                    Some("queued") | Some("running") => continue,
+                    _ => break resp,
+                },
+                Err(e) => {
+                    eprintln!("vab-svc: fetch {name}: {e}");
+                    return 1;
+                }
+            }
+        };
+        let status = resp.str_field("status").unwrap_or("?").to_string();
+        let cached = *cached_at_submit || resp.bool_field("cached") == Some(true);
+        all_cached &= cached;
+        if status != "done" {
+            failures += 1;
+            eprintln!("vab-svc: {name} failed: {}", resp.str_field("error").unwrap_or("unknown"));
+        }
+        println!("{name}\t{id}\t{status}{}", if cached { "\t(cached)" } else { "" });
+    }
+    println!("batch: {} jobs, {} failed, all_cached={all_cached}", ids.len(), failures);
+    if failures > 0 {
+        return 1;
+    }
+    if expect_cached && !all_cached {
+        eprintln!("vab-svc: --expect-cached but some results were computed");
+        return 1;
+    }
+    0
+}

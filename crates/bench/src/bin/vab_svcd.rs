@@ -1,0 +1,130 @@
+//! `vab-svcd` — the simulation daemon.
+//!
+//! Serves the NDJSON job protocol over localhost TCP, backed by the full
+//! figure registry, the persistent result cache, and a bounded worker
+//! pool. Prints `listening on <addr>` once ready (scripts parse this to
+//! learn the port when started with `:0`), then blocks until a client
+//! sends `{"op":"shutdown"}` or the process receives EOF on stdin.
+//!
+//! ```text
+//! vab-svcd [--addr 127.0.0.1:7411] [--workers N] [--queue N]
+//!          [--cache-dir results/cache] [--cache-cap N]
+//!          [--fault-seed S --fault-panic-prob P]
+//! ```
+//!
+//! `--fault-*` arms deterministic worker-panic injection
+//! (`vab_fault::WorkerFaultPlan`) for chaos drills: affected jobs fail
+//! typed while the daemon keeps serving.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use vab_bench::serve::{bench_executor, open_cache, DEFAULT_CACHE_DIR};
+use vab_svc::pool::PoolConfig;
+use vab_svc::server::{Server, ServerConfig};
+
+struct Opts {
+    addr: String,
+    workers: usize,
+    queue_cap: usize,
+    cache_dir: PathBuf,
+    cache_cap: usize,
+    fault_seed: Option<u64>,
+    fault_panic_prob: f64,
+}
+
+fn usage(prog: &str) -> ! {
+    eprintln!(
+        "usage: {prog} [--addr 127.0.0.1:7411] [--workers N] [--queue N] \
+         [--cache-dir DIR] [--cache-cap N] [--fault-seed S] [--fault-panic-prob P]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_opts() -> Opts {
+    let argv: Vec<String> = std::env::args().collect();
+    let prog = argv.first().cloned().unwrap_or_else(|| "vab-svcd".into());
+    let mut opts = Opts {
+        addr: "127.0.0.1:7411".into(),
+        workers: 0,
+        queue_cap: 64,
+        cache_dir: PathBuf::from(DEFAULT_CACHE_DIR),
+        cache_cap: 256,
+        fault_seed: None,
+        fault_panic_prob: 1.0,
+    };
+    let mut i = 1;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let value =
+            || -> &str { argv.get(i + 1).map(String::as_str).unwrap_or_else(|| usage(&prog)) };
+        match flag {
+            "--addr" => opts.addr = value().to_string(),
+            "--workers" => opts.workers = value().parse().unwrap_or_else(|_| usage(&prog)),
+            "--queue" => opts.queue_cap = value().parse().unwrap_or_else(|_| usage(&prog)),
+            "--cache-dir" => opts.cache_dir = PathBuf::from(value()),
+            "--cache-cap" => opts.cache_cap = value().parse().unwrap_or_else(|_| usage(&prog)),
+            "--fault-seed" => {
+                opts.fault_seed = Some(value().parse().unwrap_or_else(|_| usage(&prog)));
+            }
+            "--fault-panic-prob" => {
+                opts.fault_panic_prob = value().parse().unwrap_or_else(|_| usage(&prog));
+            }
+            "--help" | "-h" => usage(&prog),
+            _ => usage(&prog),
+        }
+        i += 2;
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_opts();
+    if let Err(e) = vab_obs::init_from_env() {
+        eprintln!("warning: VAB_OBS sink unavailable ({e}); observability disabled");
+        vab_obs::disable();
+    }
+    let mut executor = bench_executor();
+    if let Some(seed) = opts.fault_seed {
+        eprintln!(
+            "vab-svcd: fault injection armed (seed={seed}, panic_prob={})",
+            opts.fault_panic_prob
+        );
+        executor =
+            executor.with_faults(vab_fault::WorkerFaultPlan::new(seed, opts.fault_panic_prob));
+    }
+    let cache = open_cache(&opts.cache_dir, opts.cache_cap);
+    let cfg = ServerConfig {
+        addr: opts.addr.clone(),
+        pool: PoolConfig {
+            workers: opts.workers,
+            queue_cap: opts.queue_cap,
+            ..PoolConfig::default()
+        },
+    };
+    let mut server = match Server::start(cfg, executor, cache) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("vab-svcd: cannot bind {}: {e}", opts.addr);
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", server.addr());
+    eprintln!(
+        "vab-svcd: {} workers, queue {}, cache {}",
+        server.pool().workers(),
+        opts.queue_cap,
+        opts.cache_dir.display()
+    );
+    while !server.is_shutting_down() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    server.shutdown();
+    let (done, failed) = server.pool().totals();
+    let cache = server.pool().cache().stats();
+    eprintln!(
+        "vab-svcd: stopped ({done} done, {failed} failed, cache hit rate {:.0}%)",
+        cache.hit_rate() * 100.0
+    );
+    vab_obs::flush();
+}

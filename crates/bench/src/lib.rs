@@ -12,6 +12,7 @@
 pub mod experiments;
 pub mod perf;
 pub mod report;
+pub mod serve;
 
 pub use experiments::ExpConfig;
 pub use perf::BenchSnapshot;

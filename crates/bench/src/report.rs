@@ -31,6 +31,8 @@ struct Args {
     quick: bool,
     csv: Option<String>,
     json: Option<String>,
+    /// `run_all --serve <addr>`: go through a `vab-svcd` daemon.
+    serve: Option<String>,
 }
 
 /// Extracts `--<flag> <value>`; a flag with no following value (or one
@@ -49,7 +51,12 @@ fn try_parse_args(argv: &[String]) -> Result<Args, String> {
     let quick = argv.iter().any(|a| a == "--quick");
     let csv = flag_value(argv, "--csv")?;
     let json = flag_value(argv, "--json")?;
-    Ok(Args { quick, csv, json })
+    let serve = flag_value(argv, "--serve")?;
+    if let Some(jobs) = flag_value(argv, "--jobs")? {
+        let n: usize = jobs.parse().map_err(|_| format!("--jobs wants a count, got {jobs:?}"))?;
+        vab_util::threads::set_jobs(n);
+    }
+    Ok(Args { quick, csv, json, serve })
 }
 
 fn parse_args() -> Args {
@@ -59,7 +66,10 @@ fn parse_args() -> Args {
         Err(msg) => {
             let prog = argv.first().map(String::as_str).unwrap_or("bench");
             eprintln!("error: {msg}");
-            eprintln!("usage: {prog} [--quick] [--csv <path>] [--json <path>]");
+            eprintln!(
+                "usage: {prog} [--quick] [--jobs <n>] [--csv <path>] [--json <path>] \
+                 [--serve <addr>]"
+            );
             std::process::exit(2);
         }
     }
@@ -185,6 +195,10 @@ pub fn run_all_main() {
     let mode = init_obs();
     let out_dir = Path::new("results");
     std::fs::create_dir_all(out_dir).expect("create results/");
+    if let Some(addr) = &args.serve {
+        run_all_served(addr, &cfg, out_dir, &mode);
+        return;
+    }
     let started = Instant::now();
     eprintln!(
         "run_all: {} (trials={}, bits={}, seed={})  obs={}",
@@ -218,4 +232,34 @@ pub fn run_all_main() {
     eprintln!("all experiments regenerated into results/ in {:.1?}", started.elapsed());
     write_perf(&perf, args.json.as_deref());
     finish(&mode);
+}
+
+/// `run_all --serve <addr>`: regenerate the fleet *through* a `vab-svcd`
+/// daemon. Identical re-runs are cache hits — the second invocation with
+/// the same config re-materializes every CSV without recomputing physics.
+fn run_all_served(addr: &str, cfg: &ExpConfig, out_dir: &Path, mode: &ObsMode) {
+    let started = Instant::now();
+    eprintln!(
+        "run_all: serving through {addr} (trials={}, bits={}, seed={})",
+        cfg.trials, cfg.bits, cfg.seed
+    );
+    let figures = match crate::serve::serve_all(addr, cfg) {
+        Ok(figures) => figures,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut cached = 0usize;
+    let total = figures.len();
+    for fig in figures {
+        std::fs::write(out_dir.join(format!("{}.csv", fig.name)), &fig.csv).expect("write CSV");
+        eprintln!("[{}] {}", fig.name, if fig.cached { "cache hit" } else { "computed" });
+        cached += fig.cached as usize;
+    }
+    eprintln!(
+        "all {total} experiments served into results/ in {:.1?} ({cached} cache hits)",
+        started.elapsed()
+    );
+    finish(mode);
 }

@@ -23,9 +23,11 @@
 
 pub mod config;
 pub mod plan;
+pub mod worker;
 
 pub use config::FaultConfig;
 pub use plan::{
     BurstFault, ChannelFaults, ElementFault, EnergyFaults, FaultPlan, ProtocolFaults, SwitchFault,
     TrialFaults,
 };
+pub use worker::WorkerFaultPlan;

@@ -1,0 +1,89 @@
+//! Deterministic worker-level fault injection for the service layer.
+//!
+//! The physics faults in [`crate::plan`] break the *simulated link*; this
+//! module breaks the *machinery running the simulation* — it decides,
+//! seed-purely, whether a `vab-svc` worker should panic while executing a
+//! given job. The pool's `catch_unwind` isolation (building on the typed
+//! `MonteCarloError::WorkerPanicked` contract in `vab-sim`) must convert
+//! that panic into a typed job failure while the daemon keeps serving,
+//! and the integration tests drive exactly that path.
+//!
+//! Like every other plan in this crate, the decision derives from
+//! `derive_seed(seed, key)` alone: the same seed and job digest always
+//! panic (or not), regardless of worker count or submission order.
+
+use vab_util::rng::derive_seed;
+
+/// Dedicated stream tag so worker-fault draws never collide with the
+/// physics fault streams.
+const WORKER_STREAM: u64 = 0x0FA1_17ED;
+
+/// Seed-pure plan for injected worker panics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerFaultPlan {
+    seed: u64,
+    panic_prob: f64,
+}
+
+impl WorkerFaultPlan {
+    /// A plan that panics on each job independently with probability
+    /// `panic_prob` (clamped to `[0, 1]`), keyed on the job's digest.
+    pub fn new(seed: u64, panic_prob: f64) -> Self {
+        Self { seed: derive_seed(seed, WORKER_STREAM), panic_prob: panic_prob.clamp(0.0, 1.0) }
+    }
+
+    /// A plan that panics on every job — the isolation test's hammer.
+    pub fn always(seed: u64) -> Self {
+        Self::new(seed, 1.0)
+    }
+
+    /// The configured panic probability.
+    pub fn panic_prob(&self) -> f64 {
+        self.panic_prob
+    }
+
+    /// Should the worker executing the job identified by `job_key` (the
+    /// job's content digest) panic? Deterministic in `(seed, job_key)`.
+    pub fn panics(&self, job_key: u64) -> bool {
+        if self.panic_prob <= 0.0 {
+            return false;
+        }
+        if self.panic_prob >= 1.0 {
+            return true;
+        }
+        let u = (derive_seed(self.seed, job_key) >> 11) as f64 / (1u64 << 53) as f64;
+        u < self.panic_prob
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed_and_key() {
+        let p = WorkerFaultPlan::new(7, 0.5);
+        for key in 0..64u64 {
+            assert_eq!(p.panics(key), WorkerFaultPlan::new(7, 0.5).panics(key));
+        }
+        let other = WorkerFaultPlan::new(8, 0.5);
+        assert!((0..64u64).any(|k| p.panics(k) != other.panics(k)));
+    }
+
+    #[test]
+    fn extremes_are_total() {
+        let never = WorkerFaultPlan::new(1, 0.0);
+        let always = WorkerFaultPlan::always(1);
+        for key in 0..32u64 {
+            assert!(!never.panics(key));
+            assert!(always.panics(key));
+        }
+    }
+
+    #[test]
+    fn probability_is_roughly_respected() {
+        let p = WorkerFaultPlan::new(3, 0.25);
+        let hits = (0..4000u64).filter(|&k| p.panics(k)).count();
+        assert!((800..1200).contains(&hits), "hit count {hits} far from 1000");
+    }
+}

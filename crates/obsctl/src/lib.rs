@@ -16,8 +16,9 @@
 //!   committed `crates/bench/baseline.json` so a slow channel
 //!   realization or Viterbi decode cannot ship silently.
 //!
-//! Everything is zero-dependency (including the [`json`] parser): the
-//! crate analyzes only what the workspace itself emitted.
+//! Everything stays serde-free: the [`json`] module re-exports the shared
+//! `vab_util::json` parser/serializer, and the crate analyzes only what
+//! the workspace itself emitted.
 
 pub mod anomaly;
 pub mod baseline;

@@ -152,9 +152,28 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         seed = cfg.seed,
         faulted = cfg.faults.is_some(),
     );
+    let report = CampaignReport { records: run_campaign_slice(cfg, 0, cfg.n_trials) };
+    vab_obs::metrics::inc("campaign.deployments", report.records.len() as u64);
+    if vab_obs::enabled() {
+        vab_obs::metrics::gauge("campaign.success_fraction").set(report.success_fraction());
+        vab_obs::metrics::gauge("campaign.max_successful_range_m")
+            .set(report.max_successful_range());
+    }
+    report
+}
+
+/// Runs deployments `lo..hi` of the campaign and returns their records.
+///
+/// Every deployment seeds itself from `derive_seed(cfg.seed, id)` and
+/// (when faulted) indexes the fault plan by its own id, so a slice is
+/// bit-identical to the same ids inside a full [`run_campaign`] — the
+/// property `vab-svc` relies on to shard a campaign into independent,
+/// individually-cacheable jobs. `hi` is clamped to `cfg.n_trials`.
+pub fn run_campaign_slice(cfg: &CampaignConfig, lo: usize, hi: usize) -> Vec<TrialRecord> {
+    let hi = hi.min(cfg.n_trials);
     let plan = cfg.faults.map(|fc| FaultPlan::new(cfg.seed, fc));
-    let mut records = Vec::with_capacity(cfg.n_trials);
-    for id in 0..cfg.n_trials {
+    let mut records = Vec::with_capacity(hi.saturating_sub(lo));
+    for id in lo..hi {
         let mut rng = seeded(derive_seed(cfg.seed, id as u64));
         let (scenario, river, sea_state) = sample_scenario(cfg, &mut rng);
         let mc = MonteCarloConfig {
@@ -196,14 +215,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
         );
         records.push(record);
     }
-    let report = CampaignReport { records };
-    vab_obs::metrics::inc("campaign.deployments", report.records.len() as u64);
-    if vab_obs::enabled() {
-        vab_obs::metrics::gauge("campaign.success_fraction").set(report.success_fraction());
-        vab_obs::metrics::gauge("campaign.max_successful_range_m")
-            .set(report.max_successful_range());
-    }
-    report
+    records
 }
 
 #[cfg(test)]
@@ -212,6 +224,23 @@ mod tests {
 
     fn small() -> CampaignConfig {
         CampaignConfig { n_trials: 120, ..CampaignConfig::vab_default() }
+    }
+
+    #[test]
+    fn slices_concatenate_to_the_full_campaign() {
+        let cfg = CampaignConfig { n_trials: 40, ..CampaignConfig::vab_default() };
+        let full = run_campaign(&cfg);
+        let mut stitched = run_campaign_slice(&cfg, 0, 15);
+        stitched.extend(run_campaign_slice(&cfg, 15, 40));
+        assert_eq!(stitched.len(), full.records.len());
+        for (a, b) in stitched.iter().zip(&full.records) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.errors, b.errors);
+            assert_eq!(a.range_m.to_bits(), b.range_m.to_bits());
+            assert_eq!(a.ebn0_db.to_bits(), b.ebn0_db.to_bits());
+        }
+        // Out-of-range slices clamp instead of panicking.
+        assert!(run_campaign_slice(&cfg, 40, 50).is_empty());
     }
 
     #[test]

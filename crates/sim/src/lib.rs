@@ -27,7 +27,7 @@ pub mod scenario;
 pub mod session;
 
 pub use baseline::SystemKind;
-pub use campaign::{run_campaign, CampaignConfig, CampaignReport};
+pub use campaign::{run_campaign, run_campaign_slice, CampaignConfig, CampaignReport};
 pub use linkbudget::{LinkBudget, ReaderParams};
 pub use metrics::{BerPoint, CsvTable};
 pub use montecarlo::{run_ber_sweep, MonteCarloConfig, TrialEngine};

@@ -412,12 +412,8 @@ fn run_point_impl(
     faults: FaultSource<'_>,
 ) -> Result<PointResult, MonteCarloError> {
     let _span = vab_obs::Span::enter("sim.montecarlo", "run_point");
-    let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-    } else {
-        cfg.threads
-    }
-    .min(cfg.trials.max(1));
+    let threads =
+        if cfg.threads == 0 { vab_util::threads() } else { cfg.threads }.min(cfg.trials.max(1));
     let trials_per = cfg.trials.div_ceil(threads);
     let n_elements = scenario.system.n_elements();
     let mut shards: Vec<Result<PointResult, MonteCarloError>> = Vec::new();

@@ -1,0 +1,239 @@
+//! Content-addressed result cache: in-memory LRU over a persistent tier.
+//!
+//! Keys are [`crate::job::JobSpec::digest`] values — FNV-1a over the
+//! canonical spec bytes plus [`crate::ENGINE_VERSION`] — so identical
+//! physics shares one address, a seed change gets a new one, and an
+//! engine bump orphans every stale entry without any invalidation
+//! protocol. The persistent tier is one JSON file per entry under a cache
+//! directory (default `results/cache/`), written atomically enough for a
+//! single-daemon workload and verified against its recorded digest and
+//! engine version on the way back in.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use vab_util::json::Json;
+
+/// Schema tag of the persistent entry files.
+const CACHE_SCHEMA: &str = "vab-svc-cache/1";
+
+/// Counters frozen by [`ResultCache::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from memory or disk.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries currently resident in memory.
+    pub resident: usize,
+}
+
+impl CacheStats {
+    /// Hit fraction over all lookups (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Lru {
+    entries: HashMap<u64, String>,
+    order: VecDeque<u64>,
+}
+
+impl Lru {
+    fn touch(&mut self, digest: u64) {
+        if let Some(pos) = self.order.iter().position(|&d| d == digest) {
+            self.order.remove(pos);
+        }
+        self.order.push_back(digest);
+    }
+}
+
+/// The two-tier cache. All methods take `&self`; the in-memory tier is a
+/// mutex-guarded LRU (lookups are rare next to the physics they save).
+pub struct ResultCache {
+    capacity: usize,
+    mem: Mutex<Lru>,
+    dir: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// An in-memory-only cache holding at most `capacity` entries.
+    pub fn in_memory(capacity: usize) -> Self {
+        ResultCache {
+            capacity: capacity.max(1),
+            mem: Mutex::new(Lru { entries: HashMap::new(), order: VecDeque::new() }),
+            dir: None,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache backed by the persistent tier in `dir` (created if absent).
+    pub fn persistent(capacity: usize, dir: &Path) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let mut cache = Self::in_memory(capacity);
+        cache.dir = Some(dir.to_path_buf());
+        Ok(cache)
+    }
+
+    /// The persistent tier's directory, when one is configured.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    fn entry_path(&self, digest: u64) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("{digest:016x}.json")))
+    }
+
+    fn record_hit(&self, tier: &'static str) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        vab_obs::metrics::inc("svc.cache_hits", 1);
+        vab_obs::event!("svc.cache", "hit", tier = tier);
+        self.publish_rate();
+    }
+
+    fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        vab_obs::metrics::inc("svc.cache_misses", 1);
+        self.publish_rate();
+    }
+
+    fn publish_rate(&self) {
+        if vab_obs::enabled() {
+            vab_obs::metrics::gauge("svc.cache_hit_rate").set(self.stats().hit_rate());
+        }
+    }
+
+    /// Looks up `digest`, consulting memory first, then the persistent
+    /// tier (promoting disk hits into memory).
+    pub fn get(&self, digest: u64) -> Option<String> {
+        {
+            let mut lru = self.mem.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(payload) = lru.entries.get(&digest).cloned() {
+                lru.touch(digest);
+                self.record_hit("memory");
+                return Some(payload);
+            }
+        }
+        if let Some(path) = self.entry_path(digest) {
+            if let Some(payload) = read_entry(&path, digest) {
+                self.insert_mem(digest, payload.clone());
+                self.record_hit("disk");
+                return Some(payload);
+            }
+        }
+        self.record_miss();
+        None
+    }
+
+    /// Stores `payload` under `digest`. `spec_canonical` is embedded in
+    /// the persistent entry so `results/cache/` stays self-describing.
+    pub fn put(&self, digest: u64, spec_canonical: &str, payload: &str) {
+        self.insert_mem(digest, payload.to_string());
+        if let Some(path) = self.entry_path(digest) {
+            let spec = Json::parse(spec_canonical).unwrap_or(Json::Str(spec_canonical.into()));
+            let entry = Json::obj([
+                ("schema", Json::Str(CACHE_SCHEMA.into())),
+                ("engine_version", Json::Str(crate::ENGINE_VERSION.into())),
+                ("digest", Json::Str(format!("{digest:016x}"))),
+                ("spec", spec),
+                ("payload", Json::Str(payload.into())),
+            ]);
+            if let Err(e) = std::fs::write(&path, entry.render()) {
+                eprintln!("vab-svc: cache write {} failed: {e}", path.display());
+            }
+        }
+    }
+
+    fn insert_mem(&self, digest: u64, payload: String) {
+        let mut lru = self.mem.lock().unwrap_or_else(|e| e.into_inner());
+        lru.entries.insert(digest, payload);
+        lru.touch(digest);
+        while lru.entries.len() > self.capacity {
+            if let Some(evict) = lru.order.pop_front() {
+                lru.entries.remove(&evict);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Frozen hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            resident: self.mem.lock().unwrap_or_else(|e| e.into_inner()).entries.len(),
+        }
+    }
+}
+
+/// Reads one persistent entry, returning its payload only when the file
+/// parses and its recorded digest *and* engine version both match —
+/// anything else is treated as a miss (stale engines re-compute).
+fn read_entry(path: &Path, digest: u64) -> Option<String> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let v = Json::parse(&text).ok()?;
+    if v.str_field("schema") != Some(CACHE_SCHEMA)
+        || v.str_field("engine_version") != Some(crate::ENGINE_VERSION)
+        || v.str_field("digest") != Some(format!("{digest:016x}").as_str())
+    {
+        return None;
+    }
+    v.str_field("payload").map(str::to_string)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let c = ResultCache::in_memory(2);
+        c.put(1, "{\"a\":1}", "one");
+        c.put(2, "{\"a\":2}", "two");
+        assert_eq!(c.get(1).as_deref(), Some("one")); // 1 is now hottest
+        c.put(3, "{\"a\":3}", "three"); // evicts 2
+        assert_eq!(c.get(2), None);
+        assert_eq!(c.get(1).as_deref(), Some("one"));
+        assert_eq!(c.get(3).as_deref(), Some("three"));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.resident), (3, 1, 2));
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn persistent_tier_survives_a_new_cache_and_rejects_corruption() {
+        let dir = std::env::temp_dir().join(format!(
+            "vab-svc-cache-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let c = ResultCache::persistent(4, &dir).expect("create");
+            c.put(0xabc, "{\"kind\":\"x\"}", "payload-1");
+        }
+        let c2 = ResultCache::persistent(4, &dir).expect("reopen");
+        assert_eq!(c2.get(0xabc).as_deref(), Some("payload-1"), "disk tier must serve");
+        // A digest the tier never saw misses.
+        assert_eq!(c2.get(0xdef), None);
+        // Corrupt the entry: it must read as a miss, not a panic.
+        let path = dir.join(format!("{:016x}.json", 0xabcu64));
+        std::fs::write(&path, "{not json").expect("corrupt");
+        let c3 = ResultCache::persistent(4, &dir).expect("reopen again");
+        assert_eq!(c3.get(0xabc), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

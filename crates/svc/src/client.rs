@@ -1,0 +1,142 @@
+//! A typed NDJSON client over one TCP connection.
+//!
+//! Thin by design: each method writes one request line, reads one
+//! response line, and hands back parsed JSON (or a typed
+//! [`ClientError`]). Backpressure surfaces as
+//! [`ClientError::QueueFull`] so callers can implement retry loops like
+//! [`Client::submit_with_retry`].
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use vab_util::json::Json;
+
+use crate::job::JobSpec;
+use crate::wire::Request;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The daemon answered, but not with parseable JSON.
+    BadResponse(String),
+    /// The daemon rejected the submission for capacity; retry later.
+    QueueFull {
+        /// Daemon's suggested retry delay, milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The daemon returned `"ok":false` with this error.
+    Rejected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::BadResponse(s) => write!(f, "bad response: {s}"),
+            ClientError::QueueFull { retry_after_ms } => {
+                write!(f, "queue full (retry after {retry_after_ms} ms)")
+            }
+            ClientError::Rejected(s) => write!(f, "rejected: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One connection to a `vab-svcd` daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `127.0.0.1:7411`).
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    /// One request line out, one response line in.
+    pub fn roundtrip(&mut self, req: &Request) -> Result<Json, ClientError> {
+        let mut line = req.render();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(ClientError::BadResponse("connection closed".into()));
+        }
+        let v = Json::parse(response.trim_end())
+            .map_err(|e| ClientError::BadResponse(format!("{e} in {response:?}")))?;
+        if v.bool_field("ok") == Some(false) {
+            if v.str_field("error") == Some("queue_full") {
+                return Err(ClientError::QueueFull {
+                    retry_after_ms: v.u64_field("retry_after_ms").unwrap_or(50),
+                });
+            }
+            return Err(ClientError::Rejected(
+                v.str_field("error").unwrap_or("unspecified").to_string(),
+            ));
+        }
+        Ok(v)
+    }
+
+    /// Submits a job; the returned JSON carries `id`, `status`,
+    /// `deduped`, and — for cache hits — `cached:true`.
+    pub fn submit(&mut self, job: &JobSpec, deadline_ms: Option<u64>) -> Result<Json, ClientError> {
+        self.roundtrip(&Request::Submit { job: Box::new(job.clone()), deadline_ms })
+    }
+
+    /// Submits with a bounded backpressure-retry loop, sleeping the
+    /// daemon's `retry_after_ms` hint between attempts.
+    pub fn submit_with_retry(
+        &mut self,
+        job: &JobSpec,
+        deadline_ms: Option<u64>,
+        max_attempts: usize,
+    ) -> Result<Json, ClientError> {
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            match self.submit(job, deadline_ms) {
+                Err(ClientError::QueueFull { retry_after_ms }) if attempt < max_attempts => {
+                    std::thread::sleep(Duration::from_millis(retry_after_ms));
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Queries a job's lifecycle state.
+    pub fn status(&mut self, id: &str) -> Result<Json, ClientError> {
+        self.roundtrip(&Request::Status { id: id.to_string() })
+    }
+
+    /// Fetches a job, blocking server-side up to `wait_ms` for a
+    /// terminal state.
+    pub fn fetch_wait(&mut self, id: &str, wait_ms: u64) -> Result<Json, ClientError> {
+        self.roundtrip(&Request::Fetch { id: id.to_string(), wait_ms })
+    }
+
+    /// Daemon-wide counters (workers, queue depth, cache hit rate, …).
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        self.roundtrip(&Request::Stats)
+    }
+
+    /// Asks the daemon to stop.
+    pub fn shutdown(&mut self) -> Result<Json, ClientError> {
+        self.roundtrip(&Request::Shutdown)
+    }
+}

@@ -1,0 +1,324 @@
+//! Job execution: turning a [`JobSpec`] into a deterministic payload.
+//!
+//! Native kinds (Monte Carlo point, campaign slice, link-budget sweep)
+//! run directly against `vab-sim`. Figure jobs need the evaluation
+//! registry, which lives *above* this crate in `vab-bench`, so it is
+//! injected through the [`FigureRunner`] trait — the daemon binary wires
+//! the real registry in; servers without one reject figure jobs with a
+//! typed error instead of panicking.
+//!
+//! Payloads only contain thread-count-invariant statistics (exact error
+//! counts, sorted per-trial BERs, medians), rendered through
+//! `vab_util::json`'s canonical writer, so a cached response and a
+//! freshly computed one are byte-identical no matter how many workers or
+//! Monte Carlo shards produced them.
+
+use vab_acoustics::environment::SeaState;
+use vab_fault::{FaultConfig, WorkerFaultPlan};
+use vab_sim::campaign::{run_campaign_slice, CampaignConfig};
+use vab_sim::linkbudget::LinkBudget;
+use vab_sim::montecarlo::{try_run_point_with_front_end, MonteCarloConfig};
+use vab_sim::scenario::Scenario;
+use vab_util::json::Json;
+use vab_util::units::{Degrees, Meters};
+
+use crate::cache::ResultCache;
+use crate::job::{EnvSpec, JobSpec, SystemSpec};
+
+/// Executes figure jobs by registry name. Implemented in `vab-bench` over
+/// `all_experiments_lazy`; the returned string is the figure's CSV.
+pub trait FigureRunner: Send + Sync {
+    /// Runs figure `name` under the given experiment knobs.
+    fn run_figure(
+        &self,
+        name: &str,
+        trials: usize,
+        bits: usize,
+        seed: u64,
+    ) -> Result<String, String>;
+}
+
+/// The pluggable execution engine handed to every pool worker.
+#[derive(Default)]
+pub struct Executor {
+    figures: Option<std::sync::Arc<dyn FigureRunner>>,
+    faults: Option<WorkerFaultPlan>,
+}
+
+impl Executor {
+    /// An executor for the native job kinds only.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a figure registry.
+    pub fn with_figures(mut self, figures: std::sync::Arc<dyn FigureRunner>) -> Self {
+        self.figures = Some(figures);
+        self
+    }
+
+    /// Adds deterministic worker-panic injection (tests, chaos drills).
+    pub fn with_faults(mut self, plan: WorkerFaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Runs one job to a payload string. Panics when the injected worker
+    /// fault plan says so — the pool's `catch_unwind` turns that into a
+    /// typed [`crate::pool::JobError::WorkerPanicked`].
+    pub fn execute(
+        &self,
+        spec: &JobSpec,
+        digest: u64,
+        cache: &ResultCache,
+    ) -> Result<String, String> {
+        if let Some(plan) = &self.faults {
+            if plan.panics(digest) {
+                panic!("injected worker fault (job {digest:016x})");
+            }
+        }
+        match spec {
+            JobSpec::McPoint { .. } => execute_mc_point(spec),
+            JobSpec::CampaignSlice { .. } => execute_campaign_slice(spec),
+            JobSpec::LinkBudgetSweep { system, env, ranges_m } => {
+                Ok(execute_sweep(*system, *env, ranges_m, cache))
+            }
+            JobSpec::Figure { name, trials, bits, seed } => match &self.figures {
+                Some(figures) => figures.run_figure(name, *trials, *bits, *seed),
+                None => Err(format!("this daemon has no figure registry (job figure({name}))")),
+            },
+        }
+    }
+}
+
+fn scenario_for(system: SystemSpec, env: EnvSpec, range_m: f64, rotation_deg: f64) -> Scenario {
+    let base = match env {
+        EnvSpec::River => Scenario::river(system.to_sim(), Meters(range_m)),
+        EnvSpec::Ocean { sea_state } => {
+            let states = SeaState::all();
+            let idx = (sea_state as usize).min(states.len() - 1);
+            Scenario::ocean(system.to_sim(), Meters(range_m), states[idx])
+        }
+    };
+    base.with_rotation(Degrees(rotation_deg))
+}
+
+fn execute_mc_point(spec: &JobSpec) -> Result<String, String> {
+    let JobSpec::McPoint { system, env, range_m, rotation_deg, trials, bits, seed, engine } = spec
+    else {
+        unreachable!("dispatched on kind");
+    };
+    let scenario = scenario_for(*system, *env, *range_m, *rotation_deg);
+    let cfg = MonteCarloConfig {
+        trials: *trials,
+        bits_per_trial: *bits,
+        seed: *seed,
+        engine: engine.to_sim(),
+        threads: 0,
+    };
+    let fe = scenario.front_end();
+    let r = try_run_point_with_front_end(&scenario, &fe, &cfg).map_err(|e| e.to_string())?;
+    // Only thread-count-invariant statistics: exact counts and the sorted
+    // per-trial BER vector. (The mean Eb/N0 aggregates across shards in
+    // shard order, so its last bits can differ with worker count — it
+    // stays out of the cacheable payload by design.)
+    Ok(Json::obj([
+        ("schema", Json::Str(crate::RESULT_SCHEMA.into())),
+        ("kind", Json::Str("mc_point".into())),
+        ("trials", Json::Num(r.trials as f64)),
+        ("bits", Json::Num(r.ber.bits() as f64)),
+        ("errors", Json::Num(r.ber.errors() as f64)),
+        ("ber", Json::Num(r.ber.ber())),
+        ("per", Json::Num(r.per())),
+        ("packet_errors", Json::Num(r.packet_errors as f64)),
+        ("median_ber", Json::Num(r.median_ber())),
+        ("trial_bers", Json::Arr(r.trial_bers.iter().map(|&b| Json::Num(b)).collect())),
+    ])
+    .render())
+}
+
+fn execute_campaign_slice(spec: &JobSpec) -> Result<String, String> {
+    let JobSpec::CampaignSlice { system, n_trials, bits, seed, lo, hi, fault_intensity } = spec
+    else {
+        unreachable!("dispatched on kind");
+    };
+    let cfg = CampaignConfig {
+        n_trials: *n_trials,
+        bits_per_trial: *bits,
+        system: system.to_sim(),
+        seed: *seed,
+        faults: fault_intensity.map(FaultConfig::with_intensity),
+        ..CampaignConfig::vab_default()
+    };
+    let records = run_campaign_slice(&cfg, *lo, *hi);
+    let rows = records
+        .iter()
+        .map(|r| {
+            Json::obj([
+                ("id", Json::Num(r.id as f64)),
+                ("river", Json::Bool(r.river)),
+                ("sea_state", Json::Num(r.sea_state as f64)),
+                ("range_m", Json::Num(r.range_m)),
+                ("rotation_deg", Json::Num(r.rotation_deg)),
+                ("ebn0_db", Json::Num(r.ebn0_db)),
+                ("errors", Json::Num(r.errors as f64)),
+                ("bits", Json::Num(r.bits as f64)),
+            ])
+        })
+        .collect();
+    Ok(Json::obj([
+        ("schema", Json::Str(crate::RESULT_SCHEMA.into())),
+        ("kind", Json::Str("campaign_slice".into())),
+        ("lo", Json::Num(*lo as f64)),
+        ("hi", Json::Num((*hi).min(*n_trials) as f64)),
+        ("records", Json::Arr(rows)),
+    ])
+    .render())
+}
+
+/// Link-budget sweeps decompose into per-range point entries so that two
+/// sweeps over overlapping range grids share work: each point is cached
+/// under its own derived digest, and the sweep payload is assembled from
+/// whatever mix of cached and fresh points results.
+fn execute_sweep(
+    system: SystemSpec,
+    env: EnvSpec,
+    ranges_m: &[f64],
+    cache: &ResultCache,
+) -> String {
+    let points = ranges_m
+        .iter()
+        .map(|&range_m| {
+            let point_spec = Json::obj([
+                ("kind", Json::Str("lb_point".into())),
+                ("system", system.to_json()),
+                ("env", env.to_json()),
+                ("range_m", Json::Num(range_m)),
+            ]);
+            let canonical = point_spec.render();
+            let mut bytes = canonical.clone().into_bytes();
+            bytes.push(0);
+            bytes.extend_from_slice(crate::ENGINE_VERSION.as_bytes());
+            let digest = crate::fnv1a64(&bytes);
+            let payload = cache.get(digest).unwrap_or_else(|| {
+                let scenario = scenario_for(system, env, range_m, 0.0);
+                let lb = LinkBudget::compute(&scenario);
+                let rendered = Json::obj([
+                    ("range_m", Json::Num(range_m)),
+                    ("ebn0_db", Json::Num(lb.ebn0_db)),
+                    ("received_level_db", Json::Num(lb.received_level_db)),
+                    ("tl_one_way_db", Json::Num(lb.tl_one_way_db)),
+                    ("noise_psd_db", Json::Num(lb.noise_psd_db)),
+                    ("bit_rate", Json::Num(lb.bit_rate)),
+                ])
+                .render();
+                cache.put(digest, &canonical, &rendered);
+                rendered
+            });
+            Json::parse(&payload).unwrap_or(Json::Null)
+        })
+        .collect();
+    Json::obj([
+        ("schema", Json::Str(crate::RESULT_SCHEMA.into())),
+        ("kind", Json::Str("link_budget_sweep".into())),
+        ("points", Json::Arr(points)),
+    ])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::EngineSpec;
+
+    fn mc_spec(seed: u64) -> JobSpec {
+        JobSpec::McPoint {
+            system: SystemSpec::Vab { n_pairs: 4 },
+            env: EnvSpec::River,
+            range_m: 50.0,
+            rotation_deg: 0.0,
+            trials: 4,
+            bits: 64,
+            seed,
+            engine: EngineSpec::LinkBudget,
+        }
+    }
+
+    #[test]
+    fn mc_point_payload_is_deterministic_and_parseable() {
+        let ex = Executor::new();
+        let cache = ResultCache::in_memory(4);
+        let spec = mc_spec(7);
+        let a = ex.execute(&spec, spec.digest(), &cache).expect("run");
+        let b = ex.execute(&spec, spec.digest(), &cache).expect("run again");
+        assert_eq!(a, b, "identical specs must produce identical bytes");
+        let v = Json::parse(&a).expect("payload parses");
+        assert_eq!(v.str_field("kind"), Some("mc_point"));
+        assert_eq!(v.u64_field("trials"), Some(4));
+        assert_eq!(v.get("trial_bers").and_then(Json::as_arr).map(<[Json]>::len), Some(4));
+    }
+
+    #[test]
+    fn sweep_shares_point_entries_across_overlapping_sweeps() {
+        let ex = Executor::new();
+        let cache = ResultCache::in_memory(32);
+        let a = JobSpec::LinkBudgetSweep {
+            system: SystemSpec::Vab { n_pairs: 4 },
+            env: EnvSpec::River,
+            ranges_m: vec![50.0, 100.0, 200.0],
+        };
+        ex.execute(&a, a.digest(), &cache).expect("sweep a");
+        let misses_after_a = cache.stats().misses;
+        let b = JobSpec::LinkBudgetSweep {
+            system: SystemSpec::Vab { n_pairs: 4 },
+            env: EnvSpec::River,
+            ranges_m: vec![100.0, 200.0, 300.0],
+        };
+        ex.execute(&b, b.digest(), &cache).expect("sweep b");
+        let s = cache.stats();
+        assert_eq!(s.hits, 2, "100 m and 200 m must be shared");
+        assert_eq!(s.misses - misses_after_a, 1, "only 300 m is new");
+    }
+
+    #[test]
+    fn figure_without_registry_fails_typed() {
+        let ex = Executor::new();
+        let cache = ResultCache::in_memory(4);
+        let spec = JobSpec::Figure { name: "f7_ber_vs_range".into(), trials: 5, bits: 64, seed: 1 };
+        let err = ex.execute(&spec, spec.digest(), &cache).expect_err("no registry");
+        assert!(err.contains("no figure registry"), "err: {err}");
+    }
+
+    #[test]
+    fn campaign_slice_payload_matches_sim_slice() {
+        let ex = Executor::new();
+        let cache = ResultCache::in_memory(4);
+        let spec = JobSpec::CampaignSlice {
+            system: SystemSpec::Vab { n_pairs: 4 },
+            n_trials: 20,
+            bits: 256,
+            seed: 1500,
+            lo: 5,
+            hi: 9,
+            fault_intensity: None,
+        };
+        let payload = ex.execute(&spec, spec.digest(), &cache).expect("slice");
+        let v = Json::parse(&payload).expect("parses");
+        let records = v.get("records").and_then(Json::as_arr).expect("records");
+        assert_eq!(records.len(), 4);
+        let sim_cfg = CampaignConfig {
+            n_trials: 20,
+            bits_per_trial: 256,
+            system: vab_sim::SystemKind::Vab { n_pairs: 4 },
+            seed: 1500,
+            faults: None,
+            ..CampaignConfig::vab_default()
+        };
+        let direct = run_campaign_slice(&sim_cfg, 5, 9);
+        for (row, rec) in records.iter().zip(&direct) {
+            assert_eq!(row.u64_field("id"), Some(rec.id as u64));
+            assert_eq!(row.u64_field("errors"), Some(rec.errors as u64));
+            assert_eq!(row.f64_field("range_m").map(f64::to_bits), Some(rec.range_m.to_bits()));
+        }
+    }
+}

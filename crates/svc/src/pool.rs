@@ -1,0 +1,570 @@
+//! The std-thread worker pool: bounded queue, backpressure, deadlines,
+//! and per-job panic isolation.
+//!
+//! Admission control is the queue bound: a submission that finds the
+//! queue full is rejected with a retry-after hint instead of buffered
+//! without limit, so a flood of requests degrades into fast rejections
+//! rather than unbounded memory growth. Identical in-flight jobs are
+//! deduplicated by content digest (two clients asking for the same
+//! physics share one execution), and the cache is consulted at admission
+//! so a warm job never occupies a queue slot.
+//!
+//! Worker panics — real bugs or `vab_fault::WorkerFaultPlan` injections —
+//! are caught per job with `catch_unwind` and surface as typed
+//! [`JobError::WorkerPanicked`] failures (the same contract as
+//! `MonteCarloError::WorkerPanicked` one layer down); the worker thread
+//! itself survives and keeps draining the queue.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::cache::ResultCache;
+use crate::exec::Executor;
+use crate::job::JobSpec;
+
+/// Pool sizing and admission policy.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Worker threads (0 = `vab_util::threads()`).
+    pub workers: usize,
+    /// Maximum queued (admitted, not yet running) jobs.
+    pub queue_cap: usize,
+    /// Retry hint returned with queue-full rejections, milliseconds.
+    pub retry_after_ms: u64,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig { workers: 0, queue_cap: 64, retry_after_ms: 50 }
+    }
+}
+
+/// Typed job failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The executing worker panicked; the pool caught it and kept going.
+    WorkerPanicked {
+        /// Best-effort panic payload.
+        message: String,
+    },
+    /// The job's deadline elapsed before a worker picked it up.
+    DeadlineExpired {
+        /// How long the job had waited when the deadline was enforced.
+        waited_ms: u64,
+    },
+    /// The executor returned a typed failure (unknown figure, missing
+    /// registry, Monte Carlo worker error, …).
+    ExecFailed {
+        /// The executor's message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::WorkerPanicked { message } => write!(f, "worker panicked: {message}"),
+            JobError::DeadlineExpired { waited_ms } => {
+                write!(f, "deadline expired after {waited_ms} ms in queue")
+            }
+            JobError::ExecFailed { message } => write!(f, "execution failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Lifecycle of an admitted job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished; the payload is available.
+    Done {
+        /// Served from the cache (admission-time or disk) rather than
+        /// computed by a worker.
+        cached: bool,
+        /// Execution wall time, microseconds (0 for cache hits).
+        wall_us: u64,
+    },
+    /// Failed with a typed error.
+    Failed {
+        /// Why.
+        error: JobError,
+    },
+}
+
+impl JobStatus {
+    /// Wire label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done { .. } => "done",
+            JobStatus::Failed { .. } => "failed",
+        }
+    }
+
+    /// True once the job can be fetched (successfully or not).
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, JobStatus::Done { .. } | JobStatus::Failed { .. })
+    }
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full — back off and retry.
+    QueueFull {
+        /// Suggested retry delay, milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The pool is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { retry_after_ms } => {
+                write!(f, "queue full; retry after {retry_after_ms} ms")
+            }
+            SubmitError::ShuttingDown => write!(f, "pool is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// What a successful submission tells the caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmitOutcome {
+    /// The job's content-address id (hex digest).
+    pub id: String,
+    /// Raw digest.
+    pub digest: u64,
+    /// Status at admission (`Done` for cache hits).
+    pub status: JobStatus,
+    /// True when an identical job was already in flight or finished.
+    pub deduped: bool,
+}
+
+struct QueuedJob {
+    digest: u64,
+    spec: JobSpec,
+    submitted: Instant,
+    deadline: Option<Duration>,
+}
+
+struct JobRecord {
+    status: JobStatus,
+    payload: Option<String>,
+}
+
+struct Inner {
+    cfg: PoolConfig,
+    cache: Arc<ResultCache>,
+    executor: Arc<Executor>,
+    queue: Mutex<VecDeque<QueuedJob>>,
+    queue_cond: Condvar,
+    states: Mutex<HashMap<u64, JobRecord>>,
+    state_cond: Condvar,
+    shutdown: AtomicBool,
+    jobs_done: AtomicU64,
+    jobs_failed: AtomicU64,
+}
+
+impl Inner {
+    fn set_state(&self, digest: u64, status: JobStatus, payload: Option<String>) {
+        let mut states = self.states.lock().unwrap_or_else(|e| e.into_inner());
+        let record =
+            states.entry(digest).or_insert(JobRecord { status: JobStatus::Queued, payload: None });
+        record.status = status;
+        if payload.is_some() {
+            record.payload = payload;
+        }
+        drop(states);
+        self.state_cond.notify_all();
+    }
+
+    fn publish_depth(&self, depth: usize) {
+        vab_obs::metrics::set("svc.queue_depth", depth as f64);
+    }
+}
+
+/// Handle to the pool; cloning shares the same workers.
+#[derive(Clone)]
+pub struct WorkerPool {
+    inner: Arc<Inner>,
+    workers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    n_workers: usize,
+}
+
+impl WorkerPool {
+    /// Starts `cfg.workers` (or auto-sized) workers over `executor` and
+    /// `cache`.
+    pub fn start(cfg: PoolConfig, executor: Executor, cache: Arc<ResultCache>) -> Self {
+        let n_workers = if cfg.workers == 0 { vab_util::threads() } else { cfg.workers };
+        let inner = Arc::new(Inner {
+            cfg,
+            cache,
+            executor: Arc::new(executor),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cond: Condvar::new(),
+            states: Mutex::new(HashMap::new()),
+            state_cond: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            jobs_done: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+        });
+        let workers = (0..n_workers)
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("vab-svc-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn svc worker")
+            })
+            .collect();
+        WorkerPool { inner, workers: Arc::new(Mutex::new(workers)), n_workers }
+    }
+
+    /// Worker-thread count actually started.
+    pub fn workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Submits a job. Cache hits complete immediately; identical
+    /// in-flight jobs dedupe onto one execution; a full queue rejects
+    /// with [`SubmitError::QueueFull`].
+    pub fn submit(
+        &self,
+        spec: JobSpec,
+        deadline_ms: Option<u64>,
+    ) -> Result<SubmitOutcome, SubmitError> {
+        let inner = &self.inner;
+        if inner.shutdown.load(Ordering::Acquire) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let digest = spec.digest();
+        let id = spec.id();
+        let mut states = inner.states.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(existing) = states.get(&digest) {
+            if !matches!(existing.status, JobStatus::Failed { .. }) {
+                // From this submitter's point of view a completed record
+                // IS a cache hit — no fresh computation happened for this
+                // request — so the outcome says so even though the stored
+                // record keeps its original (computed) provenance.
+                let status = match &existing.status {
+                    JobStatus::Done { .. } => JobStatus::Done { cached: true, wall_us: 0 },
+                    other => other.clone(),
+                };
+                vab_obs::event!("svc.pool", "submit_deduped", job = id.clone());
+                return Ok(SubmitOutcome { id, digest, status, deduped: true });
+            }
+        }
+        if let Some(payload) = inner.cache.get(digest) {
+            let status = JobStatus::Done { cached: true, wall_us: 0 };
+            states.insert(digest, JobRecord { status: status.clone(), payload: Some(payload) });
+            drop(states);
+            inner.state_cond.notify_all();
+            inner.jobs_done.fetch_add(1, Ordering::Relaxed);
+            vab_obs::event!("svc.pool", "submit_cache_hit", job = id.clone());
+            return Ok(SubmitOutcome { id, digest, status, deduped: false });
+        }
+        let mut queue = inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if queue.len() >= inner.cfg.queue_cap {
+            vab_obs::metrics::inc("svc.rejected_submissions", 1);
+            vab_obs::event!("svc.pool", "backpressure", job = id, depth = queue.len() as u64);
+            return Err(SubmitError::QueueFull { retry_after_ms: inner.cfg.retry_after_ms });
+        }
+        queue.push_back(QueuedJob {
+            digest,
+            spec,
+            submitted: Instant::now(),
+            deadline: deadline_ms.map(Duration::from_millis),
+        });
+        let depth = queue.len();
+        drop(queue);
+        states.insert(digest, JobRecord { status: JobStatus::Queued, payload: None });
+        drop(states);
+        inner.publish_depth(depth);
+        vab_obs::event!("svc.pool", "submit_queued", job = id.clone(), depth = depth as u64);
+        inner.queue_cond.notify_one();
+        Ok(SubmitOutcome { id, digest, status: JobStatus::Queued, deduped: false })
+    }
+
+    /// Current status of a job, if the pool has seen it.
+    pub fn status(&self, digest: u64) -> Option<JobStatus> {
+        let states = self.inner.states.lock().unwrap_or_else(|e| e.into_inner());
+        states.get(&digest).map(|r| r.status.clone())
+    }
+
+    /// Status plus payload (payload present once `Done`).
+    pub fn fetch(&self, digest: u64) -> Option<(JobStatus, Option<String>)> {
+        let states = self.inner.states.lock().unwrap_or_else(|e| e.into_inner());
+        states.get(&digest).map(|r| (r.status.clone(), r.payload.clone()))
+    }
+
+    /// Blocks until the job reaches a terminal state or `timeout` passes.
+    pub fn wait(&self, digest: u64, timeout: Duration) -> Option<(JobStatus, Option<String>)> {
+        let deadline = Instant::now() + timeout;
+        let mut states = self.inner.states.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match states.get(&digest) {
+                Some(r) if r.status.is_terminal() => {
+                    return Some((r.status.clone(), r.payload.clone()));
+                }
+                Some(_) => {}
+                None => return None,
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return states.get(&digest).map(|r| (r.status.clone(), r.payload.clone()));
+            }
+            let (guard, _timeout) = self
+                .inner
+                .state_cond
+                .wait_timeout(states, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            states = guard;
+        }
+    }
+
+    /// Jobs waiting in the queue right now.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// (completed, failed) counters over the pool's lifetime.
+    pub fn totals(&self) -> (u64, u64) {
+        (
+            self.inner.jobs_done.load(Ordering::Relaxed),
+            self.inner.jobs_failed.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The cache this pool consults.
+    pub fn cache(&self) -> &ResultCache {
+        &self.inner.cache
+    }
+
+    /// Stops accepting work, drains nothing further, and joins the
+    /// workers. Queued-but-unstarted jobs stay `Queued` forever; callers
+    /// should drain or time out on them.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.queue_cond.notify_all();
+        let mut workers = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Best-effort rendering of a panic payload (same policy as the Monte
+/// Carlo driver: `&str` and `String` pass through, anything else keeps
+/// its `TypeId` so it is at least distinguishable).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        format!("non-string panic payload ({:?})", payload.type_id())
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let job = {
+            let mut queue = inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    let depth = queue.len();
+                    inner.publish_depth(depth);
+                    break Some(job);
+                }
+                if inner.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                queue = inner.queue_cond.wait(queue).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        let Some(job) = job else { return };
+        let waited = job.submitted.elapsed();
+        if let Some(deadline) = job.deadline {
+            if waited > deadline {
+                let error = JobError::DeadlineExpired { waited_ms: waited.as_millis() as u64 };
+                inner.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                vab_obs::metrics::inc("svc.jobs_expired", 1);
+                vab_obs::event!(
+                    "svc.pool",
+                    "job_expired",
+                    job = job.spec.id(),
+                    waited_ms = waited.as_millis() as u64,
+                );
+                inner.set_state(job.digest, JobStatus::Failed { error }, None);
+                continue;
+            }
+        }
+        inner.set_state(job.digest, JobStatus::Running, None);
+        let started = Instant::now();
+        let result = {
+            let _t = vab_obs::time_stage("svc.job_execute");
+            std::panic::catch_unwind(AssertUnwindSafe(|| {
+                inner.executor.execute(&job.spec, job.digest, &inner.cache)
+            }))
+        };
+        let wall_us = started.elapsed().as_micros() as u64;
+        match result {
+            Ok(Ok(payload)) => {
+                inner.cache.put(job.digest, &job.spec.canonical(), &payload);
+                inner.jobs_done.fetch_add(1, Ordering::Relaxed);
+                vab_obs::metrics::inc("svc.jobs_done", 1);
+                vab_obs::event!("svc.pool", "job_done", job = job.spec.id(), wall_us = wall_us);
+                inner.set_state(
+                    job.digest,
+                    JobStatus::Done { cached: false, wall_us },
+                    Some(payload),
+                );
+            }
+            Ok(Err(message)) => {
+                inner.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                vab_obs::metrics::inc("svc.jobs_failed", 1);
+                vab_obs::event!(
+                    "svc.pool",
+                    "job_failed",
+                    job = job.spec.id(),
+                    reason = message.clone(),
+                );
+                inner.set_state(
+                    job.digest,
+                    JobStatus::Failed { error: JobError::ExecFailed { message } },
+                    None,
+                );
+            }
+            Err(payload) => {
+                let message = panic_message(payload.as_ref());
+                inner.jobs_failed.fetch_add(1, Ordering::Relaxed);
+                vab_obs::metrics::inc("svc.worker_panics", 1);
+                vab_obs::event!(
+                    "svc.pool",
+                    "worker_panicked",
+                    job = job.spec.id(),
+                    message = message.clone(),
+                );
+                inner.set_state(
+                    job.digest,
+                    JobStatus::Failed { error: JobError::WorkerPanicked { message } },
+                    None,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{EngineSpec, EnvSpec, SystemSpec};
+
+    fn mc(seed: u64, trials: usize) -> JobSpec {
+        JobSpec::McPoint {
+            system: SystemSpec::Vab { n_pairs: 4 },
+            env: EnvSpec::River,
+            range_m: 40.0,
+            rotation_deg: 0.0,
+            trials,
+            bits: 64,
+            seed,
+            engine: EngineSpec::LinkBudget,
+        }
+    }
+
+    fn small_pool(workers: usize, queue_cap: usize, executor: Executor) -> WorkerPool {
+        let cfg = PoolConfig { workers, queue_cap, retry_after_ms: 25 };
+        WorkerPool::start(cfg, executor, Arc::new(ResultCache::in_memory(16)))
+    }
+
+    #[test]
+    fn compute_then_cache_hit_is_bit_identical() {
+        let pool = small_pool(2, 8, Executor::new());
+        let spec = mc(7, 4);
+        let first = pool.submit(spec.clone(), None).expect("admit");
+        assert_eq!(first.status, JobStatus::Queued);
+        let (status, payload) =
+            pool.wait(first.digest, Duration::from_secs(30)).expect("known job");
+        let JobStatus::Done { cached, .. } = status else { panic!("status {status:?}") };
+        assert!(!cached);
+        let computed = payload.expect("payload");
+        let second = pool.submit(spec, None).expect("resubmit");
+        // The record still exists → dedupe; a fresh pool sharing the cache
+        // would report a cache hit instead. Both paths return Done.
+        assert!(second.deduped);
+        let (_, payload2) = pool.fetch(second.digest).expect("record");
+        assert_eq!(payload2.expect("payload"), computed, "must be byte-identical");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn queue_full_rejects_with_retry_after() {
+        // One worker, queue of one: slow jobs pile up, and within a few
+        // submissions one must bounce off the full queue. (Whether the
+        // second or third bounces depends on how fast the worker
+        // dequeues the first — either way is correct backpressure.)
+        let pool = small_pool(1, 1, Executor::new());
+        let mut bounced = false;
+        for seed in 1..20 {
+            match pool.submit(mc(seed, 4000), None) {
+                Err(SubmitError::QueueFull { retry_after_ms }) => {
+                    assert_eq!(retry_after_ms, 25);
+                    bounced = true;
+                    break;
+                }
+                Ok(_) => continue,
+                Err(e) => panic!("unexpected submit error {e}"),
+            }
+        }
+        assert!(bounced, "queue never filled");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn injected_panic_fails_typed_and_pool_survives() {
+        let executor = Executor::new().with_faults(vab_fault::WorkerFaultPlan::always(9));
+        let pool = small_pool(1, 4, executor);
+        let a = pool.submit(mc(10, 4), None).expect("admit");
+        let (status, _) = pool.wait(a.digest, Duration::from_secs(10)).expect("known");
+        let JobStatus::Failed { error: JobError::WorkerPanicked { message } } = status else {
+            panic!("expected WorkerPanicked, got {status:?}");
+        };
+        assert!(message.contains("injected worker fault"), "message: {message}");
+        // The worker thread survived the panic and still serves.
+        let b = pool.submit(mc(11, 4), None).expect("pool still admits");
+        let (status_b, _) = pool.wait(b.digest, Duration::from_secs(10)).expect("known");
+        assert!(matches!(status_b, JobStatus::Failed { .. }), "second injection also typed");
+        let (_done, failed) = pool.totals();
+        assert_eq!(failed, 2);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn zero_deadline_expires_in_queue() {
+        let pool = small_pool(1, 4, Executor::new());
+        // Occupy the worker so the deadline job must wait.
+        pool.submit(mc(20, 4000), None).expect("slow job");
+        let d = pool.submit(mc(21, 4), Some(0)).expect("deadline job");
+        let (status, _) = pool.wait(d.digest, Duration::from_secs(30)).expect("known");
+        assert!(
+            matches!(status, JobStatus::Failed { error: JobError::DeadlineExpired { .. } }),
+            "got {status:?}"
+        );
+        pool.shutdown();
+    }
+}

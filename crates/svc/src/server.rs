@@ -1,0 +1,234 @@
+//! The localhost TCP daemon: accept loop, per-connection NDJSON handlers,
+//! graceful shutdown.
+//!
+//! Each connection gets its own handler thread reading request lines and
+//! writing response lines; the heavy lifting stays in the shared
+//! [`WorkerPool`], so a slow client never blocks the physics. `shutdown`
+//! (over the wire or via [`Server::shutdown`]) flips a flag, wakes the
+//! accept loop with a self-connection, drains the pool and joins every
+//! thread.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use vab_util::json::Json;
+
+use crate::cache::ResultCache;
+use crate::exec::Executor;
+use crate::pool::{PoolConfig, WorkerPool};
+use crate::wire::{self, Request};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Pool sizing and admission policy.
+    pub pool: PoolConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { addr: "127.0.0.1:0".into(), pool: PoolConfig::default() }
+    }
+}
+
+struct Shared {
+    pool: WorkerPool,
+    stop: AtomicBool,
+    /// Write halves of live connections, so shutdown can force EOF on
+    /// handlers blocked in `read_line` waiting for a client that never
+    /// hangs up.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+/// A running daemon. Dropping the handle does *not* stop it — call
+/// [`Server::shutdown`] (or send `{"op":"shutdown"}`).
+pub struct Server {
+    addr: std::net::SocketAddr,
+    shared: Arc<Shared>,
+    accept_handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, starts the pool and the accept loop, and returns
+    /// immediately. The bound address (with the real port) is
+    /// [`Server::addr`].
+    pub fn start(
+        cfg: ServerConfig,
+        executor: Executor,
+        cache: Arc<ResultCache>,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let pool = WorkerPool::start(cfg.pool, executor, cache);
+        let shared =
+            Arc::new(Shared { pool, stop: AtomicBool::new(false), conns: Mutex::new(Vec::new()) });
+        vab_obs::event!("svc.server", "listening", addr = addr.to_string());
+        let accept_shared = shared.clone();
+        let accept_handle = std::thread::Builder::new()
+            .name("vab-svc-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared))?;
+        Ok(Server { addr, shared, accept_handle: Some(accept_handle) })
+    }
+
+    /// The bound address (real port even when configured with `:0`).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The worker pool (tests inspect totals and cache stats through it).
+    pub fn pool(&self) -> &WorkerPool {
+        &self.shared.pool
+    }
+
+    /// True once a shutdown has been requested (locally or by a client).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.stop.load(Ordering::Acquire)
+    }
+
+    /// Stops accepting connections, drains the pool, joins the accept
+    /// loop. Idempotent.
+    pub fn shutdown(&mut self) {
+        request_stop(&self.shared, self.addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        self.shared.pool.shutdown();
+        vab_obs::event!("svc.server", "stopped", addr = self.addr.to_string());
+    }
+}
+
+/// Flips the stop flag and pokes the accept loop awake with a throwaway
+/// self-connection (the portable way to interrupt a blocking `accept`).
+fn request_stop(shared: &Shared, addr: std::net::SocketAddr) {
+    if shared.stop.swap(true, Ordering::AcqRel) {
+        return;
+    }
+    if let Ok(stream) = TcpStream::connect_timeout(&addr, Duration::from_millis(500)) {
+        drop(stream);
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut conn_handles = Vec::new();
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().unwrap_or_else(|e| e.into_inner()).push(clone);
+        }
+        let conn_shared = shared.clone();
+        let local = listener.local_addr().ok();
+        if let Ok(handle) = std::thread::Builder::new()
+            .name("vab-svc-conn".into())
+            .spawn(move || handle_connection(stream, &conn_shared, local))
+        {
+            conn_handles.push(handle);
+        }
+        // Reap finished handlers so a long-lived daemon doesn't
+        // accumulate join handles.
+        conn_handles.retain(|h| !h.is_finished());
+    }
+    // Force EOF on every live connection so handlers blocked in
+    // `read_line` unblock even when their client never hangs up.
+    for conn in shared.conns.lock().unwrap_or_else(|e| e.into_inner()).drain(..) {
+        let _ = conn.shutdown(std::net::Shutdown::Both);
+    }
+    for handle in conn_handles {
+        let _ = handle.join();
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, local: Option<std::net::SocketAddr>) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    let mut writer = std::io::BufWriter::new(write_half);
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match Request::parse(&line) {
+            Ok(req) => {
+                let is_shutdown = matches!(req, Request::Shutdown);
+                let resp = dispatch(req, shared);
+                if is_shutdown {
+                    let _ = write_line(&mut writer, &resp);
+                    if let Some(addr) = local {
+                        request_stop(shared, addr);
+                    }
+                    return;
+                }
+                resp
+            }
+            Err(e) => wire::error_response(&e),
+        };
+        if write_line(&mut writer, &response).is_err() {
+            break;
+        }
+    }
+}
+
+fn write_line(writer: &mut impl Write, response: &Json) -> std::io::Result<()> {
+    let mut line = response.render();
+    line.push('\n');
+    writer.write_all(line.as_bytes())?;
+    writer.flush()
+}
+
+fn dispatch(req: Request, shared: &Shared) -> Json {
+    match req {
+        Request::Submit { job, deadline_ms } => match shared.pool.submit(*job, deadline_ms) {
+            Ok(outcome) => wire::submit_response(&outcome.id, &outcome.status, outcome.deduped),
+            Err(e) => wire::submit_error_response(&e),
+        },
+        Request::Status { id } => match wire::parse_id(&id) {
+            Ok(digest) => match shared.pool.status(digest) {
+                Some(status) => wire::status_response(&id, &status),
+                None => wire::error_response("unknown job"),
+            },
+            Err(e) => wire::error_response(&e),
+        },
+        Request::Fetch { id, wait_ms } => match wire::parse_id(&id) {
+            Ok(digest) => {
+                let fetched = if wait_ms > 0 {
+                    shared.pool.wait(digest, Duration::from_millis(wait_ms))
+                } else {
+                    shared.pool.fetch(digest)
+                };
+                match fetched {
+                    Some((status, payload)) => {
+                        wire::fetch_response(&id, &status, payload.as_deref())
+                    }
+                    None => wire::error_response("unknown job"),
+                }
+            }
+            Err(e) => wire::error_response(&e),
+        },
+        Request::Stats => {
+            let (done, failed) = shared.pool.totals();
+            let cache = shared.pool.cache().stats();
+            Json::obj([
+                ("ok", Json::Bool(true)),
+                ("workers", Json::Num(shared.pool.workers() as f64)),
+                ("queue_depth", Json::Num(shared.pool.queue_depth() as f64)),
+                ("jobs_done", Json::Num(done as f64)),
+                ("jobs_failed", Json::Num(failed as f64)),
+                ("cache_hits", Json::Num(cache.hits as f64)),
+                ("cache_misses", Json::Num(cache.misses as f64)),
+                ("cache_hit_rate", Json::Num(cache.hit_rate())),
+                ("cache_resident", Json::Num(cache.resident as f64)),
+            ])
+        }
+        Request::Shutdown => {
+            vab_obs::event!("svc.server", "shutdown_requested");
+            Json::obj([("ok", Json::Bool(true)), ("stopping", Json::Bool(true))])
+        }
+    }
+}

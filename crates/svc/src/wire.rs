@@ -1,0 +1,243 @@
+//! The NDJSON wire protocol: one JSON request per line, one JSON
+//! response per line.
+//!
+//! Requests:
+//!
+//! ```json
+//! {"op":"submit","job":{...spec...},"deadline_ms":5000}
+//! {"op":"status","id":"9f3a..."}
+//! {"op":"fetch","id":"9f3a...","wait_ms":30000}
+//! {"op":"stats"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Responses always carry `"ok"`; failures add `"error"` (and, for
+//! backpressure, `"retry_after_ms"`). The protocol is plain enough to
+//! drive with `nc 127.0.0.1 PORT` by hand.
+
+use vab_util::json::{Json, JsonError};
+
+use crate::job::JobSpec;
+use crate::pool::{JobError, JobStatus, SubmitError};
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Admit a job, optionally bounded by a queue deadline.
+    Submit {
+        /// The job to run.
+        job: Box<JobSpec>,
+        /// Queue deadline, milliseconds.
+        deadline_ms: Option<u64>,
+    },
+    /// Query a job's lifecycle state.
+    Status {
+        /// Job id (16-hex-digit digest).
+        id: String,
+    },
+    /// Fetch a job's payload, optionally blocking until terminal.
+    Fetch {
+        /// Job id.
+        id: String,
+        /// How long to block for a terminal state (0 = don't).
+        wait_ms: u64,
+    },
+    /// Daemon-wide counters.
+    Stats,
+    /// Stop the daemon.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = Json::parse(line).map_err(|e: JsonError| format!("bad JSON: {e}"))?;
+        match v.str_field("op") {
+            Some("submit") => {
+                let job = v.get("job").ok_or("submit needs a job object")?;
+                let spec = JobSpec::from_json(job)?;
+                Ok(Request::Submit { job: Box::new(spec), deadline_ms: v.u64_field("deadline_ms") })
+            }
+            Some("status") => Ok(Request::Status {
+                id: v.str_field("id").ok_or("status needs an id")?.to_string(),
+            }),
+            Some("fetch") => Ok(Request::Fetch {
+                id: v.str_field("id").ok_or("fetch needs an id")?.to_string(),
+                wait_ms: v.u64_field("wait_ms").unwrap_or(0),
+            }),
+            Some("stats") => Ok(Request::Stats),
+            Some("shutdown") => Ok(Request::Shutdown),
+            other => Err(format!("unknown op {other:?}")),
+        }
+    }
+
+    /// Renders this request as one wire line (no trailing newline).
+    pub fn render(&self) -> String {
+        match self {
+            Request::Submit { job, deadline_ms } => {
+                let mut fields = vec![("op", Json::Str("submit".into())), ("job", job.to_json())];
+                if let Some(d) = deadline_ms {
+                    fields.push(("deadline_ms", Json::Num(*d as f64)));
+                }
+                Json::obj(fields).render()
+            }
+            Request::Status { id } => {
+                Json::obj([("op", Json::Str("status".into())), ("id", Json::Str(id.clone()))])
+                    .render()
+            }
+            Request::Fetch { id, wait_ms } => Json::obj([
+                ("op", Json::Str("fetch".into())),
+                ("id", Json::Str(id.clone())),
+                ("wait_ms", Json::Num(*wait_ms as f64)),
+            ])
+            .render(),
+            Request::Stats => Json::obj([("op", Json::Str("stats".into()))]).render(),
+            Request::Shutdown => Json::obj([("op", Json::Str("shutdown".into()))]).render(),
+        }
+    }
+}
+
+fn ok_obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+    let mut all = vec![("ok", Json::Bool(true))];
+    all.extend(fields);
+    Json::obj(all)
+}
+
+/// `{"ok":false,"error":...}` with optional extra fields.
+pub fn error_response(message: &str) -> Json {
+    Json::obj([("ok", Json::Bool(false)), ("error", Json::Str(message.into()))])
+}
+
+/// Renders a submit rejection ([`SubmitError`]) as a wire response.
+pub fn submit_error_response(e: &SubmitError) -> Json {
+    match e {
+        SubmitError::QueueFull { retry_after_ms } => Json::obj([
+            ("ok", Json::Bool(false)),
+            ("error", Json::Str("queue_full".into())),
+            ("retry_after_ms", Json::Num(*retry_after_ms as f64)),
+        ]),
+        SubmitError::ShuttingDown => error_response("shutting_down"),
+    }
+}
+
+fn status_json(status: &JobStatus) -> Vec<(&'static str, Json)> {
+    let mut fields = vec![("status", Json::Str(status.label().into()))];
+    match status {
+        JobStatus::Done { cached, wall_us } => {
+            fields.push(("cached", Json::Bool(*cached)));
+            fields.push(("wall_us", Json::Num(*wall_us as f64)));
+        }
+        JobStatus::Failed { error } => {
+            let kind = match error {
+                JobError::WorkerPanicked { .. } => "worker_panicked",
+                JobError::DeadlineExpired { .. } => "deadline_expired",
+                JobError::ExecFailed { .. } => "exec_failed",
+            };
+            fields.push(("failure", Json::Str(kind.into())));
+            fields.push(("error", Json::Str(error.to_string())));
+        }
+        JobStatus::Queued | JobStatus::Running => {}
+    }
+    fields
+}
+
+/// Response to an accepted submit.
+pub fn submit_response(id: &str, status: &JobStatus, deduped: bool) -> Json {
+    let mut fields = vec![("id", Json::Str(id.to_string())), ("deduped", Json::Bool(deduped))];
+    fields.extend(status_json(status));
+    ok_obj(fields)
+}
+
+/// Response to a status query.
+pub fn status_response(id: &str, status: &JobStatus) -> Json {
+    let mut fields = vec![("id", Json::Str(id.to_string()))];
+    fields.extend(status_json(status));
+    ok_obj(fields)
+}
+
+/// Response to a fetch: status plus the payload (parsed back into JSON so
+/// the client sees structure, not a double-encoded string) when done.
+pub fn fetch_response(id: &str, status: &JobStatus, payload: Option<&str>) -> Json {
+    let mut fields = vec![("id", Json::Str(id.to_string()))];
+    fields.extend(status_json(status));
+    if let Some(p) = payload {
+        fields.push(("result", Json::parse(p).unwrap_or(Json::Str(p.to_string()))));
+    }
+    ok_obj(fields)
+}
+
+/// Parses the 16-hex-digit job id used on the wire back to a digest.
+pub fn parse_id(id: &str) -> Result<u64, String> {
+    if id.len() != 16 || !id.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(format!("bad job id {id:?} (want 16 hex digits)"));
+    }
+    u64::from_str_radix(id, 16).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{EngineSpec, EnvSpec, SystemSpec};
+
+    #[test]
+    fn submit_round_trips_over_the_wire() {
+        let req = Request::Submit {
+            job: Box::new(JobSpec::McPoint {
+                system: SystemSpec::Vab { n_pairs: 4 },
+                env: EnvSpec::Ocean { sea_state: 2 },
+                range_m: 120.0,
+                rotation_deg: 15.0,
+                trials: 10,
+                bits: 128,
+                seed: 42,
+                engine: EngineSpec::LinkBudget,
+            }),
+            deadline_ms: Some(5000),
+        };
+        let line = req.render();
+        assert!(!line.contains('\n'), "wire lines must be single lines");
+        assert_eq!(Request::parse(&line).expect("parse"), req);
+    }
+
+    #[test]
+    fn all_ops_parse() {
+        for (line, want) in [
+            (
+                r#"{"op":"status","id":"00000000000000ff"}"#,
+                Request::Status { id: "00000000000000ff".into() },
+            ),
+            (
+                r#"{"op":"fetch","id":"00000000000000ff","wait_ms":250}"#,
+                Request::Fetch { id: "00000000000000ff".into(), wait_ms: 250 },
+            ),
+            (r#"{"op":"stats"}"#, Request::Stats),
+            (r#"{"op":"shutdown"}"#, Request::Shutdown),
+        ] {
+            assert_eq!(Request::parse(line).expect(line), want);
+        }
+        assert!(Request::parse(r#"{"op":"frobnicate"}"#).is_err());
+        assert!(Request::parse("not json").is_err());
+    }
+
+    #[test]
+    fn responses_carry_ok_and_typed_failures() {
+        let done = JobStatus::Done { cached: true, wall_us: 12 };
+        let r = submit_response("00000000000000ff", &done, false);
+        assert_eq!(r.bool_field("ok"), Some(true));
+        assert_eq!(r.bool_field("cached"), Some(true));
+        let failed =
+            JobStatus::Failed { error: JobError::WorkerPanicked { message: "boom".into() } };
+        let r = status_response("00000000000000ff", &failed);
+        assert_eq!(r.str_field("failure"), Some("worker_panicked"));
+        let backpressure = submit_error_response(&SubmitError::QueueFull { retry_after_ms: 50 });
+        assert_eq!(backpressure.bool_field("ok"), Some(false));
+        assert_eq!(backpressure.u64_field("retry_after_ms"), Some(50));
+    }
+
+    #[test]
+    fn ids_parse_strictly() {
+        assert_eq!(parse_id("00000000000000ff"), Ok(0xff));
+        assert!(parse_id("ff").is_err());
+        assert!(parse_id("00000000000000zz").is_err());
+    }
+}

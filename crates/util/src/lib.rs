@@ -3,8 +3,9 @@
 //! Self-contained numerical building blocks shared by every other crate in
 //! the workspace: complex arithmetic, dB conversions, unit newtypes, an FFT,
 //! FIR filter design, windows, fractional-delay resampling, statistics,
-//! special functions (erfc, Marcum-Q, Bessel I0), and seeded random-number
-//! helpers.
+//! special functions (erfc, Marcum-Q, Bessel I0), seeded random-number
+//! helpers, a JSON parser/serializer ([`json`]) and the shared
+//! worker-thread sizing policy ([`threads`]).
 //!
 //! Nothing in this crate knows about acoustics or backscatter; it exists so
 //! that the domain crates can stay free of third-party DSP dependencies.
@@ -13,15 +14,18 @@ pub mod complex;
 pub mod db;
 pub mod fft;
 pub mod filter;
+pub mod json;
 pub mod resample;
 pub mod rng;
 pub mod special;
 pub mod stats;
+pub mod threads;
 pub mod units;
 pub mod window;
 
 pub use complex::C64;
 pub use db::{db_to_lin_amp, db_to_lin_pow, lin_amp_to_db, lin_pow_to_db};
+pub use threads::threads;
 pub use units::{Db, Degrees, Hertz, Meters, Seconds, Watts};
 
 /// Speed of sound placeholder used by tests that do not care about the

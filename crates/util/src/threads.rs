@@ -1,0 +1,59 @@
+//! Worker-thread sizing, shared by every parallel subsystem.
+//!
+//! The Monte Carlo shards, the `vab-svc` worker pool and the bench fleet
+//! all need the same answer to "how many workers should I start?". One
+//! resolution order, applied everywhere:
+//!
+//! 1. a process-wide override installed with [`set_jobs`] (the `--jobs N`
+//!    CLI flag),
+//! 2. the `VAB_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`],
+//! 4. a fallback of 4 when the platform cannot say.
+//!
+//! Thread count never affects simulation *results* — every shard derives
+//! its RNG stream from the master seed — so this is purely a throughput
+//! and oversubscription knob.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide `--jobs` override; 0 means "not set".
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs (or, with `0`, clears) the process-wide worker-count override.
+/// Takes precedence over `VAB_THREADS` and the detected parallelism.
+pub fn set_jobs(n: usize) {
+    JOBS_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Resolves the worker-thread count: [`set_jobs`] override, then a
+/// positive integer in `VAB_THREADS`, then the available parallelism,
+/// then 4. Invalid or zero `VAB_THREADS` values are ignored.
+pub fn threads() -> usize {
+    let forced = JOBS_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(raw) = std::env::var("VAB_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_wins_and_clears() {
+        // The test harness does not set VAB_THREADS, so after clearing the
+        // override we must fall through to detected parallelism (>= 1).
+        set_jobs(3);
+        assert_eq!(threads(), 3);
+        set_jobs(0);
+        assert!(threads() >= 1);
+    }
+}

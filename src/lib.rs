@@ -13,4 +13,5 @@ pub use vab_obs as obs;
 pub use vab_phy as phy;
 pub use vab_piezo as piezo;
 pub use vab_sim as sim;
+pub use vab_svc as svc;
 pub use vab_util as util;
