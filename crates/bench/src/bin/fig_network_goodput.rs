@@ -1,0 +1,17 @@
+//! FN2 - aggregate goodput and Jain fairness vs population and density
+//!
+//! Usage: `cargo run --release -p vab-bench --bin fig_network_goodput`
+//! (add `--quick` for a fast low-trial run, `--csv <path>` to also write
+//! CSV; set `VAB_OBS=stderr|jsonl` for a structured trace and stage
+//! breakdown). Topologies are sharded across the `vab-svc` worker pool;
+//! `--jobs N` bounds the worker count.
+
+use vab_bench::{network, report};
+
+fn main() {
+    report::run_figure(
+        "FN2",
+        "network goodput and fairness vs density",
+        network::fn2_network_goodput,
+    );
+}

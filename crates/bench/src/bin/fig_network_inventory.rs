@@ -1,0 +1,13 @@
+//! FN1 - inventoried nodes and time-to-full-inventory vs population
+//!
+//! Usage: `cargo run --release -p vab-bench --bin fig_network_inventory`
+//! (add `--quick` for a fast low-trial run, `--csv <path>` to also write
+//! CSV; set `VAB_OBS=stderr|jsonl` for a structured trace and stage
+//! breakdown). Topologies are sharded across the `vab-svc` worker pool;
+//! `--jobs N` bounds the worker count.
+
+use vab_bench::{network, report};
+
+fn main() {
+    report::run_figure("FN1", "network inventory vs population", network::fn1_network_inventory);
+}

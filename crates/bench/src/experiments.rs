@@ -10,8 +10,6 @@ use vab_harvest::pmu::Pmu;
 use vab_link::fec::Fec;
 use vab_link::frame::LinkConfig;
 use vab_link::interleave::Interleaver;
-use vab_mac::aloha::AlohaReader;
-use vab_mac::tdma::TdmaSchedule;
 use vab_piezo::bvd::Bvd;
 use vab_piezo::reflection::{Load, ModulationStates};
 use vab_sim::baseline::{FrontEnd, SystemKind};
@@ -412,7 +410,16 @@ pub fn f13_throughput(cfg: &ExpConfig) -> CsvTable {
 }
 
 /// **F14** — networking: inventory cost vs population and TDMA network
-/// throughput vs node count.
+/// throughput vs node count, on the capture-aware `vab-net` substrate.
+///
+/// Earlier revisions of this figure ran the MAC layer over an abstract
+/// lossless channel that ignored node geometry entirely: every reply was
+/// decodable and every slot shared by two nodes was a collision regardless
+/// of where the nodes sat. It now drives the same ALOHA/TDMA policies over
+/// a spatial [`vab_net`] deployment, so near/far power differences let a
+/// strong reply *capture* a contended slot, weak nodes can fail their
+/// decode draw even when alone, and TDMA goodput reflects each node's
+/// actual per-frame delivery probability. The CSV schema is unchanged.
 pub fn f14_multinode(cfg: &ExpConfig) -> CsvTable {
     let mut t = CsvTable::new([
         "n_nodes",
@@ -422,25 +429,14 @@ pub fn f14_multinode(cfg: &ExpConfig) -> CsvTable {
         "network_goodput_bps",
     ]);
     for n in [2usize, 4, 6, 8, 10, 16] {
-        let mut rng = seeded(cfg.seed + n as u64);
-        let population: Vec<u8> = (1..=n as u8).collect();
-        let mut reader = AlohaReader::new(n.next_power_of_two());
-        let mut pending = population.clone();
-        while !pending.is_empty() {
-            reader.run_round(&mut pending, &mut rng);
-        }
-        // TDMA round for a 16-byte payload frame at 100 bps, 300 m guard.
-        let link = LinkConfig::vab_default();
-        let frame_bits = link.encoded_len(16);
-        let mut schedule = TdmaSchedule::for_frames(n as u8, frame_bits, 100.0, 300.0, 1480.0);
-        schedule.assign_all(&population);
-        let payload_bits = 16 * 8;
+        let spec = vab_net::NetworkSpec::river(n, cfg.seed + n as u64);
+        let report = vab_net::run_deployment(&spec);
         t.row([
             n.to_string(),
-            reader.slots_used.to_string(),
-            reader.collisions.to_string(),
-            format!("{:.1}", schedule.round_duration().value()),
-            format!("{:.1}", schedule.network_throughput(payload_bits)),
+            report.inventory.slots_used.to_string(),
+            report.inventory.collisions.to_string(),
+            format!("{:.1}", report.steady.round_duration_s),
+            format!("{:.1}", report.steady.aggregate_goodput_bps),
         ]);
     }
     t
@@ -1107,6 +1103,8 @@ pub fn all_experiments_lazy() -> Vec<(&'static str, ExperimentFn)> {
         ("a4_ablation_failures", a4_ablation_failures),
         ("a5_tolerance_yield", a5_tolerance_yield),
         ("a6_ablation_interleaver", a6_ablation_interleaver),
+        ("fn1_network_inventory", crate::network::fn1_network_inventory),
+        ("fn2_network_goodput", crate::network::fn2_network_goodput),
     ]
 }
 
@@ -1257,7 +1255,7 @@ mod tests {
     fn registry_contains_every_experiment() {
         let quick = ExpConfig { trials: 4, bits: 64, seed: 7 };
         let all = all_experiments(&quick);
-        assert_eq!(all.len(), 23);
+        assert_eq!(all.len(), 25);
         for (name, table) in &all {
             assert!(!table.is_empty(), "{name} produced no rows");
         }

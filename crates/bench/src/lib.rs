@@ -10,6 +10,7 @@
 //! same code with reduced trial counts.
 
 pub mod experiments;
+pub mod network;
 pub mod perf;
 pub mod report;
 pub mod serve;

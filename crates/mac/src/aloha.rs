@@ -66,18 +66,46 @@ impl AlohaReader {
     /// nodes, using `rng` for their slot choices. Returns outcomes per slot.
     ///
     /// `pending` is mutated: identified nodes are removed.
+    ///
+    /// Slots are resolved with the abstract [`classify_slot`] rule (any two
+    /// respondents collide). Use [`AlohaReader::run_round_with`] to plug in
+    /// a physical-layer resolver instead.
     pub fn run_round<R: Rng + ?Sized>(
         &mut self,
         pending: &mut Vec<u8>,
         rng: &mut R,
     ) -> Vec<SlotOutcome> {
+        self.run_round_with(pending, rng, classify_slot)
+    }
+
+    /// Like [`AlohaReader::run_round`], but each slot is resolved by
+    /// `resolve`, which maps the addresses that transmitted in the slot to
+    /// a [`SlotOutcome`].
+    ///
+    /// This is the seam `vab-net` uses to replace the abstract
+    /// "two respondents = collision" rule with physical-layer capture:
+    /// superpose the respondents' received powers, decide capture by
+    /// per-node SINR, and report `Single` only when one reply both captures
+    /// the hydrophone and decodes. The resolver must return `Idle` only for
+    /// empty slots and may return `Single(addr)` only for an `addr` that is
+    /// actually in the slot — window adaptation and identification both
+    /// trust it.
+    pub fn run_round_with<R: Rng + ?Sized, F>(
+        &mut self,
+        pending: &mut Vec<u8>,
+        rng: &mut R,
+        mut resolve: F,
+    ) -> Vec<SlotOutcome>
+    where
+        F: FnMut(&[u8]) -> SlotOutcome,
+    {
         let w = self.window;
         let mut chosen: Vec<Vec<u8>> = vec![Vec::new(); w];
         for &addr in pending.iter() {
             let s = rng.random_range(0..w);
             chosen[s].push(addr);
         }
-        let outcomes: Vec<SlotOutcome> = chosen.iter().map(|v| classify_slot(v)).collect();
+        let outcomes: Vec<SlotOutcome> = chosen.iter().map(|v| resolve(v)).collect();
         let mut idles = 0usize;
         let mut colls = 0usize;
         for o in &outcomes {
@@ -141,6 +169,26 @@ mod tests {
         let mut ids = reader.identified.clone();
         ids.sort();
         assert_eq!(ids, (1..=20).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn injected_resolver_can_capture_collisions() {
+        // A resolver where the lowest address always captures the slot:
+        // every occupied slot identifies someone, so no collisions are ever
+        // recorded and inventory still completes.
+        let mut rng = seeded(75);
+        let mut reader = AlohaReader::new(2);
+        let mut pending: Vec<u8> = (1..=12).collect();
+        let mut rounds = 0;
+        while !pending.is_empty() && rounds < 200 {
+            reader.run_round_with(&mut pending, &mut rng, |r| match r {
+                [] => SlotOutcome::Idle,
+                _ => SlotOutcome::Single(*r.iter().min().unwrap()),
+            });
+            rounds += 1;
+        }
+        assert!(pending.is_empty(), "{} nodes never identified", pending.len());
+        assert_eq!(reader.collisions, 0, "capture resolver never reports collisions");
     }
 
     #[test]

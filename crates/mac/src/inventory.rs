@@ -86,7 +86,7 @@ pub fn reinventory<R: Rng + ?Sized>(
             merged.push(a);
         }
     }
-    let n = merged.len().clamp(1, 255) as u8;
+    let n = merged.len().max(1) as u16;
     let mut schedule = TdmaSchedule::new(n, slot_duration, guard);
     schedule.assign_all(&merged);
     vab_obs::event!(
@@ -142,7 +142,7 @@ pub fn run_inventory<R: Rng + ?Sized>(
         reader.run_round(&mut pending, rng);
         rounds += 1;
     }
-    let n = reader.identified.len().clamp(1, 255) as u8;
+    let n = reader.identified.len().max(1) as u16;
     let mut schedule = TdmaSchedule::new(n, slot_duration, guard);
     schedule.assign_all(&reader.identified);
     InventoryReport {
@@ -169,7 +169,7 @@ mod tests {
             assert!(report.schedule.slot_of(a).is_some(), "node {a} unscheduled");
         }
         // Slots are unique.
-        let mut slots: Vec<u8> =
+        let mut slots: Vec<u16> =
             population.iter().map(|&a| report.schedule.slot_of(a).expect("assigned")).collect();
         slots.sort();
         slots.dedup();
@@ -227,7 +227,7 @@ mod tests {
         }
         assert!(!report.discovered.contains(&8));
         // Slots unique over the merged set.
-        let mut slots: Vec<u8> = report
+        let mut slots: Vec<u16> = report
             .discovered
             .iter()
             .map(|&a| report.schedule.slot_of(a).expect("assigned"))

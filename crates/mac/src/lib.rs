@@ -1,13 +1,41 @@
 //! # vab-mac — medium access for backscatter networks
 //!
 //! Backscatter MAC is reader-driven: nodes cannot hear each other and only
-//! speak when illuminated, so the reader owns the schedule. Three layers:
+//! speak when illuminated, so the reader owns the schedule. The layers:
 //!
 //! * [`poll`] — round-robin polling of a known node population;
 //! * [`tdma`] — slotted schedules for periodic monitoring (collision-free);
 //! * [`aloha`] — framed slotted ALOHA with Q-style window adaptation for
 //!   discovering an unknown population ([`inventory`]);
 //! * [`rate_adapt`] — per-node uplink rate control over the rate table.
+//!
+//! Collisions are abstract here (any two respondents in a slot collide);
+//! `vab-net` swaps in physical-layer capture through
+//! [`AlohaReader::run_round_with`] without changing any of the policy code.
+//!
+//! ## Example: inventory an unknown population, then schedule it
+//!
+//! ```
+//! use vab_mac::{run_inventory, TdmaSchedule};
+//! use vab_util::rng::seeded;
+//! use vab_util::units::Seconds;
+//!
+//! // Ten hidden nodes, discovered by framed ALOHA from a window of 8 slots.
+//! let population: Vec<u8> = (1..=10).collect();
+//! let report = run_inventory(
+//!     &population,
+//!     8,            // initial contention window
+//!     100,          // round cap
+//!     Seconds(1.0), // TDMA slot duration
+//!     Seconds(0.2), // guard interval
+//!     &mut seeded(7),
+//! );
+//! assert_eq!(report.discovered.len(), 10);
+//! // Every discovered node holds a unique TDMA slot afterwards.
+//! assert!(population.iter().all(|&a| report.schedule.slot_of(a).is_some()));
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod aloha;
 pub mod inventory;

@@ -9,19 +9,23 @@ use std::collections::HashMap;
 use vab_util::units::Seconds;
 
 /// A TDMA round schedule.
+///
+/// Slot indices are `u16` so a full 256-node address space (every `u8`
+/// address, as `vab-net` deploys at N = 256) can hold one slot each —
+/// a `u8` slot index would cap the round at 255 slots.
 #[derive(Debug, Clone)]
 pub struct TdmaSchedule {
     slot_duration: Seconds,
     /// Guard interval appended to each slot (propagation spread).
     guard: Seconds,
-    assignments: HashMap<u8, u8>, // addr → slot
-    n_slots: u8,
+    assignments: HashMap<u8, u16>, // addr → slot
+    n_slots: u16,
 }
 
 impl TdmaSchedule {
     /// Creates a schedule with `n_slots` slots of `slot_duration` plus
     /// `guard` each.
-    pub fn new(n_slots: u8, slot_duration: Seconds, guard: Seconds) -> Self {
+    pub fn new(n_slots: u16, slot_duration: Seconds, guard: Seconds) -> Self {
         assert!(n_slots > 0 && slot_duration.value() > 0.0 && guard.value() >= 0.0);
         Self { slot_duration, guard, assignments: HashMap::new(), n_slots }
     }
@@ -30,7 +34,7 @@ impl TdmaSchedule {
     /// with a guard covering the worst-case round-trip spread at
     /// `max_range_m` (sound speed `c`).
     pub fn for_frames(
-        n_slots: u8,
+        n_slots: u16,
         frame_bits: usize,
         bit_rate: f64,
         max_range_m: f64,
@@ -43,7 +47,7 @@ impl TdmaSchedule {
 
     /// Assigns `addr` to `slot`. Returns `false` if the slot is taken or
     /// out of range.
-    pub fn assign(&mut self, addr: u8, slot: u8) -> bool {
+    pub fn assign(&mut self, addr: u8, slot: u16) -> bool {
         if slot >= self.n_slots || self.assignments.values().any(|&s| s == slot) {
             return false;
         }
@@ -55,7 +59,7 @@ impl TdmaSchedule {
     /// number assigned (stops when slots run out).
     pub fn assign_all(&mut self, addrs: &[u8]) -> usize {
         let mut assigned = 0;
-        let mut next = 0u8;
+        let mut next = 0u16;
         for &a in addrs {
             while next < self.n_slots && self.assignments.values().any(|&s| s == next) {
                 next += 1;
@@ -71,20 +75,20 @@ impl TdmaSchedule {
     }
 
     /// Slot assigned to `addr`.
-    pub fn slot_of(&self, addr: u8) -> Option<u8> {
+    pub fn slot_of(&self, addr: u8) -> Option<u16> {
         self.assignments.get(&addr).copied()
     }
 
     /// Which slot is active at time `t` since the round beacon, or `None`
     /// if `t` is past the end of the round.
-    pub fn slot_at(&self, t: Seconds) -> Option<u8> {
+    pub fn slot_at(&self, t: Seconds) -> Option<u16> {
         let per_slot = self.slot_duration.value() + self.guard.value();
         if t.value() < 0.0 {
             return None;
         }
         let idx = (t.value() / per_slot) as u64;
         if idx < self.n_slots as u64 {
-            Some(idx as u8)
+            Some(idx as u16)
         } else {
             None
         }
@@ -162,6 +166,16 @@ mod tests {
         assert!(approx_eq(t.slot_duration.value(), 2.56, 1e-9));
         // Guard overhead at 100 bps is modest.
         assert!(t.efficiency() > 0.8, "eff {}", t.efficiency());
+    }
+
+    #[test]
+    fn holds_a_full_u8_address_space() {
+        // 256 slots (> u8::MAX) so every possible address gets its own slot.
+        let mut t = TdmaSchedule::new(256, Seconds(1.0), Seconds(0.0));
+        let addrs: Vec<u8> = (0..=255).collect();
+        assert_eq!(t.assign_all(&addrs), 256);
+        assert_eq!(t.slot_of(255), Some(255));
+        assert_eq!(t.slot_of(0), Some(0));
     }
 
     #[test]

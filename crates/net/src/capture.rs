@@ -1,0 +1,124 @@
+//! Physical-layer capture: what the hydrophone actually hears when
+//! several backscatter replies land in one slot.
+//!
+//! Replies are incoherent at the hydrophone (independent multipath,
+//! centimetre-scale platform sway at an 18.5 kHz carrier), so colliding
+//! powers superpose linearly. A reply is *captured* when its SINR —
+//! signal over noise **plus** every other respondent's power — clears a
+//! threshold; only then does the reader even attempt a decode. This
+//! replaces the abstract "two respondents = collision" bit with the
+//! capture effect real readers exhibit: a strong near node can punch
+//! through a weak far one.
+
+/// Default capture threshold, dB. At ≥ 6 dB SINR the strongest reply is
+/// at least four times everything else combined, so at most one reply
+/// can be above threshold in any slot — capture is naturally exclusive.
+pub const DEFAULT_CAPTURE_THRESHOLD_DB: f64 = 6.0;
+
+/// SINR of a reply with linear received power `signal_lin` against
+/// `interference_lin` (sum of the other respondents' powers) and
+/// `noise_lin`, in dB.
+pub fn sinr_db(signal_lin: f64, interference_lin: f64, noise_lin: f64) -> f64 {
+    10.0 * (signal_lin / (noise_lin + interference_lin)).log10()
+}
+
+/// The SINR-threshold capture rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CaptureModel {
+    /// Minimum SINR for a reply to capture the hydrophone, dB.
+    pub threshold_db: f64,
+}
+
+impl Default for CaptureModel {
+    fn default() -> Self {
+        Self { threshold_db: DEFAULT_CAPTURE_THRESHOLD_DB }
+    }
+}
+
+impl CaptureModel {
+    /// Picks the capture candidate among `respondents` (pairs of address
+    /// and linear received power) against `noise_lin`.
+    ///
+    /// Returns the strongest respondent and its *linear* SINR when that
+    /// SINR clears the threshold, `None` otherwise (including the empty
+    /// slot). With a threshold ≥ ~5 dB at most one respondent can clear
+    /// it, so "the strongest" is the only possible winner.
+    pub fn capture_candidate(
+        &self,
+        respondents: &[(u8, f64)],
+        noise_lin: f64,
+    ) -> Option<(u8, f64)> {
+        let total: f64 = respondents.iter().map(|&(_, p)| p).sum();
+        let (addr, p) = respondents.iter().copied().max_by(|a, b| a.1.total_cmp(&b.1))?;
+        let sinr_lin = p / (noise_lin + (total - p));
+        if 10.0 * sinr_lin.log10() >= self.threshold_db {
+            Some((addr, sinr_lin))
+        } else {
+            None
+        }
+    }
+}
+
+/// Jain's fairness index of a non-negative allocation:
+/// `(Σx)² / (n·Σx²)`, which is 1 for a perfectly even allocation and
+/// `1/n` when one participant takes everything.
+///
+/// Degenerate inputs (empty, or all-zero — nobody got anything, which is
+/// evenly "fair") return 1.0, so the index always lies in `(0, 1]`.
+pub fn jain_fairness(xs: &[f64]) -> f64 {
+    let sum: f64 = xs.iter().sum();
+    let sq_sum: f64 = xs.iter().map(|x| x * x).sum();
+    if xs.is_empty() || sq_sum <= 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (xs.len() as f64 * sq_sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_slot_has_no_candidate() {
+        assert!(CaptureModel::default().capture_candidate(&[], 1.0).is_none());
+    }
+
+    #[test]
+    fn lone_strong_reply_captures() {
+        let m = CaptureModel::default();
+        let (addr, sinr) = m.capture_candidate(&[(7, 100.0)], 1.0).expect("captures");
+        assert_eq!(addr, 7);
+        assert!((10.0 * sinr.log10() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn near_far_capture_and_symmetric_collision() {
+        let m = CaptureModel::default();
+        // 20 dB near-far gap: the near node captures through the far one.
+        let (addr, _) = m.capture_candidate(&[(1, 100.0), (2, 1.0)], 0.1).expect("capture");
+        assert_eq!(addr, 1);
+        // Equal powers: SINR ≈ 0 dB each, below threshold — true collision.
+        assert!(m.capture_candidate(&[(1, 50.0), (2, 50.0)], 0.1).is_none());
+    }
+
+    #[test]
+    fn capture_is_monotone_in_power() {
+        // More signal power never lowers SINR against fixed company.
+        let noise = 0.5;
+        let mut last = f64::NEG_INFINITY;
+        for p in [1.0, 2.0, 4.0, 8.0, 64.0] {
+            let s = sinr_db(p, 3.0, noise);
+            assert!(s > last);
+            last = s;
+        }
+    }
+
+    #[test]
+    fn jain_bounds_and_known_values() {
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+        assert!((jain_fairness(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        // One of four takes everything → 1/4.
+        assert!((jain_fairness(&[1.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+    }
+}

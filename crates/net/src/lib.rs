@@ -1,0 +1,56 @@
+//! # vab-net — spatial multi-node Van Atta network simulation
+//!
+//! The paper promises Van Atta acoustic *networks*; the rest of the
+//! workspace models one link at a time. This crate deploys N backscatter
+//! nodes (N up to 256) and one projector/hydrophone reader in a 3-D
+//! volume, derives each node's channel — range, absorption, multipath,
+//! noise — from `vab-acoustics`/`vab-sim`, and models concurrent
+//! backscatter as physical-layer interference: colliding replies
+//! superpose at the hydrophone and per-node SINR decides *capture*,
+//! rather than an abstract collision bit.
+//!
+//! The layers:
+//!
+//! * [`topology`] — seed-pure node placement in a deployment volume,
+//!   with a content-addressed spec digest for per-topology caching;
+//! * [`channel`] — per-node round-trip link budgets and image-method
+//!   fading, in the linear-power units superposition needs;
+//! * [`capture`] — the SINR capture rule and Jain's fairness index;
+//! * [`network`] — discovery (framed ALOHA via
+//!   [`vab_mac::AlohaReader::run_round_with`]) and steady-state TDMA
+//!   monitoring, producing a canonical [`DeploymentReport`].
+//!
+//! Each deployment is single-threaded and deterministic in its spec;
+//! campaigns parallelize *across* topologies through the `vab-svc`
+//! worker pool, which caches each topology's report by content address.
+//!
+//! ## Example: run a small deployment end to end
+//!
+//! ```
+//! use vab_net::{run_deployment, NetworkSpec};
+//!
+//! // Eight nodes scattered in the default 60 m × 40 m river volume.
+//! let spec = NetworkSpec::river(8, 42);
+//! let report = run_deployment(&spec);
+//! assert!(report.inventory.coverage() > 0.9, "short river links all close");
+//! assert!(report.steady.jain_fairness > 0.0 && report.steady.jain_fairness <= 1.0);
+//! // Equal specs reproduce byte-identical reports.
+//! assert_eq!(
+//!     report.to_json().render(),
+//!     run_deployment(&spec).to_json().render(),
+//! );
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod capture;
+pub mod channel;
+pub mod network;
+pub mod topology;
+
+pub use capture::{jain_fairness, sinr_db, CaptureModel};
+pub use channel::NodeChannel;
+pub use network::{
+    run_deployment, DeploymentReport, NetInventoryReport, Network, SteadyStateReport,
+};
+pub use topology::{DeploymentVolume, NetEnv, NetworkSpec, NodeSite, Topology};

@@ -1,0 +1,364 @@
+//! The deployment runner: inventory (discovery) and steady-state
+//! (monitoring) phases of a spatial Van Atta network, driven over the
+//! unmodified `vab-mac` policies with physical-layer capture resolving
+//! each contention slot.
+//!
+//! Everything here is single-threaded and seed-pure per deployment —
+//! parallelism belongs one layer up (the `vab-svc` worker pool shards
+//! *across* topologies), which is what makes cached and fresh results
+//! byte-identical at any worker count.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use vab_link::frame::LinkConfig;
+use vab_mac::aloha::{AlohaReader, SlotOutcome};
+use vab_mac::tdma::TdmaSchedule;
+use vab_util::json::Json;
+use vab_util::rng::{derive_seed, seeded};
+
+use crate::capture::{jain_fairness, CaptureModel};
+use crate::channel::{derive_channels, frame_success, scenario_for_node, NodeChannel};
+use crate::topology::{NetworkSpec, Topology};
+
+/// Payload carried per frame, bytes (a sensor report).
+pub const PAYLOAD_BYTES: usize = 16;
+/// Useful payload bits per frame.
+pub const PAYLOAD_BITS: usize = PAYLOAD_BYTES * 8;
+/// Contention rounds after which inventory gives up — nodes whose SINR
+/// can never clear capture stay undiscovered, so a cap is load-bearing.
+pub const MAX_INVENTORY_ROUNDS: u32 = 200;
+/// TDMA rounds simulated for the steady-state phase.
+pub const STEADY_ROUNDS: u32 = 50;
+
+/// Schema tag of [`DeploymentReport::to_json`] payloads.
+pub const REPORT_SCHEMA: &str = "vab-net-report/1";
+
+const STREAM_CONTENTION: u64 = 0xA10A;
+const STREAM_DECODE: u64 = 0xDEC0;
+const STREAM_STEADY: u64 = 0x57EA;
+
+/// A fully derived deployment: topology, per-node channels and the
+/// capture rule, ready to run MAC phases over.
+#[derive(Debug, Clone)]
+pub struct Network {
+    /// The spec this network derives from.
+    pub spec: NetworkSpec,
+    /// Placed reader and nodes.
+    pub topology: Topology,
+    /// Per-node channels, indexed by address.
+    pub channels: Vec<NodeChannel>,
+    /// The capture rule used for colliding slots.
+    pub capture: CaptureModel,
+    /// Channel bits per frame.
+    pub frame_bits: usize,
+    /// FEC rate of the link stack.
+    pub fec_rate: f64,
+    /// Uplink bit rate, bits/s.
+    pub bit_rate: f64,
+    /// Sound speed in this environment, m/s.
+    pub sound_speed: f64,
+}
+
+impl Network {
+    /// Derives the full network (placement + channels) from `spec`.
+    pub fn build(spec: &NetworkSpec) -> Self {
+        let topology = Topology::generate(spec);
+        let link = LinkConfig::vab_default();
+        let frame_bits = link.encoded_len(PAYLOAD_BYTES);
+        let fec_rate = link.fec.rate();
+        let channels = derive_channels(spec, &topology, frame_bits, fec_rate);
+        let scenario = scenario_for_node(spec, &topology, &topology.nodes[0]);
+        Self {
+            spec: spec.clone(),
+            topology,
+            channels,
+            capture: CaptureModel::default(),
+            frame_bits,
+            fec_rate,
+            bit_rate: scenario.mod_params.bit_rate,
+            sound_speed: scenario.env.sound_speed(),
+        }
+    }
+
+    /// Wall-clock duration of one contention slot: the reply frame plus
+    /// the worst-case round-trip propagation guard.
+    pub fn slot_duration_s(&self) -> f64 {
+        self.frame_bits as f64 / self.bit_rate + 2.0 * self.topology.max_range_m / self.sound_speed
+    }
+
+    /// Resolves one contention slot physically: the respondents' received
+    /// powers superpose at the hydrophone, the strongest reply captures
+    /// iff its SINR clears the threshold, and a captured reply still has
+    /// to decode (Bernoulli on the frame-success probability at its
+    /// SINR). Respondents present but nothing decoded is a collision —
+    /// the reader hears energy without a frame, exactly the signal the
+    /// ALOHA window controller keys on.
+    pub fn resolve_slot(&self, respondents: &[u8], decode_rng: &mut StdRng) -> SlotOutcome {
+        if respondents.is_empty() {
+            return SlotOutcome::Idle;
+        }
+        let powers: Vec<(u8, f64)> =
+            respondents.iter().map(|&a| (a, self.channels[a as usize].rx_power_lin)).collect();
+        let noise = self.channels[respondents[0] as usize].noise_power_lin;
+        match self.capture.capture_candidate(&powers, noise) {
+            Some((addr, sinr_lin)) => {
+                let p = frame_success(sinr_lin, self.frame_bits, self.fec_rate);
+                if decode_rng.random::<f64>() < p {
+                    SlotOutcome::Single(addr)
+                } else {
+                    SlotOutcome::Collision
+                }
+            }
+            None => SlotOutcome::Collision,
+        }
+    }
+
+    /// Runs the discovery phase: framed ALOHA over all deployed nodes
+    /// with capture-aware slot resolution, capped at
+    /// [`MAX_INVENTORY_ROUNDS`].
+    pub fn run_inventory(&self) -> NetInventoryReport {
+        let _t = vab_obs::time_stage("net.inventory");
+        let mut contention = seeded(derive_seed(self.spec.seed, STREAM_CONTENTION));
+        let mut decode = seeded(derive_seed(self.spec.seed, STREAM_DECODE));
+        let initial_window = self.spec.n_nodes.next_power_of_two().clamp(4, 256);
+        let mut reader = AlohaReader::new(initial_window);
+        let mut pending: Vec<u8> = self.topology.nodes.iter().map(|n| n.addr).collect();
+        let mut rounds = 0;
+        while !pending.is_empty() && rounds < MAX_INVENTORY_ROUNDS {
+            reader.run_round_with(&mut pending, &mut contention, |r| {
+                self.resolve_slot(r, &mut decode)
+            });
+            rounds += 1;
+        }
+        let discovered = reader.identified.clone();
+        let report = NetInventoryReport {
+            n_nodes: self.spec.n_nodes,
+            discovered,
+            rounds,
+            slots_used: reader.slots_used,
+            collisions: reader.collisions,
+            time_s: reader.slots_used as f64 * self.slot_duration_s(),
+        };
+        vab_obs::event!(
+            "net.inventory",
+            "inventory_done",
+            n_nodes = report.n_nodes,
+            discovered = report.discovered.len(),
+            rounds = report.rounds,
+            slots = report.slots_used,
+            collisions = report.collisions,
+        );
+        vab_obs::metrics::inc("net.inventories", 1);
+        vab_obs::metrics::set("net.last_inventory_coverage_pct", report.coverage() * 100.0);
+        report
+    }
+
+    /// Runs the monitoring phase: a TDMA round schedule over the
+    /// `discovered` nodes (collision-free slots — TDMA is what inventory
+    /// buys you), with each node's slot decoding at its clean-channel
+    /// frame-success probability.
+    pub fn run_steady_state(&self, discovered: &[u8]) -> SteadyStateReport {
+        let _t = vab_obs::time_stage("net.steady_state");
+        let n_slots = discovered.len().max(1) as u16;
+        let mut schedule = TdmaSchedule::for_frames(
+            n_slots,
+            self.frame_bits,
+            self.bit_rate,
+            self.topology.max_range_m,
+            self.sound_speed,
+        );
+        schedule.assign_all(discovered);
+        let round_s = schedule.round_duration().value();
+        let mut rng = seeded(derive_seed(self.spec.seed, STREAM_STEADY));
+        let horizon_s = STEADY_ROUNDS as f64 * round_s;
+        let mut per_node: Vec<(u8, f64)> = Vec::with_capacity(discovered.len());
+        for &addr in discovered {
+            let p = self.channels[addr as usize].packet_success;
+            let mut delivered = 0u32;
+            for _ in 0..STEADY_ROUNDS {
+                if rng.random::<f64>() < p {
+                    delivered += 1;
+                }
+            }
+            per_node.push((addr, delivered as f64 * PAYLOAD_BITS as f64 / horizon_s));
+        }
+        per_node.sort_by_key(|&(addr, _)| addr);
+        let goodputs: Vec<f64> = per_node.iter().map(|&(_, g)| g).collect();
+        let report = SteadyStateReport {
+            aggregate_goodput_bps: goodputs.iter().sum(),
+            jain_fairness: jain_fairness(&goodputs),
+            round_duration_s: round_s,
+            per_node_goodput_bps: per_node,
+        };
+        vab_obs::event!(
+            "net.steady",
+            "steady_state_done",
+            scheduled = discovered.len(),
+            aggregate_goodput_bps = report.aggregate_goodput_bps,
+            jain = report.jain_fairness,
+        );
+        report
+    }
+}
+
+/// Outcome of the discovery phase.
+#[derive(Debug, Clone)]
+pub struct NetInventoryReport {
+    /// Deployed population size.
+    pub n_nodes: usize,
+    /// Addresses discovered, in discovery order.
+    pub discovered: Vec<u8>,
+    /// Contention rounds used.
+    pub rounds: u32,
+    /// Contention slots spent.
+    pub slots_used: u64,
+    /// Slots where energy was heard but nothing decoded.
+    pub collisions: u64,
+    /// Wall-clock time to the end of inventory, seconds.
+    pub time_s: f64,
+}
+
+impl NetInventoryReport {
+    /// Fraction of the deployed population discovered.
+    pub fn coverage(&self) -> f64 {
+        if self.n_nodes == 0 {
+            return 1.0;
+        }
+        self.discovered.len() as f64 / self.n_nodes as f64
+    }
+}
+
+/// Outcome of the monitoring phase.
+#[derive(Debug, Clone)]
+pub struct SteadyStateReport {
+    /// Per-node goodput, bits/s, sorted by address.
+    pub per_node_goodput_bps: Vec<(u8, f64)>,
+    /// Network-wide goodput, bits/s.
+    pub aggregate_goodput_bps: f64,
+    /// Jain fairness index over per-node goodputs, in `(0, 1]`.
+    pub jain_fairness: f64,
+    /// One TDMA round, seconds.
+    pub round_duration_s: f64,
+}
+
+/// Both phases of one deployment, plus the spec that produced them.
+#[derive(Debug, Clone)]
+pub struct DeploymentReport {
+    /// The deployment spec.
+    pub spec: NetworkSpec,
+    /// Discovery phase outcome.
+    pub inventory: NetInventoryReport,
+    /// Monitoring phase outcome (over the discovered nodes).
+    pub steady: SteadyStateReport,
+}
+
+impl DeploymentReport {
+    /// Canonical JSON payload: fixed key order, discovery list sorted,
+    /// per-node goodputs sorted by address — byte-identical for equal
+    /// specs no matter where or how the deployment ran.
+    pub fn to_json(&self) -> Json {
+        let mut discovered: Vec<u8> = self.inventory.discovered.clone();
+        discovered.sort_unstable();
+        Json::obj([
+            ("schema", Json::Str(REPORT_SCHEMA.into())),
+            ("topology_digest", Json::Str(format!("{:016x}", self.spec.digest()))),
+            (
+                "inventory",
+                Json::obj([
+                    ("n_nodes", Json::Num(self.inventory.n_nodes as f64)),
+                    (
+                        "discovered",
+                        Json::Arr(discovered.iter().map(|&a| Json::Num(a as f64)).collect()),
+                    ),
+                    ("coverage", Json::Num(self.inventory.coverage())),
+                    ("rounds", Json::Num(self.inventory.rounds as f64)),
+                    ("slots_used", Json::Num(self.inventory.slots_used as f64)),
+                    ("collisions", Json::Num(self.inventory.collisions as f64)),
+                    ("time_s", Json::Num(self.inventory.time_s)),
+                ]),
+            ),
+            (
+                "steady",
+                Json::obj([
+                    ("aggregate_goodput_bps", Json::Num(self.steady.aggregate_goodput_bps)),
+                    ("jain_fairness", Json::Num(self.steady.jain_fairness)),
+                    ("round_duration_s", Json::Num(self.steady.round_duration_s)),
+                    (
+                        "per_node_goodput_bps",
+                        Json::Arr(
+                            self.steady
+                                .per_node_goodput_bps
+                                .iter()
+                                .map(|&(addr, g)| {
+                                    Json::Arr(vec![Json::Num(addr as f64), Json::Num(g)])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Builds the network for `spec` and runs both phases — the one-call
+/// entry point the service layer and the figures use.
+pub fn run_deployment(spec: &NetworkSpec) -> DeploymentReport {
+    let _t = vab_obs::time_stage("net.deployment");
+    let net = Network::build(spec);
+    let inventory = net.run_inventory();
+    let steady = net.run_steady_state(&inventory.discovered);
+    DeploymentReport { spec: spec.clone(), inventory, steady }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::NetworkSpec;
+
+    #[test]
+    fn deployment_is_deterministic() {
+        let spec = NetworkSpec::river(24, 5);
+        let a = run_deployment(&spec);
+        let b = run_deployment(&spec);
+        assert_eq!(a.to_json().render(), b.to_json().render());
+    }
+
+    #[test]
+    fn small_river_deployment_fully_inventories() {
+        // 8 nodes within ~70 m in a river: every link is strong, so
+        // inventory must find everyone and TDMA must serve everyone.
+        let spec = NetworkSpec::river(8, 3);
+        let r = run_deployment(&spec);
+        assert_eq!(r.inventory.discovered.len(), 8, "coverage {}", r.inventory.coverage());
+        assert!(r.steady.aggregate_goodput_bps > 0.0);
+        assert!(r.steady.jain_fairness > 0.0 && r.steady.jain_fairness <= 1.0);
+        assert_eq!(r.steady.per_node_goodput_bps.len(), 8);
+    }
+
+    #[test]
+    fn slot_resolution_prefers_the_strong_node() {
+        let spec = NetworkSpec::river(32, 9);
+        let net = Network::build(&spec);
+        // Find the strongest and weakest nodes in the deployment.
+        let strongest =
+            net.channels.iter().max_by(|a, b| a.rx_power_lin.total_cmp(&b.rx_power_lin)).unwrap();
+        let weakest =
+            net.channels.iter().min_by(|a, b| a.rx_power_lin.total_cmp(&b.rx_power_lin)).unwrap();
+        let mut rng = seeded(1);
+        match net.resolve_slot(&[strongest.addr, weakest.addr], &mut rng) {
+            SlotOutcome::Single(a) => assert_eq!(a, strongest.addr),
+            SlotOutcome::Collision => {} // capture below threshold is legal
+            SlotOutcome::Idle => panic!("occupied slot cannot be idle"),
+        }
+    }
+
+    #[test]
+    fn steady_state_with_nobody_discovered_is_sane() {
+        let spec = NetworkSpec::river(4, 2);
+        let net = Network::build(&spec);
+        let s = net.run_steady_state(&[]);
+        assert_eq!(s.aggregate_goodput_bps, 0.0);
+        assert_eq!(s.jain_fairness, 1.0);
+    }
+}

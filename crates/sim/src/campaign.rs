@@ -24,8 +24,9 @@ pub struct CampaignConfig {
     pub bits_per_trial: usize,
     /// Fraction of deployments in the river (the rest are ocean).
     pub river_fraction: f64,
-    /// Range bounds, metres (log-uniform sampling).
+    /// Minimum deployment range, metres (log-uniform sampling).
     pub min_range_m: f64,
+    /// Maximum deployment range, metres (log-uniform sampling).
     pub max_range_m: f64,
     /// Maximum |rotation| of the node, degrees (uniform sampling).
     pub max_rotation_deg: f64,

@@ -16,6 +16,20 @@
 //! backscatter, conventional non-retrodirective array); [`scenario`] wires
 //! geometry + environment + system; [`metrics`] collects results and writes
 //! CSV.
+//!
+//! ## Example: close a link budget for the canonical river trial
+//!
+//! ```
+//! use vab_sim::{LinkBudget, Scenario, SystemKind};
+//! use vab_util::units::Meters;
+//!
+//! let scenario = Scenario::river(SystemKind::Vab { n_pairs: 4 }, Meters(100.0));
+//! let lb = LinkBudget::compute(&scenario);
+//! assert!(lb.ebn0_db > 10.0, "a 100 m river link closes comfortably");
+//! assert!(lb.uncoded_ber() < 1e-3);
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod baseline;
 pub mod campaign;

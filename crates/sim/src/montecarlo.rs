@@ -171,7 +171,11 @@ impl PointResult {
 ///
 /// Bounce-path phases get a per-trial random component (platform sway of a
 /// centimetre re-rolls them at 18.5 kHz).
-fn fading_delta_db(scenario: &Scenario, rng: &mut StdRng) -> f64 {
+///
+/// Public so `vab-net` can derive per-node multipath fading from the same
+/// image-method realization the Monte Carlo engine uses — a spatial
+/// deployment is just many scenarios sharing one environment.
+pub fn fading_delta_db(scenario: &Scenario, rng: &mut StdRng) -> f64 {
     let _t = vab_obs::time_stage("sim.channel_realization");
     let ch = ChannelModel::new(
         scenario.env.clone(),

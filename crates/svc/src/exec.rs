@@ -87,6 +87,7 @@ impl Executor {
                 Some(figures) => figures.run_figure(name, *trials, *bits, *seed),
                 None => Err(format!("this daemon has no figure registry (job figure({name}))")),
             },
+            JobSpec::NetTopology { .. } => Ok(execute_net_topology(spec)),
         }
     }
 }
@@ -174,6 +175,34 @@ fn execute_campaign_slice(spec: &JobSpec) -> Result<String, String> {
         ("records", Json::Arr(rows)),
     ])
     .render())
+}
+
+/// Runs one spatial deployment through `vab-net`. The whole phase chain
+/// (placement → channels → capture-aware inventory → steady-state TDMA)
+/// is single-threaded and seed-pure, so the payload is thread-invariant
+/// by construction; the report JSON is already canonical.
+fn execute_net_topology(spec: &JobSpec) -> String {
+    let JobSpec::NetTopology { n_nodes, x_m, y_m, standoff_m, env, n_pairs, seed } = spec else {
+        unreachable!("dispatched on kind");
+    };
+    let net_env = match env {
+        EnvSpec::River => vab_net::NetEnv::River,
+        EnvSpec::Ocean { sea_state } => vab_net::NetEnv::Ocean { sea_state: *sea_state },
+    };
+    let net_spec = vab_net::NetworkSpec {
+        n_nodes: *n_nodes,
+        volume: vab_net::DeploymentVolume { x_m: *x_m, y_m: *y_m, standoff_m: *standoff_m },
+        env: net_env,
+        n_pairs: *n_pairs,
+        seed: *seed,
+    };
+    let report = vab_net::run_deployment(&net_spec);
+    Json::obj([
+        ("schema", Json::Str(crate::RESULT_SCHEMA.into())),
+        ("kind", Json::Str("net_topology".into())),
+        ("report", report.to_json()),
+    ])
+    .render()
 }
 
 /// Link-budget sweeps decompose into per-range point entries so that two
@@ -278,6 +307,30 @@ mod tests {
         let s = cache.stats();
         assert_eq!(s.hits, 2, "100 m and 200 m must be shared");
         assert_eq!(s.misses - misses_after_a, 1, "only 300 m is new");
+    }
+
+    #[test]
+    fn net_topology_payload_is_deterministic_and_parseable() {
+        let ex = Executor::new();
+        let cache = ResultCache::in_memory(4);
+        let spec = JobSpec::NetTopology {
+            n_nodes: 12,
+            x_m: 60.0,
+            y_m: 40.0,
+            standoff_m: 10.0,
+            env: EnvSpec::River,
+            n_pairs: 4,
+            seed: 7,
+        };
+        let a = ex.execute(&spec, spec.digest(), &cache).expect("run");
+        let b = ex.execute(&spec, spec.digest(), &cache).expect("run again");
+        assert_eq!(a, b, "identical deployments must produce identical bytes");
+        let v = Json::parse(&a).expect("payload parses");
+        assert_eq!(v.str_field("kind"), Some("net_topology"));
+        let report = v.get("report").expect("report");
+        assert_eq!(report.get("inventory").and_then(|i| i.u64_field("n_nodes")), Some(12));
+        let jain = report.get("steady").and_then(|s| s.f64_field("jain_fairness")).expect("jain");
+        assert!(jain > 0.0 && jain <= 1.0);
     }
 
     #[test]

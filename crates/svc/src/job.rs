@@ -220,6 +220,26 @@ pub enum JobSpec {
         /// Master seed.
         seed: u64,
     },
+    /// One spatial network deployment (`vab-net`): seed-pure topology
+    /// generation, capture-aware inventory and steady-state TDMA. The
+    /// fields mirror `vab_net::NetworkSpec` so network campaigns cache
+    /// per-topology results by content address.
+    NetTopology {
+        /// Deployed node count (1 ..= 256).
+        n_nodes: usize,
+        /// Deployment box down-range extent, metres.
+        x_m: f64,
+        /// Deployment box cross-range extent, metres.
+        y_m: f64,
+        /// Closest node standoff from the reader, metres.
+        standoff_m: f64,
+        /// Water environment.
+        env: EnvSpec,
+        /// Van Atta pairs per node.
+        n_pairs: usize,
+        /// Master seed.
+        seed: u64,
+    },
 }
 
 impl JobSpec {
@@ -264,6 +284,18 @@ impl JobSpec {
                 ("bits", Json::Num(*bits as f64)),
                 ("seed", seed_to_json(*seed)),
             ]),
+            JobSpec::NetTopology { n_nodes, x_m, y_m, standoff_m, env, n_pairs, seed } => {
+                Json::obj([
+                    ("kind", Json::Str("net_topology".into())),
+                    ("n_nodes", Json::Num(*n_nodes as f64)),
+                    ("x_m", Json::Num(*x_m)),
+                    ("y_m", Json::Num(*y_m)),
+                    ("standoff_m", Json::Num(*standoff_m)),
+                    ("env", env.to_json()),
+                    ("n_pairs", Json::Num(*n_pairs as f64)),
+                    ("seed", seed_to_json(*seed)),
+                ])
+            }
         }
     }
 
@@ -319,6 +351,28 @@ impl JobSpec {
                 bits: need_usize("bits")?,
                 seed: seed_field(v, "seed").ok_or("missing seed")?,
             }),
+            Some("net_topology") => {
+                let n_nodes = need_usize("n_nodes")?;
+                if !(1..=256).contains(&n_nodes) {
+                    return Err(format!("n_nodes {n_nodes} outside 1..=256"));
+                }
+                let dim = |key: &str| -> Result<f64, String> {
+                    let d = v.f64_field(key).ok_or(format!("missing {key}"))?;
+                    if !d.is_finite() || d <= 0.0 {
+                        return Err(format!("{key} must be positive and finite"));
+                    }
+                    Ok(d)
+                };
+                Ok(JobSpec::NetTopology {
+                    n_nodes,
+                    x_m: dim("x_m")?,
+                    y_m: dim("y_m")?,
+                    standoff_m: dim("standoff_m")?,
+                    env: EnvSpec::from_json(v.get("env").ok_or("missing env")?)?,
+                    n_pairs: need_usize("n_pairs")?,
+                    seed: seed_field(v, "seed").ok_or("missing seed")?,
+                })
+            }
             other => Err(format!("unknown job kind {other:?}")),
         }
     }
@@ -358,6 +412,7 @@ impl JobSpec {
                 format!("link_budget_sweep({} points)", ranges_m.len())
             }
             JobSpec::Figure { name, .. } => format!("figure({name})"),
+            JobSpec::NetTopology { n_nodes, .. } => format!("net_topology({n_nodes} nodes)"),
         }
     }
 }
@@ -398,6 +453,15 @@ mod tests {
                 ranges_m: vec![10.0, 100.5, 450.0],
             },
             JobSpec::Figure { name: "f7_ber_vs_range".into(), trials: 25, bits: 256, seed: 2023 },
+            JobSpec::NetTopology {
+                n_nodes: 64,
+                x_m: 60.0,
+                y_m: 40.0,
+                standoff_m: 10.0,
+                env: EnvSpec::Ocean { sea_state: 1 },
+                n_pairs: 4,
+                seed: 2023,
+            },
         ];
         for spec in specs {
             let canon = spec.canonical();
@@ -450,6 +514,9 @@ mod tests {
             r#"{"kind":"campaign_slice","system":{"kind":"pab"},"n_trials":10,"bits":8,"seed":1,"lo":9,"hi":3}"#,
             r#"{"kind":"link_budget_sweep","system":{"kind":"pab"},"env":{"kind":"river"},"ranges_m":[-5]}"#,
             r#"{"kind":"figure","name":"f7"}"#,
+            r#"{"kind":"net_topology","n_nodes":0,"x_m":60,"y_m":40,"standoff_m":10,"env":{"kind":"river"},"n_pairs":4,"seed":1}"#,
+            r#"{"kind":"net_topology","n_nodes":500,"x_m":60,"y_m":40,"standoff_m":10,"env":{"kind":"river"},"n_pairs":4,"seed":1}"#,
+            r#"{"kind":"net_topology","n_nodes":8,"x_m":-60,"y_m":40,"standoff_m":10,"env":{"kind":"river"},"n_pairs":4,"seed":1}"#,
         ] {
             let v = Json::parse(bad).expect("valid JSON");
             assert!(JobSpec::from_json(&v).is_err(), "accepted {bad}");

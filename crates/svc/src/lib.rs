@@ -11,9 +11,10 @@
 //! ## The layers
 //!
 //! 1. **Jobs** ([`job`]): Monte Carlo points, campaign slices,
-//!    link-budget sweeps and figure runs, each with a *canonical* JSON
-//!    serialization (via `vab_util::json`) so structurally identical
-//!    requests always serialize to identical bytes.
+//!    link-budget sweeps, figure runs and spatial network deployments
+//!    (`vab-net` topologies), each with a *canonical* JSON serialization
+//!    (via `vab_util::json`) so structurally identical requests always
+//!    serialize to identical bytes.
 //! 2. **Cache** ([`cache`]): FNV-1a digest of `canonical spec + engine
 //!    version` → result payload, held in an in-memory LRU backed by a
 //!    persistent `results/cache/` tier. Identical jobs are served without
@@ -61,24 +62,6 @@ pub const ENGINE_VERSION: &str = "vab-engine/1";
 pub const RESULT_SCHEMA: &str = "vab-svc-result/1";
 
 /// FNV-1a 64-bit digest — the content address of a canonical job spec.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn fnv_matches_reference_vectors() {
-        // Published FNV-1a 64 test vectors.
-        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
-        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
-        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
-    }
-}
+/// Re-exported from `vab_util::hash` (the shared primitive also used by
+/// `vab-net` topology digests); kept at this path for compatibility.
+pub use vab_util::hash::fnv1a64;

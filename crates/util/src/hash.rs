@@ -1,0 +1,36 @@
+//! FNV-1a hashing — the workspace's shared content-address primitive.
+//!
+//! Lives here (rather than in `vab-svc`, where it originated) so crates
+//! below the service layer — notably `vab-net`, which digests topology
+//! specs — can address content without depending on the serving stack.
+
+/// FNV-1a 64-bit digest of `bytes`.
+///
+/// Not cryptographic: it addresses caches and names deterministic
+/// artifacts, where speed and zero dependencies matter and adversarial
+/// collisions do not.
+///
+/// ```
+/// assert_eq!(vab_util::hash::fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+/// ```
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

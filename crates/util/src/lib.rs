@@ -4,8 +4,8 @@
 //! the workspace: complex arithmetic, dB conversions, unit newtypes, an FFT,
 //! FIR filter design, windows, fractional-delay resampling, statistics,
 //! special functions (erfc, Marcum-Q, Bessel I0), seeded random-number
-//! helpers, a JSON parser/serializer ([`json`]) and the shared
-//! worker-thread sizing policy ([`threads`]).
+//! helpers, a JSON parser/serializer ([`json`]), FNV-1a content hashing
+//! ([`hash`]) and the shared worker-thread sizing policy ([`mod@threads`]).
 //!
 //! Nothing in this crate knows about acoustics or backscatter; it exists so
 //! that the domain crates can stay free of third-party DSP dependencies.
@@ -14,6 +14,7 @@ pub mod complex;
 pub mod db;
 pub mod fft;
 pub mod filter;
+pub mod hash;
 pub mod json;
 pub mod resample;
 pub mod rng;
@@ -25,6 +26,7 @@ pub mod window;
 
 pub use complex::C64;
 pub use db::{db_to_lin_amp, db_to_lin_pow, lin_amp_to_db, lin_pow_to_db};
+pub use hash::fnv1a64;
 pub use threads::threads;
 pub use units::{Db, Degrees, Hertz, Meters, Seconds, Watts};
 

@@ -45,7 +45,10 @@ fn main() {
 
     // --- Phase 2: push each node its TDMA slot over the downlink.
     for node in nodes.iter_mut() {
-        let slot = report.schedule.slot_of(node.config.address).expect("scheduled");
+        // The schedule indexes slots as u16 (a full 256-node inventory needs
+        // 256 slots) but slot *indices* still fit the one-byte wire command.
+        let slot = u8::try_from(report.schedule.slot_of(node.config.address).expect("scheduled"))
+            .expect("slot index fits the wire command");
         let cmd =
             Frame::new(node.config.address, READER, 0, Command::AssignSlot { slot }.to_payload());
         match node.handle_downlink(&cmd) {

@@ -9,6 +9,7 @@ pub use vab_fault as fault;
 pub use vab_harvest as harvest;
 pub use vab_link as link;
 pub use vab_mac as mac;
+pub use vab_net as net;
 pub use vab_obs as obs;
 pub use vab_phy as phy;
 pub use vab_piezo as piezo;

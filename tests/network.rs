@@ -1,0 +1,101 @@
+//! `vab-net` determinism regressions and capture-model properties.
+//!
+//! The headline guarantee: FN1/FN2 CSVs are bit-identical whatever the
+//! worker-pool width, because each deployment is internally single-threaded
+//! and seed-pure — parallelism only shards *across* topologies.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use vab::net::{jain_fairness, sinr_db, CaptureModel, NetworkSpec, Topology};
+use vab::svc::ResultCache;
+use vab::util::threads::set_jobs;
+use vab_bench::network::{fn1_with_cache, fn2_with_cache};
+use vab_bench::ExpConfig;
+
+fn quick() -> ExpConfig {
+    ExpConfig { trials: 4, bits: 64, seed: 2023 }
+}
+
+#[test]
+fn fn1_fn2_csvs_are_identical_across_pool_widths() {
+    // Fresh caches per width so every run actually computes its topologies.
+    set_jobs(1);
+    let fn1_serial = fn1_with_cache(&quick(), Arc::new(ResultCache::in_memory(64))).to_csv();
+    let fn2_serial = fn2_with_cache(&quick(), Arc::new(ResultCache::in_memory(64))).to_csv();
+    set_jobs(8);
+    let fn1_wide = fn1_with_cache(&quick(), Arc::new(ResultCache::in_memory(64))).to_csv();
+    let fn2_wide = fn2_with_cache(&quick(), Arc::new(ResultCache::in_memory(64))).to_csv();
+    set_jobs(0);
+    assert_eq!(fn1_serial, fn1_wide, "FN1 must not depend on worker count");
+    assert_eq!(fn2_serial, fn2_wide, "FN2 must not depend on worker count");
+}
+
+#[test]
+fn topology_digest_pins_placement() {
+    let spec = NetworkSpec::river(32, 7);
+    let again = NetworkSpec::river(32, 7);
+    assert_eq!(spec.digest(), again.digest());
+    let a = Topology::generate(&spec);
+    let b = Topology::generate(&again);
+    assert_eq!(a.nodes.len(), b.nodes.len());
+    for (x, y) in a.nodes.iter().zip(&b.nodes) {
+        assert_eq!(x.addr, y.addr);
+        assert_eq!(x.pos, y.pos);
+    }
+    // A different seed is a different address.
+    assert_ne!(spec.digest(), NetworkSpec::river(32, 8).digest());
+}
+
+proptest! {
+    // The capture winner is always the strongest respondent, and moving
+    // any respondent closer (raising its power) can only improve its own
+    // SINR — capture is monotone in received power, hence in range.
+    #[test]
+    fn capture_prefers_the_strongest_and_is_monotone(
+        powers in prop::collection::vec(1e-12f64..1e-3, 2..8),
+        noise in 1e-13f64..1e-6,
+        boost in 1.5f64..100.0,
+    ) {
+        let model = CaptureModel::default();
+        let replies: Vec<(u8, f64)> =
+            powers.iter().enumerate().map(|(i, &p)| (i as u8, p)).collect();
+        if let Some((winner, _)) = model.capture_candidate(&replies, noise) {
+            let strongest = replies
+                .iter()
+                .copied()
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|(a, _)| a)
+                .unwrap();
+            prop_assert_eq!(winner, strongest);
+        }
+
+        // Monotonicity: boosting the strongest reply's power (the node
+        // moving closer to the reader) never lowers its SINR.
+        let idx = powers
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap();
+        let interference: f64 =
+            powers.iter().enumerate().filter(|&(i, _)| i != idx).map(|(_, &p)| p).sum();
+        let before = sinr_db(powers[idx], interference, noise);
+        let after = sinr_db(powers[idx] * boost, interference, noise);
+        prop_assert!(after >= before);
+    }
+
+    // Jain's index stays in (0, 1] for any non-negative allocation, and
+    // hits exactly 1 for perfectly equal shares.
+    #[test]
+    fn jain_fairness_is_bounded(
+        xs in prop::collection::vec(0.0f64..1e6, 0..64),
+        equal in 1e-6f64..1e6,
+        n in 1usize..64,
+    ) {
+        let j = jain_fairness(&xs);
+        prop_assert!(j > 0.0 && j <= 1.0 + 1e-12, "jain out of range: {j}");
+        let uniform = vec![equal; n];
+        prop_assert!((jain_fairness(&uniform) - 1.0).abs() < 1e-9);
+    }
+}

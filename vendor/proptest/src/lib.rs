@@ -174,7 +174,7 @@ pub mod prop {
         //! Collection strategies.
         use crate::{Strategy, TestRng};
 
-        /// Size specification for [`vec`]: an exact size or a range.
+        /// Size specification for [`vec()`]: an exact size or a range.
         #[derive(Debug, Clone, Copy)]
         pub struct SizeRange {
             lo: usize,
