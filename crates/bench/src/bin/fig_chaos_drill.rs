@@ -1,0 +1,15 @@
+//! F20 - service-layer chaos drill (resilience vs injected fault rate)
+//!
+//! Usage: `cargo run --release -p vab-bench --bin fig_chaos_drill` (add `--quick`
+//! for a fast low-trial run, `--csv <path>` to also write CSV; set
+//! `VAB_OBS=stderr|jsonl` for a structured trace and stage breakdown).
+
+use vab_bench::{chaos, report};
+
+fn main() {
+    report::run_figure(
+        "F20",
+        "service-layer chaos drill (resilience vs injected fault rate)",
+        chaos::f20_chaos_drill,
+    );
+}

@@ -6,6 +6,7 @@
 //! vab-svc [--addr ...] status <id>
 //! vab-svc [--addr ...] fetch <id> [--wait-ms N]
 //! vab-svc [--addr ...] stats
+//! vab-svc [--addr ...] health
 //! vab-svc [--addr ...] shutdown
 //! ```
 //!
@@ -33,6 +34,7 @@ fn usage(prog: &str) -> ! {
          \x20 status <id>\n\
          \x20 fetch <id> [--wait-ms N]\n\
          \x20 stats\n\
+         \x20 health\n\
          \x20 shutdown"
     );
     std::process::exit(2);
@@ -74,6 +76,7 @@ fn main() {
             simple_id_op(&addr, &argv, &command, move |id| Request::Fetch { id, wait_ms })
         }
         "stats" => roundtrip(&addr, &Request::Stats),
+        "health" => roundtrip(&addr, &Request::Health),
         "shutdown" => roundtrip(&addr, &Request::Shutdown),
         _ => usage(&prog),
     };

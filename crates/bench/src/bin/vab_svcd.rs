@@ -10,11 +10,17 @@
 //! vab-svcd [--addr 127.0.0.1:7411] [--workers N] [--queue N]
 //!          [--cache-dir results/cache] [--cache-cap N]
 //!          [--fault-seed S --fault-panic-prob P]
+//!          [--chaos-seed S --chaos-intensity X]
+//!          [--request-budget N]
 //! ```
 //!
 //! `--fault-*` arms deterministic worker-panic injection
 //! (`vab_fault::WorkerFaultPlan`) for chaos drills: affected jobs fail
-//! typed while the daemon keeps serving.
+//! typed while the daemon keeps serving. `--chaos-*` arms the full
+//! service fault plan (`vab_fault::SvcFaultPlan`): wire drops,
+//! truncated/corrupted frames, transient worker panics, and simulated
+//! disk-write failures, all seed-pure — the daemon-side half of the F20
+//! resilience drill.
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -31,12 +37,16 @@ struct Opts {
     cache_cap: usize,
     fault_seed: Option<u64>,
     fault_panic_prob: f64,
+    chaos_seed: Option<u64>,
+    chaos_intensity: f64,
+    request_budget: u64,
 }
 
 fn usage(prog: &str) -> ! {
     eprintln!(
         "usage: {prog} [--addr 127.0.0.1:7411] [--workers N] [--queue N] \
-         [--cache-dir DIR] [--cache-cap N] [--fault-seed S] [--fault-panic-prob P]"
+         [--cache-dir DIR] [--cache-cap N] [--fault-seed S] [--fault-panic-prob P] \
+         [--chaos-seed S] [--chaos-intensity X] [--request-budget N]"
     );
     std::process::exit(2);
 }
@@ -52,6 +62,9 @@ fn parse_opts() -> Opts {
         cache_cap: 256,
         fault_seed: None,
         fault_panic_prob: 1.0,
+        chaos_seed: None,
+        chaos_intensity: 0.5,
+        request_budget: 0,
     };
     let mut i = 1;
     while i < argv.len() {
@@ -69,6 +82,15 @@ fn parse_opts() -> Opts {
             }
             "--fault-panic-prob" => {
                 opts.fault_panic_prob = value().parse().unwrap_or_else(|_| usage(&prog));
+            }
+            "--chaos-seed" => {
+                opts.chaos_seed = Some(value().parse().unwrap_or_else(|_| usage(&prog)));
+            }
+            "--chaos-intensity" => {
+                opts.chaos_intensity = value().parse().unwrap_or_else(|_| usage(&prog));
+            }
+            "--request-budget" => {
+                opts.request_budget = value().parse().unwrap_or_else(|_| usage(&prog));
             }
             "--help" | "-h" => usage(&prog),
             _ => usage(&prog),
@@ -93,6 +115,16 @@ fn main() {
         executor =
             executor.with_faults(vab_fault::WorkerFaultPlan::new(seed, opts.fault_panic_prob));
     }
+    let chaos = opts.chaos_seed.map(|seed| {
+        eprintln!("vab-svcd: chaos plan armed (seed={seed}, intensity={})", opts.chaos_intensity);
+        vab_fault::SvcFaultPlan::new(
+            seed,
+            vab_fault::SvcFaultConfig::with_intensity(opts.chaos_intensity),
+        )
+    });
+    if let Some(plan) = &chaos {
+        executor = executor.with_svc_faults(*plan);
+    }
     let cache = open_cache(&opts.cache_dir, opts.cache_cap);
     let cfg = ServerConfig {
         addr: opts.addr.clone(),
@@ -101,6 +133,9 @@ fn main() {
             queue_cap: opts.queue_cap,
             ..PoolConfig::default()
         },
+        request_budget: opts.request_budget,
+        faults: chaos,
+        ..ServerConfig::default()
     };
     let mut server = match Server::start(cfg, executor, cache) {
         Ok(server) => server,

@@ -1,0 +1,290 @@
+//! **F20** — the service-layer chaos drill.
+//!
+//! Spins up a real daemon/client pair per fault intensity, arms the full
+//! `vab_fault::SvcFaultPlan` (wire drops, truncated and corrupted
+//! frames, transient worker panics, simulated disk-write failures,
+//! daemon restarts), drives a fixed batch of jobs through the carnage
+//! with [`vab_svc::client::Client::run_job_resilient`], and measures
+//! what resilience costs: retry volume, simulated latency, goodput —
+//! and, the headline, **zero completed results lost** at every
+//! intensity (verified by replaying the whole batch against a clean
+//! daemon on the same cache directory and comparing payloads
+//! byte-for-byte).
+//!
+//! # Determinism
+//!
+//! The CSV must be bit-identical across runs and worker counts, so no
+//! wall-clock number may appear in it. Latency and goodput are
+//! *simulated*: each wire round-trip costs [`SERVICE_COST_MS`] and each
+//! backoff contributes its scheduled (deterministically jittered)
+//! milliseconds. Every fault decision is a pure function of
+//! `(seed, content digest, attempt)` — the client drives jobs
+//! sequentially, so the request sequence per digest (and therefore
+//! every draw) is identical whatever the daemon's worker count.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use vab_fault::{SvcFaultConfig, SvcFaultPlan};
+use vab_sim::metrics::CsvTable;
+use vab_svc::cache::ResultCache;
+use vab_svc::client::{Client, ClientConfig};
+use vab_svc::exec::Executor;
+use vab_svc::job::{EngineSpec, EnvSpec, JobSpec, SystemSpec};
+use vab_svc::pool::PoolConfig;
+use vab_svc::server::{Server, ServerConfig, WireFaultTotals};
+use vab_util::rng::derive_seed;
+
+use crate::experiments::ExpConfig;
+
+/// Simulated cost of one wire round-trip, milliseconds. The *count* of
+/// round-trips is the deterministic quantity; this constant turns it
+/// into a latency axis.
+pub const SERVICE_COST_MS: f64 = 25.0;
+
+/// Jobs driven through the drill at each intensity.
+const DRILL_JOBS: usize = 8;
+
+/// Resubmission rounds per job before the drill gives up (transient
+/// panics redraw per attempt, so a handful of rounds always lands).
+const MAX_ROUNDS: usize = 12;
+
+/// Stream id separating the drill's chaos seed from the experiment seed.
+const DRILL_STREAM: u64 = 0xF20_D1DE;
+
+fn drill_jobs(cfg: &ExpConfig) -> Vec<JobSpec> {
+    (0..DRILL_JOBS)
+        .map(|i| JobSpec::McPoint {
+            system: SystemSpec::Vab { n_pairs: 4 },
+            env: EnvSpec::River,
+            range_m: 40.0 + 20.0 * i as f64,
+            rotation_deg: 0.0,
+            trials: cfg.trials.clamp(2, 6),
+            bits: cfg.bits.min(64),
+            seed: derive_seed(cfg.seed, 100 + i as u64),
+            engine: EngineSpec::LinkBudget,
+        })
+        .collect()
+}
+
+/// Everything one intensity's drill produced.
+struct DrillOutcome {
+    completed: usize,
+    failed_final: usize,
+    lost: usize,
+    attempts: u64,
+    reconnects: u64,
+    backoff_ms: u64,
+    wire: WireFaultTotals,
+    disk_failures: u64,
+    panics: u64,
+    restarts: usize,
+    /// Simulated per-job latencies, milliseconds, completion order.
+    latencies_ms: Vec<f64>,
+}
+
+fn start_drill_server(
+    dir: &std::path::Path,
+    plan: Option<&SvcFaultPlan>,
+) -> (Server, Arc<ResultCache>) {
+    let cache = ResultCache::persistent(64, dir).expect("drill cache dir");
+    let cache = match plan {
+        Some(p) => Arc::new(cache.with_faults(*p)),
+        None => Arc::new(cache),
+    };
+    let mut executor = Executor::new();
+    if let Some(p) = plan {
+        executor = executor.with_svc_faults(*p);
+    }
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        pool: PoolConfig { workers: 0, queue_cap: 64, retry_after_ms: 10 },
+        faults: plan.cloned(),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(cfg, executor, cache.clone()).expect("bind drill daemon");
+    (server, cache)
+}
+
+fn drill_client(addr: &str, seed: u64) -> Client {
+    let cfg = ClientConfig {
+        read_timeout: Some(std::time::Duration::from_secs(60)),
+        write_timeout: Some(std::time::Duration::from_secs(60)),
+        max_reconnects: 32,
+        backoff_base_ms: 2,
+        backoff_cap_ms: 50,
+        backoff_seed: derive_seed(seed, 0xBAC0_FF5E),
+        ..ClientConfig::default()
+    };
+    Client::connect_with(addr, cfg).expect("connect drill client")
+}
+
+/// Runs the chaos drill at one intensity and accounts for the damage.
+fn run_drill(cfg: &ExpConfig, intensity: f64, dir: &std::path::Path) -> DrillOutcome {
+    let _ = std::fs::remove_dir_all(dir); // cold start: determinism needs it
+    let plan = SvcFaultPlan::new(
+        derive_seed(cfg.seed, DRILL_STREAM),
+        SvcFaultConfig::with_intensity(intensity),
+    );
+    let jobs = drill_jobs(cfg);
+    let mut crash_points = plan.crash_points(jobs.len());
+    // The drill must exercise daemon-restart recovery, not just hope the
+    // seed draws it: at moderate intensity and above, schedule one
+    // mid-batch restart whenever the plan drew none.
+    if crash_points.is_empty() && intensity >= 0.4 {
+        crash_points.push(jobs.len() / 2 - 1);
+    }
+
+    let (mut server, mut cache) = start_drill_server(dir, Some(&plan));
+    let mut client = drill_client(&server.addr().to_string(), cfg.seed);
+
+    let mut out = DrillOutcome {
+        completed: 0,
+        failed_final: 0,
+        lost: 0,
+        attempts: 0,
+        reconnects: 0,
+        backoff_ms: 0,
+        wire: WireFaultTotals::default(),
+        disk_failures: 0,
+        panics: 0,
+        restarts: 0,
+        latencies_ms: Vec::new(),
+    };
+    let harvest = |server: &Server, cache: &ResultCache, out: &mut DrillOutcome| {
+        let w = server.wire_fault_totals();
+        out.wire.drops += w.drops;
+        out.wire.truncates += w.truncates;
+        out.wire.corrupts += w.corrupts;
+        out.disk_failures += cache.stats().disk_write_failures;
+        out.panics += server.pool().totals().1;
+    };
+
+    let mut payloads: Vec<Option<String>> = vec![None; jobs.len()];
+    for (i, job) in jobs.iter().enumerate() {
+        let mut latency_ms = 0.0;
+        for _round in 0..MAX_ROUNDS {
+            match client.run_job_resilient(job, 60_000) {
+                Ok((resp, rstats)) => {
+                    out.attempts += u64::from(rstats.attempts);
+                    out.reconnects += u64::from(rstats.reconnects);
+                    out.backoff_ms += rstats.backoff_ms_total;
+                    latency_ms += f64::from(rstats.attempts) * SERVICE_COST_MS
+                        + rstats.backoff_ms_total as f64;
+                    if resp.str_field("status") == Some("done") {
+                        payloads[i] =
+                            Some(resp.get("result").map(|r| r.render()).unwrap_or_default());
+                        out.completed += 1;
+                        break;
+                    }
+                    // A typed failure (transient panic): resubmission
+                    // redraws the fault, so go around again.
+                }
+                Err(_) => break, // retries exhausted: final failure
+            }
+        }
+        if payloads[i].is_some() {
+            out.latencies_ms.push(latency_ms);
+        } else {
+            out.failed_final += 1;
+        }
+        // Scheduled daemon crash: bring the whole process down and back
+        // up on a fresh port; the client must find it and carry on.
+        if crash_points.contains(&i) {
+            harvest(&server, &cache, &mut out);
+            server.shutdown();
+            let (s2, c2) = start_drill_server(dir, Some(&plan));
+            server = s2;
+            cache = c2;
+            client.set_addr(&server.addr().to_string());
+            let _ = client.reconnect();
+            out.restarts += 1;
+        }
+    }
+    harvest(&server, &cache, &mut out);
+    server.shutdown();
+
+    // Verification replay: a clean daemon over the same cache directory
+    // must reproduce every completed payload byte-for-byte. Injected
+    // disk-write failures force recomputation here — identical physics,
+    // identical bytes — so "lost" counts only genuine damage.
+    let (mut verify_server, _verify_cache) = start_drill_server(dir, None);
+    let mut verify_client = drill_client(&verify_server.addr().to_string(), cfg.seed);
+    for (i, job) in jobs.iter().enumerate() {
+        let Some(expected) = &payloads[i] else { continue };
+        match verify_client.run_job_resilient(job, 60_000) {
+            Ok((resp, _)) if resp.str_field("status") == Some("done") => {
+                let got = resp.get("result").map(|r| r.render()).unwrap_or_default();
+                if &got != expected {
+                    out.lost += 1;
+                }
+            }
+            _ => out.lost += 1,
+        }
+    }
+    verify_server.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+    out
+}
+
+fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// **F20** — chaos drill: resilience cost and zero-loss verification vs
+/// injected fault intensity. Columns are all simulated/counted
+/// quantities, so the table is bit-identical under a fixed seed
+/// regardless of wall clock or worker count.
+pub fn f20_chaos_drill(cfg: &ExpConfig) -> CsvTable {
+    let mut t = CsvTable::new([
+        "intensity",
+        "jobs",
+        "completed",
+        "lost",
+        "attempts",
+        "reconnects",
+        "backoff_ms",
+        "wire_drops",
+        "wire_truncates",
+        "wire_corrupts",
+        "disk_write_failures",
+        "worker_panics",
+        "daemon_restarts",
+        "latency_p50_ms",
+        "latency_p99_ms",
+        "goodput_jobs_per_s",
+    ]);
+    let dir_base = std::env::temp_dir().join(format!("vab-f20-{}", std::process::id()));
+    for &x in &[0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+        let dir: PathBuf = dir_base.join(format!("i{:02}", (x * 10.0) as u32));
+        let out = run_drill(cfg, x, &dir);
+        let mut lat = out.latencies_ms.clone();
+        lat.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let total_s: f64 = lat.iter().sum::<f64>() / 1_000.0;
+        let goodput = if total_s > 0.0 { out.completed as f64 / total_s } else { 0.0 };
+        t.row([
+            format!("{x:.1}"),
+            format!("{}", DRILL_JOBS),
+            format!("{}", out.completed),
+            format!("{}", out.lost),
+            format!("{}", out.attempts),
+            format!("{}", out.reconnects),
+            format!("{}", out.backoff_ms),
+            format!("{}", out.wire.drops),
+            format!("{}", out.wire.truncates),
+            format!("{}", out.wire.corrupts),
+            format!("{}", out.disk_failures),
+            format!("{}", out.panics),
+            format!("{}", out.restarts),
+            format!("{:.1}", percentile_ms(&lat, 0.50)),
+            format!("{:.1}", percentile_ms(&lat, 0.99)),
+            format!("{goodput:.3}"),
+        ]);
+    }
+    let _ = std::fs::remove_dir_all(&dir_base);
+    t
+}

@@ -1097,6 +1097,7 @@ pub fn all_experiments_lazy() -> Vec<(&'static str, ExperimentFn)> {
         ("f17_campaign", f17_campaign),
         ("f18_modulation_comparison", f18_modulation_comparison),
         ("f19_fault_sweep", f19_fault_sweep),
+        ("f20_chaos_drill", crate::chaos::f20_chaos_drill),
         ("a1_ablation_delay", a1_ablation_delay),
         ("a2_ablation_fec", a2_ablation_fec),
         ("a3_ablation_cancellation", a3_ablation_cancellation),
@@ -1255,7 +1256,7 @@ mod tests {
     fn registry_contains_every_experiment() {
         let quick = ExpConfig { trials: 4, bits: 64, seed: 7 };
         let all = all_experiments(&quick);
-        assert_eq!(all.len(), 25);
+        assert_eq!(all.len(), 26);
         for (name, table) in &all {
             assert!(!table.is_empty(), "{name} produced no rows");
         }

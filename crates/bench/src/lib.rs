@@ -9,6 +9,7 @@
 //! Every experiment takes an [`ExpConfig`] so integration tests can run the
 //! same code with reduced trial counts.
 
+pub mod chaos;
 pub mod experiments;
 pub mod network;
 pub mod perf;

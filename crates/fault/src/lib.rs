@@ -20,9 +20,15 @@
 //! *responses* (ARQ backoff, rate fallback, re-inventory, schedule
 //! re-planning) live with the state machines they protect; this crate only
 //! decides, deterministically, what breaks and when.
+//!
+//! The same philosophy extends one level up: [`WorkerFaultPlan`] breaks a
+//! `vab-svc` worker thread, and [`SvcFaultPlan`] ([`svc`]) breaks the
+//! serving machinery itself — wire frames, cache persistence, the daemon
+//! process — driving the service layer's chaos drills (figure F20).
 
 pub mod config;
 pub mod plan;
+pub mod svc;
 pub mod worker;
 
 pub use config::FaultConfig;
@@ -30,4 +36,5 @@ pub use plan::{
     BurstFault, ChannelFaults, ElementFault, EnergyFaults, FaultPlan, ProtocolFaults, SwitchFault,
     TrialFaults,
 };
+pub use svc::{SvcFaultConfig, SvcFaultPlan, WireFault};
 pub use worker::WorkerFaultPlan;

@@ -1,0 +1,328 @@
+//! Deterministic chaos injection for the service layer (`vab-svc`).
+//!
+//! [`crate::plan`] breaks the simulated link and [`crate::worker`] breaks
+//! a single worker thread; this module breaks the *serving machinery*
+//! around both — the wire protocol, the persistence tier and the daemon
+//! process — so the service layer's recovery paths (client reconnect and
+//! idempotent resubmission, cache quarantine-and-recompute, graceful
+//! drain) become exercised, measured behaviour instead of dead code.
+//!
+//! Everything is seed-pure, in the same discipline as every other plan in
+//! this crate: a decision is a function of `(plan seed, key, attempt)`
+//! where `key` identifies the request (a job's content digest, or a hash
+//! of the op for digest-free ops) and `attempt` counts prior deliveries
+//! of the same key. Keying on *content* rather than on wall-clock or
+//! connection identity is what makes a whole chaos drill bit-reproducible
+//! across worker counts: the third retry of job `d` sees the same fate no
+//! matter which thread serves it or when.
+//!
+//! The fault classes:
+//!
+//! * **Wire faults** ([`WireFault`]): the daemon drops the connection
+//!   before replying, truncates the reply mid-frame (a slow-loris partial
+//!   write followed by a hangup), or corrupts one byte of the frame.
+//! * **Disk faults**: a cache persistence write fails; the entry stays
+//!   resident in memory but the next daemon generation must recompute.
+//! * **Worker panics**: as [`crate::WorkerFaultPlan`], but attempt-aware,
+//!   so a retried job can model a *transient* crash that a resubmission
+//!   survives.
+//! * **Crash points**: where in a drill of `n` jobs the daemon should be
+//!   killed and restarted.
+
+use vab_util::rng::derive_seed;
+
+/// Stream tag separating wire-fault draws from every other lineage.
+const WIRE_STREAM: u64 = 0x51C4_0FF5;
+/// Stream tag for disk-write-failure draws.
+const DISK_STREAM: u64 = 0xD15C_FA11;
+/// Stream tag for attempt-aware worker-panic draws.
+const PANIC_STREAM: u64 = 0x9A1C_0DE5;
+/// Stream tag for crash-point selection.
+const CRASH_STREAM: u64 = 0xC4A5_8001;
+
+/// Per-delivery fault probabilities for the service layer. Probabilities
+/// are per *response attempt* (wire), per *persist attempt* (disk), per
+/// *execution attempt* (panic).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SvcFaultConfig {
+    /// Master knob this profile was built from (0 = calm, 1 = hostile).
+    pub intensity: f64,
+    /// Probability the daemon drops the connection before writing the
+    /// response (the client sees EOF where a frame should be).
+    pub drop_prob: f64,
+    /// Probability the response is truncated mid-frame and the
+    /// connection then dropped (slow-loris partial write).
+    pub truncate_prob: f64,
+    /// Probability one byte of the response frame is corrupted (framing
+    /// survives; the JSON does not).
+    pub corrupt_prob: f64,
+    /// Probability a cache persistence write fails.
+    pub disk_fail_prob: f64,
+    /// Probability a worker panics executing a given attempt of a job.
+    pub panic_prob: f64,
+    /// Probability any single drill position is a daemon crash point.
+    pub crash_prob: f64,
+}
+
+impl SvcFaultConfig {
+    /// No chaos: every decision is a no-op.
+    pub fn off() -> Self {
+        Self {
+            intensity: 0.0,
+            drop_prob: 0.0,
+            truncate_prob: 0.0,
+            corrupt_prob: 0.0,
+            disk_fail_prob: 0.0,
+            panic_prob: 0.0,
+            crash_prob: 0.0,
+        }
+    }
+
+    /// The hostile anchor (`intensity = 1`): roughly one in two responses
+    /// arrives damaged, persistence fails a fifth of the time, and one in
+    /// six executions panics. Recovery is still possible — each retry
+    /// redraws — but nothing can be assumed to work the first time.
+    pub fn hostile() -> Self {
+        Self {
+            intensity: 1.0,
+            drop_prob: 0.20,
+            truncate_prob: 0.12,
+            corrupt_prob: 0.12,
+            disk_fail_prob: 0.20,
+            panic_prob: 0.15,
+            crash_prob: 0.10,
+        }
+    }
+
+    /// Linear interpolation between [`SvcFaultConfig::off`] and
+    /// [`SvcFaultConfig::hostile`], giving chaos sweeps one scalar axis.
+    pub fn with_intensity(intensity: f64) -> Self {
+        let x = intensity.clamp(0.0, 1.0);
+        let hi = Self::hostile();
+        Self {
+            intensity: x,
+            drop_prob: hi.drop_prob * x,
+            truncate_prob: hi.truncate_prob * x,
+            corrupt_prob: hi.corrupt_prob * x,
+            disk_fail_prob: hi.disk_fail_prob * x,
+            panic_prob: hi.panic_prob * x,
+            crash_prob: hi.crash_prob * x,
+        }
+    }
+
+    /// `true` when every probability is zero.
+    pub fn is_off(&self) -> bool {
+        self.drop_prob <= 0.0
+            && self.truncate_prob <= 0.0
+            && self.corrupt_prob <= 0.0
+            && self.disk_fail_prob <= 0.0
+            && self.panic_prob <= 0.0
+            && self.crash_prob <= 0.0
+    }
+}
+
+/// What happens to one wire response.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WireFault {
+    /// Deliver the frame intact.
+    None,
+    /// Drop the connection without writing anything.
+    DropBeforeWrite,
+    /// Write only this fraction of the frame, then drop the connection.
+    Truncate {
+        /// Fraction of the frame's bytes that make it out, in `(0, 1)`.
+        keep_frac: f64,
+    },
+    /// Flip one byte of the frame at this fractional position (the
+    /// newline terminator is never touched, so framing survives).
+    CorruptByte {
+        /// Fractional position of the damaged byte, in `[0, 1)`.
+        pos_frac: f64,
+    },
+}
+
+impl WireFault {
+    /// Short label for events and counters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WireFault::None => "none",
+            WireFault::DropBeforeWrite => "wire_drop",
+            WireFault::Truncate { .. } => "wire_truncate",
+            WireFault::CorruptByte { .. } => "wire_corrupt",
+        }
+    }
+}
+
+/// Maps 53 high bits of a derived seed onto `[0, 1)`.
+fn unit(seed: u64) -> f64 {
+    (seed >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Seed-pure chaos plan for the service layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SvcFaultPlan {
+    seed: u64,
+    cfg: SvcFaultConfig,
+}
+
+impl SvcFaultPlan {
+    /// Builds the plan for a chaos drill with `master_seed`.
+    pub fn new(master_seed: u64, cfg: SvcFaultConfig) -> Self {
+        Self { seed: master_seed, cfg }
+    }
+
+    /// The profile this plan draws from.
+    pub fn config(&self) -> &SvcFaultConfig {
+        &self.cfg
+    }
+
+    /// The fate of response-delivery `attempt` for request `key`. Pure in
+    /// `(seed, key, attempt)`; the classes are drawn from one uniform so
+    /// at most one fault fires per delivery.
+    pub fn wire_fault(&self, key: u64, attempt: u32) -> WireFault {
+        if self.cfg.is_off() {
+            return WireFault::None;
+        }
+        let draw_seed = derive_seed(derive_seed(self.seed, WIRE_STREAM), mix(key, attempt));
+        let u = unit(draw_seed);
+        let c = &self.cfg;
+        if u < c.drop_prob {
+            WireFault::DropBeforeWrite
+        } else if u < c.drop_prob + c.truncate_prob {
+            // Re-mix for the independent shape parameter.
+            let keep = 0.1 + 0.8 * unit(derive_seed(draw_seed, 1));
+            WireFault::Truncate { keep_frac: keep }
+        } else if u < c.drop_prob + c.truncate_prob + c.corrupt_prob {
+            WireFault::CorruptByte { pos_frac: unit(derive_seed(draw_seed, 2)) }
+        } else {
+            WireFault::None
+        }
+    }
+
+    /// Should persistence write `attempt` for entry `key` fail?
+    pub fn disk_write_fails(&self, key: u64, attempt: u32) -> bool {
+        if self.cfg.disk_fail_prob <= 0.0 {
+            return false;
+        }
+        let draw = derive_seed(derive_seed(self.seed, DISK_STREAM), mix(key, attempt));
+        unit(draw) < self.cfg.disk_fail_prob
+    }
+
+    /// Should execution `attempt` of job `key` panic? Unlike
+    /// [`crate::WorkerFaultPlan::panics`], each attempt redraws, so the
+    /// injected crashes are transient and a resubmission can succeed.
+    pub fn worker_panics(&self, key: u64, attempt: u32) -> bool {
+        if self.cfg.panic_prob <= 0.0 {
+            return false;
+        }
+        if self.cfg.panic_prob >= 1.0 {
+            return true;
+        }
+        let draw = derive_seed(derive_seed(self.seed, PANIC_STREAM), mix(key, attempt));
+        unit(draw) < self.cfg.panic_prob
+    }
+
+    /// The daemon crash points for a drill of `n_jobs` sequential jobs:
+    /// the job indices *after* which the daemon dies and must be
+    /// restarted. Sorted, deduplicated, never includes the last index
+    /// (a crash after the final job would go unobserved).
+    pub fn crash_points(&self, n_jobs: usize) -> Vec<usize> {
+        if self.cfg.crash_prob <= 0.0 || n_jobs < 2 {
+            return Vec::new();
+        }
+        let base = derive_seed(self.seed, CRASH_STREAM);
+        (0..n_jobs.saturating_sub(1))
+            .filter(|&i| unit(derive_seed(base, i as u64)) < self.cfg.crash_prob)
+            .collect()
+    }
+}
+
+/// Folds `(key, attempt)` into one stream index without collisions
+/// between small attempts of nearby keys.
+fn mix(key: u64, attempt: u32) -> u64 {
+    derive_seed(key, 0xA77E_3070_u64 + attempt as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_pure() {
+        let plan = SvcFaultPlan::new(42, SvcFaultConfig::with_intensity(0.7));
+        let again = SvcFaultPlan::new(42, SvcFaultConfig::with_intensity(0.7));
+        for key in 0..64u64 {
+            for attempt in 0..4u32 {
+                assert_eq!(plan.wire_fault(key, attempt), again.wire_fault(key, attempt));
+                assert_eq!(
+                    plan.disk_write_fails(key, attempt),
+                    again.disk_write_fails(key, attempt)
+                );
+                assert_eq!(plan.worker_panics(key, attempt), again.worker_panics(key, attempt));
+            }
+        }
+        assert_eq!(plan.crash_points(20), again.crash_points(20));
+    }
+
+    #[test]
+    fn off_plan_never_faults() {
+        let plan = SvcFaultPlan::new(7, SvcFaultConfig::off());
+        for key in 0..128u64 {
+            assert_eq!(plan.wire_fault(key, 0), WireFault::None);
+            assert!(!plan.disk_write_fails(key, 0));
+            assert!(!plan.worker_panics(key, 0));
+        }
+        assert!(plan.crash_points(100).is_empty());
+        assert!(SvcFaultConfig::with_intensity(0.0).is_off());
+    }
+
+    #[test]
+    fn retries_redraw_their_fate() {
+        // At hostile intensity a key whose first delivery faults must,
+        // within a handful of attempts, see a clean one — otherwise the
+        // recovery loops could never terminate.
+        let plan = SvcFaultPlan::new(3, SvcFaultConfig::hostile());
+        for key in 0..200u64 {
+            let clean = (0..32u32).any(|a| plan.wire_fault(key, a) == WireFault::None);
+            assert!(clean, "key {key} never sees a clean delivery in 32 attempts");
+        }
+    }
+
+    #[test]
+    fn fault_rates_scale_with_intensity() {
+        let rate = |x: f64| {
+            let plan = SvcFaultPlan::new(11, SvcFaultConfig::with_intensity(x));
+            (0..2000u64).filter(|&k| plan.wire_fault(k, 0) != WireFault::None).count()
+        };
+        let (lo, mid, hi) = (rate(0.1), rate(0.5), rate(1.0));
+        assert!(lo < mid && mid < hi, "wire-fault counts not monotone: {lo}, {mid}, {hi}");
+        // Hostile wire-fault mass is drop+truncate+corrupt = 0.44.
+        assert!((700..1100).contains(&hi), "hostile rate {hi} far from 880/2000");
+    }
+
+    #[test]
+    fn truncate_and_corrupt_shapes_are_in_range() {
+        let plan = SvcFaultPlan::new(5, SvcFaultConfig::hostile());
+        for key in 0..2000u64 {
+            match plan.wire_fault(key, 0) {
+                WireFault::Truncate { keep_frac } => {
+                    assert!(keep_frac > 0.0 && keep_frac < 1.0, "keep_frac {keep_frac}");
+                }
+                WireFault::CorruptByte { pos_frac } => {
+                    assert!((0.0..1.0).contains(&pos_frac), "pos_frac {pos_frac}");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn crash_points_are_sorted_interior_and_scale() {
+        let plan = SvcFaultPlan::new(9, SvcFaultConfig::hostile());
+        let points = plan.crash_points(50);
+        assert!(points.windows(2).all(|w| w[0] < w[1]), "sorted: {points:?}");
+        assert!(points.iter().all(|&p| p < 49), "interior: {points:?}");
+        let calm = SvcFaultPlan::new(9, SvcFaultConfig::with_intensity(0.1));
+        assert!(calm.crash_points(50).len() <= points.len());
+    }
+}

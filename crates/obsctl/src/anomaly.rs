@@ -2,7 +2,7 @@
 //! the fault-injection PR taught the stack to survive, and show each one
 //! with enough surrounding events to diagnose it.
 //!
-//! Four detectors:
+//! Six detectors:
 //! * **BER spikes** — `deployment_done` bit-error outliers (≥ `factor` ×
 //!   the run's median, above an absolute floor), plus every
 //!   `rate_change` the controller attributed to `ber_spike`.
@@ -12,6 +12,12 @@
 //!   re-plans and truncated replies.
 //! * **Silence / re-inventory bursts** — clusters of `node_silent`
 //!   crossings and re-inventory rounds.
+//! * **Service retry storms** — bursts of `svc.retry`
+//!   reconnect/backoff/resubmit events (a client fighting a chaotic or
+//!   dying daemon).
+//! * **Service recovery cascades** — bursts of `svc.recover` and
+//!   `svc.fault` events: faults landing and the stack healing, many at
+//!   once.
 //!
 //! Burst windows scale with the trace (span / 50, floored at 1 ms) so
 //! the same thresholds work for a 100 ms smoke run and an hour-long
@@ -32,6 +38,10 @@ pub enum AnomalyKind {
     BrownoutCascade,
     /// Cluster of node-silence crossings and re-inventory rounds.
     SilenceBurst,
+    /// Burst of service-client reconnects/backoffs/resubmissions.
+    SvcRetryStorm,
+    /// Burst of service faults and recoveries (chaos landing + healing).
+    SvcRecoveryCascade,
 }
 
 impl AnomalyKind {
@@ -42,6 +52,8 @@ impl AnomalyKind {
             AnomalyKind::RetransmitStorm => "ARQ retransmit storm",
             AnomalyKind::BrownoutCascade => "brownout cascade",
             AnomalyKind::SilenceBurst => "silence/re-inventory burst",
+            AnomalyKind::SvcRetryStorm => "service retry storm",
+            AnomalyKind::SvcRecoveryCascade => "service recovery cascade",
         }
     }
 }
@@ -77,6 +89,10 @@ pub struct AnomalyConfig {
     pub cascade_count: usize,
     /// Silence burst: minimum burst size.
     pub silence_count: usize,
+    /// Service retry storm: minimum burst size.
+    pub svc_retry_count: usize,
+    /// Service recovery cascade: minimum burst size.
+    pub svc_recover_count: usize,
 }
 
 impl Default for AnomalyConfig {
@@ -88,6 +104,8 @@ impl Default for AnomalyConfig {
             storm_count: 6,
             cascade_count: 5,
             silence_count: 4,
+            svc_retry_count: 6,
+            svc_recover_count: 5,
         }
     }
 }
@@ -117,6 +135,27 @@ pub fn scan(trace: &Trace, cfg: &AnomalyConfig) -> Vec<Anomaly> {
         AnomalyKind::SilenceBurst,
         &[("mac.inventory", "node_silent"), ("mac.inventory", "reinventory")],
         cfg.silence_count,
+    ));
+    found.extend(bursts(
+        trace,
+        AnomalyKind::SvcRetryStorm,
+        &[("svc.retry", "reconnect"), ("svc.retry", "backoff"), ("svc.retry", "resubmit")],
+        cfg.svc_retry_count,
+    ));
+    found.extend(bursts(
+        trace,
+        AnomalyKind::SvcRecoveryCascade,
+        &[
+            ("svc.recover", "recovered"),
+            ("svc.recover", "job_recovered"),
+            ("svc.recover", "cache_scan"),
+            ("svc.fault", "wire_drop"),
+            ("svc.fault", "wire_truncate"),
+            ("svc.fault", "wire_corrupt"),
+            ("svc.fault", "disk_write_failed"),
+            ("svc.fault", "cache_corrupt"),
+        ],
+        cfg.svc_recover_count,
     ));
     found.sort_by_key(|a| a.first);
     found
@@ -377,5 +416,79 @@ mod tests {
         assert_eq!(found.len(), 1, "found: {found:?}");
         assert_eq!(found[0].kind, AnomalyKind::SilenceBurst);
         assert_eq!(found[0].hits, 4);
+    }
+
+    #[test]
+    fn detects_service_retry_storm() {
+        let mut lines = Vec::new();
+        // Quiet background spread over ~10 s so the burst window stays small.
+        for i in 0..20u64 {
+            lines.push(ev(
+                i,
+                i * 500_000,
+                "sim.campaign",
+                "deployment_done",
+                "\"trial\":1,\"errors\":0",
+            ));
+        }
+        // A client fighting a dying daemon: reconnect/backoff/resubmit
+        // triplets in a tight 1.5 ms cluster.
+        for i in 0..3u64 {
+            let t = 4_000_000 + i * 500;
+            lines.push(ev(100 + 3 * i, t, "svc.retry", "reconnect", "\"job\":\"mc:1\""));
+            lines.push(ev(
+                101 + 3 * i,
+                t + 100,
+                "svc.retry",
+                "backoff",
+                "\"job\":\"mc:1\",\"ms\":8",
+            ));
+            lines.push(ev(102 + 3 * i, t + 200, "svc.retry", "resubmit", "\"job\":\"mc:1\""));
+        }
+        let trace = Trace::parse(&lines.join("\n"));
+        let found = scan(&trace, &AnomalyConfig::default());
+        assert_eq!(found.len(), 1, "found: {found:?}");
+        assert_eq!(found[0].kind, AnomalyKind::SvcRetryStorm);
+        assert_eq!(found[0].hits, 9);
+        let rendered = render(&trace, &found, 2);
+        assert!(rendered.contains("service retry storm"), "rendered: {rendered}");
+    }
+
+    #[test]
+    fn detects_service_recovery_cascade() {
+        let mut lines = Vec::new();
+        for i in 0..20u64 {
+            lines.push(ev(
+                i,
+                i * 500_000,
+                "sim.campaign",
+                "deployment_done",
+                "\"trial\":1,\"errors\":0",
+            ));
+        }
+        // Chaos landing and the stack healing, interleaved in 1 ms.
+        let t0 = 6_000_000u64;
+        lines.push(ev(100, t0, "svc.fault", "wire_truncate", ""));
+        lines.push(ev(
+            101,
+            t0 + 100,
+            "svc.recover",
+            "recovered",
+            "\"job\":\"mc:1\",\"attempts\":2",
+        ));
+        lines.push(ev(102, t0 + 200, "svc.fault", "disk_write_failed", "\"digest\":\"abc\""));
+        lines.push(ev(103, t0 + 300, "svc.fault", "cache_corrupt", "\"entry\":\"abc.json\""));
+        lines.push(ev(
+            104,
+            t0 + 400,
+            "svc.recover",
+            "job_recovered",
+            "\"id\":\"mc:2\",\"attempt\":1",
+        ));
+        let trace = Trace::parse(&lines.join("\n"));
+        let found = scan(&trace, &AnomalyConfig::default());
+        assert_eq!(found.len(), 1, "found: {found:?}");
+        assert_eq!(found[0].kind, AnomalyKind::SvcRecoveryCascade);
+        assert_eq!(found[0].hits, 5);
     }
 }

@@ -5,9 +5,25 @@
 //! physics shares one address, a seed change gets a new one, and an
 //! engine bump orphans every stale entry without any invalidation
 //! protocol. The persistent tier is one JSON file per entry under a cache
-//! directory (default `results/cache/`), written atomically enough for a
-//! single-daemon workload and verified against its recorded digest and
-//! engine version on the way back in.
+//! directory (default `results/cache/`).
+//!
+//! # Crash safety
+//!
+//! The persistent tier must survive a daemon killed at any instant, so
+//! every entry is written to a temp file *in the same directory* and
+//! renamed into place — on POSIX the rename is atomic, so a reader never
+//! observes a half-written entry under its final name. Anything that
+//! *does* arrive torn (a crash between open and rename leaves a `.tmp`;
+//! bit rot or a hostile test leaves unparseable JSON) is detected on
+//! read, **quarantined** by renaming to `<entry>.corrupt`, and treated
+//! as a miss so the physics recomputes; a stale-engine entry is merely a
+//! miss (orphaned, not damaged). [`ResultCache::persistent`] runs a
+//! startup recovery scan that sweeps the whole directory the same way,
+//! so one corrupt file can never wedge a daemon at boot.
+//!
+//! Chaos drills arm [`ResultCache::with_faults`] with a seed-pure
+//! `vab_fault::SvcFaultPlan`; injected disk-write failures leave the
+//! entry memory-resident (nothing completed is lost) but unpersisted.
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -15,10 +31,14 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use vab_fault::SvcFaultPlan;
 use vab_util::json::Json;
 
 /// Schema tag of the persistent entry files.
 const CACHE_SCHEMA: &str = "vab-svc-cache/1";
+
+/// Suffix quarantined (corrupt) entries are renamed to.
+const QUARANTINE_SUFFIX: &str = "corrupt";
 
 /// Counters frozen by [`ResultCache::stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +49,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries currently resident in memory.
     pub resident: usize,
+    /// Corrupt persistent entries quarantined (at startup or on read).
+    pub quarantined: u64,
+    /// Persistence writes that failed (real IO errors or injected).
+    pub disk_write_failures: u64,
 }
 
 impl CacheStats {
@@ -41,6 +65,21 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+}
+
+/// What the startup recovery scan found in the persistent tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Entry files examined.
+    pub scanned: usize,
+    /// Healthy entries left in place.
+    pub healthy: usize,
+    /// Corrupt entries renamed to `*.corrupt`.
+    pub quarantined: usize,
+    /// Valid entries for a different engine version (left in place).
+    pub stale: usize,
+    /// Orphaned temp files from interrupted writes, removed.
+    pub tmp_removed: usize,
 }
 
 struct Lru {
@@ -65,6 +104,13 @@ pub struct ResultCache {
     dir: Option<PathBuf>,
     hits: AtomicU64,
     misses: AtomicU64,
+    quarantined: AtomicU64,
+    disk_write_failures: AtomicU64,
+    recovery: RecoveryReport,
+    faults: Option<SvcFaultPlan>,
+    /// Per-digest persistence-attempt counters, so injected disk faults
+    /// are keyed on `(digest, attempt)` and a retried persist can succeed.
+    write_attempts: Mutex<HashMap<u64, u32>>,
 }
 
 impl ResultCache {
@@ -76,20 +122,51 @@ impl ResultCache {
             dir: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            disk_write_failures: AtomicU64::new(0),
+            recovery: RecoveryReport::default(),
+            faults: None,
+            write_attempts: Mutex::new(HashMap::new()),
         }
     }
 
-    /// A cache backed by the persistent tier in `dir` (created if absent).
+    /// A cache backed by the persistent tier in `dir` (created if
+    /// absent). Runs the startup recovery scan: corrupt entries are
+    /// quarantined, interrupted-write temp files removed, and the result
+    /// recorded in [`ResultCache::recovery`].
     pub fn persistent(capacity: usize, dir: &Path) -> std::io::Result<Self> {
         std::fs::create_dir_all(dir)?;
         let mut cache = Self::in_memory(capacity);
+        cache.recovery = recover_scan(dir);
+        cache.quarantined.store(cache.recovery.quarantined as u64, Ordering::Relaxed);
         cache.dir = Some(dir.to_path_buf());
+        if cache.recovery.quarantined > 0 || cache.recovery.tmp_removed > 0 {
+            vab_obs::event!(
+                "svc.recover",
+                "cache_scan",
+                scanned = cache.recovery.scanned,
+                quarantined = cache.recovery.quarantined,
+                tmp_removed = cache.recovery.tmp_removed,
+            );
+        }
         Ok(cache)
+    }
+
+    /// Arms deterministic disk-write fault injection (chaos drills).
+    pub fn with_faults(mut self, plan: SvcFaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// The persistent tier's directory, when one is configured.
     pub fn dir(&self) -> Option<&Path> {
         self.dir.as_deref()
+    }
+
+    /// What the startup recovery scan found (all-zero for in-memory
+    /// caches).
+    pub fn recovery(&self) -> RecoveryReport {
+        self.recovery
     }
 
     fn entry_path(&self, digest: u64) -> Option<PathBuf> {
@@ -116,7 +193,9 @@ impl ResultCache {
     }
 
     /// Looks up `digest`, consulting memory first, then the persistent
-    /// tier (promoting disk hits into memory).
+    /// tier (promoting disk hits into memory). A corrupt disk entry is
+    /// quarantined and reads as a miss, so callers recompute instead of
+    /// crashing or serving garbage.
     pub fn get(&self, digest: u64) -> Option<String> {
         {
             let mut lru = self.mem.lock().unwrap_or_else(|e| e.into_inner());
@@ -127,33 +206,87 @@ impl ResultCache {
             }
         }
         if let Some(path) = self.entry_path(digest) {
-            if let Some(payload) = read_entry(&path, digest) {
-                self.insert_mem(digest, payload.clone());
-                self.record_hit("disk");
-                return Some(payload);
+            match read_entry(&path, digest) {
+                EntryRead::Healthy(payload) => {
+                    self.insert_mem(digest, payload.clone());
+                    self.record_hit("disk");
+                    return Some(payload);
+                }
+                EntryRead::Corrupt => {
+                    self.quarantine(&path, digest);
+                }
+                EntryRead::StaleOrAbsent => {}
             }
         }
         self.record_miss();
         None
     }
 
-    /// Stores `payload` under `digest`. `spec_canonical` is embedded in
-    /// the persistent entry so `results/cache/` stays self-describing.
-    pub fn put(&self, digest: u64, spec_canonical: &str, payload: &str) {
-        self.insert_mem(digest, payload.to_string());
-        if let Some(path) = self.entry_path(digest) {
-            let spec = Json::parse(spec_canonical).unwrap_or(Json::Str(spec_canonical.into()));
-            let entry = Json::obj([
-                ("schema", Json::Str(CACHE_SCHEMA.into())),
-                ("engine_version", Json::Str(crate::ENGINE_VERSION.into())),
-                ("digest", Json::Str(format!("{digest:016x}"))),
-                ("spec", spec),
-                ("payload", Json::Str(payload.into())),
-            ]);
-            if let Err(e) = std::fs::write(&path, entry.render()) {
-                eprintln!("vab-svc: cache write {} failed: {e}", path.display());
+    /// Renames a damaged entry to `<entry>.corrupt` so it never poisons
+    /// another lookup, and the evidence survives for postmortems.
+    fn quarantine(&self, path: &Path, digest: u64) {
+        let target = path.with_extension(format!("json.{QUARANTINE_SUFFIX}"));
+        match std::fs::rename(path, &target) {
+            Ok(()) => {
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                vab_obs::metrics::inc("svc.cache_quarantined", 1);
+                vab_obs::event!(
+                    "svc.fault",
+                    "cache_corrupt",
+                    digest = format!("{digest:016x}"),
+                    quarantined = target.display().to_string(),
+                );
+            }
+            Err(e) => {
+                // Last resort: remove it so the bad bytes cannot recur.
+                let _ = std::fs::remove_file(path);
+                eprintln!("vab-svc: quarantine {} failed: {e}", path.display());
             }
         }
+    }
+
+    /// Stores `payload` under `digest`. `spec_canonical` is embedded in
+    /// the persistent entry so `results/cache/` stays self-describing.
+    /// Persistence is atomic (temp file + rename); a failed write —
+    /// real or injected — leaves the entry memory-resident only.
+    pub fn put(&self, digest: u64, spec_canonical: &str, payload: &str) {
+        self.insert_mem(digest, payload.to_string());
+        let Some(path) = self.entry_path(digest) else { return };
+        if let Some(plan) = &self.faults {
+            let attempt = {
+                let mut attempts = self.write_attempts.lock().unwrap_or_else(|e| e.into_inner());
+                let slot = attempts.entry(digest).or_insert(0);
+                let attempt = *slot;
+                *slot += 1;
+                attempt
+            };
+            if plan.disk_write_fails(digest, attempt) {
+                self.record_disk_failure(digest, "injected disk-write fault");
+                return;
+            }
+        }
+        let spec = Json::parse(spec_canonical).unwrap_or(Json::Str(spec_canonical.into()));
+        let entry = Json::obj([
+            ("schema", Json::Str(CACHE_SCHEMA.into())),
+            ("engine_version", Json::Str(crate::ENGINE_VERSION.into())),
+            ("digest", Json::Str(format!("{digest:016x}"))),
+            ("spec", spec),
+            ("payload", Json::Str(payload.into())),
+        ]);
+        if let Err(e) = write_atomic(&path, &entry.render()) {
+            self.record_disk_failure(digest, &e.to_string());
+        }
+    }
+
+    fn record_disk_failure(&self, digest: u64, reason: &str) {
+        self.disk_write_failures.fetch_add(1, Ordering::Relaxed);
+        vab_obs::metrics::inc("svc.cache_write_failures", 1);
+        vab_obs::event!(
+            "svc.fault",
+            "disk_write_failed",
+            digest = format!("{digest:016x}"),
+            reason = reason.to_string(),
+        );
     }
 
     fn insert_mem(&self, digest: u64, payload: String) {
@@ -169,34 +302,131 @@ impl ResultCache {
         }
     }
 
-    /// Frozen hit/miss counters.
+    /// Frozen hit/miss/quarantine counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             resident: self.mem.lock().unwrap_or_else(|e| e.into_inner()).entries.len(),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            disk_write_failures: self.disk_write_failures.load(Ordering::Relaxed),
         }
     }
 }
 
-/// Reads one persistent entry, returning its payload only when the file
-/// parses and its recorded digest *and* engine version both match —
-/// anything else is treated as a miss (stale engines re-compute).
-fn read_entry(path: &Path, digest: u64) -> Option<String> {
-    let text = std::fs::read_to_string(path).ok()?;
-    let v = Json::parse(&text).ok()?;
-    if v.str_field("schema") != Some(CACHE_SCHEMA)
-        || v.str_field("engine_version") != Some(crate::ENGINE_VERSION)
-        || v.str_field("digest") != Some(format!("{digest:016x}").as_str())
-    {
-        return None;
+/// Writes `text` to `path` atomically: temp file in the same directory,
+/// then rename into place. The temp name carries the pid so two daemons
+/// sharing a tier never collide mid-write.
+fn write_atomic(path: &Path, text: &str) -> std::io::Result<()> {
+    let tmp = tmp_path(path);
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("entry");
+    path.with_file_name(format!(".{name}.tmp-{}", std::process::id()))
+}
+
+/// Outcome of reading one persistent entry.
+enum EntryRead {
+    /// Parsed, digest and engine version both match.
+    Healthy(String),
+    /// The file exists but is unreadable as a cache entry: quarantine.
+    Corrupt,
+    /// Absent, or a valid entry for a different engine version (miss,
+    /// but nothing is wrong with the file).
+    StaleOrAbsent,
+}
+
+/// Reads one persistent entry, distinguishing damage (quarantine) from
+/// staleness (plain miss).
+fn read_entry(path: &Path, digest: u64) -> EntryRead {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return EntryRead::StaleOrAbsent;
+    };
+    classify_entry(&text, Some(digest))
+}
+
+/// Classifies entry text: parse failure, schema mismatch, digest
+/// mismatch or missing payload are corruption; a clean entry for another
+/// engine version is stale.
+fn classify_entry(text: &str, expect_digest: Option<u64>) -> EntryRead {
+    let Ok(v) = Json::parse(text) else { return EntryRead::Corrupt };
+    if v.str_field("schema") != Some(CACHE_SCHEMA) {
+        return EntryRead::Corrupt;
     }
-    v.str_field("payload").map(str::to_string)
+    if let Some(digest) = expect_digest {
+        if v.str_field("digest") != Some(format!("{digest:016x}").as_str()) {
+            return EntryRead::Corrupt;
+        }
+    }
+    let Some(payload) = v.str_field("payload") else { return EntryRead::Corrupt };
+    if v.str_field("engine_version") != Some(crate::ENGINE_VERSION) {
+        return EntryRead::StaleOrAbsent;
+    }
+    EntryRead::Healthy(payload.to_string())
+}
+
+/// Sweeps a persistent tier at startup: quarantines corrupt entries,
+/// removes interrupted-write temp files, counts the rest. Never fails —
+/// an unreadable directory just reports zero files scanned.
+fn recover_scan(dir: &Path) -> RecoveryReport {
+    let mut report = RecoveryReport::default();
+    let Ok(entries) = std::fs::read_dir(dir) else { return report };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+        if name.starts_with('.') && name.contains(".tmp-") {
+            if std::fs::remove_file(&path).is_ok() {
+                report.tmp_removed += 1;
+            }
+            continue;
+        }
+        if !name.ends_with(".json") {
+            continue; // quarantined files and foreign debris stay put
+        }
+        report.scanned += 1;
+        let expect = u64::from_str_radix(name.trim_end_matches(".json"), 16).ok();
+        let looks_like_entry = expect.is_some() && name.len() == 21;
+        let text = std::fs::read_to_string(&path).unwrap_or_default();
+        match classify_entry(&text, if looks_like_entry { expect } else { None }) {
+            EntryRead::Healthy(_) => report.healthy += 1,
+            EntryRead::StaleOrAbsent => report.stale += 1,
+            EntryRead::Corrupt => {
+                let target = path.with_extension(format!("json.{QUARANTINE_SUFFIX}"));
+                if std::fs::rename(&path, &target).is_ok() {
+                    report.quarantined += 1;
+                    vab_obs::metrics::inc("svc.cache_quarantined", 1);
+                    vab_obs::event!(
+                        "svc.fault",
+                        "cache_corrupt",
+                        entry = name.to_string(),
+                        quarantined = target.display().to_string(),
+                    );
+                }
+            }
+        }
+    }
+    report
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vab_fault::SvcFaultConfig;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "vab-svc-cache-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
 
     #[test]
     fn lru_evicts_the_coldest_entry() {
@@ -214,13 +444,8 @@ mod tests {
     }
 
     #[test]
-    fn persistent_tier_survives_a_new_cache_and_rejects_corruption() {
-        let dir = std::env::temp_dir().join(format!(
-            "vab-svc-cache-test-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        let _ = std::fs::remove_dir_all(&dir);
+    fn persistent_tier_survives_a_new_cache_and_quarantines_corruption() {
+        let dir = temp_dir("reopen");
         {
             let c = ResultCache::persistent(4, &dir).expect("create");
             c.put(0xabc, "{\"kind\":\"x\"}", "payload-1");
@@ -229,11 +454,83 @@ mod tests {
         assert_eq!(c2.get(0xabc).as_deref(), Some("payload-1"), "disk tier must serve");
         // A digest the tier never saw misses.
         assert_eq!(c2.get(0xdef), None);
-        // Corrupt the entry: it must read as a miss, not a panic.
+        // Corrupt the entry: a fresh cache's *lookup* must quarantine it
+        // (rename to .corrupt) and read it as a miss, not a panic.
         let path = dir.join(format!("{:016x}.json", 0xabcu64));
         std::fs::write(&path, "{not json").expect("corrupt");
-        let c3 = ResultCache::persistent(4, &dir).expect("reopen again");
+        let c3 = ResultCache::in_memory(4);
+        let c3 = ResultCache { dir: Some(dir.clone()), ..c3 };
         assert_eq!(c3.get(0xabc), None);
+        assert_eq!(c3.stats().quarantined, 1);
+        assert!(!path.exists(), "corrupt entry must leave its address");
+        assert!(
+            path.with_extension("json.corrupt").exists(),
+            "corrupt entry must be quarantined, not deleted"
+        );
+        // Recompute-and-put heals the address.
+        c3.put(0xabc, "{\"kind\":\"x\"}", "payload-2");
+        let c4 = ResultCache::persistent(4, &dir).expect("reopen again");
+        assert_eq!(c4.get(0xabc).as_deref(), Some("payload-2"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn startup_scan_quarantines_torn_entries_and_sweeps_tmp_files() {
+        let dir = temp_dir("scan");
+        {
+            let c = ResultCache::persistent(8, &dir).expect("create");
+            c.put(0x1, "{\"a\":1}", "one");
+            c.put(0x2, "{\"a\":2}", "two");
+        }
+        // Tear one entry mid-file, plant an interrupted temp write.
+        let torn = dir.join(format!("{:016x}.json", 0x2u64));
+        let full = std::fs::read_to_string(&torn).expect("read");
+        std::fs::write(&torn, &full[..full.len() / 2]).expect("tear");
+        std::fs::write(dir.join(".deadbeef.json.tmp-999"), "partial").expect("tmp");
+
+        let c = ResultCache::persistent(8, &dir).expect("recover");
+        let report = c.recovery();
+        assert_eq!(report.scanned, 2);
+        assert_eq!(report.healthy, 1);
+        assert_eq!(report.quarantined, 1);
+        assert_eq!(report.tmp_removed, 1);
+        // The torn entry reads as a miss and recomputes; the healthy one
+        // still serves.
+        assert_eq!(c.get(0x2), None);
+        assert_eq!(c.get(0x1).as_deref(), Some("one"));
+        assert!(torn.with_extension("json.corrupt").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_writes_leave_no_tmp_behind() {
+        let dir = temp_dir("atomic");
+        let c = ResultCache::persistent(4, &dir).expect("create");
+        c.put(0x77, "{\"a\":7}", "seven");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .expect("dir")
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "tmp files must be renamed away: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_disk_fault_keeps_entry_resident_but_unpersisted() {
+        let dir = temp_dir("diskfault");
+        let plan =
+            SvcFaultPlan::new(1, SvcFaultConfig { disk_fail_prob: 1.0, ..SvcFaultConfig::off() });
+        {
+            let c = ResultCache::persistent(4, &dir).expect("create").with_faults(plan);
+            c.put(0x9, "{\"a\":9}", "nine");
+            // Memory still serves — the completed result is not lost.
+            assert_eq!(c.get(0x9).as_deref(), Some("nine"));
+            assert_eq!(c.stats().disk_write_failures, 1);
+        }
+        // But a new generation must recompute: nothing was persisted.
+        let c2 = ResultCache::persistent(4, &dir).expect("reopen");
+        assert_eq!(c2.get(0x9), None);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

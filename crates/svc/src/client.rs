@@ -1,16 +1,39 @@
-//! A typed NDJSON client over one TCP connection.
+//! A typed NDJSON client over one TCP connection, with the self-healing
+//! machinery a chaos-prone link demands.
 //!
 //! Thin by design: each method writes one request line, reads one
 //! response line, and hands back parsed JSON (or a typed
 //! [`ClientError`]). Backpressure surfaces as
 //! [`ClientError::QueueFull`] so callers can implement retry loops like
 //! [`Client::submit_with_retry`].
+//!
+//! # Never block forever
+//!
+//! Every socket carries finite read/write timeouts
+//! ([`ClientConfig::read_timeout`] / [`ClientConfig::write_timeout`],
+//! default 30 s) — a hung daemon yields a typed
+//! [`ClientError::Timeout`], never a wedged caller. Pass `None`
+//! explicitly to opt back into blocking forever.
+//!
+//! # Self-healing
+//!
+//! [`Client::run_job_resilient`] drives a job to a terminal state across
+//! connection drops, truncated/corrupted frames, daemon restarts, and
+//! transient worker panics: it reconnects with deterministic jittered
+//! exponential backoff and *resubmits* on doubt. Resubmission is
+//! idempotent by construction — the job id is the content-address
+//! digest, so the daemon dedups in-flight duplicates and serves
+//! completed ones from cache; retrying can waste a little work but never
+//! corrupt a result. Backoff jitter derives from
+//! `derive_seed(backoff_seed, digest, attempt)`, so a drill's retry
+//! schedule (and therefore its F20 CSV) is bit-reproducible.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
 use vab_util::json::Json;
+use vab_util::rng::derive_seed;
 
 use crate::job::JobSpec;
 use crate::wire::Request;
@@ -20,6 +43,8 @@ use crate::wire::Request;
 pub enum ClientError {
     /// Socket-level failure.
     Io(std::io::Error),
+    /// The socket timed out waiting for the daemon.
+    Timeout,
     /// The daemon answered, but not with parseable JSON.
     BadResponse(String),
     /// The daemon rejected the submission for capacity; retry later.
@@ -29,17 +54,28 @@ pub enum ClientError {
     },
     /// The daemon returned `"ok":false` with this error.
     Rejected(String),
+    /// Retries exhausted without reaching a terminal answer.
+    RetriesExhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The final underlying error, rendered.
+        last_error: String,
+    },
 }
 
 impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Timeout => write!(f, "timed out waiting for the daemon"),
             ClientError::BadResponse(s) => write!(f, "bad response: {s}"),
             ClientError::QueueFull { retry_after_ms } => {
                 write!(f, "queue full (retry after {retry_after_ms} ms)")
             }
             ClientError::Rejected(s) => write!(f, "rejected: {s}"),
+            ClientError::RetriesExhausted { attempts, last_error } => {
+                write!(f, "gave up after {attempts} attempts: {last_error}")
+            }
         }
     }
 }
@@ -48,23 +84,97 @@ impl std::error::Error for ClientError {}
 
 impl From<std::io::Error> for ClientError {
     fn from(e: std::io::Error) -> Self {
-        ClientError::Io(e)
+        // Timeouts surface as WouldBlock (unix) or TimedOut (windows).
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ClientError::Timeout,
+            _ => ClientError::Io(e),
+        }
     }
+}
+
+/// Socket and retry policy for a [`Client`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Socket read timeout; `None` blocks forever (opt-in only).
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout; `None` blocks forever (opt-in only).
+    pub write_timeout: Option<Duration>,
+    /// Reconnect attempts per resilient operation before giving up.
+    pub max_reconnects: u32,
+    /// First backoff step, milliseconds (doubles per attempt).
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling, milliseconds.
+    pub backoff_cap_ms: u64,
+    /// Seed for deterministic backoff jitter (drills fix this).
+    pub backoff_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_reconnects: 8,
+            backoff_base_ms: 10,
+            backoff_cap_ms: 2_000,
+            backoff_seed: 0x5E1F_4EA1,
+        }
+    }
+}
+
+/// What a resilient operation spent getting to an answer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Wire round-trips attempted (including the successful one).
+    pub attempts: u32,
+    /// Reconnects performed.
+    pub reconnects: u32,
+    /// Total backoff the schedule imposed, milliseconds (deterministic
+    /// under a fixed `backoff_seed`, unlike wall-clock time).
+    pub backoff_ms_total: u64,
 }
 
 /// One connection to a `vab-svcd` daemon.
 pub struct Client {
+    addr: String,
+    cfg: ClientConfig,
     reader: BufReader<TcpStream>,
     writer: TcpStream,
 }
 
 impl Client {
-    /// Connects to `addr` (e.g. `127.0.0.1:7411`).
+    /// Connects to `addr` (e.g. `127.0.0.1:7411`) with default timeouts.
     pub fn connect(addr: &str) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with an explicit socket/retry policy.
+    pub fn connect_with(addr: &str, cfg: ClientConfig) -> Result<Client, ClientError> {
+        let stream = open_stream(addr, &cfg)?;
         let writer = stream.try_clone()?;
-        Ok(Client { reader: BufReader::new(stream), writer })
+        Ok(Client { addr: addr.to_string(), cfg, reader: BufReader::new(stream), writer })
+    }
+
+    /// The address this client dials.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Points the client at a new address (a restarted daemon may come
+    /// back on a different port). Takes effect on the next reconnect.
+    pub fn set_addr(&mut self, addr: &str) {
+        self.addr = addr.to_string();
+    }
+
+    /// Drops the current connection and dials again.
+    pub fn reconnect(&mut self) -> Result<(), ClientError> {
+        let stream = open_stream(&self.addr, &self.cfg)?;
+        self.writer = stream.try_clone()?;
+        self.reader = BufReader::new(stream);
+        Ok(())
     }
 
     /// One request line out, one response line in.
@@ -135,8 +245,188 @@ impl Client {
         self.roundtrip(&Request::Stats)
     }
 
+    /// Liveness probe (cheap; exempt from server-side fault injection).
+    pub fn health(&mut self) -> Result<Json, ClientError> {
+        self.roundtrip(&Request::Health)
+    }
+
     /// Asks the daemon to stop.
     pub fn shutdown(&mut self) -> Result<Json, ClientError> {
         self.roundtrip(&Request::Shutdown)
+    }
+
+    /// Drives `job` to a terminal fetch across every fault the chaos
+    /// plan can throw: dropped connections, mangled frames, daemon
+    /// restarts, transient panics. Reconnects with deterministic
+    /// jittered exponential backoff and resubmits on doubt (safe: the
+    /// digest-keyed daemon dedups and serves completed work from cache).
+    ///
+    /// Returns the terminal fetch response (status `done` *or* `failed`
+    /// — a typed failure is an answer, not a wire fault) plus the retry
+    /// accounting. Gives up with [`ClientError::RetriesExhausted`] after
+    /// [`ClientConfig::max_reconnects`] reconnect cycles.
+    pub fn run_job_resilient(
+        &mut self,
+        job: &JobSpec,
+        wait_ms: u64,
+    ) -> Result<(Json, RetryStats), ClientError> {
+        let digest = job.digest();
+        let id = format!("{digest:016x}");
+        let mut stats = RetryStats::default();
+        let mut submitted = false;
+        let mut last_error = String::new();
+        while stats.reconnects <= self.cfg.max_reconnects {
+            stats.attempts += 1;
+            let step = (|client: &mut Client| -> Result<Option<Json>, ClientError> {
+                if !submitted {
+                    let resp = client.submit(job, None)?;
+                    // Terminal at submission (cache hit / dedup of a
+                    // finished job): the submit response is the answer.
+                    if resp.str_field("status") == Some("done") {
+                        return Ok(Some(client.fetch_wait(&id, wait_ms)?));
+                    }
+                }
+                let resp = client.fetch_wait(&id, wait_ms)?;
+                match resp.str_field("status") {
+                    Some("queued") | Some("running") => Ok(None),
+                    _ => Ok(Some(resp)),
+                }
+            })(self);
+            match step {
+                Ok(Some(resp)) => {
+                    if stats.attempts > 1 || stats.reconnects > 0 {
+                        vab_obs::event!(
+                            "svc.recover",
+                            "recovered",
+                            job = id.clone(),
+                            attempts = stats.attempts,
+                            reconnects = stats.reconnects,
+                        );
+                    }
+                    return Ok((resp, stats));
+                }
+                Ok(None) => {
+                    submitted = true;
+                    continue; // job still in flight: keep polling
+                }
+                Err(ClientError::QueueFull { retry_after_ms }) => {
+                    stats.backoff_ms_total += retry_after_ms;
+                    vab_obs::event!("svc.retry", "backoff", job = id.clone(), ms = retry_after_ms);
+                    std::thread::sleep(Duration::from_millis(retry_after_ms));
+                    continue; // connection is fine; just rate-limited
+                }
+                Err(ClientError::Rejected(e)) if e == "budget_exhausted" => {
+                    // The daemon asked us to reconnect; not a fault.
+                    last_error = e;
+                }
+                Err(e) => {
+                    last_error = e.to_string();
+                    // A failed submit leaves doubt about whether the job
+                    // landed — resubmit after reconnecting (idempotent).
+                    submitted = false;
+                }
+            }
+            // Wire trouble: back off (deterministic jitter) and redial.
+            let backoff = self.backoff_ms(digest, stats.reconnects);
+            stats.backoff_ms_total += backoff;
+            stats.reconnects += 1;
+            vab_obs::event!(
+                "svc.retry",
+                "reconnect",
+                job = id.clone(),
+                attempt = stats.reconnects,
+                backoff_ms = backoff,
+            );
+            std::thread::sleep(Duration::from_millis(backoff));
+            let mut redial = self.reconnect();
+            while redial.is_err() && stats.reconnects <= self.cfg.max_reconnects {
+                let backoff = self.backoff_ms(digest, stats.reconnects);
+                stats.backoff_ms_total += backoff;
+                stats.reconnects += 1;
+                vab_obs::event!(
+                    "svc.retry",
+                    "reconnect",
+                    job = id.clone(),
+                    attempt = stats.reconnects,
+                    backoff_ms = backoff,
+                );
+                std::thread::sleep(Duration::from_millis(backoff));
+                redial = self.reconnect();
+            }
+            if redial.is_err() {
+                break;
+            }
+            vab_obs::event!("svc.retry", "resubmit", job = id.clone());
+        }
+        Err(ClientError::RetriesExhausted { attempts: stats.attempts, last_error })
+    }
+
+    /// The deterministic jittered exponential backoff schedule:
+    /// `min(cap, base * 2^n)` scaled into `[0.5, 1.0)` by a jitter drawn
+    /// from `(backoff_seed, digest, n)` — fixed seed, fixed schedule.
+    fn backoff_ms(&self, digest: u64, reconnects: u32) -> u64 {
+        let ceiling =
+            self.cfg.backoff_cap_ms.min(self.cfg.backoff_base_ms << reconnects.min(20)).max(1);
+        let jitter_bits = derive_seed(self.cfg.backoff_seed, digest ^ u64::from(reconnects));
+        let jitter = 0.5 + 0.5 * ((jitter_bits >> 11) as f64 / (1u64 << 53) as f64);
+        (ceiling as f64 * jitter).ceil() as u64
+    }
+}
+
+fn open_stream(addr: &str, cfg: &ClientConfig) -> Result<TcpStream, ClientError> {
+    use std::net::ToSocketAddrs;
+    let sock = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| ClientError::BadResponse(format!("unresolvable address {addr:?}")))?;
+    let stream = TcpStream::connect_timeout(&sock, cfg.connect_timeout)?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(cfg.read_timeout)?;
+    stream.set_write_timeout(cfg.write_timeout)?;
+    Ok(stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_deterministic_jittered_and_capped() {
+        let client_cfg = ClientConfig {
+            backoff_base_ms: 10,
+            backoff_cap_ms: 500,
+            backoff_seed: 42,
+            ..ClientConfig::default()
+        };
+        // Pure function of (seed, digest, attempt): no client needed.
+        let backoff = |digest: u64, n: u32| {
+            let ceiling =
+                client_cfg.backoff_cap_ms.min(client_cfg.backoff_base_ms << n.min(20)).max(1);
+            let bits = derive_seed(client_cfg.backoff_seed, digest ^ u64::from(n));
+            let jitter = 0.5 + 0.5 * ((bits >> 11) as f64 / (1u64 << 53) as f64);
+            (ceiling as f64 * jitter).ceil() as u64
+        };
+        let a: Vec<u64> = (0..8).map(|n| backoff(0xabc, n)).collect();
+        let b: Vec<u64> = (0..8).map(|n| backoff(0xabc, n)).collect();
+        assert_eq!(a, b, "same seed, same schedule");
+        for (n, &ms) in a.iter().enumerate() {
+            let ceiling = 500u64.min(10 << n);
+            assert!(ms >= ceiling / 2 && ms <= ceiling, "step {n}: {ms} vs ceiling {ceiling}");
+        }
+        assert_ne!(
+            (0..8).map(|n| backoff(0xdef, n)).collect::<Vec<_>>(),
+            a,
+            "different digests must not thunder in herd"
+        );
+    }
+
+    #[test]
+    fn io_timeouts_map_to_the_typed_variant() {
+        let e: ClientError = std::io::Error::from(std::io::ErrorKind::WouldBlock).into();
+        assert!(matches!(e, ClientError::Timeout));
+        let e: ClientError = std::io::Error::from(std::io::ErrorKind::TimedOut).into();
+        assert!(matches!(e, ClientError::Timeout));
+        let e: ClientError = std::io::Error::from(std::io::ErrorKind::ConnectionRefused).into();
+        assert!(matches!(e, ClientError::Io(_)));
     }
 }

@@ -43,6 +43,7 @@ pub trait FigureRunner: Send + Sync {
 pub struct Executor {
     figures: Option<std::sync::Arc<dyn FigureRunner>>,
     faults: Option<WorkerFaultPlan>,
+    svc_faults: Option<vab_fault::SvcFaultPlan>,
 }
 
 impl Executor {
@@ -58,23 +59,53 @@ impl Executor {
     }
 
     /// Adds deterministic worker-panic injection (tests, chaos drills).
+    /// A `WorkerFaultPlan` is attempt-*invariant*: an affected job
+    /// panics every time (a "hard" fault).
     pub fn with_faults(mut self, plan: WorkerFaultPlan) -> Self {
         self.faults = Some(plan);
         self
     }
 
-    /// Runs one job to a payload string. Panics when the injected worker
-    /// fault plan says so — the pool's `catch_unwind` turns that into a
-    /// typed [`crate::pool::JobError::WorkerPanicked`].
+    /// Adds attempt-aware panic injection from a service chaos plan:
+    /// [`vab_fault::SvcFaultPlan::worker_panics`] redraws per attempt,
+    /// so a retried job can recover — the "transient crash" the F20
+    /// drill measures recovery from.
+    pub fn with_svc_faults(mut self, plan: vab_fault::SvcFaultPlan) -> Self {
+        self.svc_faults = Some(plan);
+        self
+    }
+
+    /// Runs one job to a payload string (first attempt). Panics when an
+    /// injected worker fault plan says so — the pool's `catch_unwind`
+    /// turns that into a typed
+    /// [`crate::pool::JobError::WorkerPanicked`].
     pub fn execute(
         &self,
         spec: &JobSpec,
         digest: u64,
         cache: &ResultCache,
     ) -> Result<String, String> {
+        self.execute_attempt(spec, digest, 0, cache)
+    }
+
+    /// Like [`Executor::execute`], but tells the fault seams which
+    /// execution attempt this is so transient injections can clear on
+    /// retry.
+    pub fn execute_attempt(
+        &self,
+        spec: &JobSpec,
+        digest: u64,
+        attempt: u32,
+        cache: &ResultCache,
+    ) -> Result<String, String> {
         if let Some(plan) = &self.faults {
             if plan.panics(digest) {
                 panic!("injected worker fault (job {digest:016x})");
+            }
+        }
+        if let Some(plan) = &self.svc_faults {
+            if plan.worker_panics(digest, attempt) {
+                panic!("injected transient worker fault (job {digest:016x} attempt {attempt})");
             }
         }
         match spec {

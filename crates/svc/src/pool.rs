@@ -159,11 +159,16 @@ struct QueuedJob {
     spec: JobSpec,
     submitted: Instant,
     deadline: Option<Duration>,
+    /// 0 for a first run; a resubmission of a failed job carries the
+    /// prior attempt count so transient fault injections redraw.
+    attempt: u32,
 }
 
 struct JobRecord {
     status: JobStatus,
     payload: Option<String>,
+    /// Execution attempts begun for this digest.
+    attempts: u32,
 }
 
 struct Inner {
@@ -182,8 +187,11 @@ struct Inner {
 impl Inner {
     fn set_state(&self, digest: u64, status: JobStatus, payload: Option<String>) {
         let mut states = self.states.lock().unwrap_or_else(|e| e.into_inner());
-        let record =
-            states.entry(digest).or_insert(JobRecord { status: JobStatus::Queued, payload: None });
+        let record = states.entry(digest).or_insert(JobRecord {
+            status: JobStatus::Queued,
+            payload: None,
+            attempts: 0,
+        });
         record.status = status;
         if payload.is_some() {
             record.payload = payload;
@@ -254,7 +262,11 @@ impl WorkerPool {
         let digest = spec.digest();
         let id = spec.id();
         let mut states = inner.states.lock().unwrap_or_else(|e| e.into_inner());
+        let mut retry_attempt = 0;
         if let Some(existing) = states.get(&digest) {
+            // A failed record falls through to re-queue, carrying its
+            // attempt count so transient fault injections redraw.
+            retry_attempt = existing.attempts;
             if !matches!(existing.status, JobStatus::Failed { .. }) {
                 // From this submitter's point of view a completed record
                 // IS a cache hit — no fresh computation happened for this
@@ -270,7 +282,14 @@ impl WorkerPool {
         }
         if let Some(payload) = inner.cache.get(digest) {
             let status = JobStatus::Done { cached: true, wall_us: 0 };
-            states.insert(digest, JobRecord { status: status.clone(), payload: Some(payload) });
+            states.insert(
+                digest,
+                JobRecord {
+                    status: status.clone(),
+                    payload: Some(payload),
+                    attempts: retry_attempt,
+                },
+            );
             drop(states);
             inner.state_cond.notify_all();
             inner.jobs_done.fetch_add(1, Ordering::Relaxed);
@@ -288,10 +307,14 @@ impl WorkerPool {
             spec,
             submitted: Instant::now(),
             deadline: deadline_ms.map(Duration::from_millis),
+            attempt: retry_attempt,
         });
         let depth = queue.len();
         drop(queue);
-        states.insert(digest, JobRecord { status: JobStatus::Queued, payload: None });
+        states.insert(
+            digest,
+            JobRecord { status: JobStatus::Queued, payload: None, attempts: retry_attempt },
+        );
         drop(states);
         inner.publish_depth(depth);
         vab_obs::event!("svc.pool", "submit_queued", job = id.clone(), depth = depth as u64);
@@ -354,9 +377,10 @@ impl WorkerPool {
         &self.inner.cache
     }
 
-    /// Stops accepting work, drains nothing further, and joins the
-    /// workers. Queued-but-unstarted jobs stay `Queued` forever; callers
-    /// should drain or time out on them.
+    /// Stops accepting new work and joins the workers. Workers drain
+    /// the queue first (the pop-before-stop-check in `worker_loop`), so
+    /// every admitted job completes — and persists through the cache —
+    /// before this returns: shutdown is a graceful drain.
     pub fn shutdown(&self) {
         self.inner.shutdown.store(true, Ordering::Release);
         self.inner.queue_cond.notify_all();
@@ -414,11 +438,19 @@ fn worker_loop(inner: &Inner) {
             }
         }
         inner.set_state(job.digest, JobStatus::Running, None);
+        {
+            // This execution is attempt `job.attempt`; record that the
+            // next retry of this digest must redraw at `attempt + 1`.
+            let mut states = inner.states.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(record) = states.get_mut(&job.digest) {
+                record.attempts = job.attempt + 1;
+            }
+        }
         let started = Instant::now();
         let result = {
             let _t = vab_obs::time_stage("svc.job_execute");
             std::panic::catch_unwind(AssertUnwindSafe(|| {
-                inner.executor.execute(&job.spec, job.digest, &inner.cache)
+                inner.executor.execute_attempt(&job.spec, job.digest, job.attempt, &inner.cache)
             }))
         };
         let wall_us = started.elapsed().as_micros() as u64;
@@ -428,6 +460,15 @@ fn worker_loop(inner: &Inner) {
                 inner.jobs_done.fetch_add(1, Ordering::Relaxed);
                 vab_obs::metrics::inc("svc.jobs_done", 1);
                 vab_obs::event!("svc.pool", "job_done", job = job.spec.id(), wall_us = wall_us);
+                if job.attempt > 0 {
+                    vab_obs::metrics::inc("svc.jobs_recovered", 1);
+                    vab_obs::event!(
+                        "svc.recover",
+                        "job_recovered",
+                        job = job.spec.id(),
+                        attempt = job.attempt,
+                    );
+                }
                 inner.set_state(
                     job.digest,
                     JobStatus::Done { cached: false, wall_us },
@@ -551,6 +592,45 @@ mod tests {
         assert!(matches!(status_b, JobStatus::Failed { .. }), "second injection also typed");
         let (_done, failed) = pool.totals();
         assert_eq!(failed, 2);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn transient_panic_clears_on_resubmit() {
+        // A SvcFaultPlan panic redraws per attempt: with panic_prob 1.0
+        // every attempt panics, so dial it to certainty on attempt 0 by
+        // probing for a digest whose first draw panics and second does
+        // not — then verify the resubmission path actually retries with
+        // attempt 1 and succeeds.
+        let plan = vab_fault::SvcFaultPlan::new(
+            77,
+            vab_fault::SvcFaultConfig { panic_prob: 0.5, ..vab_fault::SvcFaultConfig::off() },
+        );
+        let mut candidate = None;
+        for seed in 0..200u64 {
+            let spec = mc(seed, 4);
+            let digest = spec.digest();
+            if plan.worker_panics(digest, 0) && !plan.worker_panics(digest, 1) {
+                candidate = Some(spec);
+                break;
+            }
+        }
+        let spec = candidate.expect("a panic-then-recover digest exists in 200 draws");
+        let executor = Executor::new().with_svc_faults(plan);
+        let pool = small_pool(1, 4, executor);
+
+        let first = pool.submit(spec.clone(), None).expect("admit");
+        let (status, _) = pool.wait(first.digest, Duration::from_secs(10)).expect("known");
+        assert!(
+            matches!(status, JobStatus::Failed { error: JobError::WorkerPanicked { .. } }),
+            "attempt 0 must panic, got {status:?}"
+        );
+
+        let second = pool.submit(spec, None).expect("failed records re-queue");
+        assert!(!second.deduped, "a failed record must not dedupe");
+        let (status, payload) = pool.wait(second.digest, Duration::from_secs(10)).expect("known");
+        assert!(matches!(status, JobStatus::Done { .. }), "attempt 1 must recover: {status:?}");
+        assert!(payload.is_some());
         pool.shutdown();
     }
 

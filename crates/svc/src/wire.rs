@@ -8,6 +8,7 @@
 //! {"op":"status","id":"9f3a..."}
 //! {"op":"fetch","id":"9f3a...","wait_ms":30000}
 //! {"op":"stats"}
+//! {"op":"health"}
 //! {"op":"shutdown"}
 //! ```
 //!
@@ -44,6 +45,8 @@ pub enum Request {
     },
     /// Daemon-wide counters.
     Stats,
+    /// Liveness probe: cheap, side-effect-free, always answered.
+    Health,
     /// Stop the daemon.
     Shutdown,
 }
@@ -66,6 +69,7 @@ impl Request {
                 wait_ms: v.u64_field("wait_ms").unwrap_or(0),
             }),
             Some("stats") => Ok(Request::Stats),
+            Some("health") => Ok(Request::Health),
             Some("shutdown") => Ok(Request::Shutdown),
             other => Err(format!("unknown op {other:?}")),
         }
@@ -92,6 +96,7 @@ impl Request {
             ])
             .render(),
             Request::Stats => Json::obj([("op", Json::Str("stats".into()))]).render(),
+            Request::Health => Json::obj([("op", Json::Str("health".into()))]).render(),
             Request::Shutdown => Json::obj([("op", Json::Str("shutdown".into()))]).render(),
         }
     }
@@ -106,6 +111,17 @@ fn ok_obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
 /// `{"ok":false,"error":...}` with optional extra fields.
 pub fn error_response(message: &str) -> Json {
     Json::obj([("ok", Json::Bool(false)), ("error", Json::Str(message.into()))])
+}
+
+/// Response to a health probe: engine version plus worker/queue facts a
+/// load balancer or drill harness can act on.
+pub fn health_response(workers: usize, queued: usize, draining: bool) -> Json {
+    ok_obj([
+        ("status", Json::Str(if draining { "draining" } else { "up" }.into())),
+        ("engine_version", Json::Str(crate::ENGINE_VERSION.into())),
+        ("workers", Json::Num(workers as f64)),
+        ("queued", Json::Num(queued as f64)),
+    ])
 }
 
 /// Renders a submit rejection ([`SubmitError`]) as a wire response.
@@ -211,6 +227,7 @@ mod tests {
                 Request::Fetch { id: "00000000000000ff".into(), wait_ms: 250 },
             ),
             (r#"{"op":"stats"}"#, Request::Stats),
+            (r#"{"op":"health"}"#, Request::Health),
             (r#"{"op":"shutdown"}"#, Request::Shutdown),
         ] {
             assert_eq!(Request::parse(line).expect(line), want);
@@ -232,6 +249,15 @@ mod tests {
         let backpressure = submit_error_response(&SubmitError::QueueFull { retry_after_ms: 50 });
         assert_eq!(backpressure.bool_field("ok"), Some(false));
         assert_eq!(backpressure.u64_field("retry_after_ms"), Some(50));
+    }
+
+    #[test]
+    fn health_response_reports_drain_state() {
+        let up = health_response(4, 2, false);
+        assert_eq!(up.str_field("status"), Some("up"));
+        assert_eq!(up.u64_field("workers"), Some(4));
+        let draining = health_response(4, 0, true);
+        assert_eq!(draining.str_field("status"), Some("draining"));
     }
 
     #[test]

@@ -1,0 +1,121 @@
+//! Integration tests for the chaos-hardened service layer (F20 and the
+//! crash/restart story): the drill's CSV must be bit-identical across
+//! runs and pool widths, no completed result may ever be lost, and a
+//! daemon restart over the same cache directory must serve previously
+//! completed work warm and byte-identical.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use vab::svc::cache::ResultCache;
+use vab::svc::client::Client;
+use vab::svc::exec::Executor;
+use vab::svc::job::{EngineSpec, EnvSpec, JobSpec, SystemSpec};
+use vab::svc::pool::PoolConfig;
+use vab::svc::server::{Server, ServerConfig};
+use vab::util::rng::derive_seed;
+use vab::util::threads::set_jobs;
+use vab_bench::chaos::f20_chaos_drill;
+use vab_bench::ExpConfig;
+
+fn quick() -> ExpConfig {
+    ExpConfig { trials: 4, bits: 64, seed: 2023 }
+}
+
+/// Column order of the F20 table (see `vab_bench::chaos`).
+const COL_JOBS: usize = 1;
+const COL_COMPLETED: usize = 2;
+const COL_LOST: usize = 3;
+const COL_RESTARTS: usize = 12;
+
+#[test]
+fn f20_is_bit_identical_across_runs_and_pool_widths_and_loses_nothing() {
+    set_jobs(1);
+    let serial = f20_chaos_drill(&quick()).to_csv();
+    set_jobs(8);
+    let wide = f20_chaos_drill(&quick()).to_csv();
+    set_jobs(0);
+    let again = f20_chaos_drill(&quick()).to_csv();
+    assert_eq!(serial, wide, "F20 must not depend on the daemon's worker count");
+    assert_eq!(serial, again, "F20 must be bit-identical across runs");
+
+    let mut saw_restart = false;
+    for line in serial.lines().skip(1) {
+        let cells: Vec<&str> = line.split(',').collect();
+        assert_eq!(
+            cells[COL_JOBS], cells[COL_COMPLETED],
+            "every job must complete at every intensity: {line}"
+        );
+        assert_eq!(cells[COL_LOST], "0", "no completed result may be lost: {line}");
+        saw_restart |= cells[COL_RESTARTS].parse::<u64>().expect("restarts") >= 1;
+    }
+    assert!(saw_restart, "the drill must exercise daemon-restart recovery:\n{serial}");
+}
+
+fn restart_jobs(cfg: &ExpConfig) -> Vec<JobSpec> {
+    (0..6)
+        .map(|i| JobSpec::McPoint {
+            system: SystemSpec::Vab { n_pairs: 4 },
+            env: EnvSpec::River,
+            range_m: 30.0 + 15.0 * i as f64,
+            rotation_deg: 0.0,
+            trials: cfg.trials,
+            bits: cfg.bits,
+            seed: derive_seed(cfg.seed, 200 + i as u64),
+            engine: EngineSpec::LinkBudget,
+        })
+        .collect()
+}
+
+fn start_persistent_server(dir: &std::path::Path) -> Server {
+    let cache = Arc::new(ResultCache::persistent(32, dir).expect("cache dir"));
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        pool: PoolConfig { workers: 2, queue_cap: 32, retry_after_ms: 10 },
+        ..ServerConfig::default()
+    };
+    Server::start(cfg, Executor::new(), cache).expect("bind")
+}
+
+#[test]
+fn daemon_restart_serves_completed_work_warm_with_zero_loss() {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("vab-chaos-it-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = quick();
+    let jobs = restart_jobs(&cfg);
+
+    // First half of the batch, then the daemon goes away (its results
+    // were persisted atomically as each job completed).
+    let mut server = start_persistent_server(&dir);
+    let mut client = Client::connect(&server.addr().to_string()).expect("connect");
+    let mut first = Vec::new();
+    for job in &jobs[..3] {
+        let (resp, _) = client.run_job_resilient(job, 30_000).expect("first half");
+        assert_eq!(resp.str_field("status"), Some("done"), "{}", resp.render());
+        first.push(resp.get("result").expect("result").render());
+    }
+    server.shutdown();
+
+    // Restart over the same cache directory; the client re-points and
+    // reconnects, and the second batch serves the first half warm.
+    let mut server = start_persistent_server(&dir);
+    client.set_addr(&server.addr().to_string());
+    client.reconnect().expect("reconnect to the restarted daemon");
+    for (i, job) in jobs.iter().enumerate() {
+        let (resp, _) = client.run_job_resilient(job, 30_000).expect("second batch");
+        assert_eq!(resp.str_field("status"), Some("done"), "{}", resp.render());
+        let payload = resp.get("result").expect("result").render();
+        if i < 3 {
+            assert_eq!(
+                resp.bool_field("cached"),
+                Some(true),
+                "restart must serve previously completed work from the cache: {}",
+                resp.render()
+            );
+            assert_eq!(payload, first[i], "warm results must be byte-identical (job {i})");
+        }
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

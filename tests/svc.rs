@@ -3,13 +3,15 @@
 //! and canonical-serialization properties the cache's correctness rests
 //! on.
 
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
 use std::path::PathBuf;
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 use proptest::prelude::*;
 use vab::svc::cache::ResultCache;
-use vab::svc::client::{Client, ClientError};
+use vab::svc::client::{Client, ClientConfig, ClientError};
 use vab::svc::exec::Executor;
 use vab::svc::job::{EngineSpec, EnvSpec, JobSpec, SystemSpec};
 use vab::svc::pool::PoolConfig;
@@ -25,7 +27,7 @@ fn temp_dir(tag: &str) -> PathBuf {
 }
 
 fn start_server(executor: Executor, cache: Arc<ResultCache>, pool: PoolConfig) -> Server {
-    let cfg = ServerConfig { addr: "127.0.0.1:0".into(), pool };
+    let cfg = ServerConfig { addr: "127.0.0.1:0".into(), pool, ..ServerConfig::default() };
     Server::start(cfg, executor, cache).expect("bind localhost")
 }
 
@@ -240,6 +242,187 @@ fn cache_determinism_same_spec_hits_changed_seed_or_engine_misses() {
         None,
         "engine bump must orphan the old entry"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Resilience: typed client timeouts and raw-wire abuse of a live daemon.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn client_reports_typed_timeout_against_a_silent_listener() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind silent listener");
+    let addr = listener.local_addr().expect("addr").to_string();
+    let hold = std::thread::spawn(move || {
+        // Accept, then read without ever replying; exits when the client
+        // gives up and drops its half of the connection.
+        let (mut stream, _) = listener.accept().expect("accept");
+        let mut buf = [0u8; 256];
+        while matches!(stream.read(&mut buf), Ok(n) if n > 0) {}
+    });
+    let cfg = ClientConfig {
+        read_timeout: Some(Duration::from_millis(200)),
+        write_timeout: Some(Duration::from_millis(200)),
+        ..ClientConfig::default()
+    };
+    let mut client = Client::connect_with(&addr, cfg).expect("connect");
+    match client.health() {
+        Err(ClientError::Timeout) => {}
+        Ok(resp) => panic!("expected ClientError::Timeout, got reply {}", resp.render()),
+        Err(other) => panic!("expected ClientError::Timeout, got {other}"),
+    }
+    drop(client);
+    hold.join().expect("listener thread");
+}
+
+fn raw_wire(server: &Server) -> (BufReader<TcpStream>, TcpStream) {
+    let stream = TcpStream::connect(server.addr()).expect("raw connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).expect("read timeout");
+    (BufReader::new(stream.try_clone().expect("clone")), stream)
+}
+
+fn send_line(stream: &mut TcpStream, line: &[u8]) {
+    stream.write_all(line).expect("write frame");
+    stream.write_all(b"\n").expect("write newline");
+}
+
+/// Reads one reply line; `None` means the daemon closed the connection.
+fn read_reply(reader: &mut BufReader<TcpStream>) -> Option<Json> {
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) => None,
+        Ok(_) => Some(Json::parse(line.trim_end()).expect("daemon replies are JSON")),
+        Err(e) => panic!("read reply: {e}"),
+    }
+}
+
+#[test]
+fn malformed_frames_get_typed_errors_and_the_connection_survives() {
+    let cache = Arc::new(ResultCache::in_memory(16));
+    let mut server = start_server(
+        Executor::new(),
+        cache,
+        PoolConfig { workers: 1, queue_cap: 8, retry_after_ms: 10 },
+    );
+    let (mut reader, mut stream) = raw_wire(&server);
+
+    // Truncated JSON, non-JSON text, JSON of the wrong shape, invalid
+    // UTF-8: each answered with a typed error, connection stays up.
+    let abuse: [&[u8]; 4] = [
+        b"{\"op\":\"submit\",\"job\":{",
+        b"GET / HTTP/1.1",
+        b"{\"flavor\":\"wrong\"}",
+        b"\xff\xfe{\"op\":\"health\"}",
+    ];
+    for frame in abuse {
+        send_line(&mut stream, frame);
+        let reply = read_reply(&mut reader).expect("typed error, not a hangup");
+        assert_eq!(reply.bool_field("ok"), Some(false), "{}", reply.render());
+    }
+    // The very same connection still serves a well-formed request.
+    send_line(&mut stream, b"{\"op\":\"health\"}");
+    let reply = read_reply(&mut reader).expect("healthy reply");
+    assert_eq!(reply.bool_field("ok"), Some(true), "{}", reply.render());
+    assert_eq!(server.malformed_frames(), abuse.len() as u64);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_frames_are_rejected_then_the_connection_closes_cleanly() {
+    let cache = Arc::new(ResultCache::in_memory(16));
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        pool: PoolConfig { workers: 1, queue_cap: 8, retry_after_ms: 10 },
+        max_line_bytes: 4096,
+        ..ServerConfig::default()
+    };
+    let mut server = Server::start(cfg, Executor::new(), cache).expect("bind");
+    let (mut reader, mut stream) = raw_wire(&server);
+    send_line(&mut stream, &vec![b'a'; 8192]);
+    let reply = read_reply(&mut reader).expect("typed frame_too_large");
+    assert_eq!(reply.bool_field("ok"), Some(false));
+    assert!(reply.render().contains("frame_too_large"), "{}", reply.render());
+    assert!(
+        read_reply(&mut reader).is_none(),
+        "connection must close after an oversized frame (no resync inside the line)"
+    );
+    // A fresh connection is unaffected.
+    let (mut r2, mut s2) = raw_wire(&server);
+    send_line(&mut s2, b"{\"op\":\"health\"}");
+    assert_eq!(read_reply(&mut r2).expect("fresh connection").bool_field("ok"), Some(true));
+    server.shutdown();
+}
+
+#[test]
+fn request_budget_exhaustion_asks_the_client_to_reconnect() {
+    let cache = Arc::new(ResultCache::in_memory(16));
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        pool: PoolConfig { workers: 1, queue_cap: 8, retry_after_ms: 10 },
+        request_budget: 2,
+        ..ServerConfig::default()
+    };
+    let mut server = Server::start(cfg, Executor::new(), cache).expect("bind");
+    let (mut reader, mut stream) = raw_wire(&server);
+    for _ in 0..2 {
+        send_line(&mut stream, b"{\"op\":\"health\"}");
+        assert_eq!(read_reply(&mut reader).expect("within budget").bool_field("ok"), Some(true));
+    }
+    send_line(&mut stream, b"{\"op\":\"health\"}");
+    let reply = read_reply(&mut reader).expect("typed budget refusal");
+    assert_eq!(reply.str_field("error"), Some("budget_exhausted"), "{}", reply.render());
+    assert!(read_reply(&mut reader).is_none(), "connection must close once the budget is spent");
+    // Reconnecting resets the budget.
+    let (mut r2, mut s2) = raw_wire(&server);
+    send_line(&mut s2, b"{\"op\":\"health\"}");
+    assert_eq!(read_reply(&mut r2).expect("fresh budget").bool_field("ok"), Some(true));
+    server.shutdown();
+}
+
+/// One daemon shared by all proptest cases (starting a daemon per case
+/// would dominate the runtime); it lives for the whole test process.
+fn abuse_daemon_addr() -> &'static str {
+    static ABUSE_DAEMON: OnceLock<String> = OnceLock::new();
+    ABUSE_DAEMON.get_or_init(|| {
+        let cache = Arc::new(ResultCache::in_memory(16));
+        let server = start_server(
+            Executor::new(),
+            cache,
+            PoolConfig { workers: 1, queue_cap: 8, retry_after_ms: 10 },
+        );
+        let addr = server.addr().to_string();
+        std::mem::forget(server);
+        addr
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Arbitrary garbage frames (anything but a frame separator) must get
+    // a typed error without killing the handler — and the same connection
+    // must still serve a well-formed request afterwards.
+    #[test]
+    fn random_garbage_frames_never_break_the_daemon(
+        raw in prop::collection::vec(any::<u8>(), 1..512),
+    ) {
+        // A newline would split the garbage into frames; keep it one.
+        let garbage: Vec<u8> = raw.iter().map(|&b| if b == b'\n' { b'.' } else { b }).collect();
+        let mut stream = TcpStream::connect(abuse_daemon_addr()).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(10))).expect("read timeout");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        stream.write_all(&garbage).expect("write garbage");
+        stream.write_all(b"\n").expect("write newline");
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("reply");
+        prop_assert!(n > 0, "daemon hung up on a small malformed frame");
+        let reply = Json::parse(line.trim_end()).expect("replies are JSON");
+        prop_assert_eq!(reply.bool_field("ok"), Some(false), "{}", reply.render());
+        stream.write_all(b"{\"op\":\"health\"}\n").expect("write health");
+        line.clear();
+        reader.read_line(&mut line).expect("health reply");
+        let reply = Json::parse(line.trim_end()).expect("health is JSON");
+        prop_assert_eq!(reply.bool_field("ok"), Some(true), "{}", reply.render());
+    }
 }
 
 proptest! {
