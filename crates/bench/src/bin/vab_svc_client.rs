@@ -5,8 +5,8 @@
 //! vab-svc [--addr ...] submit '<job json>'
 //! vab-svc [--addr ...] status <id>
 //! vab-svc [--addr ...] fetch <id> [--wait-ms N]
-//! vab-svc [--addr ...] stats
-//! vab-svc [--addr ...] health
+//! vab-svc [--addr ...] stats [--json]
+//! vab-svc [--addr ...] health [--json]
 //! vab-svc [--addr ...] shutdown
 //! ```
 //!
@@ -15,6 +15,14 @@
 //! summary. `--expect-cached` exits non-zero unless *every* response was
 //! a cache hit — CI uses it to prove the second identical batch never
 //! recomputes.
+//!
+//! `stats` and `health` print an aligned human-readable table by
+//! default; `--json` emits the raw one-line wire response for scripts.
+//!
+//! With `VAB_OBS=jsonl` (and `VAB_OBS_PATH`), submissions run under
+//! client-side `svc.submit` spans whose context rides the wire, so
+//! `vab-obsctl trace --job <digest>` can merge this process's trace with
+//! the daemon's into one cross-process waterfall.
 
 use vab_bench::serve::figure_job;
 use vab_bench::ExpConfig;
@@ -33,8 +41,8 @@ fn usage(prog: &str) -> ! {
          \x20 submit '<job json>'\n\
          \x20 status <id>\n\
          \x20 fetch <id> [--wait-ms N]\n\
-         \x20 stats\n\
-         \x20 health\n\
+         \x20 stats [--json]\n\
+         \x20 health [--json]\n\
          \x20 shutdown"
     );
     std::process::exit(2);
@@ -55,6 +63,10 @@ fn connect(addr: &str) -> Client {
 }
 
 fn main() {
+    if let Err(e) = vab_obs::init_from_env() {
+        eprintln!("warning: VAB_OBS sink unavailable ({e}); observability disabled");
+        vab_obs::disable();
+    }
     let argv: Vec<String> = std::env::args().collect();
     let prog = argv.first().cloned().unwrap_or_else(|| "vab-svc".into());
     let addr = flag_value(&argv, "--addr").unwrap_or_else(|| "127.0.0.1:7411".into());
@@ -75,11 +87,12 @@ fn main() {
                 flag_value(&argv, "--wait-ms").and_then(|v| v.parse().ok()).unwrap_or(30_000);
             simple_id_op(&addr, &argv, &command, move |id| Request::Fetch { id, wait_ms })
         }
-        "stats" => roundtrip(&addr, &Request::Stats),
-        "health" => roundtrip(&addr, &Request::Health),
+        "stats" => control_op(&addr, &argv, &Request::Stats),
+        "health" => control_op(&addr, &argv, &Request::Health),
         "shutdown" => roundtrip(&addr, &Request::Shutdown),
         _ => usage(&prog),
     };
+    vab_obs::flush();
     std::process::exit(exit);
 }
 
@@ -88,6 +101,38 @@ fn roundtrip(addr: &str, req: &Request) -> i32 {
     match client.roundtrip(req) {
         Ok(resp) => {
             println!("{}", resp.render());
+            0
+        }
+        Err(e) => {
+            eprintln!("vab-svc: {e}");
+            1
+        }
+    }
+}
+
+/// `stats` / `health`: aligned human-readable table by default, the raw
+/// one-line wire response with `--json`.
+fn control_op(addr: &str, argv: &[String], req: &Request) -> i32 {
+    if argv.iter().any(|a| a == "--json") {
+        return roundtrip(addr, req);
+    }
+    let mut client = connect(addr);
+    match client.roundtrip(req) {
+        Ok(resp) => {
+            let Some(fields) = resp.as_obj() else {
+                println!("{}", resp.render());
+                return 0;
+            };
+            for (key, value) in fields {
+                if key == "ok" {
+                    continue;
+                }
+                let rendered = match value {
+                    Json::Str(s) => s.clone(),
+                    other => other.render(),
+                };
+                println!("{key:<22} {rendered}");
+            }
             0
         }
         Err(e) => {
@@ -128,7 +173,19 @@ fn submit(addr: &str, argv: &[String], command: &str) -> i32 {
                 return 2;
             }
         };
-    roundtrip(addr, &Request::Submit { job: Box::new(spec), deadline_ms: None })
+    // Through `Client::submit` (not a raw roundtrip) so the submission
+    // runs under a traced `svc.submit` span when VAB_OBS is on.
+    let mut client = connect(addr);
+    match client.submit(&spec, None) {
+        Ok(resp) => {
+            println!("{}", resp.render());
+            0
+        }
+        Err(e) => {
+            eprintln!("vab-svc: {e}");
+            1
+        }
+    }
 }
 
 /// `batch`: submit a set of figure jobs, wait for all, summarize.

@@ -161,5 +161,14 @@ fn main() {
         "vab-svcd: stopped ({done} done, {failed} failed, cache hit rate {:.0}%)",
         cache.hit_rate() * 100.0
     );
+    if vab_obs::enabled() {
+        // Freeze the daemon's final counters/stage histograms where the
+        // offline tooling (`vab-obsctl report` / `slo --metrics`) looks.
+        let path = std::path::Path::new("results/svcd-metrics.json");
+        match vab_obs::metrics::Snapshot::capture().write_json(path) {
+            Ok(()) => eprintln!("vab-svcd: metrics snapshot written to {}", path.display()),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
     vab_obs::flush();
 }

@@ -24,7 +24,10 @@
 //!
 //! 1. **Tracing** ([`event!`], [`Span`], [`sink`]): typed key=value events
 //!    routed to a pluggable sink — null, stderr pretty-printer, or a JSONL
-//!    file writer.
+//!    file writer. [`span`] layers distributed-tracing identity on top:
+//!    content-derived `trace_id`/`span_id`/`parent_span_id` triples
+//!    ([`TraceContext`]) and drop-guard scopes ([`SpanScope`]) whose
+//!    durations feed the stage histograms.
 //! 2. **Metrics** ([`metrics`]): named counters (saturating), gauges and
 //!    fixed-bucket histograms, snapshotted at campaign end into a
 //!    machine-readable JSON report next to the CSVs.
@@ -46,10 +49,12 @@
 pub mod event;
 pub mod metrics;
 pub mod sink;
+pub mod span;
 pub mod timer;
 
 pub use event::{Event, Value};
 pub use sink::{JsonlSink, NullSink, Sink, StderrSink};
+pub use span::{span_begin, span_end, SpanScope, TraceContext};
 pub use timer::{time_stage, Span, StageTimer};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};

@@ -541,6 +541,57 @@ mod tests {
     }
 
     #[test]
+    fn percentile_single_bucket_interpolates_within_it() {
+        // All mass in one interior bucket: every quantile interpolates
+        // geometrically inside (1e-2, 1e-1], never outside it.
+        let snap = HistogramSnapshot {
+            name: "s".into(),
+            count: 10,
+            sum: 0.0,
+            bounds: vec![1e-3, 1e-2, 1e-1],
+            buckets: vec![0, 0, 10, 0],
+        };
+        for q in [0.01, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            let p = snap.percentile(q).expect("quantile");
+            assert!((1e-2..=1e-1 + 1e-12).contains(&p), "q={q}: {p} escaped the bucket");
+        }
+        // q = 1.0 is the bucket's upper edge exactly (frac = 1).
+        let p100 = snap.percentile(1.0).expect("p100");
+        assert!((p100 - 1e-1).abs() < 1e-9, "p100 = {p100}");
+        // The single first bucket assumes one decade below its bound.
+        let first = HistogramSnapshot {
+            name: "f".into(),
+            count: 4,
+            sum: 0.0,
+            bounds: vec![1e-3, 1e-2],
+            buckets: vec![4, 0, 0],
+        };
+        let p50 = first.percentile(0.5).expect("p50");
+        assert!((1e-4..=1e-3).contains(&p50), "first-bucket p50 = {p50}");
+    }
+
+    #[test]
+    fn percentile_saturated_top_bucket_clamps_to_top_bound() {
+        // Mass split between an interior bucket and a saturated overflow
+        // bucket: quantiles landing in the overflow clamp to the top
+        // bound instead of extrapolating toward infinity.
+        let snap = HistogramSnapshot {
+            name: "sat".into(),
+            count: 100,
+            sum: 0.0,
+            bounds: vec![1.0, 10.0],
+            buckets: vec![0, 10, 90],
+        };
+        let p05 = snap.percentile(0.05).expect("p05");
+        assert!((1.0..=10.0).contains(&p05), "p05 = {p05}");
+        for q in [0.11, 0.5, 0.99, 1.0] {
+            assert_eq!(snap.percentile(q), Some(10.0), "q={q} must clamp to the top bound");
+        }
+        let (p50, p95, p99) = snap.quantile_trio().expect("trio");
+        assert_eq!((p50, p95, p99), (10.0, 10.0, 10.0));
+    }
+
+    #[test]
     fn snapshot_json_carries_quantiles() {
         let _g = guard();
         reset();

@@ -7,7 +7,17 @@
 //! vab-obsctl diff      <metrics-a.json> <metrics-b.json> [--rel-tol X]
 //! vab-obsctl baseline  <BENCH_<sha>.json> [--baseline <path>] [--absolute]
 //!                      [--write] [--tolerance X]
+//! vab-obsctl tail      --addr HOST:PORT [--once] [--json]
+//!                      [--interval-ms N] [--count N]
+//! vab-obsctl trace     --job <digest> <trace.jsonl> [more.jsonl ...] [--set]
+//! vab-obsctl slo       --spec <slo.json> (--addr HOST:PORT | --sample <file>)
 //! ```
+//!
+//! `tail` follows a live daemon's telemetry ring (`--once` prints a
+//! single on-demand sample); `trace` reconstructs one job's
+//! cross-process span waterfall from any number of JSONL traces (`--set`
+//! prints the canonical span set the determinism gate compares); `slo`
+//! checks a live sample — or a saved one — against a `vab-slo/1` spec.
 //!
 //! Exit codes: `0` clean, `1` regression / threshold breach, `2` usage or
 //! input error.
@@ -18,8 +28,11 @@ use std::process::ExitCode;
 use vab_obsctl::anomaly::{self, AnomalyConfig};
 use vab_obsctl::baseline::{Baseline, BenchDoc};
 use vab_obsctl::diff::{self, DiffConfig};
+use vab_obsctl::json::Json;
+use vab_obsctl::live::{self, SloSpec};
 use vab_obsctl::report;
 use vab_obsctl::trace::{MetricsDoc, Trace};
+use vab_obsctl::waterfall::Waterfall;
 
 /// Default location of the committed perf baseline, relative to the repo
 /// root (where CI and `run_all` execute).
@@ -31,7 +44,10 @@ fn usage() -> ExitCode {
          vab-obsctl report    <trace.jsonl> [metrics.json]\n  \
          vab-obsctl anomalies <trace.jsonl> [--context N]\n  \
          vab-obsctl diff      <metrics-a.json> <metrics-b.json> [--rel-tol X]\n  \
-         vab-obsctl baseline  <BENCH.json> [--baseline <path>] [--absolute] [--write] [--tolerance X]"
+         vab-obsctl baseline  <BENCH.json> [--baseline <path>] [--absolute] [--write] [--tolerance X]\n  \
+         vab-obsctl tail      --addr HOST:PORT [--once] [--json] [--interval-ms N] [--count N]\n  \
+         vab-obsctl trace     --job <digest> <trace.jsonl> [more.jsonl ...] [--set]\n  \
+         vab-obsctl slo       --spec <slo.json> (--addr HOST:PORT | --sample <file>)"
     );
     ExitCode::from(2)
 }
@@ -216,6 +232,164 @@ fn cmd_baseline(mut args: Vec<String>) -> ExitCode {
     }
 }
 
+fn cmd_tail(mut args: Vec<String>) -> ExitCode {
+    let addr = match take_flag_value(&mut args, "--addr") {
+        Ok(Some(a)) => a,
+        Ok(None) => return fail("tail needs --addr HOST:PORT"),
+        Err(e) => return fail(&e),
+    };
+    let once = take_flag(&mut args, "--once");
+    let raw = take_flag(&mut args, "--json");
+    let interval_ms: u64 = match take_flag_value(&mut args, "--interval-ms") {
+        Ok(Some(v)) => match v.parse() {
+            Ok(v) => v,
+            Err(_) => return fail("--interval-ms needs an integer"),
+        },
+        Ok(None) => 500,
+        Err(e) => return fail(&e),
+    };
+    let count: Option<u64> = match take_flag_value(&mut args, "--count") {
+        Ok(Some(v)) => match v.parse() {
+            Ok(v) => Some(v),
+            Err(_) => return fail("--count needs an integer"),
+        },
+        Ok(None) => None,
+        Err(e) => return fail(&e),
+    };
+    if !args.is_empty() {
+        return usage();
+    }
+    if once {
+        return match live::fetch_sample(&addr) {
+            Ok(sample) => {
+                if raw {
+                    println!("{}", sample.render());
+                } else {
+                    println!("{}", live::render_sample(None, &sample));
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(&e),
+        };
+    }
+    // Follow mode: long-poll the ring. `since` starts at 0 so the
+    // watcher first replays the retained backlog, then tracks new ticks.
+    let mut since = 0u64;
+    let mut prev: Option<Json> = None;
+    let mut printed = 0u64;
+    loop {
+        let (latest, samples) = match live::fetch_watch(&addr, since) {
+            Ok(r) => r,
+            Err(e) => return fail(&e),
+        };
+        since = latest.max(since);
+        for sample in samples {
+            if raw {
+                println!("{}", sample.render());
+            } else {
+                println!("{}", live::render_sample(prev.as_ref(), &sample));
+            }
+            prev = Some(sample);
+            printed += 1;
+            if let Some(n) = count {
+                if printed >= n {
+                    return ExitCode::SUCCESS;
+                }
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+fn cmd_trace(mut args: Vec<String>) -> ExitCode {
+    let digest = match take_flag_value(&mut args, "--job") {
+        Ok(Some(d)) => match u64::from_str_radix(d.trim_start_matches("0x"), 16) {
+            Ok(d) => d,
+            Err(_) => return fail("--job needs a hex job digest"),
+        },
+        Ok(None) => return fail("trace needs --job <digest>"),
+        Err(e) => return fail(&e),
+    };
+    let set_only = take_flag(&mut args, "--set");
+    if args.is_empty() {
+        return fail("trace needs at least one trace.jsonl");
+    }
+    // Label each input by file name (distinct labels are required for a
+    // deterministic merge; fall back to the full path on collision).
+    let mut parts: Vec<(String, Trace)> = Vec::new();
+    for path in &args {
+        let trace = match load_trace(path) {
+            Ok(t) => t,
+            Err(e) => return fail(&e),
+        };
+        let base = Path::new(path)
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.clone());
+        let label = if parts.iter().any(|(l, _)| *l == base) { path.clone() } else { base };
+        parts.push((label, trace));
+    }
+    let merged = Trace::merge(parts.iter().map(|(l, t)| (l.as_str(), t.clone())));
+    let waterfall = Waterfall::from_trace(&merged, digest);
+    if waterfall.spans.is_empty() {
+        return fail(&format!("no spans found for trace {digest:016x}"));
+    }
+    if set_only {
+        for line in waterfall.canonical_set() {
+            println!("{line}");
+        }
+    } else {
+        print!("{}", waterfall.render());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_slo(mut args: Vec<String>) -> ExitCode {
+    let spec_path = match take_flag_value(&mut args, "--spec") {
+        Ok(Some(p)) => p,
+        Ok(None) => return fail("slo needs --spec <slo.json>"),
+        Err(e) => return fail(&e),
+    };
+    let addr = match take_flag_value(&mut args, "--addr") {
+        Ok(a) => a,
+        Err(e) => return fail(&e),
+    };
+    let sample_path = match take_flag_value(&mut args, "--sample") {
+        Ok(p) => p,
+        Err(e) => return fail(&e),
+    };
+    if !args.is_empty() || (addr.is_some() == sample_path.is_some()) {
+        return fail("slo needs exactly one of --addr or --sample");
+    }
+    let spec = match SloSpec::load(Path::new(&spec_path)) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let sample = if let Some(addr) = addr {
+        match live::fetch_sample(&addr) {
+            Ok(s) => s,
+            Err(e) => return fail(&e),
+        }
+    } else {
+        let path = sample_path.expect("checked above");
+        match std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {path}: {e}"))
+            .and_then(|t| Json::parse(t.trim()).map_err(|e| format!("{path}: {e}")))
+        {
+            Ok(s) => s,
+            Err(e) => return fail(&e),
+        }
+    };
+    let checks = live::check(&spec, &sample);
+    let (text, breaches) = live::render_checks(&checks);
+    print!("{text}");
+    if breaches > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() {
@@ -227,6 +401,9 @@ fn main() -> ExitCode {
         "anomalies" => cmd_anomalies(argv),
         "diff" => cmd_diff(argv),
         "baseline" => cmd_baseline(argv),
+        "tail" => cmd_tail(argv),
+        "trace" => cmd_trace(argv),
+        "slo" => cmd_slo(argv),
         _ => usage(),
     }
 }

@@ -15,6 +15,13 @@
 //! * [`baseline`] — gates `BENCH_<sha>.json` perf snapshots against the
 //!   committed `crates/bench/baseline.json` so a slow channel
 //!   realization or Viterbi decode cannot ship silently.
+//! * [`waterfall`] — reconstructs one job's cross-process span tree
+//!   (client submit → wire → queue → execute → cache persist) from
+//!   merged daemon+client JSONL traces, with skew-immune critical-path
+//!   attribution.
+//! * [`live`] — speaks the daemon's `metrics`/`watch` wire ops for
+//!   `vab-obsctl tail`, and checks telemetry samples against the
+//!   declarative `vab-slo/1` spec (`crates/bench/slo.json`).
 //!
 //! Everything stays serde-free: the [`json`] module re-exports the shared
 //! `vab_util::json` parser/serializer, and the crate analyzes only what
@@ -24,8 +31,10 @@ pub mod anomaly;
 pub mod baseline;
 pub mod diff;
 pub mod json;
+pub mod live;
 pub mod report;
 pub mod trace;
+pub mod waterfall;
 
 /// The `BENCH_<sha>.json` schema this analyzer understands (written by
 /// `vab_bench::perf`).

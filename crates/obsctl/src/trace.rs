@@ -14,9 +14,11 @@ use crate::json::Json;
 /// One parsed trace event.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
-    /// Global monotone sequence number.
+    /// Global monotone sequence number — monotone *per emitting process*;
+    /// two processes' traces reuse overlapping ranges.
     pub seq: u64,
-    /// Microseconds since the observability epoch.
+    /// Microseconds since the observability epoch — the *emitter's*
+    /// epoch; clocks of merged traces are mutually skewed.
     pub t_us: u64,
     /// Emitting subsystem (`"link.arq"`, `"sim.campaign"`, …).
     pub target: String,
@@ -24,6 +26,9 @@ pub struct TraceEvent {
     pub name: String,
     /// Typed payload (always a JSON object for well-formed traces).
     pub fields: Json,
+    /// Which trace this event came from (empty for a single-file load;
+    /// [`Trace::merge`] stamps the per-input label).
+    pub source: String,
 }
 
 impl TraceEvent {
@@ -124,6 +129,29 @@ impl Trace {
         counts
     }
 
+    /// Merges traces from several processes (e.g. a daemon's JSONL and a
+    /// client's) into one, stamping each event's `source` with the given
+    /// label. Because `seq` is only monotone per process and the clocks
+    /// are mutually skewed, neither `seq` nor `t_us` totally orders a
+    /// merged stream — events sort by `(seq, source, t_us)`, which is
+    /// deterministic whatever order the inputs are supplied in (labels
+    /// must be distinct; equal-seq events from different processes tie-
+    /// break lexicographically by label, never by input position).
+    pub fn merge<'a>(parts: impl IntoIterator<Item = (&'a str, Trace)>) -> Trace {
+        let mut merged = Trace::default();
+        for (label, mut part) in parts {
+            for e in &mut part.events {
+                e.source = label.to_string();
+            }
+            merged.events.append(&mut part.events);
+            merged.skipped_lines.extend(part.skipped_lines);
+            merged.truncated_tail |= part.truncated_tail;
+        }
+        merged.events.sort_by(|a, b| (a.seq, &a.source, a.t_us).cmp(&(b.seq, &b.source, b.t_us)));
+        merged.skipped_lines.sort_unstable();
+        merged
+    }
+
     /// Indices of the events in `family`, in sequence order.
     pub fn family_indices(&self, target: &str, name: &str) -> Vec<usize> {
         self.events
@@ -142,6 +170,7 @@ fn event_from_json(v: &Json) -> Option<TraceEvent> {
         target: v.str_field("target")?.to_string(),
         name: v.str_field("event")?.to_string(),
         fields: v.get("fields").cloned().unwrap_or(Json::Obj(Vec::new())),
+        source: String::new(),
     })
 }
 
@@ -347,6 +376,42 @@ mod tests {
         assert_eq!(t.events.len(), 2);
         assert_eq!(t.skipped_lines, vec![2]);
         assert!(!t.truncated_tail);
+    }
+
+    #[test]
+    fn merge_is_deterministic_under_skew_and_duplicate_seq_ranges() {
+        // Daemon and client both number events from 1 (duplicate seq
+        // ranges) and their t_us clocks are skewed by ~1 hour: neither
+        // field alone can order the merged stream.
+        let daemon = format!(
+            "{}\n{}\n{}\n",
+            line(1, "svc.server", "listening"),
+            line(2, "svc.pool", "job_done"),
+            line(3, "svc.server", "stopped")
+        );
+        let client = {
+            // Same seqs, wildly different (earlier) clock.
+            let l = |seq: u64, name: &str| {
+                format!(
+                    "{{\"seq\":{seq},\"t_us\":7,\"target\":\"svc.client\",\"event\":\"{name}\"}}"
+                )
+            };
+            format!("{}\n{}\n", l(1, "span_begin"), l(2, "span_end"))
+        };
+        let ab =
+            Trace::merge([("client", Trace::parse(&client)), ("daemon", Trace::parse(&daemon))]);
+        let ba =
+            Trace::merge([("daemon", Trace::parse(&daemon)), ("client", Trace::parse(&client))]);
+        let key = |t: &Trace| -> Vec<(u64, String, String)> {
+            t.events.iter().map(|e| (e.seq, e.source.clone(), e.name.clone())).collect()
+        };
+        assert_eq!(key(&ab), key(&ba), "merge order must not depend on input order");
+        assert_eq!(ab.events.len(), 5);
+        // Equal seqs tie-break by label, lexicographically.
+        assert_eq!(ab.events[0].source, "client");
+        assert_eq!(ab.events[1].source, "daemon");
+        // Source survives family queries untouched.
+        assert_eq!(ab.family_indices("svc.client", "span_end").len(), 1);
     }
 
     #[test]

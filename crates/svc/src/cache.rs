@@ -32,6 +32,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use vab_fault::SvcFaultPlan;
+use vab_obs::{SpanScope, TraceContext};
 use vab_util::json::Json;
 
 /// Schema tag of the persistent entry files.
@@ -222,6 +223,14 @@ impl ResultCache {
         None
     }
 
+    /// [`ResultCache::get`] under a traced span: the lookup appears as
+    /// `svc.cache_lookup` in the job's span tree (and its duration in
+    /// the stage histogram of the same name).
+    pub fn get_traced(&self, digest: u64, parent: Option<&TraceContext>) -> Option<String> {
+        let _span = parent.map(|p| SpanScope::enter("svc.cache", "svc.cache_lookup", p));
+        self.get(digest)
+    }
+
     /// Renames a damaged entry to `<entry>.corrupt` so it never poisons
     /// another lookup, and the evidence survives for postmortems.
     fn quarantine(&self, path: &Path, digest: u64) {
@@ -276,6 +285,19 @@ impl ResultCache {
         if let Err(e) = write_atomic(&path, &entry.render()) {
             self.record_disk_failure(digest, &e.to_string());
         }
+    }
+
+    /// [`ResultCache::put`] under a traced span: persistence appears as
+    /// `svc.cache_persist` in the job's span tree.
+    pub fn put_traced(
+        &self,
+        digest: u64,
+        spec_canonical: &str,
+        payload: &str,
+        parent: Option<&TraceContext>,
+    ) {
+        let _span = parent.map(|p| SpanScope::enter("svc.cache", "svc.cache_persist", p));
+        self.put(digest, spec_canonical, payload);
     }
 
     fn record_disk_failure(&self, digest: u64, reason: &str) {

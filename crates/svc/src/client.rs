@@ -32,6 +32,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
+use vab_obs::{SpanScope, TraceContext};
 use vab_util::json::Json;
 use vab_util::rng::derive_seed;
 
@@ -206,7 +207,28 @@ impl Client {
     /// Submits a job; the returned JSON carries `id`, `status`,
     /// `deduped`, and — for cache hits — `cached:true`.
     pub fn submit(&mut self, job: &JobSpec, deadline_ms: Option<u64>) -> Result<Json, ClientError> {
-        self.roundtrip(&Request::Submit { job: Box::new(job.clone()), deadline_ms })
+        self.submit_attempt(job, deadline_ms, 0)
+    }
+
+    /// [`Client::submit`] as delivery attempt `attempt` of the same job
+    /// (resilient loops pass their attempt counter so each resubmission
+    /// gets a distinct, still content-derived, span identity). When
+    /// observability is enabled, the submit runs under an `svc.submit`
+    /// span whose context rides the wire, rooting the daemon's server-side
+    /// spans in this client's trace.
+    pub fn submit_attempt(
+        &mut self,
+        job: &JobSpec,
+        deadline_ms: Option<u64>,
+        attempt: u32,
+    ) -> Result<Json, ClientError> {
+        let trace = if vab_obs::enabled() {
+            Some(TraceContext::root(job.digest(), "job").child("svc.submit", u64::from(attempt)))
+        } else {
+            None
+        };
+        let _span = trace.map(|ctx| SpanScope::enter_with("svc.client", "svc.submit", ctx));
+        self.roundtrip(&Request::Submit { job: Box::new(job.clone()), deadline_ms, trace })
     }
 
     /// Submits with a bounded backpressure-retry loop, sleeping the
@@ -220,7 +242,7 @@ impl Client {
         let mut attempt = 0;
         loop {
             attempt += 1;
-            match self.submit(job, deadline_ms) {
+            match self.submit_attempt(job, deadline_ms, (attempt - 1) as u32) {
                 Err(ClientError::QueueFull { retry_after_ms }) if attempt < max_attempts => {
                     std::thread::sleep(Duration::from_millis(retry_after_ms));
                 }
@@ -243,6 +265,17 @@ impl Client {
     /// Daemon-wide counters (workers, queue depth, cache hit rate, …).
     pub fn stats(&mut self) -> Result<Json, ClientError> {
         self.roundtrip(&Request::Stats)
+    }
+
+    /// One live telemetry sample (the `metrics` op).
+    pub fn metrics(&mut self) -> Result<Json, ClientError> {
+        self.roundtrip(&Request::Metrics)
+    }
+
+    /// Telemetry samples newer than tick `since` (the `watch` op); the
+    /// response's `latest` is the tick to pass next time.
+    pub fn watch(&mut self, since: u64) -> Result<Json, ClientError> {
+        self.roundtrip(&Request::Watch { since })
     }
 
     /// Liveness probe (cheap; exempt from server-side fault injection).
@@ -279,7 +312,7 @@ impl Client {
             stats.attempts += 1;
             let step = (|client: &mut Client| -> Result<Option<Json>, ClientError> {
                 if !submitted {
-                    let resp = client.submit(job, None)?;
+                    let resp = client.submit_attempt(job, None, stats.attempts - 1)?;
                     // Terminal at submission (cache hit / dedup of a
                     // finished job): the submit response is the answer.
                     if resp.str_field("status") == Some("done") {

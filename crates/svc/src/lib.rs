@@ -30,6 +30,12 @@
 //!    line, one JSON response per line, over localhost TCP. The
 //!    `vab-svcd` daemon and `vab-svc` client binaries (in `vab-bench`,
 //!    where the figure registry lives) speak it; so can `nc`.
+//! 5. **Telemetry** ([`telemetry`]): every hop of a job's life — client
+//!    submit, server handle, cache lookup, queue wait, execute, cache
+//!    persist — runs under a `vab_obs::TraceContext` span whose identity
+//!    is content-derived (digest-keyed, worker-count independent), and
+//!    the daemon keeps a ring of live metrics samples served over the
+//!    `metrics`/`watch` wire ops for `vab-obsctl tail` and the SLO gate.
 //!
 //! ## Determinism
 //!
@@ -45,6 +51,7 @@ pub mod exec;
 pub mod job;
 pub mod pool;
 pub mod server;
+pub mod telemetry;
 pub mod wire;
 
 pub use cache::ResultCache;

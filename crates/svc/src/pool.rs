@@ -21,6 +21,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use vab_obs::{span_begin, span_end, SpanScope, TraceContext};
+
 use crate::cache::ResultCache;
 use crate::exec::Executor;
 use crate::job::JobSpec;
@@ -162,6 +164,11 @@ struct QueuedJob {
     /// 0 for a first run; a resubmission of a failed job carries the
     /// prior attempt count so transient fault injections redraw.
     attempt: u32,
+    /// Parent span context for worker-side spans (queue wait, execute,
+    /// cache persist). `Some` whenever observability was enabled at
+    /// admission; identity is content-derived, so the same job yields
+    /// the same span ids regardless of worker count.
+    trace: Option<TraceContext>,
 }
 
 struct JobRecord {
@@ -255,12 +262,30 @@ impl WorkerPool {
         spec: JobSpec,
         deadline_ms: Option<u64>,
     ) -> Result<SubmitOutcome, SubmitError> {
+        self.submit_traced(spec, deadline_ms, None)
+    }
+
+    /// [`WorkerPool::submit`] with an explicit parent span context (the
+    /// server's `svc.handle` span). With `trace: None` and observability
+    /// enabled, a root context is derived from the job digest so
+    /// in-process callers still get a complete span tree.
+    pub fn submit_traced(
+        &self,
+        spec: JobSpec,
+        deadline_ms: Option<u64>,
+        trace: Option<TraceContext>,
+    ) -> Result<SubmitOutcome, SubmitError> {
         let inner = &self.inner;
         if inner.shutdown.load(Ordering::Acquire) {
             return Err(SubmitError::ShuttingDown);
         }
         let digest = spec.digest();
         let id = spec.id();
+        let parent = if vab_obs::enabled() {
+            Some(trace.unwrap_or_else(|| TraceContext::root(digest, "job")))
+        } else {
+            None
+        };
         let mut states = inner.states.lock().unwrap_or_else(|e| e.into_inner());
         let mut retry_attempt = 0;
         if let Some(existing) = states.get(&digest) {
@@ -280,7 +305,7 @@ impl WorkerPool {
                 return Ok(SubmitOutcome { id, digest, status, deduped: true });
             }
         }
-        if let Some(payload) = inner.cache.get(digest) {
+        if let Some(payload) = inner.cache.get_traced(digest, parent.as_ref()) {
             let status = JobStatus::Done { cached: true, wall_us: 0 };
             states.insert(
                 digest,
@@ -308,8 +333,19 @@ impl WorkerPool {
             submitted: Instant::now(),
             deadline: deadline_ms.map(Duration::from_millis),
             attempt: retry_attempt,
+            trace: parent,
         });
         let depth = queue.len();
+        if let Some(p) = &parent {
+            // Opens here on the submitting thread; the worker that pops
+            // the job closes it with the measured wait. Re-deriving the
+            // child context on both sides keeps the ids identical.
+            span_begin(
+                "svc.pool",
+                "svc.queue_wait",
+                &p.child("svc.queue_wait", retry_attempt as u64),
+            );
+        }
         drop(queue);
         states.insert(
             digest,
@@ -422,6 +458,14 @@ fn worker_loop(inner: &Inner) {
         };
         let Some(job) = job else { return };
         let waited = job.submitted.elapsed();
+        if let Some(p) = &job.trace {
+            span_end(
+                "svc.pool",
+                "svc.queue_wait",
+                &p.child("svc.queue_wait", job.attempt as u64),
+                waited,
+            );
+        }
         if let Some(deadline) = job.deadline {
             if waited > deadline {
                 let error = JobError::DeadlineExpired { waited_ms: waited.as_millis() as u64 };
@@ -448,15 +492,27 @@ fn worker_loop(inner: &Inner) {
         }
         let started = Instant::now();
         let result = {
-            let _t = vab_obs::time_stage("svc.job_execute");
+            // The span replaces the old `time_stage("svc.job_execute")`
+            // guard: its Drop feeds the same stage histogram, and it also
+            // emits begin/end events carrying the trace identity.
+            let _span = job.trace.as_ref().map(|p| {
+                SpanScope::enter_ord("svc.pool", "svc.job_execute", p, job.attempt as u64)
+            });
             std::panic::catch_unwind(AssertUnwindSafe(|| {
                 inner.executor.execute_attempt(&job.spec, job.digest, job.attempt, &inner.cache)
             }))
         };
         let wall_us = started.elapsed().as_micros() as u64;
+        let persist_parent =
+            job.trace.as_ref().map(|p| p.child("svc.job_execute", job.attempt as u64));
         match result {
             Ok(Ok(payload)) => {
-                inner.cache.put(job.digest, &job.spec.canonical(), &payload);
+                inner.cache.put_traced(
+                    job.digest,
+                    &job.spec.canonical(),
+                    &payload,
+                    persist_parent.as_ref(),
+                );
                 inner.jobs_done.fetch_add(1, Ordering::Relaxed);
                 vab_obs::metrics::inc("svc.jobs_done", 1);
                 vab_obs::event!("svc.pool", "job_done", job = job.spec.id(), wall_us = wall_us);

@@ -35,12 +35,14 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use vab_fault::{SvcFaultPlan, WireFault};
+use vab_obs::{SpanScope, TraceContext};
 use vab_util::hash::fnv1a64;
 use vab_util::json::Json;
 
 use crate::cache::ResultCache;
 use crate::exec::Executor;
 use crate::pool::{PoolConfig, WorkerPool};
+use crate::telemetry::TelemetryRing;
 use crate::wire::{self, Request};
 
 /// Daemon configuration.
@@ -60,6 +62,12 @@ pub struct ServerConfig {
     pub request_budget: u64,
     /// Deterministic wire-fault injection for chaos drills.
     pub faults: Option<SvcFaultPlan>,
+    /// Cadence of the background telemetry sampler, milliseconds
+    /// (`0` disables it; the `metrics` op still samples on demand).
+    pub telemetry_interval_ms: u64,
+    /// Telemetry samples retained in the ring (at the default 500 ms
+    /// cadence, 240 samples ≈ the last two minutes).
+    pub telemetry_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +78,8 @@ impl Default for ServerConfig {
             max_line_bytes: 1 << 20,
             request_budget: 0,
             faults: None,
+            telemetry_interval_ms: 500,
+            telemetry_capacity: 240,
         }
     }
 }
@@ -95,13 +105,21 @@ struct Shared {
     max_line_bytes: usize,
     request_budget: u64,
     faults: Option<SvcFaultPlan>,
-    /// Delivery-attempt counters per request key, so a retried request
-    /// redraws its fate (chaos drills recover instead of livelocking).
+    /// Delivery-attempt counters per *job-derived* request key, so a
+    /// retried request redraws its fate (chaos drills recover instead of
+    /// livelocking). Control ops never enter this map — they draw from
+    /// their own per-request identity stream (`control_requests`).
     attempts: Mutex<std::collections::HashMap<u64, u32>>,
+    /// Monotone identity source for control-plane requests (`stats`,
+    /// `metrics`, `watch`): each request gets its own fault draw instead
+    /// of all sharing one hashed op-name key, and the stream can never
+    /// collide with the job-digest namespace above.
+    control_requests: AtomicU64,
     wire_drops: AtomicU64,
     wire_truncates: AtomicU64,
     wire_corrupts: AtomicU64,
     malformed: AtomicU64,
+    telemetry: TelemetryRing,
 }
 
 /// A running daemon. Dropping the handle does *not* stop it — call
@@ -110,6 +128,7 @@ pub struct Server {
     addr: std::net::SocketAddr,
     shared: Arc<Shared>,
     accept_handle: Option<std::thread::JoinHandle<()>>,
+    sampler_handle: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -132,17 +151,30 @@ impl Server {
             request_budget: cfg.request_budget,
             faults: cfg.faults.filter(|p| !p.config().is_off()),
             attempts: Mutex::new(std::collections::HashMap::new()),
+            control_requests: AtomicU64::new(0),
             wire_drops: AtomicU64::new(0),
             wire_truncates: AtomicU64::new(0),
             wire_corrupts: AtomicU64::new(0),
             malformed: AtomicU64::new(0),
+            telemetry: TelemetryRing::new(cfg.telemetry_capacity),
         });
         vab_obs::event!("svc.server", "listening", addr = addr.to_string());
         let accept_shared = shared.clone();
         let accept_handle = std::thread::Builder::new()
             .name("vab-svc-accept".into())
             .spawn(move || accept_loop(&listener, &accept_shared))?;
-        Ok(Server { addr, shared, accept_handle: Some(accept_handle) })
+        let sampler_handle = if cfg.telemetry_interval_ms > 0 {
+            let sampler_shared = shared.clone();
+            let interval = Duration::from_millis(cfg.telemetry_interval_ms);
+            Some(
+                std::thread::Builder::new()
+                    .name("vab-svc-telemetry".into())
+                    .spawn(move || sampler_loop(&sampler_shared, interval))?,
+            )
+        } else {
+            None
+        };
+        Ok(Server { addr, shared, accept_handle: Some(accept_handle), sampler_handle })
     }
 
     /// The bound address (real port even when configured with `:0`).
@@ -174,6 +206,12 @@ impl Server {
         self.shared.malformed.load(Ordering::Relaxed)
     }
 
+    /// The live telemetry ring (tests and embedders sample it directly;
+    /// wire peers use the `metrics` / `watch` ops).
+    pub fn telemetry(&self) -> &TelemetryRing {
+        &self.shared.telemetry
+    }
+
     /// Stops accepting connections, drains the pool (admitted jobs run
     /// to completion and persist their results), joins the accept loop.
     /// Idempotent.
@@ -186,7 +224,15 @@ impl Server {
         if let Some(handle) = self.accept_handle.take() {
             let _ = handle.join();
         }
+        if let Some(handle) = self.sampler_handle.take() {
+            let _ = handle.join();
+        }
         self.shared.pool.shutdown();
+        // One final sample so the ring's last entry reflects the drained
+        // pool (useful to post-mortem a run from the `watch` backlog).
+        self.shared
+            .telemetry
+            .record(&self.shared.pool, self.shared.malformed.load(Ordering::Relaxed));
         vab_obs::event!("svc.server", "stopped", addr = self.addr.to_string());
     }
 }
@@ -199,6 +245,20 @@ fn request_stop(shared: &Shared, addr: std::net::SocketAddr) {
     }
     if let Ok(stream) = TcpStream::connect_timeout(&addr, Duration::from_millis(500)) {
         drop(stream);
+    }
+}
+
+/// Background telemetry sampler: one ring entry per interval until
+/// shutdown. Sleeps in short steps so a long cadence never delays exit.
+fn sampler_loop(shared: &Arc<Shared>, interval: Duration) {
+    while !shared.stop.load(Ordering::Acquire) {
+        shared.telemetry.record(&shared.pool, shared.malformed.load(Ordering::Relaxed));
+        let mut slept = Duration::ZERO;
+        while slept < interval && !shared.stop.load(Ordering::Acquire) {
+            let step = Duration::from_millis(50).min(interval - slept);
+            std::thread::sleep(step);
+            slept += step;
+        }
     }
 }
 
@@ -352,9 +412,14 @@ impl Shared {
         vab_obs::event!("svc.server", "malformed_frame", kind = kind);
     }
 
-    /// Draws this delivery's wire fault from the plan. Keys are derived
-    /// from request *content* so the drill replays identically whatever
-    /// the thread interleaving; `health`/`shutdown` are exempt.
+    /// Draws this delivery's wire fault from the plan. Job-addressed
+    /// requests key by request *content* (digest / id) so the drill
+    /// replays identically whatever the thread interleaving; control ops
+    /// (`stats`, `metrics`, `watch`) each get a fresh per-request
+    /// identity from a dedicated counter stream — they used to share one
+    /// hashed op-name key, which made every control request the same
+    /// "delivery" and let retries livelock on an always-faulting draw.
+    /// `health`/`shutdown` are exempt.
     fn draw_wire_fault(&self, req: &Request) -> WireFault {
         let Some(plan) = &self.faults else { return WireFault::None };
         let key = match req {
@@ -363,7 +428,16 @@ impl Shared {
             Request::Fetch { id, .. } => {
                 wire::parse_id(id).unwrap_or_else(|_| fnv1a64(id.as_bytes())) ^ 0x5747_C4ED
             }
-            Request::Stats => fnv1a64(b"stats"),
+            Request::Stats | Request::Metrics | Request::Watch { .. } => {
+                // Per-request identity: mix the counter through a 64-bit
+                // odd multiplier and fold in a fixed control-plane tag.
+                // This stream never touches `attempts` (attempt is 0 by
+                // construction — no two control requests share a key), so
+                // it cannot collide with the job-digest namespace.
+                let n = self.control_requests.fetch_add(1, Ordering::Relaxed);
+                let key = fnv1a64(b"ctl") ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                return plan.wire_fault(key, 0);
+            }
             Request::Health | Request::Shutdown => return WireFault::None,
         };
         let attempt = {
@@ -433,10 +507,24 @@ fn write_line(writer: &mut impl Write, response: &Json) -> std::io::Result<()> {
 
 fn dispatch(req: Request, shared: &Shared) -> Json {
     match req {
-        Request::Submit { job, deadline_ms } => match shared.pool.submit(*job, deadline_ms) {
-            Ok(outcome) => wire::submit_response(&outcome.id, &outcome.status, outcome.deduped),
-            Err(e) => wire::submit_error_response(&e),
-        },
+        Request::Submit { job, deadline_ms, trace } => {
+            // The handle span covers admission (cache lookup, dedupe,
+            // enqueue); execution continues under the same trace on a
+            // worker thread. Without a wire context the root is derived
+            // from the digest, so a traced daemon facing an untraced
+            // client still builds a complete (server-side) tree.
+            let parent = if vab_obs::enabled() {
+                Some(trace.unwrap_or_else(|| TraceContext::root(job.digest(), "job")))
+            } else {
+                None
+            };
+            let handle = parent.map(|p| SpanScope::enter("svc.server", "svc.handle", &p));
+            let pool_trace = handle.as_ref().map(|h| h.ctx());
+            match shared.pool.submit_traced(*job, deadline_ms, pool_trace) {
+                Ok(outcome) => wire::submit_response(&outcome.id, &outcome.status, outcome.deduped),
+                Err(e) => wire::submit_error_response(&e),
+            }
+        }
         Request::Status { id } => match wire::parse_id(&id) {
             Ok(digest) => match shared.pool.status(digest) {
                 Some(status) => wire::status_response(&id, &status),
@@ -477,6 +565,15 @@ fn dispatch(req: Request, shared: &Shared) -> Json {
                 ("cache_write_failures", Json::Num(cache.disk_write_failures as f64)),
                 ("malformed_frames", Json::Num(shared.malformed.load(Ordering::Relaxed) as f64)),
             ])
+        }
+        Request::Metrics => {
+            let sample =
+                shared.telemetry.sample_now(&shared.pool, shared.malformed.load(Ordering::Relaxed));
+            wire::metrics_response(sample)
+        }
+        Request::Watch { since } => {
+            let (latest, samples) = shared.telemetry.since(since);
+            wire::watch_response(since, latest, samples)
         }
         Request::Health => wire::health_response(
             shared.pool.workers(),

@@ -4,18 +4,30 @@
 //! Requests:
 //!
 //! ```json
-//! {"op":"submit","job":{...spec...},"deadline_ms":5000}
+//! {"op":"submit","job":{...spec...},"deadline_ms":5000,"trace":"<trace-span-parent>"}
 //! {"op":"status","id":"9f3a..."}
 //! {"op":"fetch","id":"9f3a...","wait_ms":30000}
 //! {"op":"stats"}
 //! {"op":"health"}
+//! {"op":"metrics"}
+//! {"op":"watch","since":12}
 //! {"op":"shutdown"}
 //! ```
 //!
 //! Responses always carry `"ok"`; failures add `"error"` (and, for
 //! backpressure, `"retry_after_ms"`). The protocol is plain enough to
 //! drive with `nc 127.0.0.1 PORT` by hand.
+//!
+//! The optional `trace` field on `submit` carries a serialized
+//! [`vab_obs::TraceContext`] (the client's submit-attempt span), so the
+//! daemon parents its handle/queue/execute/cache spans under the
+//! client's tree and `vab-obsctl trace` can merge both processes'
+//! JSONL into one waterfall. A malformed context degrades to "untraced"
+//! — it never fails the request. `metrics` returns one live telemetry
+//! sample; `watch` long-polls the daemon's in-process ring of samples
+//! (everything newer than `since`).
 
+use vab_obs::TraceContext;
 use vab_util::json::{Json, JsonError};
 
 use crate::job::JobSpec;
@@ -30,6 +42,9 @@ pub enum Request {
         job: Box<JobSpec>,
         /// Queue deadline, milliseconds.
         deadline_ms: Option<u64>,
+        /// The client-side span this submission happens under, when the
+        /// client is tracing; the daemon parents its spans beneath it.
+        trace: Option<TraceContext>,
     },
     /// Query a job's lifecycle state.
     Status {
@@ -47,6 +62,14 @@ pub enum Request {
     Stats,
     /// Liveness probe: cheap, side-effect-free, always answered.
     Health,
+    /// One live telemetry sample (queue depth, rates, cache, latency
+    /// quantiles), captured on demand.
+    Metrics,
+    /// Telemetry samples newer than `since` from the daemon's ring.
+    Watch {
+        /// Last tick the watcher has seen (0 = everything retained).
+        since: u64,
+    },
     /// Stop the daemon.
     Shutdown,
 }
@@ -59,7 +82,11 @@ impl Request {
             Some("submit") => {
                 let job = v.get("job").ok_or("submit needs a job object")?;
                 let spec = JobSpec::from_json(job)?;
-                Ok(Request::Submit { job: Box::new(spec), deadline_ms: v.u64_field("deadline_ms") })
+                Ok(Request::Submit {
+                    job: Box::new(spec),
+                    deadline_ms: v.u64_field("deadline_ms"),
+                    trace: v.str_field("trace").and_then(TraceContext::decode),
+                })
             }
             Some("status") => Ok(Request::Status {
                 id: v.str_field("id").ok_or("status needs an id")?.to_string(),
@@ -70,6 +97,8 @@ impl Request {
             }),
             Some("stats") => Ok(Request::Stats),
             Some("health") => Ok(Request::Health),
+            Some("metrics") => Ok(Request::Metrics),
+            Some("watch") => Ok(Request::Watch { since: v.u64_field("since").unwrap_or(0) }),
             Some("shutdown") => Ok(Request::Shutdown),
             other => Err(format!("unknown op {other:?}")),
         }
@@ -78,10 +107,13 @@ impl Request {
     /// Renders this request as one wire line (no trailing newline).
     pub fn render(&self) -> String {
         match self {
-            Request::Submit { job, deadline_ms } => {
+            Request::Submit { job, deadline_ms, trace } => {
                 let mut fields = vec![("op", Json::Str("submit".into())), ("job", job.to_json())];
                 if let Some(d) = deadline_ms {
                     fields.push(("deadline_ms", Json::Num(*d as f64)));
+                }
+                if let Some(ctx) = trace {
+                    fields.push(("trace", Json::Str(ctx.encode())));
                 }
                 Json::obj(fields).render()
             }
@@ -97,6 +129,11 @@ impl Request {
             .render(),
             Request::Stats => Json::obj([("op", Json::Str("stats".into()))]).render(),
             Request::Health => Json::obj([("op", Json::Str("health".into()))]).render(),
+            Request::Metrics => Json::obj([("op", Json::Str("metrics".into()))]).render(),
+            Request::Watch { since } => {
+                Json::obj([("op", Json::Str("watch".into())), ("since", Json::Num(*since as f64))])
+                    .render()
+            }
             Request::Shutdown => Json::obj([("op", Json::Str("shutdown".into()))]).render(),
         }
     }
@@ -121,6 +158,21 @@ pub fn health_response(workers: usize, queued: usize, draining: bool) -> Json {
         ("engine_version", Json::Str(crate::ENGINE_VERSION.into())),
         ("workers", Json::Num(workers as f64)),
         ("queued", Json::Num(queued as f64)),
+    ])
+}
+
+/// Response to a `metrics` request: one live telemetry sample.
+pub fn metrics_response(sample: Json) -> Json {
+    ok_obj([("sample", sample)])
+}
+
+/// Response to a `watch` request: every retained sample newer than the
+/// watcher's `since` tick, plus the tick to pass next time.
+pub fn watch_response(since: u64, latest: u64, samples: Vec<Json>) -> Json {
+    ok_obj([
+        ("since", Json::Num(since as f64)),
+        ("latest", Json::Num(latest as f64)),
+        ("samples", Json::Arr(samples)),
     ])
 }
 
@@ -209,10 +261,39 @@ mod tests {
                 engine: EngineSpec::LinkBudget,
             }),
             deadline_ms: Some(5000),
+            trace: None,
         };
         let line = req.render();
         assert!(!line.contains('\n'), "wire lines must be single lines");
         assert_eq!(Request::parse(&line).expect("parse"), req);
+    }
+
+    #[test]
+    fn submit_trace_context_round_trips_and_degrades_gracefully() {
+        let ctx = TraceContext::root(0x9f3a_0000_0000_0001, "job").child("svc.submit", 2);
+        let req = Request::Submit {
+            job: Box::new(JobSpec::McPoint {
+                system: SystemSpec::Vab { n_pairs: 4 },
+                env: EnvSpec::River,
+                range_m: 40.0,
+                rotation_deg: 0.0,
+                trials: 4,
+                bits: 64,
+                seed: 1,
+                engine: EngineSpec::LinkBudget,
+            }),
+            deadline_ms: None,
+            trace: Some(ctx),
+        };
+        let line = req.render();
+        assert!(line.contains("\"trace\":\""), "line: {line}");
+        assert_eq!(Request::parse(&line).expect("parse"), req);
+        // A mangled context degrades to untraced, never to an error.
+        let mangled = line.replace(&ctx.encode(), "not-a-context");
+        match Request::parse(&mangled).expect("still parses") {
+            Request::Submit { trace, .. } => assert_eq!(trace, None),
+            other => panic!("wrong op: {other:?}"),
+        }
     }
 
     #[test]
@@ -228,6 +309,9 @@ mod tests {
             ),
             (r#"{"op":"stats"}"#, Request::Stats),
             (r#"{"op":"health"}"#, Request::Health),
+            (r#"{"op":"metrics"}"#, Request::Metrics),
+            (r#"{"op":"watch"}"#, Request::Watch { since: 0 }),
+            (r#"{"op":"watch","since":12}"#, Request::Watch { since: 12 }),
             (r#"{"op":"shutdown"}"#, Request::Shutdown),
         ] {
             assert_eq!(Request::parse(line).expect(line), want);

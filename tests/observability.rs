@@ -145,6 +145,22 @@ fn disabled_observability_skips_sink_and_registry() {
     vab::obs::disable();
     vab::obs::metrics::reset();
     let _ = faulted_point(1);
+    // Span sites must be equally silent: a scope entered while disabled
+    // records nothing (one relaxed atomic, no Instant, no id derivation),
+    // and the cross-thread begin/end functions are no-ops.
+    let root = vab::obs::TraceContext::root(0xd15a_b1ed, "job");
+    {
+        let scope = vab::obs::SpanScope::enter("svc.test", "svc.disabled_probe", &root);
+        assert!(!scope.is_recording(), "disabled scope must not record");
+        assert_eq!(scope.ctx(), root, "disabled scope echoes its parent context");
+    }
+    vab::obs::span_begin("svc.test", "svc.disabled_probe", &root);
+    vab::obs::span_end(
+        "svc.test",
+        "svc.disabled_probe",
+        &root,
+        std::time::Duration::from_millis(3),
+    );
     let snap = vab::obs::metrics::Snapshot::capture();
     assert!(
         snap.counters.iter().all(|(_, v)| *v == 0),
@@ -153,6 +169,7 @@ fn disabled_observability_skips_sink_and_registry() {
     );
     assert!(
         snap.stages.iter().all(|h| h.count == 0),
-        "stage timers must stay silent when disabled"
+        "stage timers and span scopes must stay silent when disabled: {:?}",
+        snap.stages.iter().filter(|h| h.count > 0).map(|h| &h.name).collect::<Vec<_>>()
     );
 }
