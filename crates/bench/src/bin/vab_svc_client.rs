@@ -67,6 +67,7 @@ fn main() {
         eprintln!("warning: VAB_OBS sink unavailable ({e}); observability disabled");
         vab_obs::disable();
     }
+    vab_obs::alloc::init_from_env();
     let argv: Vec<String> = std::env::args().collect();
     let prog = argv.first().cloned().unwrap_or_else(|| "vab-svc".into());
     let addr = flag_value(&argv, "--addr").unwrap_or_else(|| "127.0.0.1:7411".into());

@@ -106,6 +106,9 @@ fn main() {
         eprintln!("warning: VAB_OBS sink unavailable ({e}); observability disabled");
         vab_obs::disable();
     }
+    if vab_obs::alloc::init_from_env() {
+        eprintln!("vab-svcd: allocation profiling on (VAB_PROFILE=1)");
+    }
     let mut executor = bench_executor();
     if let Some(seed) = opts.fault_seed {
         eprintln!(

@@ -32,6 +32,11 @@ pub struct StagePerf {
     pub p95_s: f64,
     /// 99th percentile (seconds).
     pub p99_s: f64,
+    /// Allocations attributed to the stage alone (self, not children)
+    /// during the figure. Zero when allocation profiling is off.
+    pub alloc_count: u64,
+    /// Bytes attributed to the stage alone during the figure.
+    pub alloc_bytes: u64,
 }
 
 /// One figure/table's performance record.
@@ -103,7 +108,7 @@ impl BenchSnapshot {
     /// delta observed while it ran (pass an empty [`Snapshot`] when
     /// observability is off).
     pub fn push_figure(&mut self, name: &str, wall_s: f64, rows: usize, stage_delta: &Snapshot) {
-        let stages = stage_delta
+        let mut stages: Vec<StagePerf> = stage_delta
             .stages
             .iter()
             .filter(|h| h.count > 0)
@@ -116,9 +121,33 @@ impl BenchSnapshot {
                     p50_s,
                     p95_s,
                     p99_s,
+                    alloc_count: 0,
+                    alloc_bytes: 0,
                 }
             })
             .collect();
+        // Merge the allocation profile by stage name. With `VAB_PROFILE=1`
+        // and the sink off, the timing histograms are empty but the alloc
+        // registry is not — those stages enter on their alloc identity.
+        for a in stage_delta.alloc_stages.iter().filter(|a| a.calls > 0 || a.self_allocs > 0) {
+            match stages.iter_mut().find(|s| s.name == a.name) {
+                Some(s) => {
+                    s.alloc_count = a.self_allocs;
+                    s.alloc_bytes = a.self_bytes;
+                }
+                None => stages.push(StagePerf {
+                    name: a.name.clone(),
+                    count: a.calls,
+                    sum_s: 0.0,
+                    p50_s: 0.0,
+                    p95_s: 0.0,
+                    p99_s: 0.0,
+                    alloc_count: a.self_allocs,
+                    alloc_bytes: a.self_bytes,
+                }),
+            }
+        }
+        stages.sort_by(|x, y| x.name.cmp(&y.name));
         self.figures.push(FigurePerf { name: name.to_string(), wall_s, rows, stages });
     }
 
@@ -164,8 +193,8 @@ impl BenchSnapshot {
                 jstr(&mut out, &s.name);
                 let _ = write!(
                     out,
-                    ", \"count\": {}, \"sum_s\": {:?}, \"p50_s\": {:?}, \"p95_s\": {:?}, \"p99_s\": {:?}}}",
-                    s.count, s.sum_s, s.p50_s, s.p95_s, s.p99_s
+                    ", \"count\": {}, \"sum_s\": {:?}, \"p50_s\": {:?}, \"p95_s\": {:?}, \"p99_s\": {:?}, \"alloc_count\": {}, \"alloc_bytes\": {}}}",
+                    s.count, s.sum_s, s.p50_s, s.p95_s, s.p99_s, s.alloc_count, s.alloc_bytes
                 );
             }
             out.push_str(if f.stages.is_empty() { "]}" } else { "\n    ]}" });

@@ -86,6 +86,13 @@ fn init_obs() -> ObsMode {
     }
 }
 
+/// True when either plane records: events/timers (`VAB_OBS`) or the
+/// allocation profile (`VAB_PROFILE`). Snapshots are worth capturing in
+/// both cases.
+fn recording() -> bool {
+    vab_obs::enabled() || vab_obs::alloc::profiling()
+}
+
 /// Runs one figure/table experiment with the uniform preamble and
 /// observability plumbing. `run` receives the resolved [`ExpConfig`];
 /// experiments that take no config simply ignore it.
@@ -96,8 +103,9 @@ where
     let args = parse_args();
     let cfg = if args.quick { ExpConfig::quick() } else { ExpConfig::full() };
     let mode = init_obs();
-    preamble(id, title, &cfg, args.quick, &mode);
-    let before = vab_obs::enabled().then(Snapshot::capture);
+    let profiling = vab_obs::alloc::init_from_env();
+    preamble(id, title, &cfg, args.quick, &mode, profiling);
+    let before = recording().then(Snapshot::capture);
     let started = Instant::now();
     let table = run(&cfg);
     let elapsed = started.elapsed();
@@ -128,27 +136,33 @@ fn write_perf(perf: &BenchSnapshot, override_path: Option<&str>) {
     }
 }
 
-/// Prints the uniform figure header: id, title, config, and obs mode.
-fn preamble(id: &str, title: &str, cfg: &ExpConfig, quick: bool, mode: &ObsMode) {
+/// Prints the uniform figure header: id, title, config, obs mode, and
+/// whether allocation profiling is recording.
+fn preamble(id: &str, title: &str, cfg: &ExpConfig, quick: bool, mode: &ObsMode, profiling: bool) {
     println!("# {id} - {title}");
     println!(
-        "# config: {} (trials={}, bits={}, seed={})  obs={}",
+        "# config: {} (trials={}, bits={}, seed={})  obs={}  profile={}",
         if quick { "quick" } else { "full" },
         cfg.trials,
         cfg.bits,
         cfg.seed,
-        mode.label()
+        mode.label(),
+        if profiling { "on" } else { "off" }
     );
 }
 
-/// End-of-run observability epilogue: stage breakdown, metrics snapshot,
-/// trace flush. A no-op when observability is off.
+/// End-of-run observability epilogue: stage breakdown, allocation
+/// profile, metrics snapshot, trace flush. A no-op when both the event
+/// plane and allocation profiling are off.
 fn finish(mode: &ObsMode) {
-    if !vab_obs::enabled() {
+    if !recording() {
         return;
     }
     let snap = Snapshot::capture();
     if let Some(summary) = snap.stage_summary() {
+        eprint!("{summary}");
+    }
+    if let Some(summary) = snap.alloc_summary() {
         eprint!("{summary}");
     }
     let path = Path::new("results/metrics.json");
@@ -156,15 +170,18 @@ fn finish(mode: &ObsMode) {
         Ok(()) => eprintln!("metrics snapshot: {}", path.display()),
         Err(e) => eprintln!("warning: could not write metrics snapshot: {e}"),
     }
-    vab_obs::flush();
-    if let ObsMode::Jsonl(p) = mode {
-        eprintln!("trace: {}", p.display());
+    if vab_obs::enabled() {
+        vab_obs::flush();
+        if let ObsMode::Jsonl(p) = mode {
+            eprintln!("trace: {}", p.display());
+        }
     }
 }
 
 /// Per-stage difference between two snapshots: what ran *between* them.
 /// Only stages that recorded new observations survive; counters, gauges
-/// and general histograms are dropped (the delta is for stage timing).
+/// and general histograms are dropped (the delta is for stage timing and
+/// per-stage allocation attribution).
 fn stage_delta(before: &Snapshot, after: &Snapshot) -> Snapshot {
     let mut delta = Snapshot::default();
     for h in &after.stages {
@@ -183,6 +200,20 @@ fn stage_delta(before: &Snapshot, after: &Snapshot) -> Snapshot {
         }
         delta.stages.push(d);
     }
+    for a in &after.alloc_stages {
+        let prev = before.alloc_stages.iter().find(|p| p.name == a.name);
+        let mut d = a.clone();
+        if let Some(p) = prev {
+            d.calls = a.calls.saturating_sub(p.calls);
+            d.self_allocs = a.self_allocs.saturating_sub(p.self_allocs);
+            d.self_bytes = a.self_bytes.saturating_sub(p.self_bytes);
+            d.cum_allocs = a.cum_allocs.saturating_sub(p.cum_allocs);
+            d.cum_bytes = a.cum_bytes.saturating_sub(p.cum_bytes);
+        }
+        if d.calls > 0 || d.cum_allocs > 0 {
+            delta.alloc_stages.push(d);
+        }
+    }
     delta
 }
 
@@ -193,6 +224,7 @@ pub fn run_all_main() {
     let args = parse_args();
     let cfg = if args.quick { ExpConfig::quick() } else { ExpConfig::full() };
     let mode = init_obs();
+    let profiling = vab_obs::alloc::init_from_env();
     let out_dir = Path::new("results");
     std::fs::create_dir_all(out_dir).expect("create results/");
     if let Some(addr) = &args.serve {
@@ -201,16 +233,17 @@ pub fn run_all_main() {
     }
     let started = Instant::now();
     eprintln!(
-        "run_all: {} (trials={}, bits={}, seed={})  obs={}",
+        "run_all: {} (trials={}, bits={}, seed={})  obs={}  profile={}",
         if args.quick { "quick" } else { "full" },
         cfg.trials,
         cfg.bits,
         cfg.seed,
-        mode.label()
+        mode.label(),
+        if profiling { "on" } else { "off" }
     );
     let mut perf = BenchSnapshot::new(&cfg, args.quick);
     for (name, run) in experiments::all_experiments_lazy() {
-        let before = vab_obs::enabled().then(Snapshot::capture);
+        let before = recording().then(Snapshot::capture);
         let fig_started = Instant::now();
         let table = run(&cfg);
         let fig_elapsed = fig_started.elapsed();

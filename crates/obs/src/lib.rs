@@ -46,16 +46,25 @@
 //! [`init_from_env`] reads the switch; library code only ever calls
 //! [`enabled`] / [`emit`] / [`time_stage`] and works under any mode.
 
+pub mod alloc;
 pub mod event;
 pub mod metrics;
 pub mod sink;
 pub mod span;
 pub mod timer;
 
+pub use alloc::CountingAlloc;
 pub use event::{Event, Value};
 pub use sink::{JsonlSink, NullSink, Sink, StderrSink};
 pub use span::{span_begin, span_end, SpanScope, TraceContext};
 pub use timer::{time_stage, Span, StageTimer};
+
+/// The counting allocator wraps [`std::alloc::System`] for every binary
+/// in the workspace. Costs one relaxed atomic load per allocator call
+/// while profiling is off; see [`alloc`] for the accounting it performs
+/// when `VAB_PROFILE=1`.
+#[global_allocator]
+static GLOBAL_ALLOC: CountingAlloc = CountingAlloc;
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
@@ -125,6 +134,10 @@ pub fn emit(target: &'static str, name: &'static str, fields: &[(&'static str, V
     if !enabled() {
         return;
     }
+    // Observability's own allocations (event rendering, sink buffers)
+    // must never show up in allocation profiles — they would break the
+    // deterministic per-stage counts the alloc baseline pins.
+    let _p = alloc::pause();
     let e = Event {
         seq: SEQ.fetch_add(1, Ordering::Relaxed),
         t_us: epoch().elapsed().as_micros() as u64,
@@ -206,6 +219,9 @@ pub fn init_from_env() -> std::io::Result<ObsMode> {
 macro_rules! event {
     ($target:expr, $name:expr $(, $k:ident = $v:expr)* $(,)?) => {
         if $crate::enabled() {
+            // Field evaluation may allocate (owned strings); keep it out
+            // of allocation profiles along with the emit itself.
+            let _obs_pause = $crate::alloc::pause();
             $crate::emit($target, $name, &[$((stringify!($k), $crate::Value::from($v))),*]);
         }
     };

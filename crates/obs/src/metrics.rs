@@ -137,24 +137,32 @@ fn lock() -> std::sync::MutexGuard<'static, Registry> {
 }
 
 /// Returns (creating if needed) the counter named `name`.
+///
+/// Registry lookups may allocate (first-touch instrument creation); they
+/// run under an allocation-profiling pause so which thread first resolves
+/// a name never shows up in per-stage allocation counts.
 pub fn counter(name: &'static str) -> Arc<Counter> {
+    let _p = crate::alloc::pause();
     lock().counters.entry(name).or_default().clone()
 }
 
 /// Returns (creating if needed) the gauge named `name`.
 pub fn gauge(name: &'static str) -> Arc<Gauge> {
+    let _p = crate::alloc::pause();
     lock().gauges.entry(name).or_default().clone()
 }
 
 /// Returns (creating if needed) the histogram named `name` with `bounds`.
 /// The first caller's bounds win.
 pub fn histogram(name: &'static str, bounds: &[f64]) -> Arc<Histogram> {
+    let _p = crate::alloc::pause();
     lock().histograms.entry(name).or_insert_with(|| Arc::new(Histogram::new(bounds))).clone()
 }
 
 /// Returns (creating if needed) the per-stage wall-clock histogram for
 /// `name`, in seconds with the standard stage buckets.
 pub fn stage(name: &'static str) -> Arc<Histogram> {
+    let _p = crate::alloc::pause();
     lock()
         .stages
         .entry(name)
@@ -179,6 +187,7 @@ pub fn set(name: &'static str, v: f64) {
 /// Clears every registered instrument. Test hook — snapshots taken after
 /// a reset only see instruments touched since.
 pub fn reset() {
+    let _p = crate::alloc::pause();
     let mut reg = lock();
     *reg = Registry::default();
 }
@@ -255,6 +264,11 @@ pub struct Snapshot {
     pub histograms: Vec<HistogramSnapshot>,
     /// Per-stage wall-clock histograms (seconds).
     pub stages: Vec<HistogramSnapshot>,
+    /// Process-wide allocator totals (`None` unless allocation profiling
+    /// recorded anything — see [`crate::alloc`]).
+    pub alloc_totals: Option<crate::alloc::AllocTotals>,
+    /// Per-stage allocation counters (empty unless profiling recorded).
+    pub alloc_stages: Vec<crate::alloc::AllocStageSnapshot>,
 }
 
 fn freeze(map: &BTreeMap<&'static str, Arc<Histogram>>) -> Vec<HistogramSnapshot> {
@@ -270,14 +284,25 @@ fn freeze(map: &BTreeMap<&'static str, Arc<Histogram>>) -> Vec<HistogramSnapshot
 }
 
 impl Snapshot {
-    /// Captures the current state of every registered instrument.
+    /// Captures the current state of every registered instrument, plus
+    /// the allocation profile when [`crate::alloc`] has recorded one.
     pub fn capture() -> Snapshot {
+        let _p = crate::alloc::pause();
+        let totals = crate::alloc::totals();
+        let (alloc_totals, alloc_stages) =
+            if crate::alloc::profiling() || totals != crate::alloc::AllocTotals::default() {
+                (Some(totals), crate::alloc::snapshot_stages())
+            } else {
+                (None, Vec::new())
+            };
         let reg = lock();
         Snapshot {
             counters: reg.counters.iter().map(|(n, c)| ((*n).to_string(), c.get())).collect(),
             gauges: reg.gauges.iter().map(|(n, g)| ((*n).to_string(), g.get())).collect(),
             histograms: freeze(&reg.histograms),
             stages: freeze(&reg.stages),
+            alloc_totals,
+            alloc_stages,
         }
     }
 
@@ -334,8 +359,9 @@ impl Snapshot {
             json_f64(&mut out, *v);
         }
         out.push_str(if self.gauges.is_empty() { "},\n" } else { "\n  },\n" });
+        let has_alloc = self.alloc_totals.is_some();
         for (key, hists, last) in
-            [("histograms", &self.histograms, false), ("stages", &self.stages, true)]
+            [("histograms", &self.histograms, false), ("stages", &self.stages, !has_alloc)]
         {
             let _ = write!(out, "  \"{key}\": [");
             for (i, h) in hists.iter().enumerate() {
@@ -344,6 +370,33 @@ impl Snapshot {
             }
             out.push_str(if hists.is_empty() { "]" } else { "\n  ]" });
             out.push_str(if last { "\n" } else { ",\n" });
+        }
+        if let Some(t) = &self.alloc_totals {
+            let _ = write!(
+                out,
+                "  \"alloc\": {{\n    \"allocs\": {},\n    \"frees\": {},\n    \
+                 \"bytes_allocated\": {},\n    \"bytes_freed\": {},\n    \
+                 \"live_bytes\": {},\n    \"peak_live_bytes\": {},\n    \"stages\": [",
+                t.allocs,
+                t.frees,
+                t.bytes_allocated,
+                t.bytes_freed,
+                t.live_bytes,
+                t.peak_live_bytes
+            );
+            for (i, s) in self.alloc_stages.iter().enumerate() {
+                out.push_str(if i > 0 { ",\n      " } else { "\n      " });
+                out.push_str("{\"name\":");
+                write_json_string(&mut out, &s.name);
+                let _ = write!(
+                    out,
+                    ",\"calls\":{},\"self_allocs\":{},\"self_bytes\":{},\
+                     \"cum_allocs\":{},\"cum_bytes\":{}}}",
+                    s.calls, s.self_allocs, s.self_bytes, s.cum_allocs, s.cum_bytes
+                );
+            }
+            out.push_str(if self.alloc_stages.is_empty() { "]" } else { "\n    ]" });
+            out.push_str("\n  }\n");
         }
         out.push('}');
         out
@@ -375,6 +428,26 @@ impl Snapshot {
                 out,
                 "  {:<24} {:>10} calls  {:>10.3} s total  {:>10.1} us/call  {:>5.1}%",
                 h.name, h.count, h.sum, mean_us, share
+            );
+        }
+        Some(out)
+    }
+
+    /// Human-readable per-stage allocation breakdown (self-attributed),
+    /// or `None` when no allocation profile was captured.
+    pub fn alloc_summary(&self) -> Option<String> {
+        let totals = self.alloc_totals.as_ref()?;
+        let mut out = format!(
+            "allocation profile: {} allocs / {} frees, {} bytes allocated, peak live {} bytes\n",
+            totals.allocs, totals.frees, totals.bytes_allocated, totals.peak_live_bytes
+        );
+        let active: Vec<_> = self.alloc_stages.iter().filter(|s| s.cum_allocs > 0).collect();
+        for s in &active {
+            let per_call = if s.calls > 0 { s.self_allocs as f64 / s.calls as f64 } else { 0.0 };
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>10} calls  {:>12} self allocs  {:>14} self bytes  {:>8.1} allocs/call",
+                s.name, s.calls, s.self_allocs, s.self_bytes, per_call
             );
         }
         Some(out)
@@ -601,6 +674,40 @@ mod tests {
         assert!(json.contains("\"p50\":"), "json: {json}");
         assert!(json.contains("\"p95\":"), "json: {json}");
         assert!(json.contains("\"p99\":"), "json: {json}");
+        reset();
+    }
+
+    #[test]
+    fn snapshot_carries_alloc_profile_when_profiling() {
+        let _g = guard();
+        reset();
+        crate::alloc::reset();
+        crate::alloc::enable();
+        {
+            let tok = crate::alloc::stage_enter("pr8.alloc_stage").expect("profiling on");
+            let v: Vec<u8> = Vec::with_capacity(256);
+            std::hint::black_box(&v);
+            drop(v);
+            crate::alloc::stage_exit(tok);
+        }
+        let snap = Snapshot::capture();
+        crate::alloc::disable();
+        let totals = snap.alloc_totals.expect("profiling snapshot carries totals");
+        assert!(totals.allocs >= 1);
+        let stage = snap.alloc_stages.iter().find(|s| s.name == "pr8.alloc_stage").expect("stage");
+        assert!(stage.self_allocs >= 1 && stage.self_bytes >= 256);
+        let json = snap.to_json();
+        assert!(json.contains("\"alloc\": {"), "json: {json}");
+        assert!(json.contains("\"peak_live_bytes\""), "json: {json}");
+        assert!(json.contains("\"name\":\"pr8.alloc_stage\""), "json: {json}");
+        let balance = |open: char, close: char| {
+            json.chars().filter(|&c| c == open).count()
+                == json.chars().filter(|&c| c == close).count()
+        };
+        assert!(balance('{', '}') && balance('[', ']'));
+        let summary = snap.alloc_summary().expect("alloc summary");
+        assert!(summary.contains("pr8.alloc_stage"), "summary: {summary}");
+        crate::alloc::reset();
         reset();
     }
 

@@ -21,8 +21,8 @@
 //! and ends on a worker) use the free functions [`span_begin`] /
 //! [`span_end`] with an explicit duration instead of a guard.
 
-use crate::metrics;
 use crate::Value;
+use crate::{alloc, metrics};
 use std::time::{Duration, Instant};
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -107,6 +107,8 @@ impl TraceContext {
 }
 
 fn emit_begin(target: &'static str, name: &'static str, ctx: &TraceContext) {
+    // The hex renders allocate; keep them out of allocation profiles.
+    let _p = alloc::pause();
     crate::emit(
         target,
         "span_begin",
@@ -119,18 +121,26 @@ fn emit_begin(target: &'static str, name: &'static str, ctx: &TraceContext) {
     );
 }
 
-fn emit_end(target: &'static str, name: &'static str, ctx: &TraceContext, dur: Duration) {
-    crate::emit(
-        target,
-        "span_end",
-        &[
-            ("span", Value::Str(name)),
-            ("trace", Value::Owned(format!("{:016x}", ctx.trace_id))),
-            ("id", Value::Owned(format!("{:016x}", ctx.span_id))),
-            ("parent", Value::Owned(format!("{:016x}", ctx.parent_span_id))),
-            ("dur_us", Value::U64(dur.as_micros() as u64)),
-        ],
-    );
+fn emit_end(
+    target: &'static str,
+    name: &'static str,
+    ctx: &TraceContext,
+    dur: Duration,
+    alloc_delta: Option<alloc::AllocDelta>,
+) {
+    let _p = alloc::pause();
+    let mut fields = vec![
+        ("span", Value::Str(name)),
+        ("trace", Value::Owned(format!("{:016x}", ctx.trace_id))),
+        ("id", Value::Owned(format!("{:016x}", ctx.span_id))),
+        ("parent", Value::Owned(format!("{:016x}", ctx.parent_span_id))),
+        ("dur_us", Value::U64(dur.as_micros() as u64)),
+    ];
+    if let Some(d) = alloc_delta {
+        fields.push(("alloc_n", Value::U64(d.allocs)));
+        fields.push(("alloc_b", Value::U64(d.bytes)));
+    }
+    crate::emit(target, "span_end", &fields);
     metrics::stage(name).observe(dur.as_secs_f64());
 }
 
@@ -148,7 +158,9 @@ pub fn span_begin(target: &'static str, name: &'static str, ctx: &TraceContext) 
 /// span-named stage histogram. No-op when observability is disabled.
 pub fn span_end(target: &'static str, name: &'static str, ctx: &TraceContext, dur: Duration) {
     if crate::enabled() {
-        emit_end(target, name, ctx, dur);
+        // Cross-thread spans cannot carry a thread-local attribution
+        // frame: the allocations happened on another thread's stack.
+        emit_end(target, name, ctx, dur, None);
     }
 }
 
@@ -163,6 +175,9 @@ pub struct SpanScope {
     name: &'static str,
     ctx: TraceContext,
     start: Option<Instant>,
+    /// Allocation-attribution frame, open while `VAB_PROFILE=1` —
+    /// independent of the event switch, so profiles work with no sink.
+    alloc_tok: Option<alloc::StageToken>,
 }
 
 impl SpanScope {
@@ -179,22 +194,24 @@ impl SpanScope {
         parent: &TraceContext,
         ordinal: u64,
     ) -> SpanScope {
+        let alloc_tok = alloc::stage_enter(name);
         if !crate::enabled() {
-            return SpanScope { target, name, ctx: *parent, start: None };
+            return SpanScope { target, name, ctx: *parent, start: None, alloc_tok };
         }
         let ctx = parent.child(name, ordinal);
         emit_begin(target, name, &ctx);
-        SpanScope { target, name, ctx, start: Some(Instant::now()) }
+        SpanScope { target, name, ctx, start: Some(Instant::now()), alloc_tok }
     }
 
     /// Opens a span whose context was derived by the caller (e.g. the
     /// exact context that was serialized onto the wire).
     pub fn enter_with(target: &'static str, name: &'static str, ctx: TraceContext) -> SpanScope {
+        let alloc_tok = alloc::stage_enter(name);
         if !crate::enabled() {
-            return SpanScope { target, name, ctx, start: None };
+            return SpanScope { target, name, ctx, start: None, alloc_tok };
         }
         emit_begin(target, name, &ctx);
-        SpanScope { target, name, ctx, start: Some(Instant::now()) }
+        SpanScope { target, name, ctx, start: Some(Instant::now()), alloc_tok }
     }
 
     /// This span's context — the parent for anything nested under it.
@@ -212,8 +229,11 @@ impl SpanScope {
 
 impl Drop for SpanScope {
     fn drop(&mut self) {
+        // Close the attribution frame first so the emit below (paused)
+        // can never leak observability work into the span's own counts.
+        let delta = self.alloc_tok.take().map(alloc::stage_exit);
         if let Some(start) = self.start {
-            emit_end(self.target, self.name, &self.ctx, start.elapsed());
+            emit_end(self.target, self.name, &self.ctx, start.elapsed(), delta);
         }
     }
 }

@@ -5,7 +5,7 @@
 //! histogram. When observability is disabled the guard holds no `Instant`
 //! and drop does nothing, so hot paths pay a single relaxed load.
 
-use crate::metrics;
+use crate::{alloc, metrics};
 use std::time::Instant;
 
 /// Upper bounds (seconds) for stage latency histograms: log-spaced from
@@ -22,10 +22,16 @@ pub const STAGE_BUCKETS_S: &[f64] = &[
 pub struct StageTimer {
     name: &'static str,
     start: Option<Instant>,
+    /// Allocation-attribution frame, open while `VAB_PROFILE=1`.
+    /// Independent of the event switch: profiles work with the sink off.
+    alloc_tok: Option<alloc::StageToken>,
 }
 
 impl Drop for StageTimer {
     fn drop(&mut self) {
+        if let Some(tok) = self.alloc_tok.take() {
+            alloc::stage_exit(tok);
+        }
         if let Some(start) = self.start {
             metrics::stage(self.name).observe(start.elapsed().as_secs_f64());
         }
@@ -33,11 +39,13 @@ impl Drop for StageTimer {
 }
 
 /// Starts timing stage `name`; the elapsed wall-clock time lands in the
-/// stage's latency histogram when the returned guard drops.
+/// stage's latency histogram when the returned guard drops. While
+/// allocation profiling is on the guard also attributes every allocation
+/// inside the scope to `name` (see [`crate::alloc`]).
 #[inline]
 pub fn time_stage(name: &'static str) -> StageTimer {
     let start = if crate::enabled() { Some(Instant::now()) } else { None };
-    StageTimer { name, start }
+    StageTimer { name, start, alloc_tok: alloc::stage_enter(name) }
 }
 
 /// Drop guard that emits paired `span_begin` / `span_end` events (the end

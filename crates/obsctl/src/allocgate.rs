@@ -1,0 +1,377 @@
+//! The `alloc-gate` subcommand: pin per-figure per-stage allocation
+//! counts against the committed reference
+//! (`crates/bench/alloc_baseline.json`, schema `vab-alloc-baseline/1`).
+//!
+//! Unlike the timing baseline, which gates *shares* with a tolerance
+//! (wall time is machine-dependent), allocation counts under
+//! `VAB_PROFILE=1` are **work-derived**: a fixed-seed figure performs the
+//! same allocations in the same stages at any worker count, on any
+//! machine, so the gate pins `alloc_count` *exactly*. Any drift —
+//! including an improvement — fails the gate until `--write` refreshes
+//! the baseline, which is the point: an allocation-count change is a
+//! behavior change someone must have intended.
+//!
+//! Byte counts are recorded and reported but not gated: allocator
+//! requests can legitimately vary in size (capacity growth policies)
+//! between toolchain versions without the *count* moving.
+//!
+//! A stage that allocates in the snapshot but is absent from the
+//! baseline fails too (new hot-path allocations cannot ship silently).
+//! Baseline figures missing from the snapshot only warn, so single-figure
+//! runs can still be gated against the full reference.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::baseline::BenchDoc;
+use crate::json::{write_json_string, Json};
+
+/// Allocation-baseline schema identifier.
+pub const ALLOC_SCHEMA: &str = "vab-alloc-baseline/1";
+
+/// One pinned stage reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocPin {
+    /// Stage name.
+    pub name: String,
+    /// Stage invocations during the figure (informational).
+    pub calls: u64,
+    /// Self-attributed allocation count — gated exactly.
+    pub alloc_count: u64,
+    /// Self-attributed bytes — informational.
+    pub alloc_bytes: u64,
+}
+
+/// One figure's pinned stage set.
+#[derive(Debug, Clone, Default)]
+pub struct AllocFigure {
+    /// Figure name.
+    pub name: String,
+    /// Pinned stages, sorted by name.
+    pub stages: Vec<AllocPin>,
+}
+
+/// The committed allocation reference.
+#[derive(Debug, Clone, Default)]
+pub struct AllocBaseline {
+    /// Mode the baseline was captured in (`quick` expected in CI).
+    pub mode: String,
+    /// Per-figure pins, sorted by figure name.
+    pub figures: Vec<AllocFigure>,
+}
+
+impl AllocBaseline {
+    /// Parses the committed baseline JSON.
+    pub fn parse(text: &str) -> Result<AllocBaseline, String> {
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        let schema = v.str_field("schema").unwrap_or("");
+        if schema != ALLOC_SCHEMA {
+            return Err(format!(
+                "unsupported alloc baseline schema {schema:?} (expected {ALLOC_SCHEMA:?})"
+            ));
+        }
+        let mut base = AllocBaseline {
+            mode: v.str_field("mode").unwrap_or("quick").to_string(),
+            figures: Vec::new(),
+        };
+        for (fig_name, fig) in v.get("figures").and_then(Json::as_obj).unwrap_or(&[]) {
+            let mut stages = Vec::new();
+            for (stage_name, s) in fig.get("stages").and_then(Json::as_obj).unwrap_or(&[]) {
+                stages.push(AllocPin {
+                    name: stage_name.clone(),
+                    calls: s.u64_field("calls").unwrap_or(0),
+                    alloc_count: s.u64_field("alloc_count").unwrap_or(0),
+                    alloc_bytes: s.u64_field("alloc_bytes").unwrap_or(0),
+                });
+            }
+            stages.sort_by(|a, b| a.name.cmp(&b.name));
+            base.figures.push(AllocFigure { name: fig_name.clone(), stages });
+        }
+        base.figures.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(base)
+    }
+
+    /// Loads and parses `path`.
+    pub fn load(path: &Path) -> Result<AllocBaseline, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        AllocBaseline::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Builds a fresh baseline from a profiled bench snapshot (the
+    /// `--write` path). Errors when the snapshot carries no allocation
+    /// data at all — the run was not made with `VAB_PROFILE=1`.
+    pub fn from_bench(doc: &BenchDoc) -> Result<AllocBaseline, String> {
+        let mut base = AllocBaseline { mode: doc.mode.clone(), figures: Vec::new() };
+        for f in &doc.figures {
+            if f.alloc.is_empty() {
+                continue;
+            }
+            let mut stages: Vec<AllocPin> = f
+                .alloc
+                .iter()
+                .map(|a| AllocPin {
+                    name: a.name.clone(),
+                    calls: a.calls,
+                    alloc_count: a.alloc_count,
+                    alloc_bytes: a.alloc_bytes,
+                })
+                .collect();
+            stages.sort_by(|a, b| a.name.cmp(&b.name));
+            base.figures.push(AllocFigure { name: f.name.clone(), stages });
+        }
+        if base.figures.is_empty() {
+            return Err(
+                "snapshot has no allocation data; re-run the benchmark with VAB_PROFILE=1".into()
+            );
+        }
+        base.figures.sort_by(|a, b| a.name.cmp(&b.name));
+        Ok(base)
+    }
+
+    /// Renders the baseline as committed JSON (stable order, pretty).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        let _ = write!(
+            out,
+            "{{\n  \"schema\": \"{ALLOC_SCHEMA}\",\n  \"mode\": \"{}\",\n  \"figures\": {{",
+            self.mode
+        );
+        for (i, f) in self.figures.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            write_json_string(&mut out, &f.name);
+            out.push_str(": {\"stages\": {");
+            for (j, s) in f.stages.iter().enumerate() {
+                out.push_str(if j > 0 { ",\n      " } else { "\n      " });
+                write_json_string(&mut out, &s.name);
+                let _ = write!(
+                    out,
+                    ": {{\"calls\": {}, \"alloc_count\": {}, \"alloc_bytes\": {}}}",
+                    s.calls, s.alloc_count, s.alloc_bytes
+                );
+            }
+            out.push_str(if f.stages.is_empty() { "}}" } else { "\n    }}" });
+        }
+        out.push_str(if self.figures.is_empty() { "}\n}" } else { "\n  }\n}" });
+        out.push('\n');
+        out
+    }
+}
+
+/// One gate check's outcome.
+#[derive(Debug, Clone)]
+pub struct AllocGateLine {
+    /// `figure/stage` label.
+    pub name: String,
+    /// Pinned allocation count (0 when the stage is new).
+    pub base_count: u64,
+    /// Observed allocation count.
+    pub cur_count: u64,
+    /// Pinned bytes (informational).
+    pub base_bytes: u64,
+    /// Observed bytes (informational).
+    pub cur_bytes: u64,
+    /// `pinned` | `drift` | `new-stage`.
+    pub verdict: &'static str,
+}
+
+/// The whole gate result.
+#[derive(Debug, Clone, Default)]
+pub struct AllocGateReport {
+    /// Per-stage outcomes, one line per (figure, stage).
+    pub lines: Vec<AllocGateLine>,
+    /// Baseline figures/stages with no counterpart in the snapshot
+    /// (warn-only: single-figure runs against the full reference).
+    pub missing: Vec<String>,
+}
+
+impl AllocGateReport {
+    /// Number of failing lines (count drift or unpinned new stage).
+    pub fn failures(&self) -> usize {
+        self.lines.iter().filter(|l| l.verdict != "pinned").count()
+    }
+
+    /// Renders the gate table plus a verdict.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        let _ = writeln!(
+            out,
+            "{:<44} {:>12} {:>12} {:>12} {:>12}  verdict",
+            "figure/stage", "base count", "now count", "base bytes", "now bytes"
+        );
+        for l in &self.lines {
+            let _ = writeln!(
+                out,
+                "{:<44} {:>12} {:>12} {:>12} {:>12}  {}",
+                l.name, l.base_count, l.cur_count, l.base_bytes, l.cur_bytes, l.verdict
+            );
+        }
+        for name in &self.missing {
+            let _ = writeln!(out, "{name:<44} missing from snapshot (not gated)");
+        }
+        let n = self.failures();
+        if n > 0 {
+            let _ = writeln!(
+                out,
+                "\nalloc gate FAILED: {n} stage(s) drifted; if intended, refresh with \
+                 `vab-obsctl alloc-gate <bench.json> --write`"
+            );
+        } else {
+            out.push_str("\nalloc gate passed: all allocation counts pinned\n");
+        }
+        out
+    }
+}
+
+/// Checks a profiled `doc` against `base`. Counts must match exactly;
+/// any snapshot stage that allocates without a pin fails; baseline
+/// entries absent from the snapshot warn only.
+pub fn check(doc: &BenchDoc, base: &AllocBaseline) -> AllocGateReport {
+    let mut report = AllocGateReport::default();
+    for bf in &base.figures {
+        let Some(cf) = doc.figures.iter().find(|f| f.name == bf.name) else {
+            report.missing.push(format!("{}/*", bf.name));
+            continue;
+        };
+        for pin in &bf.stages {
+            let label = format!("{}/{}", bf.name, pin.name);
+            match cf.alloc.iter().find(|a| a.name == pin.name) {
+                None => report.missing.push(label),
+                Some(a) => report.lines.push(AllocGateLine {
+                    name: label,
+                    base_count: pin.alloc_count,
+                    cur_count: a.alloc_count,
+                    base_bytes: pin.alloc_bytes,
+                    cur_bytes: a.alloc_bytes,
+                    verdict: if a.alloc_count == pin.alloc_count { "pinned" } else { "drift" },
+                }),
+            }
+        }
+        // Snapshot stages that allocate but were never pinned.
+        for a in &cf.alloc {
+            if !bf.stages.iter().any(|p| p.name == a.name) {
+                report.lines.push(AllocGateLine {
+                    name: format!("{}/{}", bf.name, a.name),
+                    base_count: 0,
+                    cur_count: a.alloc_count,
+                    base_bytes: 0,
+                    cur_bytes: a.alloc_bytes,
+                    verdict: "new-stage",
+                });
+            }
+        }
+    }
+    // Whole figures that allocate without any pin.
+    for cf in &doc.figures {
+        if cf.alloc.is_empty() || base.figures.iter().any(|bf| bf.name == cf.name) {
+            continue;
+        }
+        for a in &cf.alloc {
+            report.lines.push(AllocGateLine {
+                name: format!("{}/{}", cf.name, a.name),
+                base_count: 0,
+                cur_count: a.alloc_count,
+                base_bytes: 0,
+                cur_bytes: a.alloc_bytes,
+                verdict: "new-stage",
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_json(trial_allocs: u64) -> String {
+        format!(
+            r#"{{"schema": "vab-bench-perf/1", "sha": "abc", "mode": "quick",
+  "trials": 25, "bits": 256, "seed": 2023, "total_wall_s": 2.0,
+  "figures": [
+    {{"name": "f7_ber_vs_range", "wall_s": 1.5, "rows": 10, "stages": [
+      {{"name": "sim.linkbudget_trial", "count": 100, "sum_s": 1.0, "p50_s": 0.001, "p95_s": 0.002, "p99_s": 0.003, "alloc_count": {trial_allocs}, "alloc_bytes": 4096}},
+      {{"name": "fec.viterbi", "count": 50, "sum_s": 0.05, "p50_s": 0.001, "p95_s": 0.002, "p99_s": 0.003, "alloc_count": 200, "alloc_bytes": 1024}}]}}
+  ]
+}}"#
+        )
+    }
+
+    #[test]
+    fn round_trips_and_passes_against_itself() {
+        let doc = BenchDoc::parse(&bench_json(1000)).expect("doc");
+        let base = AllocBaseline::from_bench(&doc).expect("baseline");
+        let back = AllocBaseline::parse(&base.to_json()).expect("reparse");
+        assert_eq!(back.figures.len(), 1);
+        assert_eq!(back.figures[0].stages.len(), 2);
+        let report = check(&doc, &back);
+        assert_eq!(report.failures(), 0, "report: {}", report.render());
+        assert!(report.render().contains("alloc gate passed"));
+    }
+
+    #[test]
+    fn any_count_drift_fails_even_improvements() {
+        let doc = BenchDoc::parse(&bench_json(1000)).expect("doc");
+        let base = AllocBaseline::from_bench(&doc).expect("baseline");
+        for drifted_count in [1100, 900] {
+            let drifted = BenchDoc::parse(&bench_json(drifted_count)).expect("drifted");
+            let report = check(&drifted, &base);
+            assert_eq!(report.failures(), 1, "count {drifted_count}: {}", report.render());
+            assert!(report.render().contains("FAILED"));
+            assert!(report.render().contains("drift"));
+        }
+    }
+
+    #[test]
+    fn unpinned_allocating_stage_fails() {
+        let doc = BenchDoc::parse(&bench_json(1000)).expect("doc");
+        let mut base = AllocBaseline::from_bench(&doc).expect("baseline");
+        base.figures[0].stages.retain(|s| s.name != "fec.viterbi");
+        let report = check(&doc, &base);
+        assert_eq!(report.failures(), 1, "report: {}", report.render());
+        assert!(report.render().contains("new-stage"));
+    }
+
+    #[test]
+    fn missing_figures_warn_but_do_not_gate() {
+        let doc = BenchDoc::parse(&bench_json(1000)).expect("doc");
+        let mut base = AllocBaseline::from_bench(&doc).expect("baseline");
+        base.figures.push(AllocFigure {
+            name: "t2_power_budget".into(),
+            stages: vec![AllocPin {
+                name: "fec.viterbi".into(),
+                calls: 10,
+                alloc_count: 5,
+                alloc_bytes: 64,
+            }],
+        });
+        let report = check(&doc, &base);
+        assert_eq!(report.failures(), 0, "report: {}", report.render());
+        assert!(report.render().contains("missing from snapshot"));
+    }
+
+    #[test]
+    fn byte_drift_alone_does_not_gate() {
+        let doc = BenchDoc::parse(&bench_json(1000)).expect("doc");
+        let mut base = AllocBaseline::from_bench(&doc).expect("baseline");
+        base.figures[0].stages[0].alloc_bytes *= 2;
+        assert_eq!(check(&doc, &base).failures(), 0);
+    }
+
+    #[test]
+    fn unprofiled_snapshot_cannot_write_a_baseline() {
+        let doc = BenchDoc::parse(
+            r#"{"schema": "vab-bench-perf/1", "sha": "abc", "mode": "quick",
+  "trials": 25, "bits": 256, "seed": 2023, "total_wall_s": 1.0,
+  "figures": [{"name": "f7_ber_vs_range", "wall_s": 1.0, "rows": 10, "stages": [
+    {"name": "fec.viterbi", "count": 50, "sum_s": 0.05, "p50_s": 0.001, "p95_s": 0.002, "p99_s": 0.003}]}]}"#,
+        )
+        .expect("doc");
+        assert!(AllocBaseline::from_bench(&doc).is_err());
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        assert!(AllocBaseline::parse(r#"{"schema": "nope/9"}"#).is_err());
+    }
+}

@@ -43,6 +43,22 @@ pub struct FigDoc {
     pub wall_s: f64,
     /// Per-stage `(name, count, sum_s)` deltas.
     pub stages: Vec<(String, u64, f64)>,
+    /// Per-stage allocation footprints (`alloc_count > 0` entries only;
+    /// empty when the run had no allocation profile).
+    pub alloc: Vec<FigAllocDoc>,
+}
+
+/// One stage's allocation footprint inside a figure record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FigAllocDoc {
+    /// Stage name.
+    pub name: String,
+    /// Stage invocations during the figure.
+    pub calls: u64,
+    /// Self-attributed allocation count.
+    pub alloc_count: u64,
+    /// Self-attributed bytes.
+    pub alloc_bytes: u64,
 }
 
 impl BenchDoc {
@@ -65,14 +81,27 @@ impl BenchDoc {
         for f in v.get("figures").and_then(Json::as_arr).unwrap_or(&[]) {
             let name = f.str_field("name").ok_or("figure without name")?.to_string();
             let mut stages = Vec::new();
+            let mut alloc = Vec::new();
             for s in f.get("stages").and_then(Json::as_arr).unwrap_or(&[]) {
-                stages.push((
-                    s.str_field("name").ok_or("stage without name")?.to_string(),
-                    s.u64_field("count").unwrap_or(0),
-                    s.f64_field("sum_s").unwrap_or(0.0),
-                ));
+                let sname = s.str_field("name").ok_or("stage without name")?.to_string();
+                let count = s.u64_field("count").unwrap_or(0);
+                stages.push((sname.clone(), count, s.f64_field("sum_s").unwrap_or(0.0)));
+                let alloc_count = s.u64_field("alloc_count").unwrap_or(0);
+                if alloc_count > 0 {
+                    alloc.push(FigAllocDoc {
+                        name: sname,
+                        calls: count,
+                        alloc_count,
+                        alloc_bytes: s.u64_field("alloc_bytes").unwrap_or(0),
+                    });
+                }
             }
-            doc.figures.push(FigDoc { name, wall_s: f.f64_field("wall_s").unwrap_or(0.0), stages });
+            doc.figures.push(FigDoc {
+                name,
+                wall_s: f.f64_field("wall_s").unwrap_or(0.0),
+                stages,
+                alloc,
+            });
         }
         Ok(doc)
     }

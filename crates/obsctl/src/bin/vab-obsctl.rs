@@ -2,15 +2,19 @@
 //! gating for VAB telemetry.
 //!
 //! ```text
-//! vab-obsctl report    <trace.jsonl> [metrics.json]
-//! vab-obsctl anomalies <trace.jsonl> [--context N]
-//! vab-obsctl diff      <metrics-a.json> <metrics-b.json> [--rel-tol X]
-//! vab-obsctl baseline  <BENCH_<sha>.json> [--baseline <path>] [--absolute]
-//!                      [--write] [--tolerance X]
-//! vab-obsctl tail      --addr HOST:PORT [--once] [--json]
-//!                      [--interval-ms N] [--count N]
-//! vab-obsctl trace     --job <digest> <trace.jsonl> [more.jsonl ...] [--set]
-//! vab-obsctl slo       --spec <slo.json> (--addr HOST:PORT | --sample <file>)
+//! vab-obsctl report     <trace.jsonl> [metrics.json]
+//! vab-obsctl anomalies  <trace.jsonl> [--context N]
+//! vab-obsctl diff       <metrics-a.json> <metrics-b.json> [--rel-tol X] [--json]
+//! vab-obsctl baseline   <BENCH_<sha>.json> [--baseline <path>] [--absolute]
+//!                       [--write] [--tolerance X]
+//! vab-obsctl alloc-gate <BENCH_<sha>.json> [--baseline <path>] [--write]
+//! vab-obsctl profile    <metrics.json> [--top N]
+//! vab-obsctl flame      <trace.jsonl> [--weight time|bytes|allocs] [--job <digest>]
+//! vab-obsctl bench      history [<results-dir>] [--mode quick|full]
+//! vab-obsctl tail       --addr HOST:PORT [--once] [--json]
+//!                       [--interval-ms N] [--count N]
+//! vab-obsctl trace      --job <digest> <trace.jsonl> [more.jsonl ...] [--set]
+//! vab-obsctl slo        --spec <slo.json> (--addr HOST:PORT | --sample <file>) [--json]
 //! ```
 //!
 //! `tail` follows a live daemon's telemetry ring (`--once` prints a
@@ -19,17 +23,28 @@
 //! prints the canonical span set the determinism gate compares); `slo`
 //! checks a live sample — or a saved one — against a `vab-slo/1` spec.
 //!
+//! The profiling plane: `profile` renders the per-stage allocation table
+//! from a `VAB_PROFILE=1` metrics snapshot; `flame` folds the span tree
+//! into collapsed stacks for any flamegraph renderer; `alloc-gate` pins
+//! per-figure per-stage allocation counts *exactly* against
+//! `crates/bench/alloc_baseline.json`; `bench history` lists the
+//! `results/BENCH_<sha>.json` trajectory.
+//!
 //! Exit codes: `0` clean, `1` regression / threshold breach, `2` usage or
 //! input error.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use vab_obsctl::allocgate::{self, AllocBaseline};
 use vab_obsctl::anomaly::{self, AnomalyConfig};
 use vab_obsctl::baseline::{Baseline, BenchDoc};
 use vab_obsctl::diff::{self, DiffConfig};
+use vab_obsctl::flame::{self, Weight};
+use vab_obsctl::history;
 use vab_obsctl::json::Json;
 use vab_obsctl::live::{self, SloSpec};
+use vab_obsctl::profile;
 use vab_obsctl::report;
 use vab_obsctl::trace::{MetricsDoc, Trace};
 use vab_obsctl::waterfall::Waterfall;
@@ -38,16 +53,26 @@ use vab_obsctl::waterfall::Waterfall;
 /// root (where CI and `run_all` execute).
 const DEFAULT_BASELINE: &str = "crates/bench/baseline.json";
 
+/// Default location of the committed allocation baseline.
+const DEFAULT_ALLOC_BASELINE: &str = "crates/bench/alloc_baseline.json";
+
+/// Default directory `run_all` writes `BENCH_<sha>.json` snapshots into.
+const DEFAULT_RESULTS_DIR: &str = "results";
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
-         vab-obsctl report    <trace.jsonl> [metrics.json]\n  \
-         vab-obsctl anomalies <trace.jsonl> [--context N]\n  \
-         vab-obsctl diff      <metrics-a.json> <metrics-b.json> [--rel-tol X]\n  \
-         vab-obsctl baseline  <BENCH.json> [--baseline <path>] [--absolute] [--write] [--tolerance X]\n  \
-         vab-obsctl tail      --addr HOST:PORT [--once] [--json] [--interval-ms N] [--count N]\n  \
-         vab-obsctl trace     --job <digest> <trace.jsonl> [more.jsonl ...] [--set]\n  \
-         vab-obsctl slo       --spec <slo.json> (--addr HOST:PORT | --sample <file>)"
+         vab-obsctl report     <trace.jsonl> [metrics.json]\n  \
+         vab-obsctl anomalies  <trace.jsonl> [--context N]\n  \
+         vab-obsctl diff       <metrics-a.json> <metrics-b.json> [--rel-tol X] [--json]\n  \
+         vab-obsctl baseline   <BENCH.json> [--baseline <path>] [--absolute] [--write] [--tolerance X]\n  \
+         vab-obsctl alloc-gate <BENCH.json> [--baseline <path>] [--write]\n  \
+         vab-obsctl profile    <metrics.json> [--top N]\n  \
+         vab-obsctl flame      <trace.jsonl> [--weight time|bytes|allocs] [--job <digest>]\n  \
+         vab-obsctl bench      history [<results-dir>] [--mode quick|full]\n  \
+         vab-obsctl tail       --addr HOST:PORT [--once] [--json] [--interval-ms N] [--count N]\n  \
+         vab-obsctl trace      --job <digest> <trace.jsonl> [more.jsonl ...] [--set]\n  \
+         vab-obsctl slo        --spec <slo.json> (--addr HOST:PORT | --sample <file>) [--json]"
     );
     ExitCode::from(2)
 }
@@ -152,6 +177,7 @@ fn cmd_diff(mut args: Vec<String>) -> ExitCode {
         Ok(None) => {}
         Err(e) => return fail(&e),
     }
+    let json = take_flag(&mut args, "--json");
     if args.len() != 2 {
         return usage();
     }
@@ -164,7 +190,11 @@ fn cmd_diff(mut args: Vec<String>) -> ExitCode {
         Err(e) => return fail(&e),
     };
     let report = diff::diff(&a, &b, &cfg);
-    print!("{}", report.render());
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
     if report.regressions() > 0 {
         ExitCode::FAILURE
     } else {
@@ -229,6 +259,138 @@ fn cmd_baseline(mut args: Vec<String>) -> ExitCode {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+fn cmd_alloc_gate(mut args: Vec<String>) -> ExitCode {
+    let baseline_path = match take_flag_value(&mut args, "--baseline") {
+        Ok(p) => p.map(PathBuf::from).unwrap_or_else(|| PathBuf::from(DEFAULT_ALLOC_BASELINE)),
+        Err(e) => return fail(&e),
+    };
+    let write = take_flag(&mut args, "--write");
+    if args.len() != 1 {
+        return usage();
+    }
+    let doc = match BenchDoc::load(Path::new(&args[0])) {
+        Ok(d) => d,
+        Err(e) => return fail(&e),
+    };
+    if write {
+        let fresh = match AllocBaseline::from_bench(&doc) {
+            Ok(b) => b,
+            Err(e) => return fail(&e),
+        };
+        if let Err(e) = std::fs::write(&baseline_path, fresh.to_json()) {
+            return fail(&format!("cannot write {}: {e}", baseline_path.display()));
+        }
+        println!(
+            "alloc baseline refreshed from {} run {} -> {}",
+            doc.mode,
+            doc.sha,
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    let base = match AllocBaseline::load(&baseline_path) {
+        Ok(b) => b,
+        Err(e) => return fail(&e),
+    };
+    if base.mode != doc.mode {
+        eprintln!(
+            "warning: alloc baseline was captured in {:?} mode but the snapshot is {:?}",
+            base.mode, doc.mode
+        );
+    }
+    let report = allocgate::check(&doc, &base);
+    print!("{}", report.render());
+    if report.failures() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_profile(mut args: Vec<String>) -> ExitCode {
+    let top: usize = match take_flag_value(&mut args, "--top") {
+        Ok(Some(v)) => match v.parse() {
+            Ok(v) => v,
+            Err(_) => return fail("--top needs an integer"),
+        },
+        Ok(None) => 0,
+        Err(e) => return fail(&e),
+    };
+    if args.len() != 1 {
+        return usage();
+    }
+    let doc = match MetricsDoc::load(Path::new(&args[0])) {
+        Ok(m) => m,
+        Err(e) => return fail(&e),
+    };
+    match profile::render(&doc, top) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&e),
+    }
+}
+
+fn cmd_flame(mut args: Vec<String>) -> ExitCode {
+    let weight = match take_flag_value(&mut args, "--weight") {
+        Ok(Some(w)) => match Weight::parse(&w) {
+            Ok(w) => w,
+            Err(e) => return fail(&e),
+        },
+        Ok(None) => Weight::TimeUs,
+        Err(e) => return fail(&e),
+    };
+    let job = match take_flag_value(&mut args, "--job") {
+        Ok(Some(d)) => match u64::from_str_radix(d.trim_start_matches("0x"), 16) {
+            Ok(d) => Some(d),
+            Err(_) => return fail("--job needs a hex job digest"),
+        },
+        Ok(None) => None,
+        Err(e) => return fail(&e),
+    };
+    if args.len() != 1 {
+        return usage();
+    }
+    let trace = match load_trace(&args[0]) {
+        Ok(t) => t,
+        Err(e) => return fail(&e),
+    };
+    match flame::collapse(&trace, weight, job) {
+        Ok(lines) => {
+            for line in lines {
+                println!("{line}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&e),
+    }
+}
+
+fn cmd_bench(mut args: Vec<String>) -> ExitCode {
+    // Subcommand namespace: today only `bench history`.
+    if args.first().map(String::as_str) != Some("history") {
+        return usage();
+    }
+    args.remove(0);
+    let mode = match take_flag_value(&mut args, "--mode") {
+        Ok(m) => m,
+        Err(e) => return fail(&e),
+    };
+    let dir = match args.len() {
+        0 => PathBuf::from(DEFAULT_RESULTS_DIR),
+        1 => PathBuf::from(args.remove(0)),
+        _ => return usage(),
+    };
+    match history::scan(&dir) {
+        Ok((entries, skipped)) => {
+            print!("{}", history::render(&entries, &skipped, mode.as_deref()));
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&e),
     }
 }
 
@@ -350,6 +512,7 @@ fn cmd_slo(mut args: Vec<String>) -> ExitCode {
         Ok(None) => return fail("slo needs --spec <slo.json>"),
         Err(e) => return fail(&e),
     };
+    let json = take_flag(&mut args, "--json");
     let addr = match take_flag_value(&mut args, "--addr") {
         Ok(a) => a,
         Err(e) => return fail(&e),
@@ -381,7 +544,8 @@ fn cmd_slo(mut args: Vec<String>) -> ExitCode {
         }
     };
     let checks = live::check(&spec, &sample);
-    let (text, breaches) = live::render_checks(&checks);
+    let (text, breaches) =
+        if json { live::render_checks_json(&checks) } else { live::render_checks(&checks) };
     print!("{text}");
     if breaches > 0 {
         ExitCode::FAILURE
@@ -401,6 +565,10 @@ fn main() -> ExitCode {
         "anomalies" => cmd_anomalies(argv),
         "diff" => cmd_diff(argv),
         "baseline" => cmd_baseline(argv),
+        "alloc-gate" => cmd_alloc_gate(argv),
+        "profile" => cmd_profile(argv),
+        "flame" => cmd_flame(argv),
+        "bench" => cmd_bench(argv),
         "tail" => cmd_tail(argv),
         "trace" => cmd_trace(argv),
         "slo" => cmd_slo(argv),

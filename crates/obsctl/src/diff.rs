@@ -8,6 +8,7 @@
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
+use crate::json::{write_json_number, write_json_string};
 use crate::trace::MetricsDoc;
 
 /// Thresholds for the comparison.
@@ -99,6 +100,42 @@ impl DiffReport {
         } else {
             out.push_str("\nno regressions\n");
         }
+        out
+    }
+
+    /// Renders the comparison as a JSON document for scripts and CI
+    /// assertions (stable field order, one object per line entry).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"lines\": [");
+        for (i, l) in self.lines.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            out.push('{');
+            out.push_str("\"name\": ");
+            write_json_string(&mut out, &l.name);
+            let _ = write!(out, ", \"metric\": \"{}\", \"a\": ", l.metric);
+            write_json_number(&mut out, l.a);
+            out.push_str(", \"b\": ");
+            write_json_number(&mut out, l.b);
+            out.push_str(", \"rel\": ");
+            // Infinite change (new instrument) has no JSON number; null.
+            if l.rel.is_finite() {
+                write_json_number(&mut out, l.rel);
+            } else {
+                out.push_str("null");
+            }
+            let _ = write!(out, ", \"regression\": {}}}", l.regression);
+        }
+        out.push_str(if self.lines.is_empty() { "],\n" } else { "\n  ],\n" });
+        out.push_str("  \"unmatched\": [");
+        for (i, (name, in_a)) in self.unmatched.iter().enumerate() {
+            out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+            out.push_str("{\"name\": ");
+            write_json_string(&mut out, name);
+            let _ = write!(out, ", \"only_in\": \"{}\"}}", if *in_a { "A" } else { "B" });
+        }
+        out.push_str(if self.unmatched.is_empty() { "],\n" } else { "\n  ],\n" });
+        let _ = writeln!(out, "  \"regressions\": {}\n}}", self.regressions());
         out
     }
 }
@@ -221,6 +258,23 @@ mod tests {
         )
         .expect("b");
         assert_eq!(diff(&a, &b, &DiffConfig::default()).regressions(), 0);
+    }
+
+    #[test]
+    fn json_output_parses_and_carries_the_verdict() {
+        let r = diff(&doc(1.0), &doc(2.0), &DiffConfig::default());
+        let v = crate::json::Json::parse(&r.to_json()).expect("valid JSON");
+        assert_eq!(v.u64_field("regressions"), Some(1));
+        let lines = v.get("lines").and_then(crate::json::Json::as_arr).expect("lines");
+        let mean = lines
+            .iter()
+            .find(|l| l.str_field("metric") == Some("stage mean"))
+            .expect("stage mean line");
+        assert_eq!(mean.str_field("name"), Some("sim.linkbudget_trial"));
+        assert_eq!(mean.get("regression").and_then(crate::json::Json::as_bool), Some(true));
+        // An empty diff still emits valid JSON.
+        let empty = DiffReport::default();
+        assert!(crate::json::Json::parse(&empty.to_json()).is_ok());
     }
 
     #[test]

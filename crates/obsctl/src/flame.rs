@@ -1,0 +1,244 @@
+//! The `flame` subcommand: collapsed-stack output from a span tree.
+//!
+//! `span_end` events carry the span's name, its content-derived
+//! `id`/`parent` pair (PR 7) and, when allocation profiling was on, the
+//! allocations the span observed (`alloc_n`/`alloc_b`). This module
+//! folds them into the collapsed-stack format every standard flamegraph
+//! tool consumes:
+//!
+//! ```text
+//! svc.handle;svc.job_execute;sim.montecarlo 10452
+//! svc.handle;svc.job_execute 311
+//! ```
+//!
+//! One line per unique root-to-leaf path, weighted by the *self* share
+//! of the chosen metric (a parent's weight excludes its children, so
+//! summing every line reproduces the total). Spans without ids (the
+//! plain [`vab_obs::Span`] guard) cannot be placed in a tree; they
+//! render as root-level single-frame stacks.
+//!
+//! Because span identities are content-derived, the collapsed output of
+//! a fixed-seed run is bit-identical at any worker count — the same
+//! determinism contract the span-set gate relies on.
+
+use std::collections::BTreeMap;
+
+use crate::trace::Trace;
+
+/// What a stack's weight counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Weight {
+    /// Span duration, microseconds (`dur_us`).
+    TimeUs,
+    /// Bytes allocated inside the span (`alloc_b`).
+    AllocBytes,
+    /// Allocation count inside the span (`alloc_n`).
+    AllocCount,
+}
+
+impl Weight {
+    /// Parses the `--weight` CLI value.
+    pub fn parse(s: &str) -> Result<Weight, String> {
+        match s {
+            "time" | "us" => Ok(Weight::TimeUs),
+            "bytes" | "alloc-bytes" => Ok(Weight::AllocBytes),
+            "allocs" | "alloc-count" => Ok(Weight::AllocCount),
+            other => Err(format!("unknown weight {other:?} (expected time|bytes|allocs)")),
+        }
+    }
+
+    fn field(&self) -> &'static str {
+        match self {
+            Weight::TimeUs => "dur_us",
+            Weight::AllocBytes => "alloc_b",
+            Weight::AllocCount => "alloc_n",
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Node {
+    name: String,
+    parent: Option<(u64, u64)>,
+    weight: u64,
+}
+
+/// Builds collapsed stacks from every `span_end` in `trace`, weighted by
+/// `weight`. `job` restricts the fold to one trace id. Lines are sorted
+/// lexicographically; zero-self-weight paths are omitted (collapsed
+/// convention). Returns an error when no span matched.
+pub fn collapse(trace: &Trace, weight: Weight, job: Option<u64>) -> Result<Vec<String>, String> {
+    // Keyed by (trace_id, span_id): ids are only unique within a trace.
+    let mut nodes: BTreeMap<(u64, u64), Node> = BTreeMap::new();
+    // Id-less spans: flat, aggregated by name alone.
+    let mut flat: BTreeMap<String, u64> = BTreeMap::new();
+    let hex = |s: &str| u64::from_str_radix(s, 16).ok();
+    for e in trace.events.iter().filter(|e| e.name == "span_end") {
+        let name = match e.fields.str_field("span") {
+            Some(n) => n.to_string(),
+            None => continue,
+        };
+        let w = e.fields.u64_field(weight.field()).unwrap_or(0);
+        let ids =
+            e.fields.str_field("trace").and_then(hex).zip(e.fields.str_field("id").and_then(hex));
+        match ids {
+            Some((trace_id, span_id)) => {
+                if job.is_some_and(|j| j != trace_id) {
+                    continue;
+                }
+                let parent = e
+                    .fields
+                    .str_field("parent")
+                    .and_then(hex)
+                    .filter(|&p| p != 0)
+                    .map(|p| (trace_id, p));
+                let node = nodes.entry((trace_id, span_id)).or_default();
+                node.name = name;
+                node.parent = parent;
+                node.weight += w;
+            }
+            None => {
+                if job.is_none() {
+                    *flat.entry(name).or_insert(0) += w;
+                }
+            }
+        }
+    }
+    if nodes.is_empty() && flat.is_empty() {
+        return Err(match job {
+            Some(j) => format!("no spans found for trace {j:016x}"),
+            None => "no span_end events in trace".into(),
+        });
+    }
+    // Self weight: a span minus its direct children (clamped — clock
+    // jitter can make children sum past the parent).
+    let mut child_sum: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    for node in nodes.values() {
+        if let Some(p) = node.parent {
+            if nodes.contains_key(&p) {
+                *child_sum.entry(p).or_insert(0) += node.weight;
+            }
+        }
+    }
+    let mut lines: BTreeMap<String, u64> = BTreeMap::new();
+    for (key, node) in &nodes {
+        let self_w = node.weight.saturating_sub(child_sum.get(key).copied().unwrap_or(0));
+        if self_w == 0 {
+            continue;
+        }
+        // Root-to-leaf path by walking parents; orphaned parents (their
+        // span_end was truncated away) end the walk gracefully.
+        let mut path = vec![node.name.as_str()];
+        let mut cursor = node.parent;
+        let mut depth = 0;
+        while let Some(p) = cursor {
+            let Some(parent) = nodes.get(&p) else { break };
+            path.push(parent.name.as_str());
+            cursor = parent.parent;
+            depth += 1;
+            if depth > 64 {
+                break; // cycle guard: malformed trace, stop the walk
+            }
+        }
+        path.reverse();
+        *lines.entry(path.join(";")).or_insert(0) += self_w;
+    }
+    for (name, w) in flat {
+        if w > 0 {
+            *lines.entry(name).or_insert(0) += w;
+        }
+    }
+    Ok(lines.into_iter().map(|(path, w)| format!("{path} {w}")).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(seq: u64, span: &str, id: &str, parent: &str, dur: u64, alloc_b: u64) -> String {
+        format!(
+            "{{\"seq\":{seq},\"t_us\":{},\"target\":\"svc.pool\",\"event\":\"span_end\",\
+             \"fields\":{{\"span\":\"{span}\",\"trace\":\"00000000000000aa\",\"id\":\"{id}\",\
+             \"parent\":\"{parent}\",\"dur_us\":{dur},\"alloc_n\":3,\"alloc_b\":{alloc_b}}}}}",
+            seq * 10
+        )
+    }
+
+    fn tree_trace() -> Trace {
+        // root (id 1) -> exec (id 2) -> mc (id 3)
+        let text = format!(
+            "{}\n{}\n{}\n",
+            line(1, "sim.montecarlo", "0000000000000003", "0000000000000002", 700, 4096),
+            line(2, "svc.job_execute", "0000000000000002", "0000000000000001", 1000, 5120),
+            line(3, "svc.handle", "0000000000000001", "0000000000000000", 1200, 5120),
+        );
+        Trace::parse(&text)
+    }
+
+    #[test]
+    fn collapses_tree_into_self_weighted_paths() {
+        let lines = collapse(&tree_trace(), Weight::TimeUs, None).expect("collapse");
+        assert_eq!(
+            lines,
+            vec![
+                "svc.handle 200".to_string(),
+                "svc.handle;svc.job_execute 300".to_string(),
+                "svc.handle;svc.job_execute;sim.montecarlo 700".to_string(),
+            ]
+        );
+        // Sum of self weights reproduces the root total.
+        let total: u64 =
+            lines.iter().map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap()).sum();
+        assert_eq!(total, 1200);
+    }
+
+    #[test]
+    fn byte_weighting_and_zero_self_omission() {
+        let lines = collapse(&tree_trace(), Weight::AllocBytes, None).expect("collapse");
+        // exec's 5120 bytes are entirely the child's: zero self, omitted.
+        assert_eq!(
+            lines,
+            vec![
+                "svc.handle;svc.job_execute;sim.montecarlo 4096".to_string(),
+                // handle: 5120 - 5120 = 0 omitted; exec: 5120 - 4096 = 1024
+                "svc.handle;svc.job_execute 1024".to_string(),
+            ]
+            .into_iter()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn job_filter_and_idless_spans() {
+        let mut text =
+            format!("{}\n", line(1, "svc.handle", "0000000000000001", "0000000000000000", 500, 0));
+        // An id-less span (plain Span guard) plus an event from another trace.
+        text.push_str(
+            "{\"seq\":4,\"t_us\":50,\"target\":\"sim.campaign\",\"event\":\"span_end\",\
+             \"fields\":{\"span\":\"run_campaign\",\"dur_us\":900}}\n",
+        );
+        text.push_str(
+            "{\"seq\":5,\"t_us\":60,\"target\":\"svc.pool\",\"event\":\"span_end\",\
+             \"fields\":{\"span\":\"svc.handle\",\"trace\":\"00000000000000bb\",\
+             \"id\":\"0000000000000001\",\"parent\":\"0000000000000000\",\"dur_us\":111}}\n",
+        );
+        let t = Trace::parse(&text);
+        let all = collapse(&t, Weight::TimeUs, None).expect("all");
+        assert!(all.contains(&"run_campaign 900".to_string()), "{all:?}");
+        // Same path from two traces aggregates into one collapsed line.
+        assert!(all.contains(&"svc.handle 611".to_string()), "{all:?}");
+        let one = collapse(&t, Weight::TimeUs, Some(0xaa)).expect("filtered");
+        assert_eq!(one, vec!["svc.handle 500".to_string()]);
+        assert!(collapse(&t, Weight::TimeUs, Some(0xdead)).is_err());
+    }
+
+    #[test]
+    fn weight_parse_accepts_aliases() {
+        assert_eq!(Weight::parse("time"), Ok(Weight::TimeUs));
+        assert_eq!(Weight::parse("bytes"), Ok(Weight::AllocBytes));
+        assert_eq!(Weight::parse("allocs"), Ok(Weight::AllocCount));
+        assert!(Weight::parse("flops").is_err());
+    }
+}

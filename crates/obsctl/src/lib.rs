@@ -22,16 +22,29 @@
 //! * [`live`] — speaks the daemon's `metrics`/`watch` wire ops for
 //!   `vab-obsctl tail`, and checks telemetry samples against the
 //!   declarative `vab-slo/1` spec (`crates/bench/slo.json`).
+//! * [`profile`] — per-stage allocation tables (self/cumulative
+//!   allocs and bytes) from `VAB_PROFILE=1` metrics snapshots.
+//! * [`flame`] — collapsed-stack flamegraph folding of the span tree,
+//!   weighted by time or by allocations.
+//! * [`allocgate`] — pins per-figure per-stage allocation counts
+//!   *exactly* against `crates/bench/alloc_baseline.json`; counts are
+//!   work-derived and deterministic, so any drift is a behavior change.
+//! * [`history`] — lists the `results/BENCH_<sha>.json` trajectory with
+//!   per-mode wall-time deltas.
 //!
 //! Everything stays serde-free: the [`json`] module re-exports the shared
 //! `vab_util::json` parser/serializer, and the crate analyzes only what
 //! the workspace itself emitted.
 
+pub mod allocgate;
 pub mod anomaly;
 pub mod baseline;
 pub mod diff;
+pub mod flame;
+pub mod history;
 pub mod json;
 pub mod live;
+pub mod profile;
 pub mod report;
 pub mod trace;
 pub mod waterfall;

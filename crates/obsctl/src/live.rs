@@ -93,9 +93,15 @@ pub fn render_sample(prev: Option<&Json>, s: &Json) -> String {
     );
     if let Some(p) = prev {
         let dt_s = (t_ms - p.f64_field("t_ms").unwrap_or(t_ms)) / 1e3;
+        // A daemon restart resets both the clock and the counters, so a
+        // later sample can sit *behind* the previous one. Clamp the
+        // delta (and a non-positive dt) to zero: `tail --follow` across
+        // a restart shows 0.0/s, never a negative rate.
         if dt_s > 0.0 {
-            let rate = (done - p.f64_field("jobs_done").unwrap_or(done)) / dt_s;
+            let rate = (done - p.f64_field("jobs_done").unwrap_or(done)).max(0.0) / dt_s;
             let _ = write!(out, "  ({rate:.1}/s)");
+        } else {
+            let _ = write!(out, "  (0.0/s)");
         }
     }
     if let Some(cache) = s.get("cache") {
@@ -115,6 +121,19 @@ pub fn render_sample(prev: Option<&Json>, s: &Json) -> String {
             stage_field(s, "svc.job_execute", "p95_ms").unwrap_or(f64::NAN),
             stage_field(s, "svc.job_execute", "p99_ms").unwrap_or(f64::NAN),
         );
+    }
+    // Allocation telemetry appears only when the daemon runs under
+    // VAB_PROFILE=1. Same restart-clamp as the job rate.
+    if let Some(alloc) = s.get("alloc") {
+        let live = alloc.u64_field("live_bytes").unwrap_or(0);
+        let _ = write!(out, "  live {}", crate::profile::human_bytes(live));
+        if let Some(p) = prev {
+            let dt_s = (t_ms - p.f64_field("t_ms").unwrap_or(t_ms)) / 1e3;
+            let allocs = alloc.f64_field("allocs").unwrap_or(0.0);
+            let prev_allocs = p.get("alloc").and_then(|a| a.f64_field("allocs")).unwrap_or(allocs);
+            let rate = if dt_s > 0.0 { (allocs - prev_allocs).max(0.0) / dt_s } else { 0.0 };
+            let _ = write!(out, "  ({rate:.0} alloc/s)");
+        }
     }
     out
 }
@@ -231,6 +250,32 @@ pub fn render_checks(checks: &[SloCheck]) -> (String, usize) {
     (out, breaches)
 }
 
+/// Renders check results as a JSON document for scripts and CI
+/// assertions; returns `(json, breaches)`.
+pub fn render_checks_json(checks: &[SloCheck]) -> (String, usize) {
+    use crate::json::{write_json_number, write_json_string};
+    use std::fmt::Write as _;
+    let breaches = checks.iter().filter(|c| !c.pass).count();
+    let mut out = String::with_capacity(512);
+    out.push_str("{\n  \"checks\": [");
+    for (i, c) in checks.iter().enumerate() {
+        out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+        out.push_str("{\"objective\": ");
+        write_json_string(&mut out, &c.objective);
+        out.push_str(", \"measured\": ");
+        match c.measured {
+            Some(m) => write_json_number(&mut out, m),
+            None => out.push_str("null"),
+        }
+        out.push_str(", \"bound\": ");
+        write_json_number(&mut out, c.bound);
+        let _ = write!(out, ", \"pass\": {}}}", c.pass);
+    }
+    out.push_str(if checks.is_empty() { "],\n" } else { "\n  ],\n" });
+    let _ = writeln!(out, "  \"objectives\": {},\n  \"breaches\": {breaches}\n}}", checks.len());
+    (out, breaches)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -328,5 +373,88 @@ mod tests {
         assert!(line.contains("(8.0/s)"), "line: {line}");
         assert!(line.contains("exec p50/p95/p99"), "line: {line}");
         assert!(line.contains("cache  50.0%"), "line: {line}");
+    }
+
+    /// Two-sample synthetic ring where the second generation restarted
+    /// from zero: the delta-derived rate must clamp at 0.0, never print
+    /// negative.
+    #[test]
+    fn restarted_daemon_clamps_rates_at_zero() {
+        let set = |json: &mut Json, key: &str, val: f64| {
+            if let Json::Obj(fields) = json {
+                for (k, v) in fields.iter_mut() {
+                    if k == key {
+                        *v = Json::Num(val);
+                    }
+                }
+            }
+        };
+        // Generation 1: tick 3, t=1500ms, 7 jobs done.
+        let prev = sample(900.0, None, 0.5);
+        // Generation 2 (restart): clock AND counter behind the previous
+        // sample, but time still advancing.
+        let mut next = sample(900.0, None, 0.5);
+        set(&mut next, "tick", 1.0);
+        set(&mut next, "t_ms", 1600.0);
+        set(&mut next, "jobs_done", 2.0);
+        let line = render_sample(Some(&prev), &next);
+        assert!(line.contains("(0.0/s)"), "counter reset must clamp: {line}");
+        assert!(!line.contains('-'), "no negative rate anywhere: {line}");
+        // Restart where even the clock went backwards: dt <= 0.
+        let mut rewound = sample(900.0, None, 0.5);
+        set(&mut rewound, "t_ms", 500.0);
+        set(&mut rewound, "jobs_done", 0.0);
+        let line = render_sample(Some(&prev), &rewound);
+        assert!(line.contains("(0.0/s)"), "clock rewind must clamp: {line}");
+    }
+
+    #[test]
+    fn alloc_telemetry_renders_live_bytes_and_clamped_rate() {
+        let with_alloc = |allocs: f64, t_ms: f64| {
+            let mut s = sample(900.0, None, 0.5);
+            if let Json::Obj(fields) = &mut s {
+                for (k, v) in fields.iter_mut() {
+                    if k == "t_ms" {
+                        *v = Json::Num(t_ms);
+                    }
+                }
+                fields.push((
+                    "alloc".to_string(),
+                    Json::obj([
+                        ("allocs", Json::Num(allocs)),
+                        ("frees", Json::Num(allocs - 10.0)),
+                        ("live_bytes", Json::Num(2048.0)),
+                        ("peak_live_bytes", Json::Num(4096.0)),
+                    ]),
+                ));
+            }
+            s
+        };
+        let line = render_sample(Some(&with_alloc(100.0, 1000.0)), &with_alloc(300.0, 2000.0));
+        assert!(line.contains("live 2.0 KiB"), "line: {line}");
+        assert!(line.contains("(200 alloc/s)"), "line: {line}");
+        // Counter reset across restart: clamp, don't go negative.
+        let line = render_sample(Some(&with_alloc(300.0, 1000.0)), &with_alloc(50.0, 2000.0));
+        assert!(line.contains("(0 alloc/s)"), "line: {line}");
+        // Unprofiled samples stay alloc-free.
+        let plain = render_sample(None, &sample(900.0, None, 0.5));
+        assert!(!plain.contains("live "), "line: {plain}");
+    }
+
+    #[test]
+    fn slo_json_output_parses_and_counts_breaches() {
+        let checks = check(&spec(), &sample(1500.0, Some(80.0), 0.1));
+        let (json, breaches) = render_checks_json(&checks);
+        assert_eq!(breaches, 3);
+        let v = Json::parse(&json).expect("valid JSON");
+        assert_eq!(v.u64_field("breaches"), Some(3));
+        assert_eq!(v.u64_field("objectives"), Some(3));
+        let arr = v.get("checks").and_then(Json::as_arr).expect("checks");
+        assert_eq!(arr.len(), 3);
+        assert!(arr.iter().all(|c| c.get("pass").and_then(Json::as_bool) == Some(false)));
+        // A no-data check serializes measured as null.
+        let checks = check(&spec(), &sample(900.0, None, 0.9));
+        let (json, _) = render_checks_json(&checks);
+        assert!(json.contains("\"measured\": null"), "{json}");
     }
 }

@@ -246,6 +246,40 @@ impl HistDoc {
     }
 }
 
+/// Process-wide allocator totals from a snapshot's `alloc` section.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AllocTotalsDoc {
+    /// Allocation calls counted.
+    pub allocs: u64,
+    /// Deallocation calls counted.
+    pub frees: u64,
+    /// Bytes requested across counted allocations.
+    pub bytes_allocated: u64,
+    /// Bytes released across counted frees.
+    pub bytes_freed: u64,
+    /// Live bytes at snapshot time.
+    pub live_bytes: u64,
+    /// High-water mark of live bytes (peak-RSS proxy).
+    pub peak_live_bytes: u64,
+}
+
+/// One stage's allocation counters from a snapshot's `alloc` section.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AllocStageDoc {
+    /// Stage name (shared with the latency histogram).
+    pub name: String,
+    /// Stage invocations recorded.
+    pub calls: u64,
+    /// Allocations attributed to the stage alone.
+    pub self_allocs: u64,
+    /// Bytes attributed to the stage alone.
+    pub self_bytes: u64,
+    /// Allocations inside the stage, children included.
+    pub cum_allocs: u64,
+    /// Bytes inside the stage, children included.
+    pub cum_bytes: u64,
+}
+
 /// A parsed `metrics.json` snapshot.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsDoc {
@@ -257,6 +291,10 @@ pub struct MetricsDoc {
     pub histograms: Vec<HistDoc>,
     /// Per-stage wall-clock histograms (seconds).
     pub stages: Vec<HistDoc>,
+    /// Allocator totals (`None` when the run had no allocation profile).
+    pub alloc_totals: Option<AllocTotalsDoc>,
+    /// Per-stage allocation counters (empty without a profile).
+    pub alloc_stages: Vec<AllocStageDoc>,
 }
 
 impl MetricsDoc {
@@ -285,6 +323,26 @@ impl MetricsDoc {
                         doc.stages.push(parsed);
                     }
                 }
+            }
+        }
+        if let Some(alloc) = v.get("alloc") {
+            doc.alloc_totals = Some(AllocTotalsDoc {
+                allocs: alloc.u64_field("allocs").unwrap_or(0),
+                frees: alloc.u64_field("frees").unwrap_or(0),
+                bytes_allocated: alloc.u64_field("bytes_allocated").unwrap_or(0),
+                bytes_freed: alloc.u64_field("bytes_freed").unwrap_or(0),
+                live_bytes: alloc.u64_field("live_bytes").unwrap_or(0),
+                peak_live_bytes: alloc.u64_field("peak_live_bytes").unwrap_or(0),
+            });
+            for s in alloc.get("stages").and_then(Json::as_arr).unwrap_or(&[]) {
+                doc.alloc_stages.push(AllocStageDoc {
+                    name: s.str_field("name").ok_or("alloc stage without name")?.to_string(),
+                    calls: s.u64_field("calls").unwrap_or(0),
+                    self_allocs: s.u64_field("self_allocs").unwrap_or(0),
+                    self_bytes: s.u64_field("self_bytes").unwrap_or(0),
+                    cum_allocs: s.u64_field("cum_allocs").unwrap_or(0),
+                    cum_bytes: s.u64_field("cum_bytes").unwrap_or(0),
+                });
             }
         }
         Ok(doc)

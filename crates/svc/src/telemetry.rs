@@ -125,6 +125,22 @@ fn build_sample(tick: u64, epoch: Instant, pool: &WorkerPool, malformed_frames: 
         }
     }
     fields.push(("stages", Json::Obj(stages)));
+    // Live allocator counters appear only under VAB_PROFILE=1, so
+    // `vab-obsctl tail` can derive alloc rates the same way it derives
+    // job rates.
+    if vab_obs::alloc::profiling() {
+        let totals = vab_obs::alloc::totals();
+        fields.push((
+            "alloc",
+            Json::obj([
+                ("allocs", Json::Num(totals.allocs as f64)),
+                ("frees", Json::Num(totals.frees as f64)),
+                ("bytes_allocated", Json::Num(totals.bytes_allocated as f64)),
+                ("live_bytes", Json::Num(totals.live_bytes as f64)),
+                ("peak_live_bytes", Json::Num(totals.peak_live_bytes as f64)),
+            ]),
+        ));
+    }
     Json::obj(fields)
 }
 
@@ -174,6 +190,26 @@ mod tests {
         // The sample must survive a wire round-trip unchanged.
         let rendered = sample.render();
         assert_eq!(Json::parse(&rendered).expect("reparse").render(), rendered);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn samples_carry_alloc_counters_only_when_profiling() {
+        let pool = pool();
+        let ring = TelemetryRing::new(8);
+        let was_profiling = vab_obs::alloc::profiling();
+        vab_obs::alloc::disable();
+        let plain = ring.sample_now(&pool, 0);
+        assert!(plain.get("alloc").is_none(), "no alloc section when profiling is off");
+        vab_obs::alloc::enable();
+        let profiled = ring.sample_now(&pool, 0);
+        if !was_profiling {
+            vab_obs::alloc::disable();
+        }
+        let alloc = profiled.get("alloc").expect("alloc object under profiling");
+        assert!(alloc.u64_field("allocs").expect("allocs") > 0);
+        assert!(alloc.u64_field("live_bytes").is_some());
+        assert!(alloc.u64_field("peak_live_bytes").is_some());
         pool.shutdown();
     }
 }

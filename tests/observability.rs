@@ -172,4 +172,22 @@ fn disabled_observability_skips_sink_and_registry() {
         "stage timers and span scopes must stay silent when disabled: {:?}",
         snap.stages.iter().filter(|h| h.count > 0).map(|h| &h.name).collect::<Vec<_>>()
     );
+    // The allocation profiler must be equally silent when off: the global
+    // allocator's fast path is one relaxed load, so a profiling-off
+    // workload leaves every alloc counter at zero and attributes nothing
+    // to any stage.
+    assert!(!vab::obs::alloc::profiling(), "VAB_PROFILE must not leak into this test");
+    vab::obs::alloc::reset();
+    let _ = faulted_point(2);
+    let totals = vab::obs::alloc::totals();
+    assert_eq!(
+        (totals.allocs, totals.frees, totals.bytes_allocated, totals.peak_live_bytes),
+        (0, 0, 0, 0),
+        "alloc counters must stay silent when profiling is off: {totals:?}"
+    );
+    assert!(
+        vab::obs::alloc::snapshot_stages().iter().all(|s| s.calls == 0 && s.cum_allocs == 0),
+        "no stage may record allocations while profiling is off"
+    );
+    assert!(snap.alloc_totals.is_none(), "metrics snapshots must omit the alloc section");
 }

@@ -1,0 +1,199 @@
+//! Profiling-plane integration: allocation counts must be *work-derived*
+//! — a fixed-seed workload attributes bit-identical per-stage allocation
+//! counts at any worker count — and the collapsed-stack flame fold must
+//! reproduce its golden fixture exactly. Together with the disabled-path
+//! silence assertions in `tests/observability.rs`, these are the
+//! contracts the CI alloc ratchet (`vab-obsctl alloc-gate`) stands on.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use vab::fault::{FaultConfig, FaultPlan};
+use vab::sim::baseline::SystemKind;
+use vab::sim::montecarlo::{run_point_faulted, MonteCarloConfig, TrialEngine};
+use vab::sim::scenario::Scenario;
+use vab::util::units::Meters;
+use vab_obsctl::flame::{self, Weight};
+use vab_obsctl::trace::{MetricsDoc, Trace};
+
+/// Allocation profiling is process-global (one `#[global_allocator]`),
+/// so tests that enable/reset it serialize here and leave it disabled.
+fn profile_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// The fixed-seed faulted workload: 96 link-budget trials under fault
+/// plan 77 — the same figure-shaped unit `tests/observability.rs` uses
+/// for physics determinism, now profiled.
+fn profiled_point(threads: usize) -> (u64, u64) {
+    let s = Scenario::river(SystemKind::Vab { n_pairs: 4 }, Meters(260.0));
+    let plan = FaultPlan::new(77, FaultConfig::with_intensity(0.6));
+    let cfg = MonteCarloConfig {
+        trials: 96,
+        bits_per_trial: 256,
+        seed: 77,
+        engine: TrialEngine::LinkBudget,
+        threads,
+    };
+    let r = run_point_faulted(&s, &cfg, &plan);
+    (r.ber.errors(), r.packet_errors)
+}
+
+/// Per-stage counter snapshot keyed by stage name, restricted to stages
+/// the workload actually drove (`calls > 0`).
+fn stage_counts() -> BTreeMap<String, (u64, u64, u64, u64, u64)> {
+    vab::obs::alloc::snapshot_stages()
+        .into_iter()
+        .filter(|s| s.calls > 0)
+        .map(|s| {
+            (s.name.to_string(), (s.calls, s.self_allocs, s.self_bytes, s.cum_allocs, s.cum_bytes))
+        })
+        .collect()
+}
+
+/// The tentpole acceptance contract: one worker or eight, a fixed-seed
+/// figure attributes *exactly* the same allocation counts to each stage.
+/// This is what lets `alloc_baseline.json` pin counts instead of
+/// tolerancing them.
+#[test]
+fn per_stage_alloc_counts_bit_identical_across_worker_counts() {
+    let _g = profile_lock();
+    let was_profiling = vab::obs::alloc::profiling();
+    vab::obs::alloc::enable();
+    vab::obs::alloc::reset();
+    let physics_1 = profiled_point(1);
+    let counts_1 = stage_counts();
+    vab::obs::alloc::reset();
+    let physics_8 = profiled_point(8);
+    let counts_8 = stage_counts();
+    if !was_profiling {
+        vab::obs::alloc::disable();
+    }
+    assert_eq!(physics_1, physics_8, "physics must stay thread-count independent");
+    assert!(
+        counts_1.contains_key("sim.linkbudget_trial"),
+        "trial stage must be attributed: {counts_1:?}"
+    );
+    assert!(
+        counts_1.contains_key("sim.channel_realization"),
+        "nested channel stage must be attributed: {counts_1:?}"
+    );
+    let trial = &counts_1["sim.linkbudget_trial"];
+    // Lost trials (fault blackouts) never enter the trial stage, so the
+    // call count is below 96 — but it is fault-plan-derived, so exact.
+    assert!(trial.0 > 0 && trial.0 <= 96, "stage calls bounded by trials: {trial:?}");
+    assert!(trial.3 > 0, "trials allocate (codec buffers): {trial:?}");
+    assert!(
+        trial.3 >= trial.1,
+        "cumulative counts include children: self {} > cum {}",
+        trial.1,
+        trial.3
+    );
+    assert_eq!(
+        counts_1, counts_8,
+        "per-stage allocation profile must be bit-identical at 1 vs 8 workers"
+    );
+}
+
+/// Profiling must also be *run*-deterministic: the same seed twice gives
+/// the same profile, which is the property the exact-pin gate relies on
+/// across CI runs.
+#[test]
+fn repeated_runs_yield_identical_profiles() {
+    let _g = profile_lock();
+    let was_profiling = vab::obs::alloc::profiling();
+    vab::obs::alloc::enable();
+    vab::obs::alloc::reset();
+    let _ = profiled_point(4);
+    let first = stage_counts();
+    vab::obs::alloc::reset();
+    let _ = profiled_point(4);
+    let second = stage_counts();
+    if !was_profiling {
+        vab::obs::alloc::disable();
+    }
+    assert_eq!(first, second, "fixed seed must reproduce the exact allocation profile");
+}
+
+/// A profiled metrics snapshot must survive the full surfacing path:
+/// `Snapshot::to_json()` → `MetricsDoc::parse` → `profile::render`,
+/// with self/cumulative attribution intact.
+#[test]
+fn profiled_snapshot_round_trips_through_obsctl() {
+    let _g = profile_lock();
+    let was_profiling = vab::obs::alloc::profiling();
+    vab::obs::alloc::enable();
+    vab::obs::alloc::reset();
+    vab::obs::metrics::reset();
+    let _ = profiled_point(2);
+    let snap = vab::obs::metrics::Snapshot::capture();
+    if !was_profiling {
+        vab::obs::alloc::disable();
+    }
+    let doc = MetricsDoc::parse(&snap.to_json()).expect("snapshot JSON parses");
+    let totals = doc.alloc_totals.expect("profiled snapshot carries alloc totals");
+    assert!(totals.allocs > 0);
+    let trial = doc
+        .alloc_stages
+        .iter()
+        .find(|s| s.name == "sim.linkbudget_trial")
+        .expect("trial stage surfaces in metrics.json");
+    assert!(trial.calls > 0 && trial.calls <= 96);
+    assert!(trial.cum_allocs >= trial.self_allocs);
+    let table = vab_obsctl::profile::render(&doc, 5).expect("profile renders");
+    assert!(table.contains("sim.linkbudget_trial"), "{table}");
+    assert!(table.contains("allocation profile:"), "{table}");
+}
+
+/// The flame fold must reproduce its golden fixture byte-for-byte: a
+/// two-trace span forest plus an id-less span collapses into sorted
+/// `path weight` lines whose self weights conserve the root totals.
+#[test]
+fn flame_collapse_round_trips_golden_fixture() {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/flame_trace.jsonl"
+    ))
+    .expect("fixture");
+    let golden = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/flame_collapsed.txt"
+    ))
+    .expect("golden");
+    let trace = Trace::parse(&text);
+    assert!(trace.skipped_lines.is_empty() && !trace.truncated_tail, "fixture must be clean");
+
+    let lines = flame::collapse(&trace, Weight::TimeUs, None).expect("collapse");
+    let expected: Vec<String> = golden.lines().map(String::from).collect();
+    assert_eq!(lines, expected, "time-weighted collapse must match the golden output");
+    // Self weights conserve the totals: both roots (1200 + 600) plus the
+    // flat id-less span (900).
+    let total: u64 =
+        lines.iter().map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap()).sum();
+    assert_eq!(total, 2700);
+
+    // Allocation-weighted folds of the same fixture.
+    let by_allocs = flame::collapse(&trace, Weight::AllocCount, None).expect("allocs");
+    assert_eq!(
+        by_allocs,
+        vec![
+            "svc.handle 7".to_string(),
+            "svc.handle;svc.job_execute 13".to_string(),
+            "svc.handle;svc.job_execute;sim.montecarlo 20".to_string(),
+        ]
+    );
+    let by_bytes = flame::collapse(&trace, Weight::AllocBytes, None).expect("bytes");
+    let bytes_total: u64 =
+        by_bytes.iter().map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap()).sum();
+    assert_eq!(bytes_total, 5120 + 1024, "byte weights conserve both traces' root totals");
+
+    // Filtering to one trace drops the other trace and the id-less span.
+    let one = flame::collapse(&trace, Weight::TimeUs, Some(0xbb)).expect("filtered");
+    let one_total: u64 =
+        one.iter().map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap()).sum();
+    assert_eq!(one_total, 600);
+}
