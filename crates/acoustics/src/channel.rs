@@ -340,6 +340,38 @@ fn direct_amp(path: f64, spreading: crate::spreading::Spreading, alpha: f64) -> 
         * 10f64.powf(-alpha * path / 1000.0 / 20.0)
 }
 
+/// Conjugation efficiency of a Van Atta retrodirective bounce path: the
+/// fraction of a boundary-interacting arrival's power the array re-launches
+/// coherently back along its own path. The direct path retro-reflects with
+/// unit efficiency.
+pub const RETRO_CONJ_EFF: f64 = 0.6;
+
+/// The Van Atta round trip as a single *diagonal* channel.
+///
+/// A retrodirective node conjugates each arrival's phase, so every path
+/// retraces itself: the round trip collapses to real positive taps
+/// `η·|aᵢ|²` at delays `2τᵢ` (time-reversal property), pre-rotated so the
+/// carrier phase the baseband application adds cancels out. Convolving the
+/// one-way channel twice would instead create cross-path terms (down path
+/// i, up path j) that a real Van Atta scatters away from the reader.
+/// Surface motion is traversed twice, so the phase excursion doubles.
+pub fn retro_round_trip(arrivals: &[Arrival], carrier: Hertz) -> Vec<Arrival> {
+    arrivals
+        .iter()
+        .map(|a| {
+            let eff = if a.is_direct() { 1.0 } else { RETRO_CONJ_EFF };
+            let power_gain = eff * a.gain.norm_sq();
+            let g = C64::real(power_gain) * C64::cis(TAU * carrier.value() * 2.0 * a.delay_s);
+            Arrival {
+                gain: g,
+                delay_s: 2.0 * a.delay_s,
+                surface_mod: SurfaceMod { beta_rad: 2.0 * a.surface_mod.beta_rad, ..a.surface_mod },
+                ..*a
+            }
+        })
+        .collect()
+}
+
 /// A sampled multipath impulse response ready to apply to waveforms.
 #[derive(Debug, Clone)]
 pub struct ImpulseResponse {
@@ -362,6 +394,54 @@ impl ImpulseResponse {
     /// Sample rate the response was built for.
     pub fn sample_rate(&self) -> f64 {
         self.fs
+    }
+
+    /// Carrier frequency the response was built for.
+    pub fn carrier(&self) -> Hertz {
+        self.carrier
+    }
+
+    /// Number of baseband taps needed to represent the response as an FIR
+    /// vector: the last arrival's integer delay plus interpolation slack.
+    pub fn tap_count(&self) -> usize {
+        let max_delay = self.arrivals.last().map_or(0.0, |a| a.delay_s);
+        (max_delay * self.fs).ceil() as usize + 2
+    }
+
+    /// Samples the response as a baseband FIR tap vector with every
+    /// surface-motion rotation **frozen at time `t`** — one snapshot of
+    /// the time-varying impulse response. A bank of these snapshots is
+    /// what the replay substrate stores; convolving with taps interpolated
+    /// between snapshots reproduces [`ImpulseResponse::apply_baseband`] to
+    /// within the snapshot spacing.
+    ///
+    /// The tap placement mirrors `apply_baseband`'s input-side linear
+    /// interpolation exactly, so a static channel replayed through these
+    /// taps matches the synthetic application to FFT rounding.
+    pub fn baseband_taps_at(&self, t: f64) -> Vec<C64> {
+        let mut taps = vec![C64::ZERO; self.tap_count().max(1)];
+        for a in &self.arrivals {
+            let tap = a.gain * C64::cis(-TAU * self.carrier.value() * a.delay_s);
+            let rot = if a.surface_mod.is_static() {
+                C64::ONE
+            } else {
+                C64::cis(a.surface_mod.phase_at(t))
+            };
+            let g = tap * rot;
+            let d = a.delay_s * self.fs;
+            let di = d.floor() as usize;
+            let frac = d - di as f64;
+            // apply_baseband interpolates on the input (contribution of
+            // x[i] and x[i+1] lands at i + ⌊d⌋), which is tap weight
+            // (1−frac) at ⌊d⌋ and frac at ⌊d⌋−1.
+            if di < taps.len() {
+                taps[di] += g.scale(1.0 - frac);
+            }
+            if frac != 0.0 && di >= 1 && di - 1 < taps.len() {
+                taps[di - 1] += g.scale(frac);
+            }
+        }
+        taps
     }
 
     /// Delay spread (last minus first arrival), seconds. Zero when fewer
@@ -642,6 +722,52 @@ mod tests {
         assert!(ir.delay_spread() > 0.0);
         // Bounce geometry bound: extra path ≤ a few× depth at this range.
         assert!(ir.delay_spread() < 0.05);
+    }
+
+    #[test]
+    fn frozen_taps_reproduce_static_baseband_application() {
+        // Calm water: the TVIR snapshot at any time IS the channel, so
+        // convolving with the sampled taps must reproduce apply_baseband.
+        let mut rng = seeded(21);
+        let mut env = Environment::river();
+        env.sea_state = SeaState::Calm;
+        let ch =
+            ChannelModel::new(env, Position::new(0.0, 0.0, 2.0), Position::new(40.0, 0.0, 2.0), F);
+        let ir = ch.impulse_response(4000.0, &mut rng);
+        let taps = ir.baseband_taps_at(0.0);
+        assert_eq!(taps.len(), ir.tap_count());
+        let x: Vec<C64> =
+            (0..300).map(|i| C64::new((i as f64 * 0.1).sin(), (i as f64 * 0.07).cos())).collect();
+        let direct = ir.apply_baseband(&x);
+        let via_taps = vab_util::ola::convolve_fft_c64(&x, &taps);
+        let scale = direct.iter().map(|v| v.abs()).fold(1e-12, f64::max);
+        let n = direct.len().min(via_taps.len());
+        // apply_baseband clips each arrival's fractional-interp share of
+        // x[0] (a one-sample onset transient per arrival); the taps keep
+        // it. Compare once every onset has filled.
+        for i in taps.len()..n {
+            assert!(
+                (via_taps[i] - direct[i]).abs() < 1e-9 * scale,
+                "i={i}: {} vs {}",
+                via_taps[i],
+                direct[i]
+            );
+        }
+    }
+
+    #[test]
+    fn retro_round_trip_doubles_delays_with_real_positive_power_taps() {
+        let mut rng = seeded(22);
+        let arr = river_channel(60.0).arrivals(&mut rng);
+        let rt = retro_round_trip(&arr, F);
+        assert_eq!(rt.len(), arr.len());
+        for (a, r) in arr.iter().zip(&rt) {
+            assert!((r.delay_s - 2.0 * a.delay_s).abs() < 1e-15);
+            let eff = if a.is_direct() { 1.0 } else { RETRO_CONJ_EFF };
+            // The pre-rotation leaves the magnitude at η·|a|².
+            assert!((r.gain.abs() - eff * a.gain.norm_sq()).abs() < 1e-12);
+            assert!((r.surface_mod.beta_rad - 2.0 * a.surface_mod.beta_rad).abs() < 1e-15);
+        }
     }
 
     #[test]

@@ -1,0 +1,15 @@
+//! FR1 - replay validation: BER synthetic vs replayed bank, conv throughput
+//!
+//! Usage: `cargo run --release -p vab-bench --bin fig_fr1_replay` (add `--quick`
+//! for a fast low-trial run, `--csv <path>` to also write CSV; set
+//! `VAB_OBS=stderr|jsonl` for a structured trace and stage breakdown).
+
+use vab_bench::{experiments, report};
+
+fn main() {
+    report::run_figure(
+        "FR1",
+        "replay validation: BER synthetic vs replayed bank, conv throughput",
+        experiments::fr1_replay_validation,
+    );
+}

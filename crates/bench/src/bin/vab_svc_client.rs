@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! vab-svc [--addr 127.0.0.1:7411] batch [--quick] [--figures a,b,c] [--expect-cached]
-//! vab-svc [--addr ...] submit '<job json>'
+//! vab-svc [--addr ...] submit '<job json>' [--wait] [--expect-cached]
 //! vab-svc [--addr ...] status <id>
 //! vab-svc [--addr ...] fetch <id> [--wait-ms N]
 //! vab-svc [--addr ...] stats [--json]
@@ -15,6 +15,11 @@
 //! summary. `--expect-cached` exits non-zero unless *every* response was
 //! a cache hit — CI uses it to prove the second identical batch never
 //! recomputes.
+//!
+//! `submit --wait` blocks until the job is terminal; `submit
+//! --expect-cached` implies `--wait` and exits non-zero unless the result
+//! was served from the cache — CI uses it to prove the second build of a
+//! replay bank never regenerates.
 //!
 //! `stats` and `health` print an aligned human-readable table by
 //! default; `--json` emits the raw one-line wire response for scripts.
@@ -38,7 +43,7 @@ fn usage(prog: &str) -> ! {
         "usage: {prog} [--addr 127.0.0.1:7411] <command>\n\
          commands:\n\
          \x20 batch [--quick] [--figures a,b,c] [--expect-cached]\n\
-         \x20 submit '<job json>'\n\
+         \x20 submit '<job json>' [--wait] [--expect-cached]\n\
          \x20 status <id>\n\
          \x20 fetch <id> [--wait-ms N]\n\
          \x20 stats [--json]\n\
@@ -159,13 +164,18 @@ fn simple_id_op(
     roundtrip(addr, &make(id.clone()))
 }
 
-/// `submit '<job json>'`: parse, submit, print the response.
+/// `submit '<job json>' [--wait] [--expect-cached]`: parse, submit,
+/// print the response. `--wait` blocks until the job is terminal;
+/// `--expect-cached` implies `--wait` and fails unless the result came
+/// from the cache.
 fn submit(addr: &str, argv: &[String], command: &str) -> i32 {
     let pos = argv.iter().position(|a| a == command).expect("command present");
-    let Some(raw) = argv.get(pos + 1) else {
+    let Some(raw) = argv.get(pos + 1).filter(|a| !a.starts_with("--")) else {
         eprintln!("vab-svc: submit needs a job JSON argument");
         return 2;
     };
+    let expect_cached = argv.iter().any(|a| a == "--expect-cached");
+    let wait = expect_cached || argv.iter().any(|a| a == "--wait");
     let spec =
         match Json::parse(raw).map_err(|e| e.to_string()).and_then(|v| JobSpec::from_json(&v)) {
             Ok(spec) => spec,
@@ -177,16 +187,46 @@ fn submit(addr: &str, argv: &[String], command: &str) -> i32 {
     // Through `Client::submit` (not a raw roundtrip) so the submission
     // runs under a traced `svc.submit` span when VAB_OBS is on.
     let mut client = connect(addr);
-    match client.submit(&spec, None) {
-        Ok(resp) => {
-            println!("{}", resp.render());
-            0
-        }
+    let resp = match client.submit_with_retry(&spec, None, 500) {
+        Ok(resp) => resp,
         Err(e) => {
             eprintln!("vab-svc: {e}");
-            1
+            return 1;
         }
+    };
+    if !wait {
+        println!("{}", resp.render());
+        return 0;
     }
+    let cached_at_submit =
+        resp.str_field("status") == Some("done") && resp.bool_field("cached") == Some(true);
+    let Some(id) = resp.str_field("id").map(String::from) else {
+        eprintln!("vab-svc: submit response has no id: {}", resp.render());
+        return 1;
+    };
+    let resp = loop {
+        match client.fetch_wait(&id, 30_000) {
+            Ok(r) => match r.str_field("status") {
+                Some("queued") | Some("running") => continue,
+                _ => break r,
+            },
+            Err(e) => {
+                eprintln!("vab-svc: fetch {id}: {e}");
+                return 1;
+            }
+        }
+    };
+    println!("{}", resp.render());
+    if resp.str_field("status") != Some("done") {
+        eprintln!("vab-svc: job failed: {}", resp.str_field("error").unwrap_or("unknown"));
+        return 1;
+    }
+    let cached = cached_at_submit || resp.bool_field("cached") == Some(true);
+    if expect_cached && !cached {
+        eprintln!("vab-svc: --expect-cached but the result was computed");
+        return 1;
+    }
+    0
 }
 
 /// `batch`: submit a set of figure jobs, wait for all, summarize.

@@ -9,6 +9,7 @@
 //! ```text
 //! vab-svcd [--addr 127.0.0.1:7411] [--workers N] [--queue N]
 //!          [--cache-dir results/cache] [--cache-cap N]
+//!          [--bank-dir results/banks]
 //!          [--fault-seed S --fault-panic-prob P]
 //!          [--chaos-seed S --chaos-intensity X]
 //!          [--request-budget N]
@@ -35,6 +36,7 @@ struct Opts {
     queue_cap: usize,
     cache_dir: PathBuf,
     cache_cap: usize,
+    bank_dir: PathBuf,
     fault_seed: Option<u64>,
     fault_panic_prob: f64,
     chaos_seed: Option<u64>,
@@ -45,7 +47,8 @@ struct Opts {
 fn usage(prog: &str) -> ! {
     eprintln!(
         "usage: {prog} [--addr 127.0.0.1:7411] [--workers N] [--queue N] \
-         [--cache-dir DIR] [--cache-cap N] [--fault-seed S] [--fault-panic-prob P] \
+         [--cache-dir DIR] [--cache-cap N] [--bank-dir DIR] \
+         [--fault-seed S] [--fault-panic-prob P] \
          [--chaos-seed S] [--chaos-intensity X] [--request-budget N]"
     );
     std::process::exit(2);
@@ -60,6 +63,7 @@ fn parse_opts() -> Opts {
         queue_cap: 64,
         cache_dir: PathBuf::from(DEFAULT_CACHE_DIR),
         cache_cap: 256,
+        bank_dir: PathBuf::from(vab_replay::DEFAULT_BANK_DIR),
         fault_seed: None,
         fault_panic_prob: 1.0,
         chaos_seed: None,
@@ -77,6 +81,7 @@ fn parse_opts() -> Opts {
             "--queue" => opts.queue_cap = value().parse().unwrap_or_else(|_| usage(&prog)),
             "--cache-dir" => opts.cache_dir = PathBuf::from(value()),
             "--cache-cap" => opts.cache_cap = value().parse().unwrap_or_else(|_| usage(&prog)),
+            "--bank-dir" => opts.bank_dir = PathBuf::from(value()),
             "--fault-seed" => {
                 opts.fault_seed = Some(value().parse().unwrap_or_else(|_| usage(&prog)));
             }
@@ -109,7 +114,7 @@ fn main() {
     if vab_obs::alloc::init_from_env() {
         eprintln!("vab-svcd: allocation profiling on (VAB_PROFILE=1)");
     }
-    let mut executor = bench_executor();
+    let mut executor = bench_executor().with_bank_dir(&opts.bank_dir);
     if let Some(seed) = opts.fault_seed {
         eprintln!(
             "vab-svcd: fault injection armed (seed={seed}, panic_prob={})",

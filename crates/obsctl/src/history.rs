@@ -88,15 +88,18 @@ pub fn render(history: &[HistoryEntry], skipped: &[String], mode_filter: Option<
         "sha", "mode", "total_wall_s", "figures", "allocs", "delta"
     );
     // Wall-time delta vs the previous snapshot of the same mode.
-    let mut last_by_mode: std::collections::BTreeMap<&str, f64> = Default::default();
+    let mut last_by_mode: std::collections::BTreeMap<&str, &BenchDoc> = Default::default();
+    let mut any_partial = false;
     for e in &shown {
         let delta = match last_by_mode.get(e.doc.mode.as_str()) {
-            Some(prev) if *prev > 0.0 => {
-                format!("{:+.1}%", 100.0 * (e.doc.total_wall_s - prev) / prev)
+            Some(prev) => {
+                let (text, partial) = wall_delta(prev, &e.doc);
+                any_partial |= partial;
+                text
             }
-            _ => "-".to_string(),
+            None => "-".to_string(),
         };
-        last_by_mode.insert(e.doc.mode.as_str(), e.doc.total_wall_s);
+        last_by_mode.insert(e.doc.mode.as_str(), &e.doc);
         let allocs = e.total_allocs().map(|n| n.to_string()).unwrap_or_else(|| "-".into());
         let _ = writeln!(
             out,
@@ -110,10 +113,39 @@ pub fn render(history: &[HistoryEntry], skipped: &[String], mode_filter: Option<
         );
     }
     let _ = writeln!(out, "{} snapshot(s), oldest first", shown.len());
+    if any_partial {
+        let _ = writeln!(
+            out,
+            "* figure sets differ between generations; delta covers shared figures only"
+        );
+    }
     for name in skipped {
         let _ = writeln!(out, "warning: skipped unparseable {name}");
     }
     out
+}
+
+/// Same-mode wall delta between consecutive snapshots, restricted to the
+/// figures present in *both* generations — a figure appearing (or being
+/// retired) mid-trajectory shifts `total_wall_s` without meaning a
+/// perf regression, so whole-document totals would lie. Returns the
+/// rendered delta and whether the comparison was partial (figure sets
+/// differ; marked with `*` in the listing).
+fn wall_delta(prev: &BenchDoc, cur: &BenchDoc) -> (String, bool) {
+    let prev_names: std::collections::BTreeSet<&str> =
+        prev.figures.iter().map(|f| f.name.as_str()).collect();
+    let cur_names: std::collections::BTreeSet<&str> =
+        cur.figures.iter().map(|f| f.name.as_str()).collect();
+    let partial = prev_names != cur_names;
+    let prev_sum: f64 =
+        prev.figures.iter().filter(|f| cur_names.contains(f.name.as_str())).map(|f| f.wall_s).sum();
+    let cur_sum: f64 =
+        cur.figures.iter().filter(|f| prev_names.contains(f.name.as_str())).map(|f| f.wall_s).sum();
+    if prev_sum <= 0.0 {
+        return ("-".to_string(), partial);
+    }
+    let pct = 100.0 * (cur_sum - prev_sum) / prev_sum;
+    (format!("{pct:+.1}%{}", if partial { "*" } else { "" }), partial)
 }
 
 #[cfg(test)]
@@ -159,6 +191,43 @@ mod tests {
         assert!(quick_only.contains("2 snapshot(s)"), "{quick_only}");
         // Profiled runs show alloc totals; unprofiled show "-".
         assert!(text.contains("500"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn two_figure_snapshot(sha: &str, mode: &str, wall_a: f64, wall_b: f64) -> String {
+        format!(
+            r#"{{"schema": "vab-bench-perf/1", "sha": "{sha}", "mode": "{mode}",
+  "trials": 25, "bits": 256, "seed": 2023, "total_wall_s": {},
+  "figures": [
+    {{"name": "f7_ber_vs_range", "wall_s": {wall_a}, "rows": 10, "stages": []}},
+    {{"name": "fr1_replay_validation", "wall_s": {wall_b}, "rows": 8, "stages": []}}]}}"#,
+            wall_a + wall_b
+        )
+    }
+
+    #[test]
+    fn a_new_figure_mid_trajectory_does_not_fake_a_regression() {
+        let dir = std::env::temp_dir().join(format!("vab_hist_grow_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Generation 1 has one figure at 2 s; generation 2 adds a second
+        // figure (10 s) while the shared figure stays at 2 s. The naive
+        // whole-document delta would read +500%; the shared-figure delta
+        // must read +0.0% and be flagged as partial.
+        std::fs::write(dir.join("BENCH_aaa1.json"), snapshot("aaa1", "quick", 2.0, 0)).unwrap();
+        std::fs::write(
+            dir.join("BENCH_bbb2.json"),
+            two_figure_snapshot("bbb2", "quick", 2.0, 10.0),
+        )
+        .unwrap();
+        let (history, skipped) = scan(&dir).expect("scan");
+        assert_eq!(history.len(), 2);
+        let text = render(&history, &skipped, None);
+        assert!(text.contains("+0.0%*"), "{text}");
+        assert!(!text.contains("+500"), "{text}");
+        assert!(text.contains("shared figures only"), "{text}");
+        // The figure retiring again is equally tolerated (reverse order).
+        let rev = render(&[history[1].clone(), history[0].clone()], &[], None);
+        assert!(rev.contains("+0.0%*"), "{rev}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

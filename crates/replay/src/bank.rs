@@ -1,0 +1,246 @@
+//! TVIR bank generation and its versioned file format.
+//!
+//! A bank freezes one channel realization (a seeded image-method arrival
+//! set) into `n_snapshots` baseband FIR tap vectors, each with the
+//! surface-motion rotation evaluated at that snapshot's time — for both
+//! the one-way channel and the Van Atta retrodirective round trip (which
+//! is a *different* diagonal channel, not the one-way response squared).
+//!
+//! The file format is versioned JSON (`vab-replay-bank/1`). Numbers render
+//! through `vab_util::json`'s canonical shortest-round-trip form, so
+//! save → load → save is byte-identical and a loaded bank replays
+//! bit-identically to a freshly generated one.
+
+use crate::spec::BankSpec;
+use vab_acoustics::channel::{retro_round_trip, ChannelModel, ImpulseResponse};
+use vab_util::complex::C64;
+use vab_util::json::Json;
+use vab_util::rng::seeded;
+use vab_util::units::Hertz;
+
+/// Schema identifier embedded in every bank file.
+pub const BANK_SCHEMA: &str = "vab-replay-bank/1";
+
+/// A generated bank: the spec plus its snapshot tap matrices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TvirBank {
+    /// The spec the bank was generated from.
+    pub spec: BankSpec,
+    /// Direct-path propagation delay, seconds (synchronization lead).
+    pub direct_delay_s: f64,
+    /// One-way baseband taps, `n_snapshots` rows.
+    pub one_way: Vec<Vec<C64>>,
+    /// Van Atta round-trip baseband taps, `n_snapshots` rows.
+    pub round_trip: Vec<Vec<C64>>,
+}
+
+/// Generates a bank from its spec: one seeded channel realization,
+/// snapshot times spread evenly over the span, taps sampled with the
+/// surface motion frozen at each snapshot.
+pub fn generate(spec: &BankSpec) -> Result<TvirBank, String> {
+    spec.validate()?;
+    let _t = vab_obs::time_stage("replay.bank_generate");
+    let carrier = Hertz(spec.carrier_hz);
+    let ch = ChannelModel::new(spec.environment(), spec.reader_pos(), spec.node_pos(), carrier);
+    let mut rng = seeded(spec.seed);
+    let ir = ch.impulse_response(spec.fs, &mut rng);
+    if ir.arrivals().is_empty() {
+        return Err(format!("no arrivals survive at range {} m", spec.range_m));
+    }
+    let rt_ir =
+        ImpulseResponse::from_arrivals(retro_round_trip(ir.arrivals(), carrier), spec.fs, carrier);
+    let dt = spec.snapshot_dt();
+    let mut one_way = Vec::with_capacity(spec.n_snapshots);
+    let mut round_trip = Vec::with_capacity(spec.n_snapshots);
+    for k in 0..spec.n_snapshots {
+        let t = k as f64 * dt;
+        one_way.push(ir.baseband_taps_at(t));
+        round_trip.push(rt_ir.baseband_taps_at(t));
+    }
+    Ok(TvirBank {
+        spec: spec.clone(),
+        direct_delay_s: ir.arrivals()[0].delay_s,
+        one_way,
+        round_trip,
+    })
+}
+
+fn taps_to_json(rows: &[Vec<C64>]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|row| {
+                let mut flat = Vec::with_capacity(row.len() * 2);
+                for t in row {
+                    flat.push(Json::Num(t.re));
+                    flat.push(Json::Num(t.im));
+                }
+                Json::Arr(flat)
+            })
+            .collect(),
+    )
+}
+
+fn taps_from_json(v: &Json, what: &str) -> Result<Vec<Vec<C64>>, String> {
+    let rows = v.as_arr().ok_or_else(|| format!("{what} must be an array"))?;
+    rows.iter()
+        .map(|row| {
+            let flat = row.as_arr().ok_or_else(|| format!("{what} row must be an array"))?;
+            if !flat.len().is_multiple_of(2) {
+                return Err(format!("{what} row has odd length {}", flat.len()));
+            }
+            flat.chunks_exact(2)
+                .map(|p| {
+                    let re = p[0].as_f64().ok_or_else(|| format!("bad number in {what}"))?;
+                    let im = p[1].as_f64().ok_or_else(|| format!("bad number in {what}"))?;
+                    Ok(C64::new(re, im))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+impl TvirBank {
+    /// Renders the versioned bank file (canonical rendering: byte-stable
+    /// across save/load cycles).
+    pub fn to_json_with_version(&self, engine_version: &str) -> String {
+        Json::obj([
+            ("schema", Json::Str(BANK_SCHEMA.into())),
+            ("engine_version", Json::Str(engine_version.into())),
+            (
+                "digest",
+                Json::Str(format!("{:016x}", self.spec.digest_with_version(engine_version))),
+            ),
+            ("spec", self.spec.to_json()),
+            ("direct_delay_s", Json::Num(self.direct_delay_s)),
+            ("one_way", taps_to_json(&self.one_way)),
+            ("round_trip", taps_to_json(&self.round_trip)),
+        ])
+        .render()
+    }
+
+    /// [`TvirBank::to_json_with_version`] under [`crate::ENGINE_VERSION`].
+    pub fn to_json(&self) -> String {
+        self.to_json_with_version(crate::ENGINE_VERSION)
+    }
+
+    /// Parses a bank file, checking schema and engine version. A version
+    /// mismatch is an error — stale banks must be regenerated, never
+    /// silently replayed.
+    pub fn parse_with_version(text: &str, engine_version: &str) -> Result<TvirBank, String> {
+        let v = Json::parse(text).map_err(|e| e.to_string())?;
+        match v.str_field("schema") {
+            Some(BANK_SCHEMA) => {}
+            other => return Err(format!("bad bank schema {other:?}")),
+        }
+        match v.str_field("engine_version") {
+            Some(ev) if ev == engine_version => {}
+            other => {
+                return Err(format!(
+                    "bank engine version {other:?} does not match {engine_version:?}"
+                ))
+            }
+        }
+        let spec = BankSpec::from_json(v.get("spec").ok_or("bank file needs spec")?)?;
+        let bank = TvirBank {
+            spec,
+            direct_delay_s: v
+                .f64_field("direct_delay_s")
+                .ok_or("bank file needs direct_delay_s")?,
+            one_way: taps_from_json(v.get("one_way").ok_or("bank file needs one_way")?, "one_way")?,
+            round_trip: taps_from_json(
+                v.get("round_trip").ok_or("bank file needs round_trip")?,
+                "round_trip",
+            )?,
+        };
+        if bank.one_way.len() != bank.spec.n_snapshots
+            || bank.round_trip.len() != bank.spec.n_snapshots
+        {
+            return Err("snapshot count does not match spec".into());
+        }
+        Ok(bank)
+    }
+
+    /// [`TvirBank::parse_with_version`] under [`crate::ENGINE_VERSION`].
+    pub fn parse(text: &str) -> Result<TvirBank, String> {
+        Self::parse_with_version(text, crate::ENGINE_VERSION)
+    }
+
+    /// A replay channel over the one-way taps starting at bank time `t0`.
+    pub fn one_way_channel(&self, t0: f64) -> crate::ReplayChannel {
+        crate::ReplayChannel::new(&self.one_way, self.spec.snapshot_dt(), self.spec.fs, t0)
+    }
+
+    /// A replay channel over the Van Atta round-trip taps at bank time `t0`.
+    pub fn round_trip_channel(&self, t0: f64) -> crate::ReplayChannel {
+        crate::ReplayChannel::new(&self.round_trip, self.spec.snapshot_dt(), self.spec.fs, t0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WaterSpec;
+
+    fn small_spec() -> BankSpec {
+        BankSpec {
+            water: WaterSpec::River,
+            range_m: 60.0,
+            carrier_hz: 18_500.0,
+            fs: 1600.0,
+            n_snapshots: 3,
+            span_s: 2.0,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&small_spec()).unwrap();
+        let b = generate(&small_spec()).unwrap();
+        assert_eq!(a, b, "same spec must generate identical banks");
+        assert_eq!(a.one_way.len(), 3);
+        assert_eq!(a.round_trip.len(), 3);
+        assert!(a.direct_delay_s > 0.0);
+        // The round trip is twice as long as the one-way response.
+        assert!(a.round_trip[0].len() > a.one_way[0].len());
+    }
+
+    #[test]
+    fn file_round_trip_is_byte_identical() {
+        let bank = generate(&small_spec()).unwrap();
+        let text = bank.to_json();
+        let parsed = TvirBank::parse(&text).unwrap();
+        assert_eq!(parsed, bank);
+        assert_eq!(parsed.to_json(), text, "save → load → save must be byte-stable");
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema_and_version() {
+        let bank = generate(&small_spec()).unwrap();
+        let text = bank.to_json();
+        assert!(TvirBank::parse(&text.replace(BANK_SCHEMA, "other/9")).is_err());
+        assert!(TvirBank::parse_with_version(&text, "vab-engine/999").is_err());
+        assert!(TvirBank::parse("{").is_err());
+        assert!(TvirBank::parse("{\"schema\": \"vab-replay-bank/1\"}").is_err());
+    }
+
+    #[test]
+    fn ocean_bank_generates_with_surface_motion() {
+        let spec = BankSpec {
+            water: WaterSpec::Ocean { sea_state: 1 },
+            range_m: 80.0,
+            fs: 1600.0,
+            ..small_spec()
+        };
+        let bank = generate(&spec).unwrap();
+        // Rippled surface: snapshots must actually differ over time.
+        assert_ne!(bank.one_way[0], bank.one_way[2], "TVIR should vary across snapshots");
+    }
+
+    #[test]
+    fn invalid_spec_is_refused() {
+        let mut bad = small_spec();
+        bad.n_snapshots = 0;
+        assert!(generate(&bad).is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! # vab-replay — content-addressed channel-replay substrate
+//!
+//! Every sample-level experiment used to re-derive a synthetic channel
+//! from scratch on every trial. This crate records the channel **once** —
+//! as a bank of time-varying impulse-response (TVIR) snapshots sampled
+//! from the image-method + surface-motion models — and replays it by
+//! convolution, following the `BasebandReplayChannel` shape from the
+//! UnderwaterAcoustics.jl ecosystem:
+//!
+//! * [`spec::BankSpec`] names the field conditions (water, range, carrier,
+//!   sample rate, snapshot schedule, seed). Its canonical JSON hashed with
+//!   the engine version ([`BankSpec::digest_with_version`]) is the bank's
+//!   content address, exactly like the `vab-svc` result cache.
+//! * [`bank::generate`] realizes the channel and freezes its surface-motion
+//!   rotation at each snapshot time, producing baseband FIR tap vectors for
+//!   both the one-way channel and the Van Atta retrodirective round trip.
+//! * [`store::BankStore`] persists banks under `results/banks/<digest>.json`
+//!   (atomic write, quarantine on corruption) so a digest is fetched, never
+//!   regenerated.
+//! * [`channel::ReplayChannel`] convolves waveforms against taps linearly
+//!   interpolated between snapshots, on the overlap-save FFT engine
+//!   ([`vab_util::ola`]) with plan and scratch reuse.
+//!
+//! Replay is bit-deterministic: the bank file round-trips `f64`s exactly,
+//! and the convolution path is identical whether the bank was just built
+//! or fetched from disk — so a figure run on a replayed bank reproduces
+//! bit-identical CSVs across worker counts and daemon restarts.
+
+#![warn(missing_docs)]
+
+pub mod bank;
+pub mod channel;
+pub mod spec;
+pub mod store;
+
+pub use bank::{generate, TvirBank, BANK_SCHEMA};
+pub use channel::ReplayChannel;
+pub use spec::{BankSpec, WaterSpec};
+pub use store::{BankStore, DEFAULT_BANK_DIR};
+
+/// Engine version folded into every bank digest. Kept textually identical
+/// to `vab_svc::ENGINE_VERSION` so a bank built through the service layer
+/// and one built locally share a content address; bump both together when
+/// the channel physics changes.
+pub const ENGINE_VERSION: &str = "vab-engine/1";

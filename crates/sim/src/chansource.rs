@@ -1,0 +1,248 @@
+//! The channel seam: synthetic generation vs bank replay behind one trait.
+//!
+//! Every sample-level trial needs two propagation operators — the one-way
+//! baseband channel (down- or uplink of a point-scatterer system) and the
+//! Van Atta retrodirective *round trip* (a diagonal channel, not the
+//! one-way response squared). [`ChannelSource`] is where a trial gets
+//! them: [`SyntheticSource`] realizes a fresh image-method channel from
+//! the trial RNG exactly as the engine always has, while [`BankSource`]
+//! replays a recorded TVIR bank (`vab-replay`) starting at a random
+//! offset into its snapshot timeline. Experiments thread a
+//! `&dyn ChannelSource` through [`crate::montecarlo::run_point_with_source`]
+//! and the rest of the DSP stack cannot tell the difference.
+
+use crate::scenario::Scenario;
+use rand::rngs::StdRng;
+use rand::RngExt;
+use vab_acoustics::channel::{retro_round_trip, ImpulseResponse};
+use vab_replay::{ReplayChannel, TvirBank};
+use vab_util::complex::C64;
+
+/// One trial's realized channel: both propagation operators, ready to
+/// apply to complex-baseband envelopes. Both variants return the full
+/// convolution (input length plus the channel's delay spread), the
+/// synthetic `apply_baseband` convention.
+#[derive(Debug, Clone)]
+pub enum RealizedChannel {
+    /// A freshly drawn image-method realization.
+    Synthetic {
+        /// One-way impulse response (reciprocal: reused both directions).
+        ir: ImpulseResponse,
+        /// Lazily built retrodirective round-trip response.
+        retro: Option<ImpulseResponse>,
+    },
+    /// Replay of a recorded TVIR bank. Boxed: a `ReplayChannel` owns its
+    /// FFT plan and scratch, which would otherwise dwarf the synthetic
+    /// variant.
+    Replayed {
+        /// One-way replay convolver.
+        one_way: Box<ReplayChannel>,
+        /// Van Atta round-trip replay convolver.
+        round_trip: Box<ReplayChannel>,
+    },
+}
+
+impl RealizedChannel {
+    /// Applies the one-way channel (full convolution).
+    pub fn apply_one_way(&mut self, x: &[C64]) -> Vec<C64> {
+        match self {
+            RealizedChannel::Synthetic { ir, .. } => ir.apply_baseband(x),
+            RealizedChannel::Replayed { one_way, .. } => one_way.apply(x),
+        }
+    }
+
+    /// Applies the Van Atta round-trip channel (each arrival retraces its
+    /// own path: real positive power taps at doubled delays); full
+    /// convolution.
+    pub fn apply_round_trip(&mut self, x: &[C64]) -> Vec<C64> {
+        match self {
+            RealizedChannel::Synthetic { ir, retro } => {
+                let retro = retro.get_or_insert_with(|| {
+                    ImpulseResponse::from_arrivals(
+                        retro_round_trip(ir.arrivals(), ir.carrier()),
+                        ir.sample_rate(),
+                        ir.carrier(),
+                    )
+                });
+                retro.apply_baseband(x)
+            }
+            RealizedChannel::Replayed { round_trip, .. } => round_trip.apply(x),
+        }
+    }
+}
+
+/// Where a sample-level trial's channel comes from. `Sync` because Monte
+/// Carlo shards share one source across worker threads.
+pub trait ChannelSource: Sync {
+    /// Realizes the channel for one trial at baseband rate `fs`, drawing
+    /// any randomness (path realization, replay start offset) from the
+    /// trial RNG so results stay bit-reproducible across thread counts.
+    fn realize(&self, scenario: &Scenario, fs: f64, rng: &mut StdRng) -> RealizedChannel;
+}
+
+/// The default source: a fresh image-method + surface-motion realization
+/// per trial, identical to the engine's historical behaviour.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SyntheticSource;
+
+impl ChannelSource for SyntheticSource {
+    fn realize(&self, scenario: &Scenario, fs: f64, rng: &mut StdRng) -> RealizedChannel {
+        let ch = vab_acoustics::channel::ChannelModel::new(
+            scenario.env.clone(),
+            scenario.reader_pos,
+            scenario.node_pos,
+            scenario.carrier(),
+        );
+        RealizedChannel::Synthetic { ir: ch.impulse_response(fs, rng), retro: None }
+    }
+}
+
+/// Replays one recorded bank: every trial draws a uniform start offset
+/// into the bank's snapshot span from the trial RNG, so trials sample
+/// different stretches of the same recorded channel — the replay analogue
+/// of "many packets through one deployment".
+#[derive(Debug, Clone)]
+pub struct BankSource {
+    bank: TvirBank,
+}
+
+impl BankSource {
+    /// Wraps a bank for replay.
+    pub fn new(bank: TvirBank) -> Self {
+        Self { bank }
+    }
+
+    /// The wrapped bank.
+    pub fn bank(&self) -> &TvirBank {
+        &self.bank
+    }
+}
+
+impl ChannelSource for BankSource {
+    fn realize(&self, _scenario: &Scenario, fs: f64, rng: &mut StdRng) -> RealizedChannel {
+        assert!(
+            (fs - self.bank.spec.fs).abs() < 1e-6,
+            "trial baseband rate {fs} does not match bank rate {}",
+            self.bank.spec.fs
+        );
+        let span = self.bank.spec.span_s;
+        let t0 = if self.bank.spec.n_snapshots > 1 && span > 0.0 {
+            rng.random::<f64>() * span
+        } else {
+            0.0
+        };
+        RealizedChannel::Replayed {
+            one_way: Box::new(self.bank.one_way_channel(t0)),
+            round_trip: Box::new(self.bank.round_trip_channel(t0)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::SystemKind;
+    use vab_replay::{BankSpec, WaterSpec};
+    use vab_util::rng::seeded;
+    use vab_util::units::Meters;
+
+    fn test_wave(n: usize) -> Vec<C64> {
+        (0..n)
+            .map(|i| C64::cis(i as f64 * 0.17).scale(1.0 + 0.2 * (i as f64 * 0.05).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn synthetic_source_is_deterministic_per_seed() {
+        let s = Scenario::river(SystemKind::Vab { n_pairs: 4 }, Meters(80.0));
+        let fs = s.mod_params.baseband_fs();
+        let x = test_wave(600);
+        let src = SyntheticSource;
+        let mut a = src.realize(&s, fs, &mut seeded(5));
+        let mut b = src.realize(&s, fs, &mut seeded(5));
+        assert_eq!(a.apply_round_trip(&x), b.apply_round_trip(&x));
+        assert_eq!(a.apply_one_way(&x), b.apply_one_way(&x));
+    }
+
+    #[test]
+    fn replayed_round_trip_matches_synthetic_on_a_calm_static_bank() {
+        // A single-snapshot calm-ocean bank replays the *same* seeded
+        // channel realization the synthetic source draws, and a mirror-calm
+        // surface means no path moves — outputs must agree to FFT rounding
+        // once past the filter's settle-in region (the direct
+        // `apply_baseband` drops each arrival's fractional pre-onset
+        // sample, the tap convolution keeps it).
+        use vab_acoustics::environment::SeaState;
+        let seed = 314;
+        let s = Scenario::ocean(SystemKind::Vab { n_pairs: 4 }, Meters(60.0), SeaState::Calm);
+        let fs = s.mod_params.baseband_fs();
+        let spec = BankSpec {
+            water: WaterSpec::Ocean { sea_state: 0 },
+            range_m: 60.0,
+            carrier_hz: s.carrier().value(),
+            fs,
+            n_snapshots: 1,
+            span_s: 0.0,
+            seed,
+        };
+        let bank = vab_replay::generate(&spec).unwrap();
+        let n_taps = bank.round_trip[0].len();
+        let x = test_wave(n_taps + 900);
+        let mut replayed = BankSource::new(bank).realize(&s, fs, &mut seeded(seed));
+        let mut synthetic = SyntheticSource.realize(&s, fs, &mut seeded(seed));
+        let yr = replayed.apply_round_trip(&x);
+        let ys = synthetic.apply_round_trip(&x);
+        // Length conventions differ by a trailing zero-padding sample; the
+        // populated region is identical.
+        assert!(yr.len() >= x.len() && ys.len() >= x.len());
+        let scale = ys.iter().map(|v| v.abs()).fold(0.0f64, f64::max).max(1e-300);
+        for i in n_taps..x.len() {
+            assert!(
+                (yr[i] - ys[i]).abs() < 1e-9 * scale,
+                "replay diverges from synthetic at {i}: {:?} vs {:?}",
+                yr[i],
+                ys[i]
+            );
+        }
+    }
+
+    #[test]
+    fn bank_replay_is_bit_reproducible_per_trial_seed() {
+        let s = Scenario::river(SystemKind::Vab { n_pairs: 2 }, Meters(40.0));
+        let fs = s.mod_params.baseband_fs();
+        let spec = BankSpec {
+            water: WaterSpec::River,
+            range_m: 40.0,
+            carrier_hz: s.carrier().value(),
+            fs,
+            n_snapshots: 3,
+            span_s: 2.0,
+            seed: 77,
+        };
+        let src = BankSource::new(vab_replay::generate(&spec).unwrap());
+        let x = test_wave(500);
+        let mut a = src.realize(&s, fs, &mut seeded(9));
+        let mut b = src.realize(&s, fs, &mut seeded(9));
+        assert_eq!(a.apply_round_trip(&x), b.apply_round_trip(&x));
+        // A different trial seed starts elsewhere in the bank timeline.
+        let mut c = src.realize(&s, fs, &mut seeded(10));
+        assert_ne!(a.apply_round_trip(&x), c.apply_round_trip(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match bank rate")]
+    fn bank_replay_refuses_a_mismatched_sample_rate() {
+        let spec = BankSpec {
+            water: WaterSpec::River,
+            range_m: 40.0,
+            carrier_hz: 18_500.0,
+            fs: 1600.0,
+            n_snapshots: 1,
+            span_s: 0.0,
+            seed: 1,
+        };
+        let src = BankSource::new(vab_replay::generate(&spec).unwrap());
+        let s = Scenario::river(SystemKind::Vab { n_pairs: 2 }, Meters(40.0));
+        src.realize(&s, 999.0, &mut seeded(0));
+    }
+}

@@ -7,9 +7,10 @@
 //! master seed, so results are bit-reproducible regardless of thread count.
 
 use crate::baseline::FrontEnd;
+use crate::chansource::{ChannelSource, SyntheticSource};
 use crate::linkbudget::LinkBudget;
 use crate::metrics::BerPoint;
-use crate::samplelevel::run_sample_trial_scaled;
+use crate::samplelevel::run_sample_trial_via;
 use crate::scenario::Scenario;
 use rand::rngs::StdRng;
 use rand::RngExt;
@@ -381,7 +382,22 @@ pub fn try_run_point_with_front_end(
     fe: &FrontEnd,
     cfg: &MonteCarloConfig,
 ) -> Result<PointResult, MonteCarloError> {
-    run_point_impl(scenario, fe, cfg, FaultSource::None)
+    run_point_impl(scenario, fe, cfg, FaultSource::None, &SyntheticSource)
+}
+
+/// [`run_point`] with the sample-level channel supplied by an arbitrary
+/// [`ChannelSource`] — the replay entry point: pass a
+/// [`crate::chansource::BankSource`] and every trial convolves against the
+/// recorded TVIR bank instead of synthesizing a channel. Only meaningful
+/// with [`TrialEngine::SampleLevel`] (the link-budget engine has no
+/// waveform to replay).
+pub fn run_point_with_source(
+    scenario: &Scenario,
+    cfg: &MonteCarloConfig,
+    source: &dyn ChannelSource,
+) -> PointResult {
+    let fe = scenario.front_end();
+    run_point_impl(scenario, &fe, cfg, FaultSource::None, source).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// [`run_point`] under a deterministic fault plan: trial `t` experiences
@@ -394,7 +410,8 @@ pub fn run_point_faulted(
     plan: &FaultPlan,
 ) -> PointResult {
     let fe = scenario.front_end();
-    run_point_impl(scenario, &fe, cfg, FaultSource::Plan(plan)).unwrap_or_else(|e| panic!("{e}"))
+    run_point_impl(scenario, &fe, cfg, FaultSource::Plan(plan), &SyntheticSource)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// [`run_point`] with one pre-sampled [`TrialFaults`] applied to every
@@ -406,7 +423,8 @@ pub fn run_point_with_trial_faults(
     cfg: &MonteCarloConfig,
     faults: &TrialFaults,
 ) -> PointResult {
-    run_point_impl(scenario, fe, cfg, FaultSource::Fixed(faults)).unwrap_or_else(|e| panic!("{e}"))
+    run_point_impl(scenario, fe, cfg, FaultSource::Fixed(faults), &SyntheticSource)
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 fn run_point_impl(
@@ -414,6 +432,7 @@ fn run_point_impl(
     fe: &FrontEnd,
     cfg: &MonteCarloConfig,
     faults: FaultSource<'_>,
+    source: &dyn ChannelSource,
 ) -> Result<PointResult, MonteCarloError> {
     let _span = vab_obs::Span::enter("sim.montecarlo", "run_point");
     let threads =
@@ -427,6 +446,7 @@ fn run_point_impl(
             let fe = &fe;
             let scenario = &scenario;
             let faults = &faults;
+            let source = &source;
             let lo = t * trials_per;
             let hi = ((t + 1) * trials_per).min(cfg.trials);
             if lo >= hi {
@@ -466,11 +486,12 @@ fn run_point_impl(
                                     &mut rng,
                                     delta_db,
                                 ),
-                                TrialEngine::SampleLevel => run_sample_trial_scaled(
+                                TrialEngine::SampleLevel => run_sample_trial_via(
                                     scenario,
                                     fe_trial,
                                     cfg.bits_per_trial,
                                     10f64.powf(delta_db / 20.0),
+                                    *source,
                                     &mut rng,
                                 ),
                             }

@@ -7,10 +7,10 @@
 //! and to exercise the full DSP stack in integration tests.
 
 use crate::baseline::FrontEnd;
+use crate::chansource::{ChannelSource, SyntheticSource};
 use crate::linkbudget::LinkBudget;
 use crate::scenario::Scenario;
 use rand::rngs::StdRng;
-use vab_acoustics::channel::ChannelModel;
 use vab_phy::carrier::remove_dc_sliding;
 use vab_phy::demod::{count_bit_errors, Demodulator};
 use vab_phy::modulation::BackscatterModulator;
@@ -54,20 +54,28 @@ pub fn transport_uplink_scaled(
     amp_scale: f64,
     rng: &mut StdRng,
 ) -> Option<TransportedUplink> {
+    transport_uplink_via(scenario, fe, channel_bits, amp_scale, &SyntheticSource, rng)
+}
+
+/// Like [`transport_uplink_scaled`] but with the channel supplied by an
+/// arbitrary [`ChannelSource`] — the seam that lets the same DSP stack run
+/// on a freshly synthesized channel or a replayed TVIR bank.
+pub fn transport_uplink_via(
+    scenario: &Scenario,
+    fe: &FrontEnd,
+    channel_bits: &[bool],
+    amp_scale: f64,
+    source: &dyn ChannelSource,
+    rng: &mut StdRng,
+) -> Option<TransportedUplink> {
     let params = scenario.mod_params;
     let fs = params.baseband_fs();
     let budget = LinkBudget::compute_with_front_end(scenario, fe);
 
     // --- Channel (reciprocal: one realization reused both ways).
-    let ir = {
+    let mut realized = {
         let _t = vab_obs::time_stage("sim.channel_realization");
-        let ch = ChannelModel::new(
-            scenario.env.clone(),
-            scenario.reader_pos,
-            scenario.node_pos,
-            scenario.carrier(),
-        );
-        ch.impulse_response(fs, rng)
+        source.realize(scenario, fs, rng)
     };
 
     // --- Node bit stream: preamble + coded payload.
@@ -114,45 +122,18 @@ pub fn transport_uplink_scaled(
     let transport_timer = vab_obs::time_stage("sim.waveform_transport");
     let uplink = match scenario.system {
         crate::baseline::SystemKind::Vab { .. } => {
-            const CONJ_EFF: f64 = 0.6;
-            let rt_arrivals: Vec<vab_acoustics::channel::Arrival> = ir
-                .arrivals()
-                .iter()
-                .map(|a| {
-                    let eff = if a.is_direct() { 1.0 } else { CONJ_EFF };
-                    let power_gain = eff * a.gain.norm_sq();
-                    // Real positive tap; pre-rotate so the carrier phase the
-                    // baseband application adds cancels out - phase-aligned
-                    // taps are the whole point of retrodirectivity.
-                    let g = C64::real(power_gain)
-                        * C64::cis(vab_util::TAU * scenario.carrier().value() * 2.0 * a.delay_s);
-                    vab_acoustics::channel::Arrival {
-                        gain: g,
-                        delay_s: 2.0 * a.delay_s,
-                        surface_mod: vab_acoustics::channel::SurfaceMod {
-                            beta_rad: 2.0 * a.surface_mod.beta_rad,
-                            ..a.surface_mod
-                        },
-                        ..*a
-                    }
-                })
-                .collect();
-            let retro_ir = vab_acoustics::channel::ImpulseResponse::from_arrivals(
-                rt_arrivals,
-                fs,
-                scenario.carrier(),
-            );
             // The node modulates the carrier envelope directly; each path's
-            // component carries the modulation back along itself.
+            // component carries the modulation back along itself (the
+            // diagonal round-trip channel — see `retro_round_trip`).
             let node_signal: Vec<C64> = (0..total).map(|i| gamma_at(i) * source_amp).collect();
-            retro_ir.apply_baseband(&node_signal)
+            realized.apply_round_trip(&node_signal)
         }
         _ => {
             let tx_envelope = vec![C64::real(source_amp); total];
-            let incident = ir.apply_baseband(&tx_envelope);
+            let incident = realized.apply_one_way(&tx_envelope);
             let reflected: Vec<C64> =
                 incident.iter().enumerate().map(|(i, &x)| x * gamma_at(i)).collect();
-            ir.apply_baseband(&reflected)
+            realized.apply_one_way(&reflected)
         }
     };
     let noise_sigma = (10f64.powf(budget.noise_psd_db / 10.0) * fs).sqrt();
@@ -243,6 +224,20 @@ pub fn run_sample_trial_scaled(
     amp_scale: f64,
     rng: &mut StdRng,
 ) -> (usize, bool, f64) {
+    run_sample_trial_via(scenario, fe, n_info_bits, amp_scale, &SyntheticSource, rng)
+}
+
+/// [`run_sample_trial_scaled`] over an arbitrary [`ChannelSource`]: the
+/// full waveform trial (encode → transport → decode) with the channel
+/// either synthesized per trial or replayed from a TVIR bank.
+pub fn run_sample_trial_via(
+    scenario: &Scenario,
+    fe: &FrontEnd,
+    n_info_bits: usize,
+    amp_scale: f64,
+    source: &dyn ChannelSource,
+    rng: &mut StdRng,
+) -> (usize, bool, f64) {
     let budget = LinkBudget::compute_with_front_end(scenario, fe);
     let link = scenario.link_config();
     let info = random_bits(rng, n_info_bits);
@@ -257,7 +252,7 @@ pub fn run_sample_trial_scaled(
         }
         b
     };
-    let Some(up) = transport_uplink_scaled(scenario, fe, &channel_bits, amp_scale, rng) else {
+    let Some(up) = transport_uplink_via(scenario, fe, &channel_bits, amp_scale, source, rng) else {
         return (n_info_bits, true, budget.ebn0_db); // sync lost: whole packet gone
     };
     let mut decoded = decode_uplink(&link, &up);

@@ -44,6 +44,7 @@ pub struct Executor {
     figures: Option<std::sync::Arc<dyn FigureRunner>>,
     faults: Option<WorkerFaultPlan>,
     svc_faults: Option<vab_fault::SvcFaultPlan>,
+    bank_dir: Option<std::path::PathBuf>,
 }
 
 impl Executor {
@@ -55,6 +56,14 @@ impl Executor {
     /// Adds a figure registry.
     pub fn with_figures(mut self, figures: std::sync::Arc<dyn FigureRunner>) -> Self {
         self.figures = Some(figures);
+        self
+    }
+
+    /// Overrides where replay-bank jobs persist their banks (default:
+    /// [`vab_replay::DEFAULT_BANK_DIR`] relative to the daemon's working
+    /// directory).
+    pub fn with_bank_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.bank_dir = Some(dir.into());
         self
     }
 
@@ -118,9 +127,42 @@ impl Executor {
                 Some(figures) => figures.run_figure(name, *trials, *bits, *seed),
                 None => Err(format!("this daemon has no figure registry (job figure({name}))")),
             },
+            JobSpec::ReplayBank { .. } => {
+                let dir =
+                    self.bank_dir.clone().unwrap_or_else(|| vab_replay::DEFAULT_BANK_DIR.into());
+                execute_replay_bank(spec, &dir)
+            }
             JobSpec::NetTopology { .. } => Ok(execute_net_topology(spec)),
         }
     }
+}
+
+/// Builds (or fetches) a TVIR bank. The bank file itself is the real
+/// product — content-addressed under the store — while the job payload
+/// carries only thread- and cache-invariant facts about it, so a cached
+/// response and a fresh build are byte-identical.
+fn execute_replay_bank(spec: &JobSpec, bank_dir: &std::path::Path) -> Result<String, String> {
+    let bank_spec = spec.to_bank_spec().expect("dispatched on kind");
+    let store = vab_replay::BankStore::new(bank_dir, vab_replay::ENGINE_VERSION);
+    let (bank, from_disk) = store.load_or_generate(&bank_spec)?;
+    vab_obs::event!(
+        "svc.exec",
+        "replay_bank_ready",
+        bank = store.id_for(&bank_spec),
+        from_disk = from_disk,
+    );
+    vab_obs::metrics::inc(if from_disk { "svc.bank_store_hits" } else { "svc.bank_builds" }, 1);
+    Ok(Json::obj([
+        ("schema", Json::Str(crate::RESULT_SCHEMA.into())),
+        ("kind", Json::Str("replay_bank".into())),
+        ("bank_id", Json::Str(store.id_for(&bank_spec))),
+        ("bank_schema", Json::Str(vab_replay::BANK_SCHEMA.into())),
+        ("n_snapshots", Json::Num(bank.one_way.len() as f64)),
+        ("one_way_taps", Json::Num(bank.one_way[0].len() as f64)),
+        ("round_trip_taps", Json::Num(bank.round_trip[0].len() as f64)),
+        ("direct_delay_s", Json::Num(bank.direct_delay_s)),
+    ])
+    .render())
 }
 
 fn scenario_for(system: SystemSpec, env: EnvSpec, range_m: f64, rotation_deg: f64) -> Scenario {
@@ -362,6 +404,36 @@ mod tests {
         assert_eq!(report.get("inventory").and_then(|i| i.u64_field("n_nodes")), Some(12));
         let jain = report.get("steady").and_then(|s| s.f64_field("jain_fairness")).expect("jain");
         assert!(jain > 0.0 && jain <= 1.0);
+    }
+
+    #[test]
+    fn replay_bank_job_builds_then_serves_from_the_bank_store() {
+        let dir = std::env::temp_dir().join(format!("vab_exec_banks_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ex = Executor::new().with_bank_dir(&dir);
+        let cache = ResultCache::in_memory(4);
+        let spec = JobSpec::ReplayBank {
+            env: EnvSpec::River,
+            range_m: 45.0,
+            carrier_hz: 18_500.0,
+            fs: 1600.0,
+            n_snapshots: 2,
+            span_s: 1.0,
+            seed: 3,
+        };
+        let a = ex.execute(&spec, spec.digest(), &cache).expect("build");
+        let v = Json::parse(&a).expect("payload parses");
+        assert_eq!(v.str_field("kind"), Some("replay_bank"));
+        let bank_id = v.str_field("bank_id").expect("bank id").to_string();
+        assert!(dir.join(format!("{bank_id}.json")).is_file(), "bank file persisted");
+        // A second execution (fresh executor, same dir) serves the same
+        // payload from the bank store without regenerating.
+        let b = Executor::new()
+            .with_bank_dir(&dir)
+            .execute(&spec, spec.digest(), &cache)
+            .expect("serve");
+        assert_eq!(a, b, "cached and fresh payloads must be byte-identical");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

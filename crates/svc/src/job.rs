@@ -220,6 +220,27 @@ pub enum JobSpec {
         /// Master seed.
         seed: u64,
     },
+    /// One TVIR bank build (`vab-replay`): realize the channel once and
+    /// persist its snapshot tap matrices under the bank store. The fields
+    /// mirror `vab_replay::BankSpec`, so the daemon shards and caches bank
+    /// builds like any other job while the bank file itself is content-
+    /// addressed by the *bank* digest (same engine version, same recipe).
+    ReplayBank {
+        /// Water environment.
+        env: EnvSpec,
+        /// Reader–node range, metres.
+        range_m: f64,
+        /// Carrier frequency, Hz.
+        carrier_hz: f64,
+        /// Baseband sample rate the taps are sampled at, Hz.
+        fs: f64,
+        /// TVIR snapshots across the recording span.
+        n_snapshots: usize,
+        /// Recording span, seconds.
+        span_s: f64,
+        /// Channel-realization seed.
+        seed: u64,
+    },
     /// One spatial network deployment (`vab-net`): seed-pure topology
     /// generation, capture-aware inventory and steady-state TDMA. The
     /// fields mirror `vab_net::NetworkSpec` so network campaigns cache
@@ -284,6 +305,18 @@ impl JobSpec {
                 ("bits", Json::Num(*bits as f64)),
                 ("seed", seed_to_json(*seed)),
             ]),
+            JobSpec::ReplayBank { env, range_m, carrier_hz, fs, n_snapshots, span_s, seed } => {
+                Json::obj([
+                    ("kind", Json::Str("replay_bank".into())),
+                    ("env", env.to_json()),
+                    ("range_m", Json::Num(*range_m)),
+                    ("carrier_hz", Json::Num(*carrier_hz)),
+                    ("fs", Json::Num(*fs)),
+                    ("n_snapshots", Json::Num(*n_snapshots as f64)),
+                    ("span_s", Json::Num(*span_s)),
+                    ("seed", seed_to_json(*seed)),
+                ])
+            }
             JobSpec::NetTopology { n_nodes, x_m, y_m, standoff_m, env, n_pairs, seed } => {
                 Json::obj([
                     ("kind", Json::Str("net_topology".into())),
@@ -351,6 +384,21 @@ impl JobSpec {
                 bits: need_usize("bits")?,
                 seed: seed_field(v, "seed").ok_or("missing seed")?,
             }),
+            Some("replay_bank") => {
+                let spec = JobSpec::ReplayBank {
+                    env: EnvSpec::from_json(v.get("env").ok_or("missing env")?)?,
+                    range_m: v.f64_field("range_m").ok_or("missing range_m")?,
+                    carrier_hz: v.f64_field("carrier_hz").ok_or("missing carrier_hz")?,
+                    fs: v.f64_field("fs").ok_or("missing fs")?,
+                    n_snapshots: need_usize("n_snapshots")?,
+                    span_s: v.f64_field("span_s").ok_or("missing span_s")?,
+                    seed: seed_field(v, "seed").ok_or("missing seed")?,
+                };
+                // Reuse the bank model's physical validation so the daemon
+                // rejects at submission what the generator would refuse.
+                spec.to_bank_spec().expect("just built as replay_bank").validate()?;
+                Ok(spec)
+            }
             Some("net_topology") => {
                 let n_nodes = need_usize("n_nodes")?;
                 if !(1..=256).contains(&n_nodes) {
@@ -380,6 +428,28 @@ impl JobSpec {
     /// The canonical byte form: compact JSON with fixed key order.
     pub fn canonical(&self) -> String {
         self.to_json().render()
+    }
+
+    /// The `vab-replay` bank spec of a [`JobSpec::ReplayBank`] job (`None`
+    /// for every other kind).
+    pub fn to_bank_spec(&self) -> Option<vab_replay::BankSpec> {
+        let JobSpec::ReplayBank { env, range_m, carrier_hz, fs, n_snapshots, span_s, seed } = self
+        else {
+            return None;
+        };
+        let water = match env {
+            EnvSpec::River => vab_replay::WaterSpec::River,
+            EnvSpec::Ocean { sea_state } => vab_replay::WaterSpec::Ocean { sea_state: *sea_state },
+        };
+        Some(vab_replay::BankSpec {
+            water,
+            range_m: *range_m,
+            carrier_hz: *carrier_hz,
+            fs: *fs,
+            n_snapshots: *n_snapshots,
+            span_s: *span_s,
+            seed: *seed,
+        })
     }
 
     /// Content address under an explicit engine version (tests use this to
@@ -412,6 +482,9 @@ impl JobSpec {
                 format!("link_budget_sweep({} points)", ranges_m.len())
             }
             JobSpec::Figure { name, .. } => format!("figure({name})"),
+            JobSpec::ReplayBank { range_m, n_snapshots, .. } => {
+                format!("replay_bank(range={range_m} m, snapshots={n_snapshots})")
+            }
             JobSpec::NetTopology { n_nodes, .. } => format!("net_topology({n_nodes} nodes)"),
         }
     }
@@ -453,6 +526,15 @@ mod tests {
                 ranges_m: vec![10.0, 100.5, 450.0],
             },
             JobSpec::Figure { name: "f7_ber_vs_range".into(), trials: 25, bits: 256, seed: 2023 },
+            JobSpec::ReplayBank {
+                env: EnvSpec::Ocean { sea_state: 2 },
+                range_m: 320.0,
+                carrier_hz: 18_500.0,
+                fs: 1600.0,
+                n_snapshots: 4,
+                span_s: 8.0,
+                seed: 2023,
+            },
             JobSpec::NetTopology {
                 n_nodes: 64,
                 x_m: 60.0,
@@ -517,6 +599,9 @@ mod tests {
             r#"{"kind":"net_topology","n_nodes":0,"x_m":60,"y_m":40,"standoff_m":10,"env":{"kind":"river"},"n_pairs":4,"seed":1}"#,
             r#"{"kind":"net_topology","n_nodes":500,"x_m":60,"y_m":40,"standoff_m":10,"env":{"kind":"river"},"n_pairs":4,"seed":1}"#,
             r#"{"kind":"net_topology","n_nodes":8,"x_m":-60,"y_m":40,"standoff_m":10,"env":{"kind":"river"},"n_pairs":4,"seed":1}"#,
+            r#"{"kind":"replay_bank","env":{"kind":"river"},"range_m":-50,"carrier_hz":18500,"fs":1600,"n_snapshots":2,"span_s":1,"seed":1}"#,
+            r#"{"kind":"replay_bank","env":{"kind":"river"},"range_m":50,"carrier_hz":18500,"fs":1600,"n_snapshots":0,"span_s":1,"seed":1}"#,
+            r#"{"kind":"replay_bank","env":{"kind":"river"},"range_m":50,"carrier_hz":18500,"fs":1600,"n_snapshots":3,"span_s":0,"seed":1}"#,
         ] {
             let v = Json::parse(bad).expect("valid JSON");
             assert!(JobSpec::from_json(&v).is_err(), "accepted {bad}");

@@ -7,11 +7,32 @@
 
 use crate::complex::C64;
 use crate::TAU;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Smallest power of two ≥ `n` (and ≥ 1).
 #[inline]
 pub fn next_pow2(n: usize) -> usize {
     n.max(1).next_power_of_two()
+}
+
+/// Process-wide plan cache: there are only ever a handful of distinct FFT
+/// sizes in play (one per filter/replay size class), so planning each size
+/// once and sharing the immutable plan removes the per-call allocation
+/// that used to dominate [`rfft`]'s profile.
+static PLAN_CACHE: OnceLock<Mutex<HashMap<usize, Arc<Fft>>>> = OnceLock::new();
+
+/// Returns the shared plan for size `n`, planning it on first use.
+///
+/// The returned plan is immutable and cheap to clone ([`Arc`]); hot loops
+/// should hold it across iterations. Sizes must be powers of two.
+///
+/// # Panics
+/// Panics if `n` is not a power of two or is zero.
+pub fn plan(n: usize) -> Arc<Fft> {
+    let cache = PLAN_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().expect("FFT plan cache poisoned");
+    map.entry(n).or_insert_with(|| Arc::new(Fft::new(n))).clone()
 }
 
 /// A reusable FFT plan for a fixed power-of-two size.
@@ -22,6 +43,9 @@ pub struct Fft {
     rev: Vec<u32>,
     /// Twiddle factors e^{-2πik/n} for k in 0..n/2 (forward direction).
     twiddles: Vec<C64>,
+    /// Conjugate twiddles (inverse direction), so the butterfly loop has
+    /// no per-element direction branch.
+    twiddles_inv: Vec<C64>,
 }
 
 impl Fft {
@@ -36,8 +60,9 @@ impl Fft {
             .map(|i| i.reverse_bits() >> (32 - bits.max(1)))
             .map(|i| if n == 1 { 0 } else { i })
             .collect();
-        let twiddles = (0..n / 2).map(|k| C64::cis(-TAU * k as f64 / n as f64)).collect();
-        Self { n, rev, twiddles }
+        let twiddles: Vec<C64> = (0..n / 2).map(|k| C64::cis(-TAU * k as f64 / n as f64)).collect();
+        let twiddles_inv = twiddles.iter().map(|w| w.conj()).collect();
+        Self { n, rev, twiddles, twiddles_inv }
     }
 
     /// Planned transform size.
@@ -79,21 +104,22 @@ impl Fft {
                 data.swap(i, j);
             }
         }
-        // Butterflies.
+        // Butterflies. Slice iteration (no index bounds checks) and a
+        // direction-specific twiddle table keep the inner loop branch-free.
+        let twiddles = if inverse { &self.twiddles_inv } else { &self.twiddles };
         let mut len = 2;
         while len <= n {
             let half = len / 2;
             let step = n / len;
-            for start in (0..n).step_by(len) {
-                for k in 0..half {
-                    let mut w = self.twiddles[k * step];
-                    if inverse {
-                        w = w.conj();
-                    }
-                    let a = data[start + k];
-                    let b = data[start + k + half] * w;
-                    data[start + k] = a + b;
-                    data[start + k + half] = a - b;
+            for chunk in data.chunks_exact_mut(len) {
+                let (lo, hi) = chunk.split_at_mut(half);
+                for ((a, b), &w) in
+                    lo.iter_mut().zip(hi.iter_mut()).zip(twiddles.iter().step_by(step))
+                {
+                    let t = *b * w;
+                    let u = *a;
+                    *a = u + t;
+                    *b = u - t;
                 }
             }
             len *= 2;
@@ -103,13 +129,27 @@ impl Fft {
 
 /// Forward FFT of a real signal, zero-padded to the next power of two.
 ///
-/// Returns the full complex spectrum (length `next_pow2(x.len())`).
+/// Returns the full complex spectrum (length `next_pow2(x.len())`). The
+/// plan comes from the shared [`plan`] cache, so only the output buffer
+/// is allocated per call.
 pub fn rfft(x: &[f64]) -> Vec<C64> {
     let n = next_pow2(x.len());
-    let mut buf: Vec<C64> = x.iter().map(|&v| C64::real(v)).collect();
+    let mut buf: Vec<C64> = Vec::with_capacity(n);
+    buf.extend(x.iter().map(|&v| C64::real(v)));
     buf.resize(n, C64::ZERO);
-    Fft::new(n).forward(&mut buf);
+    plan(n).forward(&mut buf);
     buf
+}
+
+/// Forward FFT of a real signal into a caller-owned buffer — the fully
+/// allocation-free variant of [`rfft`] for hot loops. `buf` is resized to
+/// `next_pow2(x.len())` (a no-op once warm).
+pub fn rfft_into(x: &[f64], buf: &mut Vec<C64>) {
+    let n = next_pow2(x.len());
+    buf.clear();
+    buf.extend(x.iter().map(|&v| C64::real(v)));
+    buf.resize(n, C64::ZERO);
+    plan(n).forward(buf);
 }
 
 /// Power spectral density estimate `|X[k]|²/N` of a real signal (one-sided not
@@ -258,5 +298,29 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_pow2_size_panics() {
         let _ = Fft::new(100);
+    }
+
+    #[test]
+    fn plan_cache_returns_the_same_plan() {
+        let a = plan(512);
+        let b = plan(512);
+        assert!(Arc::ptr_eq(&a, &b), "same size must share one plan");
+        assert_eq!(a.len(), 512);
+        assert!(!Arc::ptr_eq(&a, &plan(1024)));
+    }
+
+    #[test]
+    fn rfft_into_matches_rfft_and_reuses_capacity() {
+        let x: Vec<f64> = (0..200).map(|i| (i as f64 * 0.21).sin()).collect();
+        let want = rfft(&x);
+        let mut buf = Vec::new();
+        rfft_into(&x, &mut buf);
+        assert_eq!(buf.len(), want.len());
+        for (g, w) in buf.iter().zip(&want) {
+            assert!((g.re - w.re).abs() < 1e-12 && (g.im - w.im).abs() < 1e-12);
+        }
+        let cap = buf.capacity();
+        rfft_into(&x, &mut buf);
+        assert_eq!(buf.capacity(), cap, "warm rfft_into must not reallocate");
     }
 }

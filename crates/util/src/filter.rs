@@ -100,16 +100,21 @@ impl Fir {
 
     /// Filters a signal, returning an output of the same length ("same" mode:
     /// output is aligned so that the group delay is compensated).
+    ///
+    /// Dispatches to the overlap-save FFT engine above
+    /// [`crate::ola::FFT_CROSSOVER_TAPS`] taps; short filters keep the
+    /// exact direct form.
     pub fn filter_same(&self, x: &[f64]) -> Vec<f64> {
-        let full = convolve(x, &self.taps);
+        let full = crate::ola::convolve_auto(x, &self.taps);
         let delay = (self.taps.len() - 1) / 2;
         full[delay..delay + x.len()].to_vec()
     }
 
     /// Full convolution of the signal with the taps
-    /// (output length `x.len() + taps.len() - 1`).
+    /// (output length `x.len() + taps.len() - 1`). Same FFT dispatch as
+    /// [`Fir::filter_same`].
     pub fn filter_full(&self, x: &[f64]) -> Vec<f64> {
-        convolve(x, &self.taps)
+        crate::ola::convolve_auto(x, &self.taps)
     }
 
     /// Complex frequency response H(e^{j2πf}) at normalized frequency `f`.

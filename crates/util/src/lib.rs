@@ -2,10 +2,11 @@
 //!
 //! Self-contained numerical building blocks shared by every other crate in
 //! the workspace: complex arithmetic, dB conversions, unit newtypes, an FFT,
-//! FIR filter design, windows, fractional-delay resampling, statistics,
-//! special functions (erfc, Marcum-Q, Bessel I0), seeded random-number
-//! helpers, a JSON parser/serializer ([`json`]), FNV-1a content hashing
-//! ([`hash`]) and the shared worker-thread sizing policy ([`mod@threads`]).
+//! overlap-save FFT block convolution ([`ola`]), FIR filter design, windows,
+//! fractional-delay resampling, statistics, special functions (erfc,
+//! Marcum-Q, Bessel I0), seeded random-number helpers, a JSON
+//! parser/serializer ([`json`]), FNV-1a content hashing ([`hash`]) and the
+//! shared worker-thread sizing policy ([`mod@threads`]).
 //!
 //! Nothing in this crate knows about acoustics or backscatter; it exists so
 //! that the domain crates can stay free of third-party DSP dependencies.
@@ -16,6 +17,7 @@ pub mod fft;
 pub mod filter;
 pub mod hash;
 pub mod json;
+pub mod ola;
 pub mod resample;
 pub mod rng;
 pub mod special;

@@ -1,0 +1,358 @@
+//! Overlap-save FFT block convolution.
+//!
+//! Direct FIR convolution costs O(N·M) for an N-sample signal and M taps;
+//! at the tap counts a replayed impulse-response bank or a sharp channel
+//! filter needs, that dominates every sample-level experiment. The
+//! overlap-save method factors the work through the FFT: pick a block size
+//! `B = L − M + 1` for an FFT of length `L`, slide an `L`-sample window
+//! over the input in steps of `B`, multiply by the precomputed tap
+//! spectrum, and keep the last `B` samples of each inverse transform (the
+//! first `M − 1` are circular wrap-around and are discarded). Cost drops
+//! to O(N log L).
+//!
+//! [`OlaPlan`] owns the FFT plan, the tap spectrum and every scratch
+//! buffer, so steady-state convolution performs **no allocation at all**
+//! beyond (re)sizing the caller's output vector — the property the alloc
+//! ratchet pins. [`convolve_auto`] picks direct vs FFT by tap count so
+//! short filters keep their exact direct-form arithmetic.
+
+use crate::complex::C64;
+use crate::fft::{next_pow2, plan, Fft};
+use std::sync::Arc;
+
+/// Tap count at and above which [`convolve_auto`] switches from the exact
+/// direct form to the overlap-save engine. Below this the direct loop is
+/// both faster (no transform overhead) and bit-exact, which several
+/// callers rely on.
+pub const FFT_CROSSOVER_TAPS: usize = 64;
+
+/// Chooses the FFT length for a given tap count: at least 4× the taps
+/// (so ≥ 75 % of every block is useful output), and no smaller than 256
+/// so tiny filters still amortize the transform.
+fn fft_len_for(taps_len: usize) -> usize {
+    next_pow2((4 * taps_len.max(1)).max(256))
+}
+
+/// A reusable overlap-save convolution plan for a fixed tap vector.
+///
+/// Construction performs all allocation (FFT plan lookup, tap spectrum,
+/// scratch); [`OlaPlan::convolve_into`] then runs allocation-free. Swap
+/// the taps without reallocating via [`OlaPlan::set_taps`] as long as the
+/// tap count stays in the same FFT size class — exactly the pattern a
+/// time-varying replay channel needs.
+#[derive(Debug, Clone)]
+pub struct OlaPlan {
+    taps_len: usize,
+    fft_n: usize,
+    /// Valid output samples produced per block: `fft_n - taps_len + 1`.
+    step: usize,
+    fft: Arc<Fft>,
+    /// Forward FFT of the zero-padded taps.
+    h_spec: Vec<C64>,
+    /// Block work buffer (`fft_n` long).
+    scratch: Vec<C64>,
+}
+
+impl OlaPlan {
+    /// Plans overlap-save convolution with complex `taps`.
+    ///
+    /// # Panics
+    /// Panics when `taps` is empty.
+    pub fn new(taps: &[C64]) -> Self {
+        assert!(!taps.is_empty(), "overlap-save needs at least one tap");
+        let fft_n = fft_len_for(taps.len());
+        let fft = plan(fft_n);
+        let mut h_spec = vec![C64::ZERO; fft_n];
+        h_spec[..taps.len()].copy_from_slice(taps);
+        fft.forward(&mut h_spec);
+        Self {
+            taps_len: taps.len(),
+            fft_n,
+            step: fft_n - taps.len() + 1,
+            fft,
+            h_spec,
+            scratch: vec![C64::ZERO; fft_n],
+        }
+    }
+
+    /// Plans overlap-save convolution with real `taps`.
+    pub fn new_real(taps: &[f64]) -> Self {
+        let c: Vec<C64> = taps.iter().map(|&t| C64::real(t)).collect();
+        Self::new(&c)
+    }
+
+    /// Replaces the taps in place. Reuses the FFT plan and both buffers
+    /// when the new tap count maps to the same FFT length (same size
+    /// class); otherwise replans.
+    pub fn set_taps(&mut self, taps: &[C64]) {
+        assert!(!taps.is_empty(), "overlap-save needs at least one tap");
+        if fft_len_for(taps.len()) != self.fft_n {
+            *self = Self::new(taps);
+            return;
+        }
+        self.taps_len = taps.len();
+        self.step = self.fft_n - taps.len() + 1;
+        self.h_spec[..taps.len()].copy_from_slice(taps);
+        self.h_spec[taps.len()..].fill(C64::ZERO);
+        self.fft.forward(&mut self.h_spec);
+    }
+
+    /// Planned tap count.
+    #[inline]
+    pub fn taps_len(&self) -> usize {
+        self.taps_len
+    }
+
+    /// FFT length in use (diagnostic).
+    #[inline]
+    pub fn fft_len(&self) -> usize {
+        self.fft_n
+    }
+
+    /// Full linear convolution `y = x ⊛ taps` into `out`
+    /// (`out.len() == x.len() + taps_len − 1`; resized as needed).
+    ///
+    /// After the one-time construction, this performs no allocation
+    /// beyond growing `out`.
+    pub fn convolve_into(&mut self, x: &[C64], out: &mut Vec<C64>) {
+        if x.is_empty() {
+            out.clear();
+            return;
+        }
+        let m = self.taps_len;
+        let out_len = x.len() + m - 1;
+        out.clear();
+        out.resize(out_len, C64::ZERO);
+        let mut pos = 0usize; // next output index to produce
+        while pos < out_len {
+            // Window covers padded input [pos − (m−1), pos + step); the
+            // virtual padding is m−1 leading zeros plus a zero tail that
+            // flushes the final taps. Copy the in-range slice, zero the rest.
+            let start = pos as isize - (m as isize - 1);
+            let lo = start.max(0) as usize;
+            let hi = (start + self.fft_n as isize).clamp(0, x.len() as isize) as usize;
+            self.scratch.fill(C64::ZERO);
+            if lo < hi {
+                let dst = (lo as isize - start) as usize;
+                self.scratch[dst..dst + (hi - lo)].copy_from_slice(&x[lo..hi]);
+            }
+            self.fft.forward(&mut self.scratch);
+            for (s, h) in self.scratch.iter_mut().zip(&self.h_spec) {
+                *s *= *h;
+            }
+            self.fft.inverse(&mut self.scratch);
+            let take = self.step.min(out_len - pos);
+            out[pos..pos + take].copy_from_slice(&self.scratch[m - 1..m - 1 + take]);
+            pos += take;
+        }
+    }
+
+    /// Full linear convolution of a real signal against real taps,
+    /// writing the real part of the product into `out`.
+    pub fn convolve_real_into(&mut self, x: &[f64], out: &mut Vec<f64>) {
+        if x.is_empty() {
+            out.clear();
+            return;
+        }
+        let m = self.taps_len;
+        let out_len = x.len() + m - 1;
+        out.clear();
+        out.resize(out_len, 0.0);
+        let mut pos = 0usize;
+        while pos < out_len {
+            let start = pos as isize - (m as isize - 1);
+            let lo = start.max(0) as usize;
+            let hi = (start + self.fft_n as isize).clamp(0, x.len() as isize) as usize;
+            self.scratch.fill(C64::ZERO);
+            if lo < hi {
+                let dst = (lo as isize - start) as usize;
+                for (s, &v) in self.scratch[dst..dst + (hi - lo)].iter_mut().zip(&x[lo..hi]) {
+                    *s = C64::real(v);
+                }
+            }
+            self.fft.forward(&mut self.scratch);
+            for (s, h) in self.scratch.iter_mut().zip(&self.h_spec) {
+                *s *= *h;
+            }
+            self.fft.inverse(&mut self.scratch);
+            let take = self.step.min(out_len - pos);
+            for (o, s) in out[pos..pos + take].iter_mut().zip(&self.scratch[m - 1..m - 1 + take]) {
+                *o = s.re;
+            }
+            pos += take;
+        }
+    }
+}
+
+/// One-shot FFT convolution of real sequences (full mode). Allocates a
+/// fresh plan; reuse [`OlaPlan`] in loops.
+pub fn convolve_fft(x: &[f64], h: &[f64]) -> Vec<f64> {
+    if x.is_empty() || h.is_empty() {
+        return Vec::new();
+    }
+    let mut plan = OlaPlan::new_real(h);
+    let mut out = Vec::new();
+    plan.convolve_real_into(x, &mut out);
+    out
+}
+
+/// One-shot FFT convolution of complex sequences (full mode).
+pub fn convolve_fft_c64(x: &[C64], h: &[C64]) -> Vec<C64> {
+    if x.is_empty() || h.is_empty() {
+        return Vec::new();
+    }
+    let mut plan = OlaPlan::new(h);
+    let mut out = Vec::new();
+    plan.convolve_into(x, &mut out);
+    out
+}
+
+/// Full convolution that dispatches on tap count: exact direct form below
+/// [`FFT_CROSSOVER_TAPS`], overlap-save at or above it. The signal/taps
+/// roles follow the shorter-is-taps convention so a long kernel against a
+/// short burst still takes the fast path.
+pub fn convolve_auto(x: &[f64], h: &[f64]) -> Vec<f64> {
+    if x.is_empty() || h.is_empty() {
+        return Vec::new();
+    }
+    let (sig, taps) = if h.len() <= x.len() { (x, h) } else { (h, x) };
+    if taps.len() < FFT_CROSSOVER_TAPS {
+        crate::filter::convolve(x, h)
+    } else {
+        convolve_fft(sig, taps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::convolve;
+
+    fn direct_c64(x: &[C64], h: &[C64]) -> Vec<C64> {
+        let mut y = vec![C64::ZERO; x.len() + h.len() - 1];
+        for (i, &xi) in x.iter().enumerate() {
+            for (j, &hj) in h.iter().enumerate() {
+                y[i + j] += xi * hj;
+            }
+        }
+        y
+    }
+
+    fn wave(n: usize, k: f64) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * k).sin() + 0.3 * (i as f64 * 2.7 * k).cos()).collect()
+    }
+
+    #[test]
+    fn matches_direct_convolution_real() {
+        for (n, m) in [(1usize, 1usize), (7, 3), (100, 17), (500, 64), (1000, 257), (257, 1000)] {
+            let x = wave(n, 0.13);
+            let h = wave(m, 0.31);
+            let got = convolve_fft(&x, &h);
+            let want = convolve(&x, &h);
+            assert_eq!(got.len(), want.len(), "n={n} m={m}");
+            let scale: f64 = want.iter().map(|v| v.abs()).fold(1.0, f64::max);
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert!((g - w).abs() / scale < 1e-10, "n={n} m={m} i={i}: {g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_direct_convolution_complex() {
+        let x: Vec<C64> =
+            (0..400).map(|i| C64::new((i as f64 * 0.2).sin(), (i as f64 * 0.11).cos())).collect();
+        let h: Vec<C64> =
+            (0..90).map(|i| C64::new((i as f64 * 0.4).cos(), (i as f64 * 0.05).sin())).collect();
+        let got = convolve_fft_c64(&x, &h);
+        let want = direct_c64(&x, &h);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.re - w.re).abs() < 1e-9 && (g.im - w.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn plan_reuse_and_set_taps_stay_correct() {
+        let x: Vec<C64> = (0..300).map(|i| C64::new((i as f64 * 0.17).sin(), 0.0)).collect();
+        let h1: Vec<C64> = (0..120).map(|i| C64::real((i as f64 * 0.23).cos())).collect();
+        let h2: Vec<C64> = (0..120).map(|i| C64::new(0.0, (i as f64 * 0.19).sin())).collect();
+        let mut plan = OlaPlan::new(&h1);
+        let mut out = Vec::new();
+        plan.convolve_into(&x, &mut out);
+        let want1 = direct_c64(&x, &h1);
+        for (g, w) in out.iter().zip(&want1) {
+            assert!((g.re - w.re).abs() < 1e-9 && (g.im - w.im).abs() < 1e-9);
+        }
+        // Same size class: set_taps must not replan.
+        let fft_before = plan.fft_len();
+        plan.set_taps(&h2);
+        assert_eq!(plan.fft_len(), fft_before);
+        plan.convolve_into(&x, &mut out);
+        let want2 = direct_c64(&x, &h2);
+        for (g, w) in out.iter().zip(&want2) {
+            assert!((g.re - w.re).abs() < 1e-9 && (g.im - w.im).abs() < 1e-9);
+        }
+        // Different size class: replans transparently.
+        let h3: Vec<C64> = (0..2048).map(|i| C64::real((i as f64 * 0.01).sin())).collect();
+        plan.set_taps(&h3);
+        assert_eq!(plan.taps_len(), 2048);
+        plan.convolve_into(&x, &mut out);
+        assert_eq!(out.len(), x.len() + 2048 - 1);
+    }
+
+    #[test]
+    fn auto_dispatch_is_exact_below_crossover() {
+        // Below the crossover the result must be *bit-identical* to the
+        // direct form — callers depend on that.
+        let x = wave(200, 0.4);
+        let h = wave(FFT_CROSSOVER_TAPS - 1, 0.7);
+        assert_eq!(convolve_auto(&x, &h), convolve(&x, &h));
+    }
+
+    #[test]
+    fn auto_dispatch_commutes_roles() {
+        // Long kernel, short signal: the roles swap internally but the
+        // linear convolution is symmetric.
+        let x = wave(80, 0.3);
+        let h = wave(700, 0.05);
+        let got = convolve_auto(&x, &h);
+        let want = convolve(&x, &h);
+        assert_eq!(got.len(), want.len());
+        let scale: f64 = want.iter().map(|v| v.abs()).fold(1.0, f64::max);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() / scale < 1e-10);
+        }
+    }
+
+    #[test]
+    fn impulse_taps_reproduce_the_signal() {
+        let x: Vec<C64> = (0..513).map(|i| C64::new(i as f64, -(i as f64))).collect();
+        let h = [C64::ONE];
+        let got = convolve_fft_c64(&x, &h);
+        for (g, w) in got.iter().zip(&x) {
+            assert!((g.re - w.re).abs() < 1e-8 && (g.im - w.im).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_output() {
+        assert!(convolve_fft(&[], &[1.0]).is_empty());
+        assert!(convolve_fft(&[1.0], &[]).is_empty());
+        assert!(convolve_auto(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn convolve_into_is_allocation_free_after_planning() {
+        // Structural check: repeated calls with the same output vector
+        // must not grow capacity once sized.
+        let x: Vec<C64> = (0..1000).map(|i| C64::real((i as f64 * 0.01).sin())).collect();
+        let h: Vec<C64> = (0..128).map(|i| C64::real((i as f64 * 0.1).cos())).collect();
+        let mut plan = OlaPlan::new(&h);
+        let mut out = Vec::new();
+        plan.convolve_into(&x, &mut out);
+        let cap = out.capacity();
+        for _ in 0..3 {
+            plan.convolve_into(&x, &mut out);
+            assert_eq!(out.capacity(), cap);
+        }
+    }
+}

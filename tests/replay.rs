@@ -1,0 +1,204 @@
+//! Replay-substrate integration tests: bank digest stability, FR1 figure
+//! determinism across worker counts, cache-served bank builds through the
+//! daemon (including across a daemon restart), and the BENCH-gated
+//! overlap-save speedup target.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use vab::svc::cache::ResultCache;
+use vab::svc::client::Client;
+use vab::svc::exec::Executor;
+use vab::svc::job::{EnvSpec, JobSpec};
+use vab::svc::pool::PoolConfig;
+use vab::svc::server::{Server, ServerConfig};
+use vab_bench::experiments::{self, ExpConfig};
+use vab_replay::{BankSpec, BankStore, WaterSpec, ENGINE_VERSION};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vab-replay-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn river_spec() -> BankSpec {
+    BankSpec {
+        water: WaterSpec::River,
+        range_m: 300.0,
+        carrier_hz: 18_500.0,
+        fs: 1600.0,
+        n_snapshots: 4,
+        span_s: 2.0,
+        seed: 2023,
+    }
+}
+
+#[test]
+fn bank_digest_is_stable_across_runs_and_sensitive_to_the_spec() {
+    let store = BankStore::new("unused-dir", ENGINE_VERSION);
+    let spec = river_spec();
+    // The content address is a pure function of (canonical spec, engine
+    // version): any change to the canonical encoding is a breaking format
+    // change and must show up here.
+    assert_eq!(store.id_for(&spec), "e14989b3380dcd69");
+    assert_eq!(store.id_for(&spec), store.id_for(&spec.clone()));
+    // Every spec field re-addresses the bank.
+    let mut reseeded = spec.clone();
+    reseeded.seed = 2024;
+    assert_ne!(store.id_for(&reseeded), store.id_for(&spec));
+    let mut moved = spec.clone();
+    moved.range_m = 301.0;
+    assert_ne!(store.id_for(&moved), store.id_for(&spec));
+    // An engine bump orphans every old bank.
+    let next = BankStore::new("unused-dir", "vab-engine/next");
+    assert_ne!(next.id_for(&spec), store.id_for(&spec));
+}
+
+/// FR1's CSV minus its wall-clock columns (`direct_ms`, `fft_ms`,
+/// `speedup` — the only legitimately nondeterministic cells).
+fn strip_timing_columns(csv: &str) -> String {
+    csv.lines()
+        .map(|line| {
+            let cells: Vec<&str> = line.split(',').collect();
+            cells[..cells.len().saturating_sub(3)].join(",")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn fr1_physics_is_bit_identical_across_worker_counts() {
+    let cfg = ExpConfig { trials: 10, bits: 128, seed: 7 };
+    vab_util::threads::set_jobs(1);
+    let serial = strip_timing_columns(&experiments::fr1_replay_validation(&cfg).to_csv());
+    vab_util::threads::set_jobs(8);
+    let parallel = strip_timing_columns(&experiments::fr1_replay_validation(&cfg).to_csv());
+    vab_util::threads::set_jobs(0);
+    assert_eq!(serial, parallel, "FR1 physics must not depend on the worker count");
+}
+
+fn start_server(executor: Executor, cache: Arc<ResultCache>) -> Server {
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        pool: PoolConfig { workers: 2, ..PoolConfig::default() },
+        ..ServerConfig::default()
+    };
+    Server::start(cfg, executor, cache).expect("bind localhost")
+}
+
+/// Submits one job and waits for the terminal response; returns
+/// (result payload, served-from-cache).
+fn run_job(client: &mut Client, job: &JobSpec) -> (String, bool) {
+    let resp = client.submit_with_retry(job, None, 500).expect("submit");
+    let at_submit =
+        resp.str_field("status") == Some("done") && resp.bool_field("cached") == Some(true);
+    let id = resp.str_field("id").expect("id").to_string();
+    let resp = loop {
+        let r = client.fetch_wait(&id, 30_000).expect("fetch");
+        match r.str_field("status") {
+            Some("queued") | Some("running") => continue,
+            _ => break r,
+        }
+    };
+    assert_eq!(resp.str_field("status"), Some("done"), "job {id}: {}", resp.render());
+    let payload = resp.get("result").expect("result").render();
+    (payload, at_submit || resp.bool_field("cached") == Some(true))
+}
+
+#[test]
+fn second_bank_build_is_cache_served_and_survives_a_daemon_restart() {
+    let dir = temp_dir("bank-daemon");
+    let cache_dir = dir.join("cache");
+    let bank_dir = dir.join("banks");
+    let job = JobSpec::ReplayBank {
+        env: EnvSpec::River,
+        range_m: 120.0,
+        carrier_hz: 18_500.0,
+        fs: 1600.0,
+        n_snapshots: 2,
+        span_s: 1.0,
+        seed: 5,
+    };
+
+    // First daemon: the bank is built and lands in both tiers (result
+    // cache + bank store).
+    let first = {
+        let cache = Arc::new(ResultCache::persistent(16, &cache_dir).expect("cache dir"));
+        let mut server = start_server(Executor::new().with_bank_dir(&bank_dir), cache);
+        let mut client = Client::connect(&server.addr().to_string()).expect("connect");
+        let (payload, cached) = run_job(&mut client, &job);
+        assert!(!cached, "first build must compute");
+        let (again, cached_again) = run_job(&mut client, &job);
+        assert!(cached_again, "second build through the live daemon must be a cache hit");
+        assert_eq!(payload, again, "cached payload must be byte-identical");
+        server.shutdown();
+        payload
+    };
+
+    // Restarted daemon over the same directories: still served without
+    // recomputation, byte-identical.
+    {
+        let cache = Arc::new(ResultCache::persistent(16, &cache_dir).expect("reopen cache"));
+        let mut server = start_server(Executor::new().with_bank_dir(&bank_dir), cache);
+        let mut client = Client::connect(&server.addr().to_string()).expect("connect");
+        let (payload, cached) = run_job(&mut client, &job);
+        assert!(cached, "restarted daemon must serve the bank from the persistent cache");
+        assert_eq!(payload, first);
+        server.shutdown();
+    }
+
+    // Even with the result cache wiped, the content-addressed bank store
+    // re-serves the same bank: the payload cannot drift.
+    {
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        let cache = Arc::new(ResultCache::persistent(16, &cache_dir).expect("fresh cache"));
+        let mut server = start_server(Executor::new().with_bank_dir(&bank_dir), cache);
+        let mut client = Client::connect(&server.addr().to_string()).expect("connect");
+        let (payload, cached) = run_job(&mut client, &job);
+        assert!(!cached, "result cache was wiped, so the job itself recomputes");
+        assert_eq!(payload, first, "but the bank comes from the store, so bytes cannot change");
+        server.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The BENCH acceptance target: overlap-save beats direct FIR by ≥ 5× at
+/// ≥ 1024 taps on a one-second waveform. Steady-state (plan reuse),
+/// best-of-three to shake scheduler noise. Gated behind `VAB_BENCH=1`
+/// because wall-clock assertions have no place in the default suite.
+#[test]
+fn overlap_save_meets_the_bench_speedup_target() {
+    if std::env::var("VAB_BENCH").is_err() {
+        eprintln!("skipped: set VAB_BENCH=1 to run the speedup gate");
+        return;
+    }
+    use std::time::Instant;
+    use vab::util::complex::C64;
+    let x: Vec<f64> = (0..48_000).map(|i| (i as f64 * 0.013).sin()).collect();
+    let h: Vec<f64> = (0..1024).map(|i| (i as f64 * 0.37).cos() / 1024.0).collect();
+    let hc: Vec<C64> = h.iter().map(|&t| C64::real(t)).collect();
+    let mut plan = vab::util::ola::OlaPlan::new(&hc);
+    let mut out = Vec::new();
+    plan.convolve_real_into(&x, &mut out); // warm: plan cache + buffers
+    let best = |f: &mut dyn FnMut()| {
+        (0..3)
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let direct = best(&mut || {
+        assert!(vab::util::filter::convolve(&x, &h).len() > x.len());
+    });
+    let fft = best(&mut || {
+        plan.convolve_real_into(&x, &mut out);
+        assert!(out.len() > x.len());
+    });
+    let speedup = direct / fft.max(1e-12);
+    eprintln!(
+        "overlap-save speedup at 1024 taps: {speedup:.1}x (direct {direct:.4}s, fft {fft:.4}s)"
+    );
+    assert!(speedup >= 5.0, "need >=5x, measured {speedup:.1}x");
+}
