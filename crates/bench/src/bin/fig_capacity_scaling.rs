@@ -1,0 +1,14 @@
+//! FN3 - per-node and aggregate capacity vs population at ocean scale
+//!
+//! Usage: `cargo run --release -p vab-bench --bin fig_capacity_scaling`
+//! (add `--quick` for a fast low-trial run that still reaches N = 65,536,
+//! `--csv <path>` to also write CSV; set `VAB_OBS=stderr|jsonl` for a
+//! structured trace and stage breakdown). Deployments are sharded across
+//! the `vab-svc` worker pool; `--jobs N` bounds the worker count. See
+//! `SCALING.md` for the methodology and the √n theory column.
+
+use vab_bench::{network, report};
+
+fn main() {
+    report::run_figure("FN3", "capacity scaling at ocean scale", network::fn3_capacity_scaling);
+}

@@ -908,7 +908,7 @@ fn fault_protocol_goodput(cfg: &ExpConfig, fc: vab_fault::FaultConfig, adaptive:
     use vab_sim::montecarlo::run_point_with_trial_faults;
     use vab_util::rng::derive_seed;
 
-    const NODES: [u8; 4] = [1, 2, 3, 4];
+    const NODES: [vab_mac::Addr; 4] = [1, 2, 3, 4];
     // Past the fixed 250 bps comfort zone: the static stack's rate is
     // marginal here, while the adaptive floor (100 bps) has clean margin.
     const RANGE_M: f64 = 260.0;
@@ -919,16 +919,17 @@ fn fault_protocol_goodput(cfg: &ExpConfig, fc: vab_fault::FaultConfig, adaptive:
     let n_polls = (cfg.trials * 8).max(120);
 
     let plan = FaultPlan::new(cfg.seed ^ 0xF19, fc);
-    let mut scheduled: Vec<u8> = NODES.to_vec();
+    let mut scheduled: Vec<vab_mac::Addr> = NODES.to_vec();
     let mut rc = RateController::new();
     let mut monitor = SilenceMonitor::new(3);
     // Per-node polls to skip (the MAC-level face of ARQ exponential backoff).
-    let mut backoff: std::collections::HashMap<u8, u32> = std::collections::HashMap::new();
+    let mut backoff: std::collections::HashMap<vab_mac::Addr, u32> =
+        std::collections::HashMap::new();
     // Per-node stop-and-wait ARQ state machines shadow the goodput
     // accounting below: they see the same transmit/ack/loss outcomes (so
     // their retransmit/drop/corrupt-ack events and counters describe this
     // run) without owning any of the delivered/elapsed arithmetic.
-    let mut arq: std::collections::HashMap<u8, (ArqSender, ArqReceiver)> =
+    let mut arq: std::collections::HashMap<vab_mac::Addr, (ArqSender, ArqReceiver)> =
         NODES.iter().map(|&a| (a, (ArqSender::new(2), ArqReceiver::new()))).collect();
     let mut delivered = 0.0;
     let mut elapsed = 0.0;
@@ -962,7 +963,7 @@ fn fault_protocol_goodput(cfg: &ExpConfig, fc: vab_fault::FaultConfig, adaptive:
         // still outstanding from an earlier failed poll (firing the ARQ
         // retransmit — or, retries exhausted, drop-then-fresh — path).
         let (tx, rx) = arq.get_mut(&addr).expect("scheduled node has ARQ state");
-        let payload = vec![addr; (PAYLOAD_BITS as usize) / 8];
+        let payload = vec![addr as u8; (PAYLOAD_BITS as usize) / 8];
         let frame_seq = match tx.offer(payload.clone()) {
             Some(SenderAction::Transmit { seq, .. }) => seq,
             _ => match tx.on_timeout() {
@@ -1201,6 +1202,7 @@ pub fn all_experiments_lazy() -> Vec<(&'static str, ExperimentFn)> {
         ("a6_ablation_interleaver", a6_ablation_interleaver),
         ("fn1_network_inventory", crate::network::fn1_network_inventory),
         ("fn2_network_goodput", crate::network::fn2_network_goodput),
+        ("fn3_capacity_scaling", crate::network::fn3_capacity_scaling),
         ("fr1_replay_validation", fr1_replay_validation),
     ]
 }
@@ -1352,7 +1354,7 @@ mod tests {
     fn registry_contains_every_experiment() {
         let quick = ExpConfig { trials: 4, bits: 64, seed: 7 };
         let all = all_experiments(&quick);
-        assert_eq!(all.len(), 27);
+        assert_eq!(all.len(), 28);
         for (name, table) in &all {
             assert!(!table.is_empty(), "{name} produced no rows");
         }

@@ -7,6 +7,7 @@
 //! then adapts `w` toward the remaining population (Q-algorithm style:
 //! too many collisions → double, too many idles → halve).
 
+use crate::Addr;
 use rand::{Rng, RngExt};
 
 /// What the reader observed in one contention slot.
@@ -15,13 +16,13 @@ pub enum SlotOutcome {
     /// Nobody answered.
     Idle,
     /// Exactly one node answered (identified).
-    Single(u8),
+    Single(Addr),
     /// Two or more nodes answered on top of each other.
     Collision,
 }
 
 /// Classifies a slot given the addresses that chose it.
-pub fn classify_slot(respondents: &[u8]) -> SlotOutcome {
+pub fn classify_slot(respondents: &[Addr]) -> SlotOutcome {
     match respondents {
         [] => SlotOutcome::Idle,
         [one] => SlotOutcome::Single(*one),
@@ -36,7 +37,7 @@ pub struct AlohaReader {
     min_window: usize,
     max_window: usize,
     /// Identified node addresses, in discovery order.
-    pub identified: Vec<u8>,
+    pub identified: Vec<Addr>,
     /// Total slots spent.
     pub slots_used: u64,
     /// Total collisions observed.
@@ -44,13 +45,22 @@ pub struct AlohaReader {
 }
 
 impl AlohaReader {
-    /// Creates a controller with an initial window of `w` slots.
+    /// Creates a controller with an initial window of `w` slots and the
+    /// classic 256-slot window ceiling (the paper-scale default every
+    /// single-reader deployment uses).
     pub fn new(w: usize) -> Self {
-        assert!(w >= 1);
+        Self::with_max_window(w, 256)
+    }
+
+    /// Creates a controller whose window may grow up to `max_window`
+    /// slots — ocean-scale cells with thousands of contenders need more
+    /// headroom than the classic 256-slot ceiling.
+    pub fn with_max_window(w: usize, max_window: usize) -> Self {
+        assert!(w >= 1 && max_window >= w);
         Self {
             window: w,
             min_window: 1,
-            max_window: 256,
+            max_window,
             identified: Vec::new(),
             slots_used: 0,
             collisions: 0,
@@ -72,7 +82,7 @@ impl AlohaReader {
     /// a physical-layer resolver instead.
     pub fn run_round<R: Rng + ?Sized>(
         &mut self,
-        pending: &mut Vec<u8>,
+        pending: &mut Vec<Addr>,
         rng: &mut R,
     ) -> Vec<SlotOutcome> {
         self.run_round_with(pending, rng, classify_slot)
@@ -92,15 +102,15 @@ impl AlohaReader {
     /// trust it.
     pub fn run_round_with<R: Rng + ?Sized, F>(
         &mut self,
-        pending: &mut Vec<u8>,
+        pending: &mut Vec<Addr>,
         rng: &mut R,
         mut resolve: F,
     ) -> Vec<SlotOutcome>
     where
-        F: FnMut(&[u8]) -> SlotOutcome,
+        F: FnMut(&[Addr]) -> SlotOutcome,
     {
         let w = self.window;
-        let mut chosen: Vec<Vec<u8>> = vec![Vec::new(); w];
+        let mut chosen: Vec<Vec<Addr>> = vec![Vec::new(); w];
         for &addr in pending.iter() {
             let s = rng.random_range(0..w);
             chosen[s].push(addr);
@@ -159,7 +169,7 @@ mod tests {
     fn eventually_identifies_everyone() {
         let mut rng = seeded(71);
         let mut reader = AlohaReader::new(4);
-        let mut pending: Vec<u8> = (1..=20).collect();
+        let mut pending: Vec<Addr> = (1..=20).collect();
         let mut rounds = 0;
         while !pending.is_empty() && rounds < 100 {
             reader.run_round(&mut pending, &mut rng);
@@ -168,7 +178,7 @@ mod tests {
         assert!(pending.is_empty(), "{} nodes never identified", pending.len());
         let mut ids = reader.identified.clone();
         ids.sort();
-        assert_eq!(ids, (1..=20).collect::<Vec<u8>>());
+        assert_eq!(ids, (1..=20).collect::<Vec<Addr>>());
     }
 
     #[test]
@@ -178,7 +188,7 @@ mod tests {
         // recorded and inventory still completes.
         let mut rng = seeded(75);
         let mut reader = AlohaReader::new(2);
-        let mut pending: Vec<u8> = (1..=12).collect();
+        let mut pending: Vec<Addr> = (1..=12).collect();
         let mut rounds = 0;
         while !pending.is_empty() && rounds < 200 {
             reader.run_round_with(&mut pending, &mut rng, |r| match r {
@@ -195,7 +205,7 @@ mod tests {
     fn window_grows_under_collisions() {
         let mut rng = seeded(72);
         let mut reader = AlohaReader::new(2);
-        let mut pending: Vec<u8> = (1..=50).collect();
+        let mut pending: Vec<Addr> = (1..=50).collect();
         reader.run_round(&mut pending, &mut rng);
         assert!(reader.window() > 2, "50 nodes in 2 slots must collide");
     }
@@ -204,7 +214,7 @@ mod tests {
     fn window_shrinks_when_empty() {
         let mut rng = seeded(73);
         let mut reader = AlohaReader::new(64);
-        let mut pending: Vec<u8> = vec![1];
+        let mut pending: Vec<Addr> = vec![1];
         reader.run_round(&mut pending, &mut rng);
         assert!(reader.window() < 64);
     }
@@ -216,7 +226,7 @@ mod tests {
         // adaptive transient.
         let mut rng = seeded(74);
         let mut reader = AlohaReader::new(32);
-        let mut pending: Vec<u8> = (1..=32).collect();
+        let mut pending: Vec<Addr> = (1..=32).collect();
         while !pending.is_empty() {
             reader.run_round(&mut pending, &mut rng);
         }

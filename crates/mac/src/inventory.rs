@@ -10,6 +10,7 @@
 
 use crate::aloha::AlohaReader;
 use crate::tdma::TdmaSchedule;
+use crate::Addr;
 use rand::Rng;
 use std::collections::HashMap;
 use vab_util::units::Seconds;
@@ -21,7 +22,7 @@ pub const SILENCE_THRESHOLD: u32 = 3;
 /// nodes that dropped off the schedule.
 #[derive(Debug, Clone, Default)]
 pub struct SilenceMonitor {
-    misses: HashMap<u8, u32>,
+    misses: HashMap<Addr, u32>,
     threshold: u32,
 }
 
@@ -34,7 +35,7 @@ impl SilenceMonitor {
 
     /// Records a poll outcome; returns `true` if this miss crossed the
     /// silence threshold (edge-triggered: fires once per silence spell).
-    pub fn on_poll(&mut self, addr: u8, replied: bool) -> bool {
+    pub fn on_poll(&mut self, addr: Addr, replied: bool) -> bool {
         let m = self.misses.entry(addr).or_insert(0);
         if replied {
             *m = 0;
@@ -50,15 +51,15 @@ impl SilenceMonitor {
     }
 
     /// Nodes currently at or past the silence threshold.
-    pub fn silent_nodes(&self) -> Vec<u8> {
-        let mut v: Vec<u8> =
+    pub fn silent_nodes(&self) -> Vec<Addr> {
+        let mut v: Vec<Addr> =
             self.misses.iter().filter(|(_, &m)| m >= self.threshold).map(|(&a, _)| a).collect();
         v.sort_unstable();
         v
     }
 
     /// Clears the miss counter for `addr` (e.g. after re-inventory).
-    pub fn reset(&mut self, addr: u8) {
+    pub fn reset(&mut self, addr: Addr) {
         self.misses.remove(&addr);
     }
 }
@@ -70,8 +71,8 @@ impl SilenceMonitor {
 /// Returns the merged report; nodes in `silent` that stayed unreachable
 /// are simply absent from the new schedule.
 pub fn reinventory<R: Rng + ?Sized>(
-    alive: &[u8],
-    silent_but_reachable: &[u8],
+    alive: &[Addr],
+    silent_but_reachable: &[Addr],
     initial_window: usize,
     max_rounds: u32,
     slot_duration: Seconds,
@@ -80,13 +81,13 @@ pub fn reinventory<R: Rng + ?Sized>(
 ) -> InventoryReport {
     let rediscovered =
         run_inventory(silent_but_reachable, initial_window, max_rounds, slot_duration, guard, rng);
-    let mut merged: Vec<u8> = alive.to_vec();
+    let mut merged: Vec<Addr> = alive.to_vec();
     for &a in &rediscovered.discovered {
         if !merged.contains(&a) {
             merged.push(a);
         }
     }
-    let n = merged.len().max(1) as u16;
+    let n = merged.len().max(1) as u32;
     let mut schedule = TdmaSchedule::new(n, slot_duration, guard);
     schedule.assign_all(&merged);
     vab_obs::event!(
@@ -111,7 +112,7 @@ pub fn reinventory<R: Rng + ?Sized>(
 #[derive(Debug, Clone)]
 pub struct InventoryReport {
     /// Addresses discovered, in discovery order.
-    pub discovered: Vec<u8>,
+    pub discovered: Vec<Addr>,
     /// Contention rounds used.
     pub rounds: u32,
     /// Total contention slots spent.
@@ -128,7 +129,7 @@ pub struct InventoryReport {
 /// `slot_duration`/`guard` configure the resulting schedule. Gives up after
 /// `max_rounds` (partial schedules are still returned).
 pub fn run_inventory<R: Rng + ?Sized>(
-    population: &[u8],
+    population: &[Addr],
     initial_window: usize,
     max_rounds: u32,
     slot_duration: Seconds,
@@ -142,7 +143,7 @@ pub fn run_inventory<R: Rng + ?Sized>(
         reader.run_round(&mut pending, rng);
         rounds += 1;
     }
-    let n = reader.identified.len().max(1) as u16;
+    let n = reader.identified.len().max(1) as u32;
     let mut schedule = TdmaSchedule::new(n, slot_duration, guard);
     schedule.assign_all(&reader.identified);
     InventoryReport {
@@ -162,14 +163,14 @@ mod tests {
     #[test]
     fn full_population_discovered_and_scheduled() {
         let mut rng = seeded(81);
-        let population: Vec<u8> = (10..20).collect();
+        let population: Vec<Addr> = (10..20).collect();
         let report = run_inventory(&population, 8, 100, Seconds(1.0), Seconds(0.2), &mut rng);
         assert_eq!(report.discovered.len(), 10);
         for &a in &population {
             assert!(report.schedule.slot_of(a).is_some(), "node {a} unscheduled");
         }
         // Slots are unique.
-        let mut slots: Vec<u16> =
+        let mut slots: Vec<u32> =
             population.iter().map(|&a| report.schedule.slot_of(a).expect("assigned")).collect();
         slots.sort();
         slots.dedup();
@@ -187,7 +188,7 @@ mod tests {
     #[test]
     fn round_limit_respected() {
         let mut rng = seeded(83);
-        let population: Vec<u8> = (1..=100).collect();
+        let population: Vec<Addr> = (1..=100).collect();
         let report = run_inventory(&population, 1, 2, Seconds(1.0), Seconds(0.1), &mut rng);
         assert!(report.rounds <= 2);
         assert!(report.discovered.len() < 100, "cannot finish in 2 tiny rounds");
@@ -195,7 +196,7 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        let population: Vec<u8> = (1..=15).collect();
+        let population: Vec<Addr> = (1..=15).collect();
         let a = run_inventory(&population, 8, 100, Seconds(1.0), Seconds(0.1), &mut seeded(84));
         let b = run_inventory(&population, 8, 100, Seconds(1.0), Seconds(0.1), &mut seeded(84));
         assert_eq!(a.discovered, b.discovered);
@@ -217,17 +218,17 @@ mod tests {
     #[test]
     fn reinventory_merges_rediscovered_nodes() {
         let mut rng = seeded(85);
-        let alive = [1u8, 2, 3];
-        let silent_reachable = [7u8, 9]; // node 8 stayed dark: not offered
+        let alive = [1u32, 2, 3];
+        let silent_reachable = [7u32, 9]; // node 8 stayed dark: not offered
         let report =
             reinventory(&alive, &silent_reachable, 8, 100, Seconds(1.0), Seconds(0.1), &mut rng);
-        for a in [1u8, 2, 3, 7, 9] {
+        for a in [1u32, 2, 3, 7, 9] {
             assert!(report.discovered.contains(&a), "node {a} missing after re-inventory");
             assert!(report.schedule.slot_of(a).is_some(), "node {a} unscheduled");
         }
         assert!(!report.discovered.contains(&8));
         // Slots unique over the merged set.
-        let mut slots: Vec<u16> = report
+        let mut slots: Vec<u32> = report
             .discovered
             .iter()
             .map(|&a| report.schedule.slot_of(a).expect("assigned"))
@@ -240,7 +241,7 @@ mod tests {
     #[test]
     fn reinventory_with_nothing_reachable_keeps_alive_set() {
         let mut rng = seeded(86);
-        let report = reinventory(&[4u8, 6], &[], 8, 10, Seconds(1.0), Seconds(0.1), &mut rng);
+        let report = reinventory(&[4u32, 6], &[], 8, 10, Seconds(1.0), Seconds(0.1), &mut rng);
         assert_eq!(report.discovered, vec![4, 6]);
         assert!(report.schedule.slot_of(4).is_some());
     }

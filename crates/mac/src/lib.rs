@@ -13,15 +13,21 @@
 //! `vab-net` swaps in physical-layer capture through
 //! [`AlohaReader::run_round_with`] without changing any of the policy code.
 //!
+//! Addresses are [`Addr`] (`u32`): inventory, TDMA and rate control all
+//! operate on the full ocean-scale address space `vab-net` deploys
+//! (10k–100k nodes). Only the wire format (`vab_link::frame::Frame`) keeps
+//! the paper's one-byte address field — at scale each multi-reader cell
+//! maps its members onto cell-local `u8` addresses (see `SCALING.md`).
+//!
 //! ## Example: inventory an unknown population, then schedule it
 //!
 //! ```
-//! use vab_mac::{run_inventory, TdmaSchedule};
+//! use vab_mac::{run_inventory, Addr, TdmaSchedule};
 //! use vab_util::rng::seeded;
 //! use vab_util::units::Seconds;
 //!
 //! // Ten hidden nodes, discovered by framed ALOHA from a window of 8 slots.
-//! let population: Vec<u8> = (1..=10).collect();
+//! let population: Vec<Addr> = (1..=10).collect();
 //! let report = run_inventory(
 //!     &population,
 //!     8,            // initial contention window
@@ -36,6 +42,13 @@
 //! ```
 
 #![warn(missing_docs)]
+
+/// A node address as the MAC layer sees it.
+///
+/// Wide enough for ocean-scale deployments (10k–100k nodes); the physical
+/// `Frame` address field stays `u8` per the paper's link format, with
+/// cell-local mapping applied by the deployment layer.
+pub type Addr = u32;
 
 pub mod aloha;
 pub mod inventory;

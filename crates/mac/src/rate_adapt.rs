@@ -11,6 +11,7 @@
 //! within a window demote one step and reset.
 
 use crate::poll::NodeStats;
+use crate::Addr;
 use std::collections::HashMap;
 use vab_core::commands::RATE_TABLE_BPS;
 
@@ -39,7 +40,7 @@ struct NodeRate {
 /// Reader-side adaptive rate controller.
 #[derive(Debug, Clone)]
 pub struct RateController {
-    nodes: HashMap<u8, NodeRate>,
+    nodes: HashMap<Addr, NodeRate>,
     /// Successes needed before promoting.
     up_after: u32,
     /// Consecutive failures that force a demotion.
@@ -100,7 +101,7 @@ impl RateController {
     }
 
     /// Emits the rate-change event/metric for one decision.
-    fn trace_change(addr: u8, rate_code: u8, reason: &'static str) {
+    fn trace_change(addr: Addr, rate_code: u8, reason: &'static str) {
         vab_obs::event!(
             "mac.rate_adapt",
             "rate_change",
@@ -112,22 +113,22 @@ impl RateController {
         vab_obs::metrics::inc("rate_adapt.changes", 1);
     }
 
-    fn entry(&mut self, addr: u8) -> &mut NodeRate {
+    fn entry(&mut self, addr: Addr) -> &mut NodeRate {
         self.nodes.entry(addr).or_insert(NodeRate { code: 0, streak: 0, fails: 0, clean: 0 })
     }
 
     /// Current rate code for a node.
-    pub fn rate_code(&self, addr: u8) -> u8 {
+    pub fn rate_code(&self, addr: Addr) -> u8 {
         self.nodes.get(&addr).map(|n| n.code).unwrap_or(0)
     }
 
     /// Current rate in bps.
-    pub fn rate_bps(&self, addr: u8) -> f64 {
+    pub fn rate_bps(&self, addr: Addr) -> f64 {
         RATE_TABLE_BPS[self.rate_code(addr) as usize]
     }
 
     /// Reports a frame outcome for `addr`; returns the control decision.
-    pub fn on_outcome(&mut self, addr: u8, success: bool) -> RateDecision {
+    pub fn on_outcome(&mut self, addr: Addr, success: bool) -> RateDecision {
         let (up_after, down_after) = (self.up_after, self.down_after);
         let max_code = (RATE_TABLE_BPS.len() - 1) as u8;
         let n = self.entry(addr);
@@ -167,7 +168,7 @@ impl RateController {
     /// * BER ≤ clean threshold for `clean_to_probe` consecutive windows →
     ///   probe one rate up (the impairment has passed);
     /// * anything between → hold and reset the clean streak.
-    pub fn on_ber_sample(&mut self, addr: u8, ber: f64) -> RateDecision {
+    pub fn on_ber_sample(&mut self, addr: Addr, ber: f64) -> RateDecision {
         let (spike, clean, to_probe) = (self.ber_spike, self.ber_clean, self.clean_to_probe);
         let max_code = (RATE_TABLE_BPS.len() - 1) as u8;
         let n = self.entry(addr);
@@ -202,7 +203,7 @@ impl RateController {
     /// per frame… per query).
     pub fn goodput_estimate(
         &self,
-        addr: u8,
+        addr: Addr,
         stats: &NodeStats,
         payload_bits: usize,
         query_period_s: f64,

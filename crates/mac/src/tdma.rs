@@ -5,36 +5,48 @@
 //! by a broadcast beacon that nodes use as the time reference — backscatter
 //! nodes have no clocks worth trusting, so every round is re-synchronized.
 
+use crate::Addr;
 use std::collections::HashMap;
 use vab_util::units::Seconds;
 
 /// A TDMA round schedule.
 ///
-/// Slot indices are `u16` so a full 256-node address space (every `u8`
-/// address, as `vab-net` deploys at N = 256) can hold one slot each —
-/// a `u8` slot index would cap the round at 255 slots.
+/// Slot indices are `u32` so an ocean-scale cell can hold one slot per
+/// member without a round-size cap — the historical `u16` slot index
+/// capped rounds at 65 535 slots, one address short of an N = 65 536
+/// deployment.
 #[derive(Debug, Clone)]
 pub struct TdmaSchedule {
     slot_duration: Seconds,
     /// Guard interval appended to each slot (propagation spread).
     guard: Seconds,
-    assignments: HashMap<u8, u16>, // addr → slot
-    n_slots: u16,
+    assignments: HashMap<Addr, u32>, // addr → slot
+    /// Occupancy bitmap, indexed by slot — keeps [`TdmaSchedule::assign`]
+    /// and [`TdmaSchedule::assign_all`] O(1) per assignment instead of a
+    /// scan over all existing assignments (O(N²) at 65k nodes).
+    occupied: Vec<bool>,
+    n_slots: u32,
 }
 
 impl TdmaSchedule {
     /// Creates a schedule with `n_slots` slots of `slot_duration` plus
     /// `guard` each.
-    pub fn new(n_slots: u16, slot_duration: Seconds, guard: Seconds) -> Self {
+    pub fn new(n_slots: u32, slot_duration: Seconds, guard: Seconds) -> Self {
         assert!(n_slots > 0 && slot_duration.value() > 0.0 && guard.value() >= 0.0);
-        Self { slot_duration, guard, assignments: HashMap::new(), n_slots }
+        Self {
+            slot_duration,
+            guard,
+            assignments: HashMap::new(),
+            occupied: vec![false; n_slots as usize],
+            n_slots,
+        }
     }
 
     /// Sizes slots for a frame of `frame_bits` channel bits at `bit_rate`,
     /// with a guard covering the worst-case round-trip spread at
     /// `max_range_m` (sound speed `c`).
     pub fn for_frames(
-        n_slots: u16,
+        n_slots: u32,
         frame_bits: usize,
         bit_rate: f64,
         max_range_m: f64,
@@ -47,27 +59,29 @@ impl TdmaSchedule {
 
     /// Assigns `addr` to `slot`. Returns `false` if the slot is taken or
     /// out of range.
-    pub fn assign(&mut self, addr: u8, slot: u16) -> bool {
-        if slot >= self.n_slots || self.assignments.values().any(|&s| s == slot) {
+    pub fn assign(&mut self, addr: Addr, slot: u32) -> bool {
+        if slot >= self.n_slots || self.occupied[slot as usize] {
             return false;
         }
         self.assignments.insert(addr, slot);
+        self.occupied[slot as usize] = true;
         true
     }
 
     /// Assigns every address in order to the first free slots. Returns the
     /// number assigned (stops when slots run out).
-    pub fn assign_all(&mut self, addrs: &[u8]) -> usize {
+    pub fn assign_all(&mut self, addrs: &[Addr]) -> usize {
         let mut assigned = 0;
-        let mut next = 0u16;
+        let mut next = 0u32;
         for &a in addrs {
-            while next < self.n_slots && self.assignments.values().any(|&s| s == next) {
+            while next < self.n_slots && self.occupied[next as usize] {
                 next += 1;
             }
             if next >= self.n_slots {
                 break;
             }
             self.assignments.insert(a, next);
+            self.occupied[next as usize] = true;
             assigned += 1;
             next += 1;
         }
@@ -75,27 +89,27 @@ impl TdmaSchedule {
     }
 
     /// Slot assigned to `addr`.
-    pub fn slot_of(&self, addr: u8) -> Option<u16> {
+    pub fn slot_of(&self, addr: Addr) -> Option<u32> {
         self.assignments.get(&addr).copied()
     }
 
     /// Which slot is active at time `t` since the round beacon, or `None`
     /// if `t` is past the end of the round.
-    pub fn slot_at(&self, t: Seconds) -> Option<u16> {
+    pub fn slot_at(&self, t: Seconds) -> Option<u32> {
         let per_slot = self.slot_duration.value() + self.guard.value();
         if t.value() < 0.0 {
             return None;
         }
         let idx = (t.value() / per_slot) as u64;
         if idx < self.n_slots as u64 {
-            Some(idx as u16)
+            Some(idx as u32)
         } else {
             None
         }
     }
 
     /// Which node owns the slot active at `t`.
-    pub fn owner_at(&self, t: Seconds) -> Option<u8> {
+    pub fn owner_at(&self, t: Seconds) -> Option<Addr> {
         let slot = self.slot_at(t)?;
         self.assignments.iter().find(|(_, &s)| s == slot).map(|(&a, _)| a)
     }
@@ -169,13 +183,15 @@ mod tests {
     }
 
     #[test]
-    fn holds_a_full_u8_address_space() {
-        // 256 slots (> u8::MAX) so every possible address gets its own slot.
-        let mut t = TdmaSchedule::new(256, Seconds(1.0), Seconds(0.0));
-        let addrs: Vec<u8> = (0..=255).collect();
-        assert_eq!(t.assign_all(&addrs), 256);
-        assert_eq!(t.slot_of(255), Some(255));
+    fn holds_an_ocean_scale_address_space() {
+        // One slot per member of a 70 000-node schedule — past both the u8
+        // address space and the old u16 slot-index cap.
+        let n = 70_000u32;
+        let mut t = TdmaSchedule::new(n, Seconds(1.0), Seconds(0.0));
+        let addrs: Vec<Addr> = (0..n).collect();
+        assert_eq!(t.assign_all(&addrs), n as usize);
         assert_eq!(t.slot_of(0), Some(0));
+        assert_eq!(t.slot_of(n - 1), Some(n - 1));
     }
 
     #[test]

@@ -45,9 +45,9 @@ impl CaptureModel {
     /// it, so "the strongest" is the only possible winner.
     pub fn capture_candidate(
         &self,
-        respondents: &[(u8, f64)],
+        respondents: &[(vab_mac::Addr, f64)],
         noise_lin: f64,
-    ) -> Option<(u8, f64)> {
+    ) -> Option<(vab_mac::Addr, f64)> {
         let total: f64 = respondents.iter().map(|&(_, p)| p).sum();
         let (addr, p) = respondents.iter().copied().max_by(|a, b| a.1.total_cmp(&b.1))?;
         let sinr_lin = p / (noise_lin + (total - p));

@@ -27,7 +27,7 @@ const STREAM_FADING: u64 = 0xFAD0;
 #[derive(Debug, Clone, Copy)]
 pub struct NodeChannel {
     /// MAC address.
-    pub addr: u8,
+    pub addr: vab_mac::Addr,
     /// Reader–node separation, metres.
     pub range_m: f64,
     /// Round-trip received level including this topology's multipath

@@ -1,0 +1,316 @@
+//! Spatial acceleration for interference aggregation: a uniform grid over
+//! the deployment volume plus an absorption-derived *interference horizon*.
+//!
+//! The pairwise reference sums every concurrent transmitter's contribution
+//! at a receiver — O(N) per query, O(N²) per network sweep, which is both
+//! slow and pointless at ocean scale: seawater absorption
+//! ([`Environment::absorption_db_per_km`]) plus spherical spreading drives
+//! a far transmitter's contribution tens of dB below the noise floor. The
+//! horizon is the range beyond which a source's received level falls below
+//! a floor (noise minus a margin); the grid returns only in-horizon
+//! sources, so aggregation is O(k) per query with k the in-horizon count.
+//!
+//! **Exactness contract**: [`grid_interference_lin`] and
+//! [`pairwise_interference_lin`] evaluate the *same* per-source
+//! contribution ([`reply_contribution_lin`]) in the *same* (ascending
+//! source-index) order, so whenever every source lies within the horizon
+//! the two sums are bit-identical — floating-point summation order and
+//! all. This is pinned by a proptest in `tests/network.rs`.
+
+use vab_acoustics::environment::Environment;
+use vab_acoustics::geometry::Position;
+use vab_util::db::db_to_lin_pow;
+use vab_util::units::{Hertz, Meters};
+
+/// Margin below the noise floor at which an interferer is declared
+/// negligible, dB. A source 10 dB under the noise floor shifts total
+/// noise-plus-interference by under 0.5 dB even before capture margins.
+pub const HORIZON_MARGIN_DB: f64 = 10.0;
+
+/// Upper bound on any horizon search, metres (200 km — far past any
+/// plausible acoustic interference range at backscatter levels).
+pub const HORIZON_MAX_M: f64 = 200_000.0;
+
+/// One acoustic point source: a node whose backscattered reply re-radiates
+/// at `level_db_at_1m` (dB re 1 µPa @ 1 m).
+#[derive(Debug, Clone, Copy)]
+pub struct PointSource {
+    /// MAC address of the transmitting node.
+    pub addr: vab_mac::Addr,
+    /// Node position.
+    pub pos: Position,
+    /// Effective reply source level at 1 m, dB re 1 µPa.
+    pub level_db_at_1m: f64,
+}
+
+/// Linear received power of `src` at `at` under spreading + absorption
+/// (`env.transmission_loss`), with the standard 1 m reference clamp.
+///
+/// Both aggregation paths call exactly this function so their per-source
+/// terms are bitwise identical.
+pub fn reply_contribution_lin(env: &Environment, f: Hertz, src: &PointSource, at: Position) -> f64 {
+    let d = src.pos.distance_to(&at).value().max(1.0);
+    db_to_lin_pow(src.level_db_at_1m - env.transmission_loss(f, Meters(d)).value())
+}
+
+/// The interference horizon: the smallest range at which a source of
+/// `level_db_at_1m` is received at or below `floor_db` (typically the
+/// noise power minus [`HORIZON_MARGIN_DB`]), solved by bisection on the
+/// monotone spreading-plus-absorption transmission loss.
+///
+/// Returns [`HORIZON_MAX_M`] if the source is still above the floor there
+/// (effectively "no horizon"), and 1.0 if it is already below the floor
+/// at the 1 m reference.
+pub fn interference_horizon_m(
+    env: &Environment,
+    f: Hertz,
+    level_db_at_1m: f64,
+    floor_db: f64,
+) -> f64 {
+    let rx = |d: f64| level_db_at_1m - env.transmission_loss(f, Meters(d)).value();
+    if rx(1.0) <= floor_db {
+        return 1.0;
+    }
+    if rx(HORIZON_MAX_M) > floor_db {
+        return HORIZON_MAX_M;
+    }
+    let (mut lo, mut hi) = (1.0_f64, HORIZON_MAX_M);
+    for _ in 0..64 {
+        let mid = 0.5 * (lo + hi);
+        if rx(mid) > floor_db {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi
+}
+
+/// Reference aggregation: total linear interference power at `at` from
+/// every source (skipping `exclude`), summed in slice order. Callers keep
+/// sources sorted by ascending address so the sum order is canonical.
+pub fn pairwise_interference_lin(
+    env: &Environment,
+    f: Hertz,
+    sources: &[PointSource],
+    at: Position,
+    exclude: Option<vab_mac::Addr>,
+) -> f64 {
+    let mut total = 0.0;
+    for src in sources {
+        if Some(src.addr) == exclude {
+            continue;
+        }
+        total += reply_contribution_lin(env, f, src, at);
+    }
+    total
+}
+
+/// Accelerated aggregation: only sources within `horizon_m` of `at`
+/// contribute, found through `grid` (built over the same `sources` slice)
+/// and summed in ascending source-index order.
+///
+/// Below the horizon this matches [`pairwise_interference_lin`] exactly —
+/// same contribution function, same summation order.
+pub fn grid_interference_lin(
+    env: &Environment,
+    f: Hertz,
+    sources: &[PointSource],
+    grid: &SpatialGrid,
+    at: Position,
+    horizon_m: f64,
+    exclude: Option<vab_mac::Addr>,
+) -> f64 {
+    let mut total = 0.0;
+    let mut scratch = Vec::new();
+    grid.indices_within(at, horizon_m, &mut scratch);
+    for &i in &scratch {
+        let src = &sources[i as usize];
+        if Some(src.addr) == exclude {
+            continue;
+        }
+        total += reply_contribution_lin(env, f, src, at);
+    }
+    total
+}
+
+/// A uniform spatial grid over a set of points, bucketing point indices by
+/// cell for O(k) radius queries.
+///
+/// Build is O(N); a radius query visits only the cells overlapping the
+/// query ball and returns indices in ascending order (the order-canonical
+/// property interference summation relies on).
+#[derive(Debug, Clone)]
+pub struct SpatialGrid {
+    cell_m: f64,
+    min: [f64; 3],
+    dims: [usize; 3],
+    cells: Vec<Vec<u32>>,
+    points: Vec<Position>,
+}
+
+impl SpatialGrid {
+    /// Builds a grid of `cell_m`-sized cubic cells over `points`.
+    ///
+    /// `cell_m` is typically half the query radius (horizon): big enough
+    /// that a query touches a handful of cells, small enough that each
+    /// cell holds a local neighborhood.
+    pub fn build(points: &[Position], cell_m: f64) -> Self {
+        assert!(cell_m > 0.0 && cell_m.is_finite(), "cell size must be positive");
+        assert!(!points.is_empty(), "cannot grid zero points");
+        let mut min = [f64::INFINITY; 3];
+        let mut max = [f64::NEG_INFINITY; 3];
+        for p in points {
+            for (k, v) in [p.x, p.y, p.z].into_iter().enumerate() {
+                min[k] = min[k].min(v);
+                max[k] = max[k].max(v);
+            }
+        }
+        let dims: [usize; 3] =
+            std::array::from_fn(|k| (((max[k] - min[k]) / cell_m).floor() as usize + 1).max(1));
+        let mut cells = vec![Vec::new(); dims[0] * dims[1] * dims[2]];
+        let mut g = Self { cell_m, min, dims, cells: Vec::new(), points: points.to_vec() };
+        for (i, p) in points.iter().enumerate() {
+            let c = g.cell_of(p);
+            cells[c].push(i as u32);
+        }
+        g.cells = cells;
+        g
+    }
+
+    /// Number of points the grid was built over.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the grid is empty (never true — `build` rejects zero points).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    fn axis_cell(&self, k: usize, v: f64) -> usize {
+        let i = ((v - self.min[k]) / self.cell_m).floor();
+        (i.max(0.0) as usize).min(self.dims[k] - 1)
+    }
+
+    fn cell_of(&self, p: &Position) -> usize {
+        let (ix, iy, iz) = (self.axis_cell(0, p.x), self.axis_cell(1, p.y), self.axis_cell(2, p.z));
+        (iz * self.dims[1] + iy) * self.dims[0] + ix
+    }
+
+    /// Collects into `out` the indices of all points within `radius_m` of
+    /// `center`, in ascending index order. `out` is cleared first; reusing
+    /// one scratch vector across queries avoids per-query allocation.
+    pub fn indices_within(&self, center: Position, radius_m: f64, out: &mut Vec<u32>) {
+        out.clear();
+        let lo: [usize; 3] = std::array::from_fn(|k| {
+            let v = [center.x, center.y, center.z][k] - radius_m;
+            self.axis_cell(k, v)
+        });
+        let hi: [usize; 3] = std::array::from_fn(|k| {
+            let v = [center.x, center.y, center.z][k] + radius_m;
+            self.axis_cell(k, v)
+        });
+        let r2 = radius_m * radius_m;
+        for iz in lo[2]..=hi[2] {
+            for iy in lo[1]..=hi[1] {
+                for ix in lo[0]..=hi[0] {
+                    let cell = &self.cells[(iz * self.dims[1] + iy) * self.dims[0] + ix];
+                    for &i in cell {
+                        let p = &self.points[i as usize];
+                        let (dx, dy, dz) = (p.x - center.x, p.y - center.y, p.z - center.z);
+                        if dx * dx + dy * dy + dz * dz <= r2 {
+                            out.push(i);
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+    use vab_util::rng::seeded;
+
+    fn ocean() -> Environment {
+        Environment::ocean(vab_acoustics::environment::SeaState::all()[1])
+    }
+
+    fn scatter(n: usize, extent: f64, seed: u64) -> Vec<Position> {
+        let mut rng = seeded(seed);
+        (0..n)
+            .map(|_| {
+                Position::new(
+                    rng.random::<f64>() * extent,
+                    rng.random::<f64>() * extent,
+                    1.0 + rng.random::<f64>() * 8.0,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn radius_query_matches_brute_force() {
+        let pts = scatter(300, 500.0, 9);
+        let grid = SpatialGrid::build(&pts, 60.0);
+        let center = Position::new(250.0, 250.0, 5.0);
+        let mut got = Vec::new();
+        grid.indices_within(center, 120.0, &mut got);
+        let want: Vec<u32> = (0..pts.len() as u32)
+            .filter(|&i| pts[i as usize].distance_to(&center).value() <= 120.0)
+            .collect();
+        assert_eq!(got, want, "grid query must equal brute force, in ascending order");
+    }
+
+    #[test]
+    fn horizon_is_monotone_in_level_and_finite() {
+        let env = ocean();
+        let f = Hertz(18_500.0);
+        let quiet = interference_horizon_m(&env, f, 120.0, 60.0);
+        let loud = interference_horizon_m(&env, f, 150.0, 60.0);
+        assert!(loud > quiet, "a louder source carries farther: {loud} vs {quiet}");
+        assert!(quiet >= 1.0 && loud <= HORIZON_MAX_M);
+        // At the horizon the received level is (numerically) at the floor.
+        let rx = 150.0 - env.transmission_loss(f, Meters(loud)).value();
+        assert!((rx - 60.0).abs() < 1e-6, "rx at horizon = {rx}");
+    }
+
+    #[test]
+    fn grid_sum_matches_pairwise_when_horizon_covers_all() {
+        let env = ocean();
+        let f = Hertz(18_500.0);
+        let pts = scatter(120, 200.0, 4);
+        let sources: Vec<PointSource> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &pos)| PointSource { addr: i as u32, pos, level_db_at_1m: 130.0 })
+            .collect();
+        let grid = SpatialGrid::build(&pts, 50.0);
+        let at = Position::new(100.0, 100.0, 4.0);
+        let a = pairwise_interference_lin(&env, f, &sources, at, Some(3));
+        let b = grid_interference_lin(&env, f, &sources, &grid, at, 10_000.0, Some(3));
+        assert_eq!(a.to_bits(), b.to_bits(), "sums must be bit-identical below the horizon");
+    }
+
+    #[test]
+    fn grid_sum_drops_out_of_horizon_sources() {
+        let env = ocean();
+        let f = Hertz(18_500.0);
+        let near = Position::new(0.0, 0.0, 5.0);
+        let far = Position::new(5_000.0, 0.0, 5.0);
+        let sources = [
+            PointSource { addr: 0, pos: near, level_db_at_1m: 130.0 },
+            PointSource { addr: 1, pos: far, level_db_at_1m: 130.0 },
+        ];
+        let grid = SpatialGrid::build(&[near, far], 100.0);
+        let at = Position::new(10.0, 0.0, 5.0);
+        let full = pairwise_interference_lin(&env, f, &sources, at, None);
+        let cut = grid_interference_lin(&env, f, &sources, &grid, at, 1_000.0, None);
+        assert!(cut < full, "the 5 km source must be culled");
+        assert!(cut > 0.0);
+    }
+}

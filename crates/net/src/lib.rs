@@ -2,12 +2,21 @@
 //!
 //! The paper promises Van Atta acoustic *networks*; the rest of the
 //! workspace models one link at a time. This crate deploys N backscatter
-//! nodes (N up to 256) and one projector/hydrophone reader in a 3-D
-//! volume, derives each node's channel — range, absorption, multipath,
-//! noise — from `vab-acoustics`/`vab-sim`, and models concurrent
-//! backscatter as physical-layer interference: colliding replies
-//! superpose at the hydrophone and per-node SINR decides *capture*,
-//! rather than an abstract collision bit.
+//! nodes — from a handful up to ocean scale (10k–100k) — with
+//! projector/hydrophone readers in a 3-D volume, derives each node's
+//! channel — range, absorption, multipath, noise — from
+//! `vab-acoustics`/`vab-sim`, and models concurrent backscatter as
+//! physical-layer interference: colliding replies superpose at the
+//! hydrophone and per-node SINR decides *capture*, rather than an
+//! abstract collision bit.
+//!
+//! Two tiers share the same MAC and capture machinery:
+//!
+//! * the **paper tier** ([`network`]) — one reader, full image-method
+//!   channels, pairwise interference; faithful at N ≲ a few thousand;
+//! * the **scale tier** ([`scale`]) — multi-reader cells, closed-form
+//!   channels, grid-accelerated interference ([`grid`]) and multi-hop
+//!   routing ([`route`]); O(N log N)-ish, runs 65k+ nodes in seconds.
 //!
 //! The layers:
 //!
@@ -18,11 +27,15 @@
 //! * [`capture`] — the SINR capture rule and Jain's fairness index;
 //! * [`network`] — discovery (framed ALOHA via
 //!   [`vab_mac::AlohaReader::run_round_with`]) and steady-state TDMA
-//!   monitoring, producing a canonical [`DeploymentReport`].
+//!   monitoring, producing a canonical [`DeploymentReport`];
+//! * [`grid`] — the uniform spatial grid and absorption-derived
+//!   interference horizon (bit-identical to pairwise below the horizon);
+//! * [`route`] — VBF and cluster-head relay planning for rim nodes;
+//! * [`scale`] — the ocean-scale deployment runner ([`ScaleReport`]).
 //!
 //! Each deployment is single-threaded and deterministic in its spec;
-//! campaigns parallelize *across* topologies through the `vab-svc`
-//! worker pool, which caches each topology's report by content address.
+//! campaigns parallelize *across* deployments through the `vab-svc`
+//! worker pool, which caches each report by content address.
 //!
 //! ## Example: run a small deployment end to end
 //!
@@ -40,17 +53,47 @@
 //!     run_deployment(&spec).to_json().render(),
 //! );
 //! ```
+//!
+//! ## Example: an ocean-scale cellular deployment with relays
+//!
+//! ```
+//! use vab_net::{run_scale_deployment, RoutePolicy, ScaleSpec};
+//!
+//! // 512 nodes at the canonical ocean density: ⌈512¼⌉² = 25 reader
+//! // cells, VBF relays for the rim nodes the direct link can't reach.
+//! let spec = ScaleSpec::ocean(512, 7);
+//! assert_eq!(spec.policy, RoutePolicy::Vbf);
+//! let report = run_scale_deployment(&spec);
+//! assert!(report.inventory.coverage() > 0.5);
+//! // Relayed rim nodes ride through neighbors: a multi-hop round costs
+//! // more than one uplink transmission per delivery on average.
+//! assert!(report.steady.mean_hops >= 1.0);
+//! // Equal specs reproduce byte-identical reports.
+//! assert_eq!(
+//!     report.to_json().render(),
+//!     run_scale_deployment(&spec).to_json().render(),
+//! );
+//! ```
 
 #![warn(missing_docs)]
 
 pub mod capture;
 pub mod channel;
+pub mod grid;
 pub mod network;
+pub mod route;
+pub mod scale;
 pub mod topology;
 
 pub use capture::{jain_fairness, sinr_db, CaptureModel};
 pub use channel::NodeChannel;
+pub use grid::{
+    grid_interference_lin, interference_horizon_m, pairwise_interference_lin, PointSource,
+    SpatialGrid,
+};
 pub use network::{
     run_deployment, DeploymentReport, NetInventoryReport, Network, SteadyStateReport,
 };
+pub use route::{plan_routes, RelayRoute, RouteNode, RoutePolicy};
+pub use scale::{run_scale_deployment, ScaleNetwork, ScaleReport, ScaleSpec};
 pub use topology::{DeploymentVolume, NetEnv, NetworkSpec, NodeSite, Topology};

@@ -13,6 +13,7 @@ use rand::RngExt;
 use vab_link::frame::LinkConfig;
 use vab_mac::aloha::{AlohaReader, SlotOutcome};
 use vab_mac::tdma::TdmaSchedule;
+use vab_mac::Addr;
 use vab_util::json::Json;
 use vab_util::rng::{derive_seed, seeded};
 
@@ -93,11 +94,11 @@ impl Network {
     /// SINR). Respondents present but nothing decoded is a collision —
     /// the reader hears energy without a frame, exactly the signal the
     /// ALOHA window controller keys on.
-    pub fn resolve_slot(&self, respondents: &[u8], decode_rng: &mut StdRng) -> SlotOutcome {
+    pub fn resolve_slot(&self, respondents: &[Addr], decode_rng: &mut StdRng) -> SlotOutcome {
         if respondents.is_empty() {
             return SlotOutcome::Idle;
         }
-        let powers: Vec<(u8, f64)> =
+        let powers: Vec<(Addr, f64)> =
             respondents.iter().map(|&a| (a, self.channels[a as usize].rx_power_lin)).collect();
         let noise = self.channels[respondents[0] as usize].noise_power_lin;
         match self.capture.capture_candidate(&powers, noise) {
@@ -122,7 +123,7 @@ impl Network {
         let mut decode = seeded(derive_seed(self.spec.seed, STREAM_DECODE));
         let initial_window = self.spec.n_nodes.next_power_of_two().clamp(4, 256);
         let mut reader = AlohaReader::new(initial_window);
-        let mut pending: Vec<u8> = self.topology.nodes.iter().map(|n| n.addr).collect();
+        let mut pending: Vec<Addr> = self.topology.nodes.iter().map(|n| n.addr).collect();
         let mut rounds = 0;
         while !pending.is_empty() && rounds < MAX_INVENTORY_ROUNDS {
             reader.run_round_with(&mut pending, &mut contention, |r| {
@@ -157,9 +158,9 @@ impl Network {
     /// `discovered` nodes (collision-free slots — TDMA is what inventory
     /// buys you), with each node's slot decoding at its clean-channel
     /// frame-success probability.
-    pub fn run_steady_state(&self, discovered: &[u8]) -> SteadyStateReport {
+    pub fn run_steady_state(&self, discovered: &[Addr]) -> SteadyStateReport {
         let _t = vab_obs::time_stage("net.steady_state");
-        let n_slots = discovered.len().max(1) as u16;
+        let n_slots = discovered.len().max(1) as u32;
         let mut schedule = TdmaSchedule::for_frames(
             n_slots,
             self.frame_bits,
@@ -171,7 +172,7 @@ impl Network {
         let round_s = schedule.round_duration().value();
         let mut rng = seeded(derive_seed(self.spec.seed, STREAM_STEADY));
         let horizon_s = STEADY_ROUNDS as f64 * round_s;
-        let mut per_node: Vec<(u8, f64)> = Vec::with_capacity(discovered.len());
+        let mut per_node: Vec<(Addr, f64)> = Vec::with_capacity(discovered.len());
         for &addr in discovered {
             let p = self.channels[addr as usize].packet_success;
             let mut delivered = 0u32;
@@ -207,7 +208,7 @@ pub struct NetInventoryReport {
     /// Deployed population size.
     pub n_nodes: usize,
     /// Addresses discovered, in discovery order.
-    pub discovered: Vec<u8>,
+    pub discovered: Vec<Addr>,
     /// Contention rounds used.
     pub rounds: u32,
     /// Contention slots spent.
@@ -232,7 +233,7 @@ impl NetInventoryReport {
 #[derive(Debug, Clone)]
 pub struct SteadyStateReport {
     /// Per-node goodput, bits/s, sorted by address.
-    pub per_node_goodput_bps: Vec<(u8, f64)>,
+    pub per_node_goodput_bps: Vec<(Addr, f64)>,
     /// Network-wide goodput, bits/s.
     pub aggregate_goodput_bps: f64,
     /// Jain fairness index over per-node goodputs, in `(0, 1]`.
@@ -257,7 +258,7 @@ impl DeploymentReport {
     /// per-node goodputs sorted by address — byte-identical for equal
     /// specs no matter where or how the deployment ran.
     pub fn to_json(&self) -> Json {
-        let mut discovered: Vec<u8> = self.inventory.discovered.clone();
+        let mut discovered: Vec<Addr> = self.inventory.discovered.clone();
         discovered.sort_unstable();
         Json::obj([
             ("schema", Json::Str(REPORT_SCHEMA.into())),

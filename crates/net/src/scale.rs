@@ -1,0 +1,908 @@
+//! Ocean-scale deployments: multi-reader cells, grid-accelerated
+//! interference, and multi-hop routing for 10k–100k node networks.
+//!
+//! The paper-scale tier ([`crate::network`]) evaluates one reader and a
+//! few hundred nodes with full image-method channels and per-slot Monte
+//! Carlo — faithful, but O(N²) in interference and far too slow past a
+//! few thousand nodes. This tier trades channel fidelity for scale while
+//! keeping every number seed-pure and content-addressed:
+//!
+//! * **Cells** — `⌈N¼⌉²` readers on a uniform grid partition the nodes by
+//!   nearest reader; cells inventory concurrently (spatial reuse).
+//! * **Closed-form channels** — each node's backscatter reply level comes
+//!   from the same sonar equation as [`vab_sim::linkbudget::LinkBudget`]
+//!   (source level − illumination loss + modulated gain + log-normal
+//!   fading), evaluated broadside; no per-node image-method realization.
+//! * **Grid-accelerated interference** — cross-cell interference uses the
+//!   [`crate::grid`] spatial index and absorption-derived horizon:
+//!   out-of-horizon sources are culled, in-horizon sums are bit-identical
+//!   to the pairwise reference (the exactness contract).
+//! * **FDM reuse plan** — readers draw one of [`REUSE_GRID`]² carrier
+//!   channels from a square reuse pattern (classic cellular planning).
+//!   A backscatter reply is centered on its own reader's carrier, so a
+//!   foreign cell on a different channel lands out of band and the
+//!   victim's receive filter rejects it (the same front end already
+//!   buries an in-band 180 dB projector by 80 dB — cross-channel
+//!   rejection is the easier filter). Nodes need no channel assignment:
+//!   a Van Atta array reflects whatever carrier hits it. Only
+//!   *co-channel* cells, at least [`REUSE_GRID`] reader spacings away,
+//!   interfere.
+//! * **Duty-cycle interference floors** — a co-channel cell's members hit
+//!   a reader as an expected-value floor weighted by their transmit duty
+//!   (1/window during contention, 1/round during TDMA) rather than a
+//!   per-slot coin flip; this is what makes a global round O(R²) instead
+//!   of O(N²).
+//! * **Multi-hop relays** — rim nodes whose direct link cannot close are
+//!   reached through [`crate::route`] policies (VBF or cluster heads) and
+//!   billed the extra TDMA airtime their relays consume.
+//!
+//! The derivation of every constant here — densities, the horizon margin,
+//! the reader-count law and the resulting Θ(√N) aggregate-capacity
+//! scaling — is documented in `SCALING.md` at the repo root.
+
+use rand::RngExt;
+use vab_acoustics::environment::Environment;
+use vab_acoustics::geometry::Position;
+use vab_link::frame::LinkConfig;
+use vab_mac::aloha::AlohaReader;
+use vab_mac::Addr;
+use vab_sim::baseline::SystemKind;
+use vab_sim::scenario::Scenario;
+use vab_util::db::{db_to_lin_pow, power_db_sum};
+use vab_util::hash::fnv1a64;
+use vab_util::json::Json;
+use vab_util::rng::{derive_seed, seeded};
+use vab_util::units::{Degrees, Hertz, Meters};
+
+use crate::capture::{jain_fairness, CaptureModel};
+use crate::channel::frame_success;
+use crate::grid::{interference_horizon_m, SpatialGrid, HORIZON_MARGIN_DB};
+use crate::network::{PAYLOAD_BITS, PAYLOAD_BYTES};
+use crate::route::{plan_routes, RelayRoute, RouteNode, RoutePolicy};
+use crate::topology::{NetEnv, DEPTH_MARGIN_M};
+
+/// Schema/version tag folded into every scale-spec digest. Bump when the
+/// placement, channel model or report layout changes.
+pub const SCALE_VERSION: &str = "vab-net-scale/1";
+
+/// Schema tag of [`ScaleReport::to_json`] payloads.
+pub const SCALE_REPORT_SCHEMA: &str = "vab-net-scale-report/1";
+
+/// Areal node density of the canonical ocean deployment, nodes/km² —
+/// one node per ~15.6 m grid pitch, dense enough that relay hops between
+/// neighbors close with margin (see `SCALING.md` for the link-budget
+/// derivation).
+pub const NODES_PER_KM2: f64 = 4096.0;
+
+/// Log-normal fading applied to each node's reply level, σ in dB
+/// (stands in for the paper tier's image-method multipath realization).
+pub const FADING_SIGMA_DB: f64 = 3.0;
+
+/// Global contention rounds after which inventory gives up; rim nodes
+/// whose direct SINR can never clear capture stay for the relay pass.
+pub const MAX_SCALE_ROUNDS: u32 = 100;
+
+/// Per-cell ALOHA window ceiling — ocean cells hold thousands of
+/// contenders, far past the paper tier's 256-slot ceiling.
+pub const MAX_CELL_WINDOW: usize = 4096;
+
+/// Minimum end-to-end relay delivery probability for an undiscovered rim
+/// node to count as reachable through its planned route.
+pub const RELAY_DISCOVERY_MIN: f64 = 0.05;
+
+/// VBF pipe radius as a multiple of the mean node pitch.
+pub const PIPE_RADIUS_PITCH_MULT: f64 = 2.0;
+
+/// Side of the square FDM reuse pattern: readers at grid position
+/// `(i, j)` use channel `(i mod G, j mod G)`, so co-channel cells are at
+/// least `G` reader spacings apart and everything closer is rejected by
+/// the victim's channel filter. Backscatter makes the plan reader-side
+/// only: a Van Atta node passively reflects whatever carrier illuminates
+/// it, so nodes need no channel assignment at all. 8 × 8 = 64 channels
+/// puts co-channel cells ≥ 1 km apart at every deployment scale, where
+/// seawater absorption starts doing the rest.
+pub const REUSE_GRID: usize = 8;
+
+const STREAM_SCALE_PLACE: u64 = 0x5CA7;
+const STREAM_SCALE_FADING: u64 = 0x5FAD;
+const STREAM_SCALE_CONTENTION: u64 = 0x5C0A;
+const STREAM_SCALE_DECODE: u64 = 0x5DEC;
+const STREAM_SCALE_ROUTE: u64 = 0x5707;
+
+/// Everything needed to reproduce an ocean-scale deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleSpec {
+    /// Number of backscatter nodes (≥ 1).
+    pub n_nodes: usize,
+    /// Number of readers, laid out row-major on a `⌈√R⌉ × ⌈√R⌉` grid.
+    pub n_readers: usize,
+    /// Deployment extent along x, metres.
+    pub x_m: f64,
+    /// Deployment extent along y, metres.
+    pub y_m: f64,
+    /// Water environment.
+    pub env: NetEnv,
+    /// Van Atta pairs per node.
+    pub n_pairs: usize,
+    /// Routing policy for rim nodes.
+    pub policy: RoutePolicy,
+    /// Master seed; placement, fading, contention and elections all
+    /// derive per-purpose streams from it.
+    pub seed: u64,
+}
+
+impl ScaleSpec {
+    /// The canonical ocean deployment law: constant areal density
+    /// ([`NODES_PER_KM2`]) so the footprint side grows as √N, and
+    /// `⌈N¼⌉²` readers so the reader count grows as √N — the sink-density
+    /// scaling that realizes the Θ(√n) aggregate-capacity order of
+    /// arXiv 1103.0266. Sea state 1, 4-pair nodes, VBF routing.
+    pub fn ocean(n_nodes: usize, seed: u64) -> Self {
+        assert!(n_nodes >= 1, "n_nodes must be at least 1");
+        let side_m = (n_nodes as f64 / NODES_PER_KM2).sqrt() * 1000.0;
+        let g = (n_nodes as f64).sqrt().sqrt().ceil() as usize;
+        Self {
+            n_nodes,
+            n_readers: g * g,
+            x_m: side_m,
+            y_m: side_m,
+            env: NetEnv::Ocean { sea_state: 1 },
+            n_pairs: 4,
+            policy: RoutePolicy::Vbf,
+            seed,
+        }
+    }
+
+    /// Canonical byte form: compact JSON with fixed key order, seeds as
+    /// decimal strings (the same convention as `vab-svc` job specs).
+    pub fn canonical(&self) -> String {
+        Json::obj([
+            ("kind", Json::Str("net_scale".into())),
+            ("n_nodes", Json::Num(self.n_nodes as f64)),
+            ("n_readers", Json::Num(self.n_readers as f64)),
+            ("x_m", Json::Num(self.x_m)),
+            ("y_m", Json::Num(self.y_m)),
+            ("env", self.env.to_json()),
+            ("n_pairs", Json::Num(self.n_pairs as f64)),
+            ("policy", Json::Str(self.policy.as_str().into())),
+            ("seed", Json::Str(self.seed.to_string())),
+        ])
+        .render()
+    }
+
+    /// Content address of this deployment under [`SCALE_VERSION`].
+    pub fn digest(&self) -> u64 {
+        let mut bytes = self.canonical().into_bytes();
+        bytes.push(0);
+        bytes.extend_from_slice(SCALE_VERSION.as_bytes());
+        fnv1a64(&bytes)
+    }
+
+    /// Mean horizontal node pitch, metres (1/√density).
+    pub fn node_pitch_m(&self) -> f64 {
+        (self.x_m * self.y_m / self.n_nodes as f64).sqrt()
+    }
+}
+
+/// Shared PHY constants of one scale deployment, derived once from the
+/// same reader/modem parameters the single-link tier uses.
+#[derive(Debug, Clone)]
+pub struct ScalePhy {
+    /// Acoustic environment.
+    pub env: Environment,
+    /// Carrier frequency.
+    pub carrier: Hertz,
+    /// Projector source level, dB re 1 µPa @ 1 m.
+    pub source_level_db: f64,
+    /// Broadside modulated gain of the node array, dB.
+    pub modulated_gain_db: f64,
+    /// Channel bits per frame.
+    pub frame_bits: usize,
+    /// FEC rate of the link stack.
+    pub fec_rate: f64,
+    /// Uplink bit rate, bits/s.
+    pub bit_rate: f64,
+    /// Reader noise power in the bit bandwidth (ambient + residual
+    /// self-interference), dB.
+    pub noise_reader_db: f64,
+    /// Node-to-node hop noise power in the bit bandwidth (ambient only —
+    /// a relay hop sees no reader self-interference), dB.
+    pub noise_hop_db: f64,
+    /// Sound speed, m/s.
+    pub sound_speed: f64,
+}
+
+impl ScalePhy {
+    /// Derives the constants for `spec`.
+    pub fn derive(spec: &ScaleSpec) -> Self {
+        let mut s = Scenario::river(SystemKind::Vab { n_pairs: spec.n_pairs }, Meters(1.0));
+        s.env = spec.env.environment();
+        let fe = s.front_end();
+        let link = LinkConfig::vab_default();
+        let carrier = s.carrier();
+        let bit_rate = s.mod_params.bit_rate;
+        let ambient = s.env.noise_psd(carrier).value();
+        let si = s.reader.si_floor_psd().value();
+        let bits_db = 10.0 * bit_rate.log10();
+        Self {
+            carrier,
+            source_level_db: s.reader.source_level_db,
+            modulated_gain_db: fe.modulated_gain_db(Degrees(0.0)),
+            frame_bits: link.encoded_len(PAYLOAD_BYTES),
+            fec_rate: link.fec.rate(),
+            bit_rate,
+            noise_reader_db: power_db_sum([ambient, si]) + bits_db,
+            noise_hop_db: ambient + bits_db,
+            sound_speed: s.env.sound_speed(),
+            env: s.env,
+        }
+    }
+
+    /// One-way transmission loss over `d` metres (1 m reference clamp).
+    pub fn tl_db(&self, d: f64) -> f64 {
+        self.env.transmission_loss(self.carrier, Meters(d.max(1.0))).value()
+    }
+}
+
+/// One node as the scale tier sees it.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleNode {
+    /// MAC address (dense from 0 — the index into every per-node array).
+    pub addr: Addr,
+    /// Position (z positive down).
+    pub pos: Position,
+    /// Index of the node's cell (nearest reader).
+    pub cell: u32,
+    /// Distance to the node's own reader, metres.
+    pub d_reader_m: f64,
+    /// Effective backscatter reply level at 1 m, dB re 1 µPa
+    /// (illumination − loss + gain + fading).
+    pub reply_db_at_1m: f64,
+    /// Linear received power at the node's own reader.
+    pub rx_reader_lin: f64,
+    /// Frame-success probability of the direct link on a clean slot.
+    pub direct_success: f64,
+}
+
+/// A fully derived ocean-scale deployment, ready to run inventory and
+/// steady state over.
+#[derive(Debug, Clone)]
+pub struct ScaleNetwork {
+    /// The spec this network derives from.
+    pub spec: ScaleSpec,
+    /// Shared PHY constants.
+    pub phy: ScalePhy,
+    /// Reader positions, row-major on the reader grid.
+    pub readers: Vec<Position>,
+    /// Per-node state, indexed by address.
+    pub nodes: Vec<ScaleNode>,
+    /// Per-cell member addresses, ascending.
+    pub cell_members: Vec<Vec<Addr>>,
+    /// Planned uplink route per node, indexed by address.
+    pub routes: Vec<RelayRoute>,
+    /// Interference horizon used to cull cross-cell interferers, metres.
+    pub horizon_m: f64,
+    /// Per-node cross-cell interference sinks: for every foreign reader
+    /// within [`ScaleNetwork::horizon_m`] of the node, `(reader index,
+    /// linear received power at that reader)`.
+    pub sinks: Vec<Vec<(u32, f64)>>,
+    /// Reader noise power, linear.
+    pub noise_lin: f64,
+    capture: CaptureModel,
+}
+
+impl ScaleNetwork {
+    /// Derives the full deployment: placement, cells, channels, the
+    /// interference grid and routes.
+    pub fn build(spec: &ScaleSpec) -> Self {
+        let _t = vab_obs::time_stage("net.scale_build");
+        assert!(spec.n_nodes >= 1 && spec.n_readers >= 1, "need nodes and readers");
+        assert!(spec.x_m > 0.0 && spec.y_m > 0.0, "deployment extent must be positive");
+        let phy = ScalePhy::derive(spec);
+
+        // Readers: row-major grid at the canonical reader depth.
+        let g = (spec.n_readers as f64).sqrt().ceil() as usize;
+        let reader_z = spec.env.reader_pos().z;
+        let readers: Vec<Position> = (0..spec.n_readers)
+            .map(|r| {
+                let (i, j) = (r % g, r / g);
+                Position::new(
+                    (i as f64 + 0.5) * spec.x_m / g as f64,
+                    (j as f64 + 0.5) * spec.y_m / g as f64,
+                    reader_z,
+                )
+            })
+            .collect();
+
+        // Placement: uniform over the box and the usable depth band,
+        // one seed-pure stream, draws in address order.
+        let depth = phy.env.depth.value();
+        let (z_lo, z_hi) = (DEPTH_MARGIN_M, depth - DEPTH_MARGIN_M);
+        assert!(z_hi > z_lo, "water column too shallow for the depth margin");
+        let mut rng = seeded(derive_seed(spec.seed, STREAM_SCALE_PLACE));
+        let positions: Vec<Position> = (0..spec.n_nodes)
+            .map(|_| {
+                let x = rng.random::<f64>() * spec.x_m;
+                let y = rng.random::<f64>() * spec.y_m;
+                let z = z_lo + rng.random::<f64>() * (z_hi - z_lo);
+                Position::new(x, y, z)
+            })
+            .collect();
+
+        // Cells: nearest reader (linear scan — O(N·R) once, dwarfed by
+        // the interference precompute).
+        let mut cell_members: Vec<Vec<Addr>> = vec![Vec::new(); spec.n_readers];
+        let cells: Vec<u32> = positions
+            .iter()
+            .map(|p| {
+                let mut best = (0u32, f64::INFINITY);
+                for (c, r) in readers.iter().enumerate() {
+                    let d = p.distance_to(r).value();
+                    if d < best.1 {
+                        best = (c as u32, d);
+                    }
+                }
+                best.0
+            })
+            .collect();
+
+        // Channels: closed-form sonar equation + log-normal fading,
+        // per-address fading streams (order- and thread-independent).
+        let stage = vab_obs::time_stage("net.scale_channels");
+        let fading_master = derive_seed(spec.seed, STREAM_SCALE_FADING);
+        let noise_lin = db_to_lin_pow(phy.noise_reader_db);
+        let mut nodes = Vec::with_capacity(spec.n_nodes);
+        for (i, &pos) in positions.iter().enumerate() {
+            let addr = i as Addr;
+            let cell = cells[i];
+            let d = pos.distance_to(&readers[cell as usize]).value();
+            let mut frng = seeded(derive_seed(fading_master, addr as u64));
+            let fading_db = FADING_SIGMA_DB * gaussian(&mut frng);
+            let reply_db_at_1m =
+                phy.source_level_db - phy.tl_db(d) + phy.modulated_gain_db + fading_db;
+            let rx_db = reply_db_at_1m - phy.tl_db(d);
+            let rx_reader_lin = db_to_lin_pow(rx_db);
+            let direct_success =
+                frame_success(rx_reader_lin / noise_lin, phy.frame_bits, phy.fec_rate);
+            cell_members[cell as usize].push(addr);
+            nodes.push(ScaleNode {
+                addr,
+                pos,
+                cell,
+                d_reader_m: d,
+                reply_db_at_1m,
+                rx_reader_lin,
+                direct_success,
+            });
+        }
+        drop(stage);
+
+        // Interference: horizon from the loudest reply, grid over the
+        // node cloud, then per-node sink lists (which co-channel foreign
+        // readers hear this node, and how loudly). Different-channel
+        // cells are out of band at the victim's filter and never enter
+        // the floor.
+        let stage = vab_obs::time_stage("net.scale_interference");
+        let color = |r: usize| -> usize {
+            let (i, j) = (r % g, r / g);
+            (i % REUSE_GRID) + REUSE_GRID * (j % REUSE_GRID)
+        };
+        let loudest = nodes.iter().map(|n| n.reply_db_at_1m).fold(f64::NEG_INFINITY, f64::max);
+        let floor_db = phy.noise_reader_db - HORIZON_MARGIN_DB;
+        let horizon_m = interference_horizon_m(&phy.env, phy.carrier, loudest, floor_db);
+        let cell_m = (horizon_m / 2.0).clamp(5.0, 2_000.0);
+        let grid = SpatialGrid::build(&positions, cell_m);
+        let mut sinks: Vec<Vec<(u32, f64)>> = vec![Vec::new(); spec.n_nodes];
+        let mut scratch = Vec::new();
+        for (c, reader) in readers.iter().enumerate() {
+            grid.indices_within(*reader, horizon_m, &mut scratch);
+            for &i in &scratch {
+                let n = &nodes[i as usize];
+                if n.cell as usize == c {
+                    continue; // own-cell members interfere via capture, not the floor
+                }
+                if color(n.cell as usize) != color(c) {
+                    continue; // different FDM channel: filtered out of band
+                }
+                let rx =
+                    db_to_lin_pow(n.reply_db_at_1m - phy.tl_db(n.pos.distance_to(reader).value()));
+                sinks[i as usize].push((c as u32, rx));
+            }
+        }
+        drop(stage);
+
+        // Routes: per cell, planned over the closed-form hop model.
+        let stage = vab_obs::time_stage("net.scale_routing");
+        let pipe_radius_m = PIPE_RADIUS_PITCH_MULT * spec.node_pitch_m();
+        let route_seed = derive_seed(spec.seed, STREAM_SCALE_ROUTE);
+        let noise_hop_db = phy.noise_hop_db;
+        let mut routes: Vec<Option<RelayRoute>> = vec![None; spec.n_nodes];
+        for (c, members) in cell_members.iter().enumerate() {
+            let rns: Vec<RouteNode> = members
+                .iter()
+                .map(|&a| {
+                    let n = &nodes[a as usize];
+                    RouteNode { addr: a, pos: n.pos, direct_prob: n.direct_success }
+                })
+                .collect();
+            let hop_prob = |from: &RouteNode, to: &RouteNode| -> f64 {
+                let n = &nodes[from.addr as usize];
+                let d = from.pos.distance_to(&to.pos).value();
+                let snr_db = n.reply_db_at_1m - phy.tl_db(d) - noise_hop_db;
+                frame_success(db_to_lin_pow(snr_db), phy.frame_bits, phy.fec_rate)
+            };
+            let planned = plan_routes(
+                spec.policy,
+                &rns,
+                readers[c],
+                pipe_radius_m,
+                derive_seed(route_seed, c as u64),
+                &hop_prob,
+            );
+            for route in planned {
+                let a = route.addr as usize;
+                routes[a] = Some(route);
+            }
+        }
+        let routes: Vec<RelayRoute> =
+            routes.into_iter().map(|r| r.expect("every node is in exactly one cell")).collect();
+        drop(stage);
+
+        Self {
+            spec: spec.clone(),
+            phy,
+            readers,
+            nodes,
+            cell_members,
+            routes,
+            horizon_m,
+            sinks,
+            noise_lin,
+            capture: CaptureModel::default(),
+        }
+    }
+
+    /// Runs the discovery phase: every cell contends concurrently in
+    /// synchronized global rounds, with per-cell framed ALOHA, capture on
+    /// top of the cross-cell duty-weighted interference floor, and a
+    /// relay pass for rim nodes the direct link cannot reach.
+    pub fn run_inventory(&self) -> ScaleInventoryReport {
+        let _t = vab_obs::time_stage("net.scale_inventory");
+        let r = self.spec.n_readers;
+        let contention_master = derive_seed(self.spec.seed, STREAM_SCALE_CONTENTION);
+        let decode_master = derive_seed(self.spec.seed, STREAM_SCALE_DECODE);
+        struct Cell {
+            reader: AlohaReader,
+            pending: Vec<Addr>,
+            contention: rand::rngs::StdRng,
+            decode: rand::rngs::StdRng,
+        }
+        let mut cells: Vec<Cell> = (0..r)
+            .map(|c| {
+                let members = &self.cell_members[c];
+                let w = members.len().next_power_of_two().clamp(4, MAX_CELL_WINDOW);
+                Cell {
+                    reader: AlohaReader::with_max_window(w, MAX_CELL_WINDOW),
+                    pending: members.clone(),
+                    contention: seeded(derive_seed(contention_master, c as u64)),
+                    decode: seeded(derive_seed(decode_master, c as u64)),
+                }
+            })
+            .collect();
+        // Pending cross-cell interference energy, bucketed by (victim
+        // reader, source cell): floors are then O(R²) per round and
+        // updates O(1) per discovery, instead of rescanning every node.
+        let mut s_matrix = vec![0.0f64; r * r];
+        for n in &self.nodes {
+            for &(victim, rx) in &self.sinks[n.addr as usize] {
+                s_matrix[victim as usize * r + n.cell as usize] += rx;
+            }
+        }
+        let mut rounds = 0u32;
+        while rounds < MAX_SCALE_ROUNDS && cells.iter().any(|c| !c.pending.is_empty()) {
+            // Duty factor of each cell this round, snapshotted up front —
+            // a member of cell c transmits in 1 of its w_c slots.
+            let duties: Vec<f64> = cells
+                .iter()
+                .map(|c| if c.pending.is_empty() { 0.0 } else { 1.0 / c.reader.window() as f64 })
+                .collect();
+            for c in 0..r {
+                if cells[c].pending.is_empty() {
+                    continue;
+                }
+                let mut floor = 0.0;
+                for (src, &duty) in duties.iter().enumerate() {
+                    if src != c {
+                        floor += duty * s_matrix[c * r + src];
+                    }
+                }
+                let noise = self.noise_lin + floor;
+                let before = cells[c].reader.identified.len();
+                let Cell { reader, pending, contention, decode } = &mut cells[c];
+                reader.run_round_with(pending, contention, |resp| {
+                    resolve_scale_slot(self, resp, noise, decode)
+                });
+                // Newly discovered nodes stop contending: retire their
+                // energy from every victim reader's pending bucket.
+                let ids: Vec<Addr> = cells[c].reader.identified[before..].to_vec();
+                for a in ids {
+                    for &(victim, rx) in &self.sinks[a as usize] {
+                        s_matrix[victim as usize * r + c] -= rx;
+                    }
+                }
+            }
+            rounds += 1;
+        }
+        let mut discovered: Vec<bool> = vec![false; self.spec.n_nodes];
+        let mut slots_used = 0u64;
+        let mut collisions = 0u64;
+        for cell in &cells {
+            slots_used += cell.reader.slots_used;
+            collisions += cell.reader.collisions;
+            for &a in &cell.reader.identified {
+                discovered[a as usize] = true;
+            }
+        }
+        // Relay pass: an undiscovered rim node is reachable if its
+        // planned route ends at a discovered relay and the end-to-end
+        // delivery probability is non-negligible.
+        let mut relayed: Vec<bool> = vec![false; self.spec.n_nodes];
+        let mut relay_slots = 0u64;
+        for n in &self.nodes {
+            let a = n.addr as usize;
+            if discovered[a] {
+                continue;
+            }
+            let route = &self.routes[a];
+            if let Some(&last) = route.relays.last() {
+                if discovered[last as usize] && route.delivery_prob >= RELAY_DISCOVERY_MIN {
+                    relayed[a] = true;
+                    relay_slots += route.hops() as u64;
+                }
+            }
+        }
+        ScaleInventoryReport {
+            n_nodes: self.spec.n_nodes,
+            discovered,
+            relayed,
+            rounds,
+            slots_used,
+            collisions,
+            relay_slots,
+        }
+    }
+
+    /// Whether a served node uplinks through its planned route rather
+    /// than its direct link: always for relay-discovered nodes, and for
+    /// directly-discovered nodes whenever the route's clean delivery
+    /// beats the direct link's (a rim node ALOHA barely reached should
+    /// not be monitored over that same barely-closing link).
+    fn uses_route(&self, a: usize, inv: &ScaleInventoryReport) -> bool {
+        if inv.relayed[a] {
+            return true;
+        }
+        let route = &self.routes[a];
+        match route.relays.last() {
+            Some(&last) => {
+                inv.discovered[last as usize] && route.delivery_prob > self.nodes[a].direct_success
+            }
+            None => false,
+        }
+    }
+
+    /// Runs the monitoring phase: per-cell TDMA over the served nodes
+    /// (routed nodes billed one slot per hop), cross-cell interference
+    /// as a 1/round duty floor, and expected-value goodput per node.
+    pub fn run_steady_state(&self, inv: &ScaleInventoryReport) -> ScaleSteadyReport {
+        let _t = vab_obs::time_stage("net.scale_steady");
+        let r = self.spec.n_readers;
+        // Slots each cell's round needs: one per direct node, hops() per
+        // routed node.
+        let mut n_slots = vec![0u64; r];
+        let mut cell_range = vec![0.0f64; r];
+        for n in &self.nodes {
+            let a = n.addr as usize;
+            if !(inv.discovered[a] || inv.relayed[a]) {
+                continue;
+            }
+            let slots = if self.uses_route(a, inv) { self.routes[a].hops() as u64 } else { 1 };
+            n_slots[n.cell as usize] += slots;
+            cell_range[n.cell as usize] = cell_range[n.cell as usize].max(n.d_reader_m);
+        }
+        // Steady-state interference floor per reader: every served
+        // foreign in-horizon node transmits in 1 of its cell's slots.
+        let mut floors = vec![0.0f64; r];
+        for n in &self.nodes {
+            let a = n.addr as usize;
+            if !(inv.discovered[a] || inv.relayed[a]) {
+                continue;
+            }
+            let duty = 1.0 / n_slots[n.cell as usize] as f64;
+            for &(victim, rx) in &self.sinks[a] {
+                floors[victim as usize] += rx * duty;
+            }
+        }
+        let round_s: Vec<f64> = (0..r)
+            .map(|c| {
+                let slot = self.phy.frame_bits as f64 / self.phy.bit_rate
+                    + 2.0 * cell_range[c] / self.phy.sound_speed;
+                n_slots[c] as f64 * slot
+            })
+            .collect();
+        let mut goodputs: Vec<f64> = Vec::new();
+        let mut hops_sum = 0u64;
+        let mut aggregate = 0.0;
+        for n in &self.nodes {
+            let a = n.addr as usize;
+            let c = n.cell as usize;
+            if round_s[c] <= 0.0 {
+                continue;
+            }
+            let floored = |node: &ScaleNode| {
+                frame_success(
+                    node.rx_reader_lin / (self.noise_lin + floors[c]),
+                    self.phy.frame_bits,
+                    self.phy.fec_rate,
+                )
+            };
+            if !(inv.discovered[a] || inv.relayed[a]) {
+                continue;
+            }
+            let delivery = if self.uses_route(a, inv) {
+                let route = &self.routes[a];
+                hops_sum += route.hops() as u64;
+                // Re-floor the final (relay → reader) hop: the planner
+                // priced it on a clean channel.
+                let last = &self.nodes[*route.relays.last().expect("routed") as usize];
+                if last.direct_success > 1e-12 {
+                    route.delivery_prob / last.direct_success * floored(last)
+                } else {
+                    0.0
+                }
+            } else {
+                hops_sum += 1;
+                floored(n)
+            };
+            let g = PAYLOAD_BITS as f64 * delivery / round_s[c];
+            goodputs.push(g);
+            aggregate += g;
+        }
+        let served = goodputs.len();
+        ScaleSteadyReport {
+            served,
+            aggregate_capacity_bps: aggregate,
+            mean_goodput_bps: if served > 0 { aggregate / served as f64 } else { 0.0 },
+            jain_fairness: jain_fairness(&goodputs),
+            mean_hops: if served > 0 { hops_sum as f64 / served as f64 } else { 0.0 },
+        }
+    }
+}
+
+/// Resolves one contention slot at a scale reader: superpose the
+/// respondents at the cell's reader, capture by SINR over noise plus the
+/// cross-cell floor, Bernoulli decode at the captured SINR.
+fn resolve_scale_slot(
+    net: &ScaleNetwork,
+    respondents: &[Addr],
+    noise_lin: f64,
+    decode: &mut rand::rngs::StdRng,
+) -> vab_mac::SlotOutcome {
+    use vab_mac::SlotOutcome;
+    if respondents.is_empty() {
+        return SlotOutcome::Idle;
+    }
+    let powers: Vec<(Addr, f64)> =
+        respondents.iter().map(|&a| (a, net.nodes[a as usize].rx_reader_lin)).collect();
+    match net.capture.capture_candidate(&powers, noise_lin) {
+        Some((addr, sinr_lin)) => {
+            let p = frame_success(sinr_lin, net.phy.frame_bits, net.phy.fec_rate);
+            if decode.random::<f64>() < p {
+                SlotOutcome::Single(addr)
+            } else {
+                SlotOutcome::Collision
+            }
+        }
+        None => SlotOutcome::Collision,
+    }
+}
+
+/// Standard normal draw (Box–Muller; two uniform draws per sample).
+fn gaussian<R: rand::Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.random::<f64>(); // (0, 1] — ln stays finite
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Outcome of the scale discovery phase.
+#[derive(Debug, Clone)]
+pub struct ScaleInventoryReport {
+    /// Deployed population size.
+    pub n_nodes: usize,
+    /// Per-address flag: discovered directly by its cell's ALOHA.
+    pub discovered: Vec<bool>,
+    /// Per-address flag: unreachable directly, reached through its
+    /// planned relay route.
+    pub relayed: Vec<bool>,
+    /// Synchronized global contention rounds used.
+    pub rounds: u32,
+    /// Contention slots spent, summed over all cells.
+    pub slots_used: u64,
+    /// Collision slots, summed over all cells.
+    pub collisions: u64,
+    /// Extra TDMA slots the relay routes will bill per round.
+    pub relay_slots: u64,
+}
+
+impl ScaleInventoryReport {
+    /// Directly discovered node count.
+    pub fn n_direct(&self) -> usize {
+        self.discovered.iter().filter(|&&d| d).count()
+    }
+
+    /// Relay-reached node count.
+    pub fn n_relayed(&self) -> usize {
+        self.relayed.iter().filter(|&&d| d).count()
+    }
+
+    /// Fraction of the population served (directly or via relays).
+    pub fn coverage(&self) -> f64 {
+        if self.n_nodes == 0 {
+            return 1.0;
+        }
+        (self.n_direct() + self.n_relayed()) as f64 / self.n_nodes as f64
+    }
+}
+
+/// Outcome of the scale monitoring phase (aggregates only — per-node
+/// vectors at 100k nodes belong in memory, not in reports).
+#[derive(Debug, Clone)]
+pub struct ScaleSteadyReport {
+    /// Nodes served (direct + relayed).
+    pub served: usize,
+    /// Network-wide goodput, bits/s, summed over concurrent cells.
+    pub aggregate_capacity_bps: f64,
+    /// Mean per-served-node goodput, bits/s.
+    pub mean_goodput_bps: f64,
+    /// Jain fairness index over served-node goodputs, in `(0, 1]`.
+    pub jain_fairness: f64,
+    /// Mean uplink transmissions per served delivery.
+    pub mean_hops: f64,
+}
+
+/// Both phases of one ocean-scale deployment.
+#[derive(Debug, Clone)]
+pub struct ScaleReport {
+    /// The deployment spec.
+    pub spec: ScaleSpec,
+    /// Interference horizon used, metres.
+    pub horizon_m: f64,
+    /// Discovery outcome.
+    pub inventory: ScaleInventoryReport,
+    /// Monitoring outcome.
+    pub steady: ScaleSteadyReport,
+}
+
+impl ScaleReport {
+    /// Canonical JSON payload: fixed key order, aggregates only —
+    /// byte-identical for equal specs no matter where the deployment ran.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::Str(SCALE_REPORT_SCHEMA.into())),
+            ("scale_digest", Json::Str(format!("{:016x}", self.spec.digest()))),
+            ("n_nodes", Json::Num(self.spec.n_nodes as f64)),
+            ("n_readers", Json::Num(self.spec.n_readers as f64)),
+            ("policy", Json::Str(self.spec.policy.as_str().into())),
+            ("horizon_m", Json::Num(self.horizon_m)),
+            (
+                "inventory",
+                Json::obj([
+                    ("discovered_direct", Json::Num(self.inventory.n_direct() as f64)),
+                    ("discovered_relayed", Json::Num(self.inventory.n_relayed() as f64)),
+                    ("coverage", Json::Num(self.inventory.coverage())),
+                    ("rounds", Json::Num(self.inventory.rounds as f64)),
+                    ("slots_used", Json::Num(self.inventory.slots_used as f64)),
+                    ("collisions", Json::Num(self.inventory.collisions as f64)),
+                    ("relay_slots", Json::Num(self.inventory.relay_slots as f64)),
+                ]),
+            ),
+            (
+                "steady",
+                Json::obj([
+                    ("served", Json::Num(self.steady.served as f64)),
+                    ("aggregate_capacity_bps", Json::Num(self.steady.aggregate_capacity_bps)),
+                    ("mean_goodput_bps", Json::Num(self.steady.mean_goodput_bps)),
+                    ("jain_fairness", Json::Num(self.steady.jain_fairness)),
+                    ("mean_hops", Json::Num(self.steady.mean_hops)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Builds the network for `spec` and runs both phases — the one-call
+/// entry point the service layer and FN3 use.
+pub fn run_scale_deployment(spec: &ScaleSpec) -> ScaleReport {
+    let _t = vab_obs::time_stage("net.scale_deployment");
+    let net = ScaleNetwork::build(spec);
+    let inventory = net.run_inventory();
+    let steady = net.run_steady_state(&inventory);
+    vab_obs::event!(
+        "net.scale",
+        "scale_deployment_done",
+        n_nodes = spec.n_nodes,
+        n_readers = spec.n_readers,
+        coverage = inventory.coverage(),
+        aggregate_bps = steady.aggregate_capacity_bps,
+    );
+    vab_obs::metrics::inc("net.scale_deployments", 1);
+    ScaleReport { spec: spec.clone(), horizon_m: net.horizon_m, inventory, steady }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_deployment_is_deterministic() {
+        let spec = ScaleSpec::ocean(64, 7);
+        let a = run_scale_deployment(&spec);
+        let b = run_scale_deployment(&spec);
+        assert_eq!(a.to_json().render(), b.to_json().render());
+    }
+
+    #[test]
+    fn cells_partition_the_population_by_nearest_reader() {
+        let spec = ScaleSpec::ocean(200, 3);
+        let net = ScaleNetwork::build(&spec);
+        let total: usize = net.cell_members.iter().map(|m| m.len()).sum();
+        assert_eq!(total, 200);
+        for n in &net.nodes {
+            let own = n.pos.distance_to(&net.readers[n.cell as usize]).value();
+            for r in &net.readers {
+                assert!(own <= n.pos.distance_to(r).value() + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn ocean_deployment_covers_most_nodes_and_reports_sane_numbers() {
+        let spec = ScaleSpec::ocean(256, 11);
+        let r = run_scale_deployment(&spec);
+        assert!(r.inventory.coverage() > 0.6, "coverage {}", r.inventory.coverage());
+        assert!(r.steady.aggregate_capacity_bps > 0.0);
+        assert!(r.steady.jain_fairness > 0.0 && r.steady.jain_fairness <= 1.0);
+        assert!(r.steady.mean_hops >= 1.0);
+        assert!(r.horizon_m > spec.node_pitch_m(), "horizon {} m", r.horizon_m);
+    }
+
+    #[test]
+    fn routing_never_hurts_coverage() {
+        let mut direct = ScaleSpec::ocean(256, 5);
+        direct.policy = RoutePolicy::Direct;
+        let mut vbf = direct.clone();
+        vbf.policy = RoutePolicy::Vbf;
+        let rd = run_scale_deployment(&direct);
+        let rv = run_scale_deployment(&vbf);
+        assert!(rv.inventory.coverage() >= rd.inventory.coverage());
+    }
+
+    #[test]
+    fn digest_separates_specs() {
+        let a = ScaleSpec::ocean(1024, 9);
+        let mut b = a.clone();
+        b.seed = 10;
+        let mut c = a.clone();
+        c.policy = RoutePolicy::ClusterHead;
+        assert_eq!(a.digest(), ScaleSpec::ocean(1024, 9).digest());
+        assert_ne!(a.digest(), b.digest());
+        assert_ne!(a.digest(), c.digest());
+    }
+
+    #[test]
+    fn reader_law_scales_as_sqrt_n() {
+        for n in [256usize, 4096, 65_536] {
+            let s = ScaleSpec::ocean(n, 1);
+            assert_eq!(s.n_readers, (n as f64).sqrt() as usize, "N = {n}");
+        }
+    }
+}

@@ -15,9 +15,6 @@ use vab_util::json::Json;
 use vab_util::rng::{derive_seed, seeded};
 use vab_util::units::Degrees;
 
-/// Hard cap on deployment size: one node per `u8` address.
-pub const MAX_NODES: usize = 256;
-
 /// Schema/version tag folded into every topology digest. Bump when the
 /// placement algorithm or the spec's canonical form changes.
 pub const TOPOLOGY_VERSION: &str = "vab-net-topology/1";
@@ -98,7 +95,7 @@ impl NetEnv {
         }
     }
 
-    fn to_json(self) -> Json {
+    pub(crate) fn to_json(self) -> Json {
         match self {
             NetEnv::River => Json::obj([("kind", Json::Str("river".into()))]),
             NetEnv::Ocean { sea_state } => Json::obj([
@@ -113,7 +110,8 @@ impl NetEnv {
 /// inventory and steady state all derive deterministically from this.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetworkSpec {
-    /// Number of backscatter nodes (1 ..= [`MAX_NODES`]).
+    /// Number of backscatter nodes (≥ 1; ocean-scale deployments run
+    /// 10k–100k nodes — see `SCALING.md`).
     pub n_nodes: usize,
     /// The deployment box.
     pub volume: DeploymentVolume,
@@ -175,8 +173,8 @@ impl NetworkSpec {
 /// One placed node.
 #[derive(Debug, Clone, Copy)]
 pub struct NodeSite {
-    /// MAC address (0 ..= 255, dense from 0).
-    pub addr: u8,
+    /// MAC address (dense from 0).
+    pub addr: vab_mac::Addr,
     /// Position in the water column (z positive down).
     pub pos: Position,
     /// Broadside rotation off the reader bearing.
@@ -200,16 +198,15 @@ impl Topology {
     /// Places `spec.n_nodes` nodes uniformly in the deployment box.
     ///
     /// Deterministic: the placement stream is derived from `spec.seed`
-    /// alone, so equal specs generate bit-identical topologies.
+    /// alone, so equal specs generate bit-identical topologies. The
+    /// per-node draw order is unchanged from the historical ≤256-node
+    /// implementation, so pre-widening specs keep their placements (and
+    /// digests) bit for bit.
     ///
     /// # Panics
-    /// If `n_nodes` is 0 or exceeds [`MAX_NODES`].
+    /// If `n_nodes` is 0.
     pub fn generate(spec: &NetworkSpec) -> Self {
-        assert!(
-            (1..=MAX_NODES).contains(&spec.n_nodes),
-            "n_nodes {} outside 1..={MAX_NODES}",
-            spec.n_nodes
-        );
+        assert!(spec.n_nodes >= 1, "n_nodes must be at least 1");
         let env = spec.env.environment();
         let depth = env.depth.value();
         let (z_lo, z_hi) = (DEPTH_MARGIN_M, depth - DEPTH_MARGIN_M);
@@ -226,7 +223,7 @@ impl Topology {
             let rotation = Degrees((rng.random::<f64>() * 2.0 - 1.0) * MAX_ROTATION_DEG);
             let pos = Position::new(x, y, z);
             max_range_m = max_range_m.max(reader.distance_to(&pos).value());
-            nodes.push(NodeSite { addr: addr as u8, pos, rotation });
+            nodes.push(NodeSite { addr: addr as vab_mac::Addr, pos, rotation });
         }
         Self { reader, nodes, water_depth_m: depth, max_range_m }
     }
@@ -278,7 +275,15 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "n_nodes")]
-    fn oversize_deployment_panics() {
-        Topology::generate(&NetworkSpec::river(257, 1));
+    fn empty_deployment_panics() {
+        Topology::generate(&NetworkSpec::river(0, 1));
+    }
+
+    #[test]
+    fn generation_scales_past_the_former_256_node_cap() {
+        let spec = NetworkSpec::river(1000, 3);
+        let t = Topology::generate(&spec);
+        assert_eq!(t.nodes.len(), 1000);
+        assert_eq!(t.nodes[999].addr, 999);
     }
 }

@@ -133,6 +133,7 @@ impl Executor {
                 execute_replay_bank(spec, &dir)
             }
             JobSpec::NetTopology { .. } => Ok(execute_net_topology(spec)),
+            JobSpec::NetScale { .. } => Ok(execute_net_scale(spec)),
         }
     }
 }
@@ -278,6 +279,27 @@ fn execute_net_topology(spec: &JobSpec) -> String {
     .render()
 }
 
+/// Runs one ocean-scale deployment through the `vab-net` scale tier.
+/// Like the paper-tier topology job, the whole chain (placement →
+/// closed-form channels → grid interference → routing → inventory →
+/// steady state) is single-threaded and seed-pure, so the payload is
+/// thread-invariant by construction and the report JSON already
+/// canonical.
+fn execute_net_scale(spec: &JobSpec) -> String {
+    let JobSpec::NetScale { n_nodes, policy, seed } = spec else {
+        unreachable!("dispatched on kind");
+    };
+    let mut scale_spec = vab_net::ScaleSpec::ocean(*n_nodes, *seed);
+    scale_spec.policy = *policy;
+    let report = vab_net::run_scale_deployment(&scale_spec);
+    Json::obj([
+        ("schema", Json::Str(crate::RESULT_SCHEMA.into())),
+        ("kind", Json::Str("net_scale".into())),
+        ("report", report.to_json()),
+    ])
+    .render()
+}
+
 /// Link-budget sweeps decompose into per-range point entries so that two
 /// sweeps over overlapping range grids share work: each point is cached
 /// under its own derived digest, and the sweep payload is assembled from
@@ -404,6 +426,25 @@ mod tests {
         assert_eq!(report.get("inventory").and_then(|i| i.u64_field("n_nodes")), Some(12));
         let jain = report.get("steady").and_then(|s| s.f64_field("jain_fairness")).expect("jain");
         assert!(jain > 0.0 && jain <= 1.0);
+    }
+
+    #[test]
+    fn net_scale_payload_is_deterministic_and_parseable() {
+        let ex = Executor::new();
+        let cache = ResultCache::in_memory(4);
+        let spec =
+            JobSpec::NetScale { n_nodes: 256, policy: vab_net::RoutePolicy::Vbf, seed: 2023 };
+        let a = ex.execute(&spec, spec.digest(), &cache).expect("run");
+        let b = ex.execute(&spec, spec.digest(), &cache).expect("run again");
+        assert_eq!(a, b, "identical deployments must produce identical bytes");
+        let v = Json::parse(&a).expect("payload parses");
+        assert_eq!(v.str_field("kind"), Some("net_scale"));
+        let report = v.get("report").expect("report");
+        assert_eq!(report.u64_field("n_nodes"), Some(256));
+        assert_eq!(report.u64_field("n_readers"), Some(16), "⌈256¼⌉² readers");
+        assert_eq!(report.str_field("policy"), Some("vbf"));
+        let cov = report.get("inventory").and_then(|i| i.f64_field("coverage")).expect("coverage");
+        assert!(cov > 0.5, "ocean cells must discover most nodes, got {cov}");
     }
 
     #[test]

@@ -261,6 +261,20 @@ pub enum JobSpec {
         /// Master seed.
         seed: u64,
     },
+    /// One ocean-scale cellular deployment (`vab-net` scale tier):
+    /// multi-reader cells, grid-accelerated interference and multi-hop
+    /// relay routing at the canonical ocean density. The spec maps onto
+    /// `vab_net::ScaleSpec::ocean` with the routing policy overridden, so
+    /// geometry and reader count stay pure functions of `n_nodes` and the
+    /// job stays cacheable by content address.
+    NetScale {
+        /// Deployed node count (1 ..= 1,048,576).
+        n_nodes: usize,
+        /// Relay routing policy for rim nodes.
+        policy: vab_net::RoutePolicy,
+        /// Master seed.
+        seed: u64,
+    },
 }
 
 impl JobSpec {
@@ -329,6 +343,12 @@ impl JobSpec {
                     ("seed", seed_to_json(*seed)),
                 ])
             }
+            JobSpec::NetScale { n_nodes, policy, seed } => Json::obj([
+                ("kind", Json::Str("net_scale".into())),
+                ("n_nodes", Json::Num(*n_nodes as f64)),
+                ("policy", Json::Str(policy.as_str().into())),
+                ("seed", seed_to_json(*seed)),
+            ]),
         }
     }
 
@@ -421,6 +441,21 @@ impl JobSpec {
                     seed: seed_field(v, "seed").ok_or("missing seed")?,
                 })
             }
+            Some("net_scale") => {
+                let n_nodes = need_usize("n_nodes")?;
+                if !(1..=1_048_576).contains(&n_nodes) {
+                    return Err(format!("n_nodes {n_nodes} outside 1..=1048576"));
+                }
+                // Policy defaults to VBF, the `ScaleSpec::ocean` default;
+                // the canonical form always spells it out, so both
+                // spellings fold to the same cache address.
+                let policy = vab_net::RoutePolicy::parse(v.str_field("policy").unwrap_or("vbf"))?;
+                Ok(JobSpec::NetScale {
+                    n_nodes,
+                    policy,
+                    seed: seed_field(v, "seed").ok_or("missing seed")?,
+                })
+            }
             other => Err(format!("unknown job kind {other:?}")),
         }
     }
@@ -486,6 +521,9 @@ impl JobSpec {
                 format!("replay_bank(range={range_m} m, snapshots={n_snapshots})")
             }
             JobSpec::NetTopology { n_nodes, .. } => format!("net_topology({n_nodes} nodes)"),
+            JobSpec::NetScale { n_nodes, policy, .. } => {
+                format!("net_scale({n_nodes} nodes, {})", policy.as_str())
+            }
         }
     }
 }
@@ -544,6 +582,8 @@ mod tests {
                 n_pairs: 4,
                 seed: 2023,
             },
+            JobSpec::NetScale { n_nodes: 4096, policy: vab_net::RoutePolicy::Vbf, seed: 2023 },
+            JobSpec::NetScale { n_nodes: 64, policy: vab_net::RoutePolicy::ClusterHead, seed: 1 },
         ];
         for spec in specs {
             let canon = spec.canonical();
@@ -589,6 +629,16 @@ mod tests {
     }
 
     #[test]
+    fn net_scale_policy_defaults_to_vbf_at_the_same_address() {
+        let explicit = r#"{"kind":"net_scale","n_nodes":64,"policy":"vbf","seed":9}"#;
+        let implicit = r#"{"kind":"net_scale","n_nodes":64,"seed":9}"#;
+        let a = JobSpec::from_json(&Json::parse(explicit).expect("json")).expect("spec");
+        let b = JobSpec::from_json(&Json::parse(implicit).expect("json")).expect("spec");
+        assert_eq!(a.digest(), b.digest(), "implicit policy folds to the canonical address");
+        assert_eq!(a.label(), "net_scale(64 nodes, vbf)");
+    }
+
+    #[test]
     fn from_json_rejects_malformed_specs() {
         for bad in [
             r#"{"kind":"mc_point"}"#,
@@ -599,6 +649,10 @@ mod tests {
             r#"{"kind":"net_topology","n_nodes":0,"x_m":60,"y_m":40,"standoff_m":10,"env":{"kind":"river"},"n_pairs":4,"seed":1}"#,
             r#"{"kind":"net_topology","n_nodes":500,"x_m":60,"y_m":40,"standoff_m":10,"env":{"kind":"river"},"n_pairs":4,"seed":1}"#,
             r#"{"kind":"net_topology","n_nodes":8,"x_m":-60,"y_m":40,"standoff_m":10,"env":{"kind":"river"},"n_pairs":4,"seed":1}"#,
+            r#"{"kind":"net_scale","n_nodes":0,"policy":"vbf","seed":1}"#,
+            r#"{"kind":"net_scale","n_nodes":2000000,"policy":"vbf","seed":1}"#,
+            r#"{"kind":"net_scale","n_nodes":64,"policy":"teleport","seed":1}"#,
+            r#"{"kind":"net_scale","n_nodes":64,"policy":"vbf"}"#,
             r#"{"kind":"replay_bank","env":{"kind":"river"},"range_m":-50,"carrier_hz":18500,"fs":1600,"n_snapshots":2,"span_s":1,"seed":1}"#,
             r#"{"kind":"replay_bank","env":{"kind":"river"},"range_m":50,"carrier_hz":18500,"fs":1600,"n_snapshots":0,"span_s":1,"seed":1}"#,
             r#"{"kind":"replay_bank","env":{"kind":"river"},"range_m":50,"carrier_hz":18500,"fs":1600,"n_snapshots":3,"span_s":0,"seed":1}"#,

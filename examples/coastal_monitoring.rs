@@ -30,7 +30,9 @@ fn main() {
             n
         })
         .collect();
-    let addresses: Vec<u8> = nodes.iter().map(|n| n.config.address).collect();
+    // The MAC layer addresses ocean-scale populations (u32); the one-byte
+    // node/wire addresses embed losslessly.
+    let addresses: Vec<u32> = nodes.iter().map(|n| u32::from(n.config.address)).collect();
 
     // --- Phase 1: discover the population with framed slotted ALOHA.
     let mut rng = seeded(7);
@@ -47,8 +49,8 @@ fn main() {
     for node in nodes.iter_mut() {
         // The schedule indexes slots as u16 (a full 256-node inventory needs
         // 256 slots) but slot *indices* still fit the one-byte wire command.
-        let slot = u8::try_from(report.schedule.slot_of(node.config.address).expect("scheduled"))
-            .expect("slot index fits the wire command");
+        let slot = report.schedule.slot_of(u32::from(node.config.address)).expect("scheduled");
+        let slot = u8::try_from(slot).expect("slot index fits the wire command");
         let cmd =
             Frame::new(node.config.address, READER, 0, Command::AssignSlot { slot }.to_payload());
         match node.handle_downlink(&cmd) {

@@ -81,18 +81,18 @@ fn main() {
     //    knock the node back down one rate at a time.
     let mut rc = RateController::with_policy(1, 1);
     for _ in 0..3 {
-        rc.on_outcome(NODE, true);
+        rc.on_outcome(u32::from(NODE), true);
     }
     for _ in 0..3 {
-        rc.on_ber_sample(NODE, 0.5);
+        rc.on_ber_sample(u32::from(NODE), 0.5);
     }
 
     // 5. Silence burst + re-inventory: five nodes go quiet back-to-back,
     //    then the reader re-discovers the two still reachable.
     let mut silence = SilenceMonitor::new(2);
     for addr in 1..=5u8 {
-        silence.on_poll(addr, false);
-        silence.on_poll(addr, false);
+        silence.on_poll(u32::from(addr), false);
+        silence.on_poll(u32::from(addr), false);
     }
     let mut inv_rng = seeded(7);
     let report = reinventory(&[6, 7], &[1, 2], 4, 8, Seconds(0.5), Seconds(0.05), &mut inv_rng);

@@ -58,7 +58,7 @@ fn main() {
         .per_node_goodput_bps
         .iter()
         .copied()
-        .fold((0u8, 0.0f64), |acc, (a, g)| if g > acc.1 { (a, g) } else { acc });
+        .fold((0u32, 0.0f64), |acc, (a, g)| if g > acc.1 { (a, g) } else { acc });
     println!("  best node:        #{best_addr} at {best:.2} bps");
     println!();
     println!(

@@ -1,16 +1,25 @@
 //! `vab-net` determinism regressions and capture-model properties.
 //!
-//! The headline guarantee: FN1/FN2 CSVs are bit-identical whatever the
-//! worker-pool width, because each deployment is internally single-threaded
-//! and seed-pure — parallelism only shards *across* topologies.
+//! The headline guarantees: FN1/FN2/FN3 CSVs are bit-identical whatever
+//! the worker-pool width, because each deployment is internally
+//! single-threaded and seed-pure — parallelism only shards *across*
+//! deployments; and the scale tier's grid-accelerated interference sum is
+//! bit-identical to the pairwise reference below the horizon.
 
 use std::sync::Arc;
 
 use proptest::prelude::*;
-use vab::net::{jain_fairness, sinr_db, CaptureModel, NetworkSpec, Topology};
+use vab::acoustics::environment::{Environment, SeaState};
+use vab::acoustics::geometry::Position;
+use vab::net::{
+    grid_interference_lin, jain_fairness, pairwise_interference_lin, run_deployment, sinr_db,
+    CaptureModel, NetworkSpec, PointSource, SpatialGrid, Topology,
+};
 use vab::svc::ResultCache;
+use vab::util::hash::fnv1a64;
 use vab::util::threads::set_jobs;
-use vab_bench::network::{fn1_with_cache, fn2_with_cache};
+use vab::util::units::Hertz;
+use vab_bench::network::{fn1_with_cache, fn2_with_cache, fn3_with_cache};
 use vab_bench::ExpConfig;
 
 fn quick() -> ExpConfig {
@@ -29,6 +38,119 @@ fn fn1_fn2_csvs_are_identical_across_pool_widths() {
     set_jobs(0);
     assert_eq!(fn1_serial, fn1_wide, "FN1 must not depend on worker count");
     assert_eq!(fn2_serial, fn2_wide, "FN2 must not depend on worker count");
+}
+
+#[test]
+fn fn3_csv_is_identical_across_pool_widths() {
+    set_jobs(1);
+    let serial = fn3_with_cache(&quick(), Arc::new(ResultCache::in_memory(64))).to_csv();
+    set_jobs(8);
+    let wide = fn3_with_cache(&quick(), Arc::new(ResultCache::in_memory(64))).to_csv();
+    set_jobs(0);
+    assert_eq!(serial, wide, "FN3 must not depend on worker count");
+}
+
+/// FN1 physics must survive the scale-tier refactor untouched: the quick
+/// CSV is pinned byte-for-byte against a fixture generated *before* the
+/// grid/route/scale layers landed. Regenerate only for a deliberate
+/// physics change (see `EXPERIMENTS.md`).
+#[test]
+fn fn1_quick_csv_matches_the_pre_scale_golden() {
+    // The fixture was generated at `ExpConfig::quick()` fidelity.
+    let csv = fn1_with_cache(&ExpConfig::quick(), Arc::new(ResultCache::in_memory(64))).to_csv();
+    let golden = include_str!("fixtures/fn1_quick_golden.csv");
+    assert_eq!(csv, golden, "FN1 quick CSV drifted from the pre-scale-tier golden fixture");
+}
+
+/// Pre-widening topology specs keep their content addresses and reports:
+/// widening `Addr` to `u32` and removing the 256-node cap must not move
+/// a single byte of the historical ≤256-node results.
+#[test]
+fn pre_widening_specs_keep_digests_and_reports() {
+    for (spec, want) in [
+        (NetworkSpec::river(16, 7), 0x436e_9d3f_90f5_ac92_u64),
+        (NetworkSpec::river(64, 42), 0x0804_b87c_305c_d0b2),
+        (NetworkSpec::river(256, 2023), 0x5549_5bbb_49e3_1ffc),
+    ] {
+        assert_eq!(
+            spec.digest(),
+            want,
+            "digest of river({}, {}) moved — placement or canonical form changed",
+            spec.n_nodes,
+            spec.seed
+        );
+    }
+    let report = run_deployment(&NetworkSpec::river(64, 42)).to_json().render();
+    assert_eq!(
+        fnv1a64(report.as_bytes()),
+        0x1945_7140_5e6d_7ed6,
+        "river(64, 42) deployment report drifted from the pre-scale-tier bytes"
+    );
+}
+
+/// The BENCH acceptance target for the scale tier: at N = 4096 in a
+/// km-scale box, grid-accelerated interference aggregation beats the
+/// pairwise reference by ≥ 10×. Gated behind `VAB_BENCH=1` because
+/// wall-clock assertions have no place in the default suite (run it
+/// `--release`; see `SCALING.md` for measured numbers).
+#[test]
+fn grid_aggregation_meets_the_bench_speedup_target() {
+    if std::env::var("VAB_BENCH").is_err() {
+        eprintln!("skipped: set VAB_BENCH=1 to run the speedup gate");
+        return;
+    }
+    use std::time::Instant;
+    use vab::util::rng::seeded;
+
+    let env = Environment::ocean(SeaState::all()[1]);
+    let f = Hertz(18_500.0);
+    let n = 4096usize;
+    let extent = 4_000.0; // km-scale box: most pairs sit far outside the horizon
+    let mut rng = seeded(0xB0B);
+    use rand::RngExt;
+    let sources: Vec<PointSource> = (0..n)
+        .map(|i| PointSource {
+            addr: i as u32,
+            pos: Position::new(
+                rng.random::<f64>() * extent,
+                rng.random::<f64>() * extent,
+                1.0 + rng.random::<f64>() * 8.0,
+            ),
+            level_db_at_1m: 130.0,
+        })
+        .collect();
+    let horizon_m = 300.0;
+    let points: Vec<Position> = sources.iter().map(|s| s.pos).collect();
+    let grid = SpatialGrid::build(&points, horizon_m / 2.0);
+    let best = |f: &mut dyn FnMut() -> f64| {
+        (0..3)
+            .map(|_| {
+                let t = Instant::now();
+                let total = f();
+                assert!(total >= 0.0);
+                t.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let pairwise = best(&mut || {
+        sources
+            .iter()
+            .map(|s| pairwise_interference_lin(&env, f, &sources, s.pos, Some(s.addr)))
+            .sum()
+    });
+    let accelerated = best(&mut || {
+        sources
+            .iter()
+            .map(|s| {
+                grid_interference_lin(&env, f, &sources, &grid, s.pos, horizon_m, Some(s.addr))
+            })
+            .sum()
+    });
+    let speedup = pairwise / accelerated.max(1e-12);
+    eprintln!(
+        "grid speedup at N={n}: {speedup:.1}x (pairwise {pairwise:.3}s, grid {accelerated:.3}s)"
+    );
+    assert!(speedup >= 10.0, "need >=10x, measured {speedup:.1}x");
 }
 
 #[test]
@@ -58,8 +180,8 @@ proptest! {
         boost in 1.5f64..100.0,
     ) {
         let model = CaptureModel::default();
-        let replies: Vec<(u8, f64)> =
-            powers.iter().enumerate().map(|(i, &p)| (i as u8, p)).collect();
+        let replies: Vec<(u32, f64)> =
+            powers.iter().enumerate().map(|(i, &p)| (i as u32, p)).collect();
         if let Some((winner, _)) = model.capture_candidate(&replies, noise) {
             let strongest = replies
                 .iter()
@@ -83,6 +205,46 @@ proptest! {
         let before = sinr_db(powers[idx], interference, noise);
         let after = sinr_db(powers[idx] * boost, interference, noise);
         prop_assert!(after >= before);
+    }
+
+    // The scale tier's exactness contract: whenever every source lies
+    // within the horizon, the grid-accelerated interference sum is
+    // bit-identical to the pairwise reference — same contribution
+    // function, same ascending-index summation order, floating point and
+    // all. FN1-tier physics therefore cannot drift under acceleration.
+    #[test]
+    fn grid_interference_is_bit_identical_to_pairwise_below_the_horizon(
+        n in 2usize..40,
+        xs in prop::collection::vec(0.0f64..300.0, 40),
+        ys in prop::collection::vec(0.0f64..300.0, 40),
+        zs in prop::collection::vec(1.0f64..9.0, 40),
+        levels in prop::collection::vec(110.0f64..150.0, 40),
+        px in 0.0f64..300.0,
+        py in 0.0f64..300.0,
+        pz in 1.0f64..9.0,
+        cell_m in 10.0f64..200.0,
+        exclude_raw in 0u32..80,
+    ) {
+        let env = Environment::ocean(SeaState::all()[1]);
+        let f = Hertz(18_500.0);
+        let sources: Vec<PointSource> = (0..n)
+            .map(|i| PointSource {
+                addr: i as u32,
+                pos: Position::new(xs[i], ys[i], zs[i]),
+                level_db_at_1m: levels[i],
+            })
+            .collect();
+        // Half the draws exclude one source's own reply, half exclude none.
+        let exclude = (exclude_raw < n as u32).then_some(exclude_raw);
+        let points: Vec<Position> = sources.iter().map(|s| s.pos).collect();
+        let grid = SpatialGrid::build(&points, cell_m);
+        let at = Position::new(px, py, pz);
+        // Any horizon covering the whole box: the diagonal plus slack.
+        let horizon_m = 600.0;
+        let a = pairwise_interference_lin(&env, f, &sources, at, exclude);
+        let b = grid_interference_lin(&env, f, &sources, &grid, at, horizon_m, exclude);
+        prop_assert_eq!(a.to_bits(), b.to_bits(),
+            "grid and pairwise sums must be bit-identical below the horizon");
     }
 
     // Jain's index stays in (0, 1] for any non-negative allocation, and
